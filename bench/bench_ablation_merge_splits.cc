@@ -1,0 +1,60 @@
+// Ablation (DESIGN.md §6.1): the "merge unnecessary splits" step of
+// REFINENODE (the vrest of §3.2). With merging disabled, M(k) splits by
+// every parent and keeps every piece — reproducing D(k)-PROMOTE's
+// over-refinement for irrelevant data nodes. Reports final index sizes and
+// rerun costs on both datasets.
+
+#include "bench/bench_common.h"
+#include "index/d_k_index.h"
+#include "index/m_k_index.h"
+#include "query/data_evaluator.h"
+#include "util/table_writer.h"
+
+namespace {
+
+void RunDataset(const std::string& name) {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset(name);
+  auto workload = bench::MakeWorkload(g, 9);
+
+  MkIndex with_merge(g);
+  MkIndex without_merge(g);
+  without_merge.set_merge_unnecessary_splits(false);
+  DkIndex dk_promote(g);
+  for (const PathExpression& q : workload) {
+    with_merge.Refine(q);
+    without_merge.Refine(q);
+    dk_promote.Promote(q);
+  }
+
+  auto avg_cost = [&](auto& index) {
+    uint64_t total = 0;
+    for (const PathExpression& q : workload) {
+      total += index.Query(q).stats.total();
+    }
+    return static_cast<double>(total) / workload.size();
+  };
+
+  TableWriter table({"variant", "nodes", "edges", "avg_cost"});
+  table.AddRowValues("M(k) with merge", with_merge.graph().num_nodes(),
+                     with_merge.graph().num_edges(), avg_cost(with_merge));
+  table.AddRowValues("M(k) without merge (ablated)",
+                     without_merge.graph().num_nodes(),
+                     without_merge.graph().num_edges(),
+                     avg_cost(without_merge));
+  table.AddRowValues("D(k)-promote (reference)",
+                     dk_promote.graph().num_nodes(),
+                     dk_promote.graph().num_edges(), avg_cost(dk_promote));
+  std::cout << "== Ablation: merge-unnecessary-splits on " << name
+            << " ==\n";
+  table.RenderText(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("xmark");
+  RunDataset("nasa");
+  return 0;
+}

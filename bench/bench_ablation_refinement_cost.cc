@@ -1,0 +1,52 @@
+// Ablation: *refinement* cost (reorganization effort), the axis the paper
+// leaves unmeasured. Replays the length-9 workload through the three
+// incrementally refined indexes and reports how many node splits, new
+// index nodes, and extent moves each performed — the price paid for the
+// final query performance of Figures 10-13.
+
+#include "bench/bench_common.h"
+#include "index/d_k_index.h"
+#include "index/m_k_index.h"
+#include "index/m_star_index.h"
+#include "util/table_writer.h"
+
+namespace {
+
+void RunDataset(const std::string& name) {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset(name);
+  auto workload = bench::MakeWorkload(g, 9);
+
+  DkIndex dkp(g);
+  MkIndex mk(g);
+  MStarIndex mstar(g);
+  for (const PathExpression& q : workload) {
+    dkp.Promote(q);
+    mk.Refine(q);
+    mstar.Refine(q);
+  }
+
+  TableWriter table({"index", "splits", "nodes_created", "extent_moves",
+                     "final_nodes"});
+  const RefinementStats& d = dkp.graph().refinement_stats();
+  table.AddRowValues("D(k)-promote", d.splits, d.nodes_created,
+                     d.extent_moves, dkp.graph().num_nodes());
+  const RefinementStats& m = mk.graph().refinement_stats();
+  table.AddRowValues("M(k)", m.splits, m.nodes_created, m.extent_moves,
+                     mk.graph().num_nodes());
+  RefinementStats s = mstar.TotalRefinementStats();
+  table.AddRowValues("M*(k) (all components)", s.splits, s.nodes_created,
+                     s.extent_moves, mstar.PhysicalNodeCount());
+  std::cout << "== Ablation: refinement effort over the 500-query workload, "
+            << name << " (len 9) ==\n";
+  table.RenderText(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("xmark");
+  RunDataset("nasa");
+  return 0;
+}

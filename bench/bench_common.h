@@ -1,0 +1,61 @@
+#ifndef MRX_BENCH_BENCH_COMMON_H_
+#define MRX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "harness/datasets.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "query/path_expression.h"
+#include "workload/generator.h"
+#include "workload/label_paths.h"
+
+namespace mrx::bench {
+
+/// Builds the paper's workload for a dataset: 500 queries drawn from all
+/// label paths of length ≤ 9, query length capped at `max_query_length`.
+inline std::vector<PathExpression> MakeWorkload(const DataGraph& g,
+                                                size_t max_query_length,
+                                                uint64_t seed = 1,
+                                                size_t num_queries = 500) {
+  LabelPathEnumerationOptions enum_options;
+  enum_options.max_length = 9;
+  LabelPathSet paths = EnumerateLabelPaths(g, enum_options);
+  if (paths.truncated) {
+    std::cerr << "note: label path enumeration truncated at "
+              << paths.paths.size() << " paths\n";
+  }
+  WorkloadOptions options;
+  options.num_queries = num_queries;
+  options.max_query_length = max_query_length;
+  options.seed = seed;
+  return GenerateWorkload(paths, options);
+}
+
+/// Loads a dataset by name ("xmark" or "nasa") at the bench scale
+/// (MRX_SCALE env var, default 1.0 = the paper's ~120k/~90k nodes),
+/// printing its summary. Exits on failure.
+inline DataGraph LoadDataset(const std::string& name) {
+  double scale = harness::BenchScaleFromEnv(1.0);
+  Result<DataGraph> g =
+      name == "xmark" ? harness::BuildXMarkGraph(scale)
+                      : harness::BuildNasaGraph(scale);
+  if (!g.ok()) {
+    std::cerr << "failed to build dataset " << name << ": " << g.status()
+              << "\n";
+    std::exit(1);
+  }
+  harness::PrintDatasetSummary(std::cout, name + " (scale " +
+                                              std::to_string(scale) + ")",
+                               *g);
+  return std::move(g).value();
+}
+
+}  // namespace mrx::bench
+
+#endif  // MRX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Extension bench (the paper's §6 future work): the disk-resident M*(k)
+// index with selective component loading. Refines an index for the
+// length-9 XMark workload, persists it, and replays the workload through
+// DiskMStarIndex, reporting how many components (and bytes) each query
+// length actually pulls from disk — the payoff of the per-component
+// container layout.
+
+#include <filesystem>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "index/m_star_index.h"
+#include "storage/disk_m_star_index.h"
+#include "storage/graph_io.h"
+#include "storage/index_io.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("xmark");
+  auto workload = bench::MakeWorkload(g, 9);
+
+  MStarIndex index(g);
+  for (const PathExpression& q : workload) index.Refine(q);
+
+  std::string dir = std::filesystem::temp_directory_path().string();
+  std::string graph_path = dir + "/mrx_bench_graph.mrxg";
+  std::string index_path = dir + "/mrx_bench_index.mrxs";
+  Status s = storage::SaveDataGraphToFile(g, graph_path);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  s = storage::SaveMStarIndexToFile(index, index_path);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "serialized: graph "
+            << std::filesystem::file_size(graph_path) / 1024 << " KiB, "
+            << "index " << std::filesystem::file_size(index_path) / 1024
+            << " KiB (" << index.num_components() << " components)\n\n";
+
+  // Replay the workload in ascending length order, reporting the loading
+  // footprint after each length bucket.
+  auto disk = storage::DiskMStarIndex::Open(g, index_path);
+  if (!disk.ok()) {
+    std::cerr << disk.status() << "\n";
+    return 1;
+  }
+  std::map<size_t, std::vector<const PathExpression*>> by_length;
+  for (const PathExpression& q : workload) {
+    by_length[q.length()].push_back(&q);
+  }
+  TableWriter table({"query_length", "queries", "avg_cost",
+                     "components_loaded", "KiB_read"});
+  for (const auto& [len, queries] : by_length) {
+    uint64_t cost = 0;
+    for (const PathExpression* q : queries) {
+      auto r = disk->QueryTopDown(*q);
+      if (!r.ok()) {
+        std::cerr << r.status() << "\n";
+        return 1;
+      }
+      cost += r->stats.total();
+    }
+    table.AddRowValues(len, queries.size(),
+                       static_cast<double>(cost) / queries.size(),
+                       disk->components_loaded(),
+                       disk->bytes_read() / 1024);
+  }
+  std::cout << "== Extension: disk-resident M*(k), selective component "
+               "loading (XMark, len 9) ==\n";
+  table.RenderText(std::cout);
+  std::cout << "\nShort queries only materialize the coarse prefix of the "
+               "container;\nthe finest components load when the first long "
+               "query arrives.\n";
+
+  std::filesystem::remove(graph_path);
+  std::filesystem::remove(index_path);
+  return 0;
+}

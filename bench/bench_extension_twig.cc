@@ -1,0 +1,59 @@
+// Extension bench: twig (branching path) queries on XMark. The structural
+// index answers the trunk; branch predicates validate against the data
+// graph. Compares an unrefined index (A(0) trunk evaluation + validation)
+// against one refined for the trunks — trunk refinement removes the
+// trunk's validation cost and shrinks the candidate set the predicates
+// must check.
+
+#include "bench/bench_common.h"
+#include "index/twig_eval.h"
+#include "query/twig.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("xmark");
+  DataEvaluator evaluator(g);
+
+  const char* twig_texts[] = {
+      "//open_auction[bidder]/seller/person",
+      "//open_auction[reserve][bidder/personref]/itemref/item",
+      "//person[address/city]/watches/watch/open_auction",
+      "//item[incategory][mailbox//text]/name",
+      "//closed_auction[annotation//emph]/buyer/person",
+      "//category[//keyword]/name",
+  };
+
+  std::vector<TwigQuery> twigs;
+  for (const char* text : twig_texts) {
+    auto t = TwigQuery::Parse(text, g.symbols());
+    if (t.ok()) twigs.push_back(std::move(t).value());
+  }
+
+  MStarIndex cold(g);
+  MStarIndex refined(g);
+  for (const TwigQuery& t : twigs) refined.Refine(t.TrunkExpression());
+
+  TableWriter table({"twig", "answers", "cold_cost", "refined_cost"});
+  for (const TwigQuery& t : twigs) {
+    QueryResult cold_result = EvaluateTwigWithIndex(cold, t, evaluator);
+    QueryResult warm_result = EvaluateTwigWithIndex(refined, t, evaluator);
+    // Sanity: both agree with the ground truth.
+    if (cold_result.answer != EvaluateTwig(g, t) ||
+        warm_result.answer != cold_result.answer) {
+      std::cerr << "MISMATCH for " << t.ToString(g.symbols()) << "\n";
+      return 1;
+    }
+    table.AddRowValues(t.ToString(g.symbols()), cold_result.answer.size(),
+                       cold_result.stats.total(),
+                       warm_result.stats.total());
+  }
+  std::cout << "== Extension: twig queries, trunk-refined vs cold M*(k) "
+               "(XMark) ==\n";
+  table.RenderText(std::cout);
+  std::cout << "\nRefining the trunks removes the trunk validation cost; "
+               "branch predicates\nstill validate per candidate (structural "
+               "indexes summarize incoming paths\nonly — §2 points to "
+               "covering/UD(k,l) indexes for branching precision).\n";
+  return 0;
+}

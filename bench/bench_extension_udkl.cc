@@ -1,0 +1,49 @@
+// Extension bench: the UD(k,l)-index (related work [18]) against the A(k)
+// family on both datasets — size cost of adding downward bisimilarity, and
+// what it buys: l-down-uniform extents (the prerequisite §4.1 names for
+// efficient bottom-up evaluation).
+
+#include "bench/bench_common.h"
+#include "index/a_k_index.h"
+#include "index/ud_kl_index.h"
+#include "util/table_writer.h"
+
+namespace {
+
+void RunDataset(const std::string& name) {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset(name);
+  auto workload = bench::MakeWorkload(g, 4);
+
+  TableWriter table({"index", "nodes", "edges", "avg_cost"});
+  auto measure = [&](const std::string& label, auto& index) {
+    uint64_t cost = 0;
+    for (const PathExpression& q : workload) {
+      cost += index.Query(q).stats.total();
+    }
+    table.AddRowValues(label, index.graph().num_nodes(),
+                       index.graph().num_edges(),
+                       static_cast<double>(cost) / workload.size());
+  };
+
+  for (int k : {1, 2, 3}) {
+    AkIndex ak(g, k);
+    measure("A(" + std::to_string(k) + ")", ak);
+    for (int l : {1, 2}) {
+      UdklIndex ud(g, k, l);
+      measure("UD(" + std::to_string(k) + "," + std::to_string(l) + ")",
+              ud);
+    }
+  }
+  std::cout << "== Extension: UD(k,l) vs A(k) on " << name << " ==\n";
+  table.RenderText(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("xmark");
+  RunDataset("nasa");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figures 8 and 9: the query length distribution of the
+// synthetic workload on the NASA dataset, for maximum path lengths 9 and 4.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph nasa = bench::LoadDataset("nasa");
+
+  auto wl9 = bench::MakeWorkload(nasa, /*max_query_length=*/9);
+  harness::PrintHistogram(
+      std::cout, "Figure 8: query distribution on NASA (max path length 9)",
+      QueryLengthHistogram(wl9, 9));
+
+  auto wl4 = bench::MakeWorkload(nasa, /*max_query_length=*/4);
+  harness::PrintHistogram(
+      std::cout, "Figure 9: query distribution on NASA (max path length 4)",
+      QueryLengthHistogram(wl4, 4));
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figures 10 and 11: average query cost vs index size (nodes and
+// edges) on the XMark dataset with maximum query length 9, for the A(k)
+// family (k = 0..7), D(k)-construct, D(k)-promote, M(k) and M*(k).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("xmark");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 9));
+
+  std::vector<harness::IndexRunResult> runs;
+  for (int k = 0; k <= 7; ++k) runs.push_back(driver.RunAk(k));
+  runs.push_back(driver.RunDkConstruct());
+  runs.push_back(driver.RunDkPromote());
+  runs.push_back(driver.RunMk());
+  runs.push_back(driver.RunMStar());
+
+  harness::PrintCostVsSize(
+      std::cout,
+      "Figures 10+11: query cost vs index nodes/edges, XMark, max length 9",
+      runs);
+  return 0;
+}

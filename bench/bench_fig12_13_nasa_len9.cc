@@ -1,0 +1,23 @@
+// Reproduces Figures 12 and 13: average query cost vs index size (nodes and
+// edges) on the NASA dataset with maximum query length 9.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("nasa");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 9));
+
+  std::vector<harness::IndexRunResult> runs;
+  for (int k = 0; k <= 7; ++k) runs.push_back(driver.RunAk(k));
+  runs.push_back(driver.RunDkConstruct());
+  runs.push_back(driver.RunDkPromote());
+  runs.push_back(driver.RunMk());
+  runs.push_back(driver.RunMStar());
+
+  harness::PrintCostVsSize(
+      std::cout,
+      "Figures 12+13: query cost vs index nodes/edges, NASA, max length 9",
+      runs);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figures 14 and 15: index node/edge growth of the
+// incrementally refined indexes (D(k)-promote, M(k), M*(k)) as FUPs are
+// added, sampled every 50 queries, XMark, max query length 9.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("xmark");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 9));
+
+  std::vector<harness::IndexRunResult> runs;
+  runs.push_back(driver.RunDkPromote(50));
+  runs.push_back(driver.RunMk(50));
+  runs.push_back(driver.RunMStar(50));
+
+  harness::PrintGrowth(
+      std::cout,
+      "Figures 14+15: index size growth over queries, XMark, max length 9",
+      runs);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figures 18, 19 and 20: average query cost vs index size on
+// XMark with maximum query length 4 (A(k) shown for k ≤ 4). Figure 18 is
+// the full set; Figures 19/20 are the same data without A(0), A(1),
+// D(k)-promote and M(k) (the paper re-plots to zoom), so a second table
+// prints that subset.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("xmark");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 4));
+
+  std::vector<harness::IndexRunResult> runs;
+  for (int k = 0; k <= 4; ++k) runs.push_back(driver.RunAk(k));
+  runs.push_back(driver.RunDkConstruct());
+  runs.push_back(driver.RunDkPromote());
+  runs.push_back(driver.RunMk());
+  runs.push_back(driver.RunMStar());
+
+  harness::PrintCostVsSize(
+      std::cout,
+      "Figure 18 (+ edges): query cost vs index size, XMark, max length 4",
+      runs);
+
+  std::vector<harness::IndexRunResult> zoomed;
+  for (const auto& run : runs) {
+    if (run.index_name == "A(0)" || run.index_name == "A(1)" ||
+        run.index_name == "D(k)-promote" || run.index_name == "M(k)") {
+      continue;
+    }
+    zoomed.push_back(run);
+  }
+  harness::PrintCostVsSize(
+      std::cout,
+      "Figures 19+20: same data without A(0), A(1), D(k)-promote, M(k)",
+      zoomed);
+  return 0;
+}

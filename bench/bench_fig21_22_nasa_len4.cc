@@ -1,0 +1,23 @@
+// Reproduces Figures 21 and 22: average query cost vs index size on NASA
+// with maximum query length 4 (A(k) shown for k ≤ 4).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("nasa");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 4));
+
+  std::vector<harness::IndexRunResult> runs;
+  for (int k = 0; k <= 4; ++k) runs.push_back(driver.RunAk(k));
+  runs.push_back(driver.RunDkConstruct());
+  runs.push_back(driver.RunDkPromote());
+  runs.push_back(driver.RunMk());
+  runs.push_back(driver.RunMStar());
+
+  harness::PrintCostVsSize(
+      std::cout,
+      "Figures 21+22: query cost vs index nodes/edges, NASA, max length 4",
+      runs);
+  return 0;
+}

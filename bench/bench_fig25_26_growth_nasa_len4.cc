@@ -1,0 +1,21 @@
+// Reproduces Figures 25 and 26: index size growth over queries, NASA,
+// max query length 4.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset("nasa");
+  harness::ExperimentDriver driver(g, bench::MakeWorkload(g, 4));
+
+  std::vector<harness::IndexRunResult> runs;
+  runs.push_back(driver.RunDkPromote(50));
+  runs.push_back(driver.RunMk(50));
+  runs.push_back(driver.RunMStar(50));
+
+  harness::PrintGrowth(
+      std::cout,
+      "Figures 25+26: index size growth over queries, NASA, max length 4",
+      runs);
+  return 0;
+}

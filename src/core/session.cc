@@ -1,0 +1,70 @@
+#include "core/session.h"
+
+#include "index/strategy_chooser.h"
+
+namespace mrx {
+
+AdaptiveIndexSession::AdaptiveIndexSession(const DataGraph& graph,
+                                           SessionOptions options)
+    : options_(options),
+      index_(graph),
+      fups_(FupExtractor::Options{options.refine_after, 0}) {}
+
+QueryResult AdaptiveIndexSession::Query(const PathExpression& query) {
+  if (fups_.Observe(query)) {
+    index_.Refine(query);
+    // Refinement restructures the index; cached answers remain *correct*
+    // (the data graph is immutable) but their stats and precision flags
+    // would be stale, so drop them wholesale.
+    cache_.clear();
+    cache_order_.clear();
+  }
+
+  std::string key;
+  if (options_.cache_results) {
+    key = query.ToString(index_.component(0).data().symbols());
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      ++queries_answered_;
+      QueryResult hit = it->second;
+      hit.stats = QueryStats{};  // A cache hit visits no nodes.
+      return hit;
+    }
+  }
+
+  QueryResult result = Peek(query);
+  ++queries_answered_;
+  cumulative_stats_ += result.stats;
+  if (options_.cache_results) {
+    if (cache_.size() >= options_.cache_capacity && !cache_order_.empty()) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+    auto [it, inserted] = cache_.emplace(key, result);
+    if (inserted) cache_order_.push_back(std::move(key));
+  }
+  return result;
+}
+
+QueryResult AdaptiveIndexSession::Peek(const PathExpression& query) {
+  switch (options_.strategy) {
+    case SessionOptions::Strategy::kNaive:
+      return index_.QueryNaive(query);
+    case SessionOptions::Strategy::kBottomUp:
+      return index_.QueryBottomUp(query);
+    case SessionOptions::Strategy::kHybrid:
+      return index_.QueryHybrid(query);
+    case SessionOptions::Strategy::kAuto:
+      return StrategyChooser::QueryAuto(index_, query);
+    case SessionOptions::Strategy::kTopDown:
+      break;
+  }
+  return index_.QueryTopDown(query);
+}
+
+void AdaptiveIndexSession::Refine(const PathExpression& fup) {
+  index_.Refine(fup);
+}
+
+}  // namespace mrx

@@ -1,0 +1,111 @@
+#ifndef MRX_DATAGEN_DTD_H_
+#define MRX_DATAGEN_DTD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mrx::datagen {
+
+/// Occurrence modifier on a content particle: `a`, `a?`, `a*`, `a+`.
+enum class Occurrence : uint8_t {
+  kOne,
+  kOptional,   // ?
+  kZeroOrMore, // *
+  kOneOrMore,  // +
+};
+
+/// Kind of a content-model particle.
+enum class ParticleKind : uint8_t {
+  kElement,  ///< A child element reference by name.
+  kPcdata,   ///< #PCDATA (character data).
+  kSequence, ///< (a, b, c)
+  kChoice,   ///< (a | b | c)
+};
+
+/// \brief One node of a content-model expression tree, e.g. the model
+/// `((a | b)*, c?)` is a kSequence of a starred kChoice and an optional
+/// kElement.
+struct Particle {
+  ParticleKind kind = ParticleKind::kElement;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;                               ///< kElement only.
+  std::vector<std::unique_ptr<Particle>> children;  ///< kSequence/kChoice.
+};
+
+/// Declared type of an attribute (the subset the generator needs).
+enum class AttributeType : uint8_t {
+  kCdata,
+  kId,
+  kIdref,
+  kIdrefs,
+  kNmtoken,
+  kEnumeration,
+};
+
+/// Default/presence spec of an attribute.
+enum class AttributePresence : uint8_t {
+  kRequired,  // #REQUIRED
+  kImplied,   // #IMPLIED
+  kFixed,     // #FIXED "value"
+  kDefault,   // "value"
+};
+
+struct DtdAttribute {
+  std::string name;
+  AttributeType type = AttributeType::kCdata;
+  AttributePresence presence = AttributePresence::kImplied;
+  std::string default_value;              // kFixed / kDefault
+  std::vector<std::string> enum_values;   // kEnumeration
+};
+
+/// Content category of an element declaration.
+enum class ContentKind : uint8_t {
+  kEmpty,     // EMPTY
+  kAny,       // ANY
+  kMixed,     // (#PCDATA | a | b)*  (or bare (#PCDATA))
+  kChildren,  // a deterministic content model
+};
+
+struct DtdElement {
+  std::string name;
+  ContentKind content_kind = ContentKind::kEmpty;
+  /// For kChildren: the model. For kMixed: a kChoice of the permitted
+  /// child elements (possibly empty).
+  std::unique_ptr<Particle> model;
+  std::vector<DtdAttribute> attributes;
+};
+
+/// \brief A parsed Document Type Definition: the element and attribute-list
+/// declarations the random-instance generator consumes.
+class Dtd {
+ public:
+  /// Parses the text of a DTD (the content that would appear between the
+  /// brackets of an internal subset, or a standalone .dtd file). Comments
+  /// and parameter-entity declarations are skipped; conditional sections
+  /// and parameter-entity references are not supported (the NASA/XMark
+  /// DTDs shipped here do not use them).
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// The element declared first (conventionally the document element).
+  const std::string& root_name() const { return root_name_; }
+
+  const DtdElement* FindElement(std::string_view name) const;
+
+  const std::map<std::string, DtdElement, std::less<>>& elements() const {
+    return elements_;
+  }
+
+ private:
+  std::map<std::string, DtdElement, std::less<>> elements_;
+  std::string root_name_;
+};
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_DTD_H_

@@ -1,0 +1,371 @@
+#include "datagen/dtd_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace mrx::datagen {
+namespace {
+
+constexpr const char* kWords[] = {
+    "orbit",   "quasar", "nebula",  "flux",    "survey",  "catalog",
+    "stellar", "photon", "galaxy",  "archive", "epoch",   "spectra",
+    "binary",  "radial", "transit", "maser",   "parsec",  "plasma",
+    "corona",  "albedo", "zenith",  "apogee",  "cosmic",  "lens",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+/// Computes, per element, the minimum element-subtree size needed to emit
+/// it legally (for cap/depth-bounded minimal expansions), via fixpoint over
+/// the (possibly cyclic) DTD. Elements on unavoidable cycles keep a large
+/// cost; the generator avoids them when shrinking.
+class MinCost {
+ public:
+  static constexpr uint32_t kInf = 1u << 30;
+
+  explicit MinCost(const Dtd& dtd) {
+    for (const auto& [name, element] : dtd.elements()) cost_[name] = kInf;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, element] : dtd.elements()) {
+        uint32_t c = ElementCost(element);
+        if (c < cost_[name]) {
+          cost_[name] = c;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  uint32_t OfName(const std::string& name) const {
+    auto it = cost_.find(name);
+    return it == cost_.end() ? kInf : it->second;
+  }
+
+  /// Minimal total element count for one mandatory expansion of `p`.
+  uint32_t OfParticle(const Particle& p) const {
+    uint32_t inner = 0;
+    switch (p.kind) {
+      case ParticleKind::kPcdata:
+        inner = 0;
+        break;
+      case ParticleKind::kElement:
+        inner = OfName(p.name);
+        break;
+      case ParticleKind::kSequence: {
+        uint64_t sum = 0;
+        for (const auto& c : p.children) sum += OfParticle(*c);
+        inner = static_cast<uint32_t>(std::min<uint64_t>(sum, kInf));
+        break;
+      }
+      case ParticleKind::kChoice: {
+        inner = kInf;
+        for (const auto& c : p.children) {
+          inner = std::min(inner, OfParticle(*c));
+        }
+        if (p.children.empty()) inner = 0;
+        break;
+      }
+    }
+    switch (p.occurrence) {
+      case Occurrence::kOptional:
+      case Occurrence::kZeroOrMore:
+        return 0;
+      case Occurrence::kOne:
+      case Occurrence::kOneOrMore:
+        return inner;
+    }
+    return inner;
+  }
+
+ private:
+  uint32_t ElementCost(const DtdElement& e) const {
+    switch (e.content_kind) {
+      case ContentKind::kEmpty:
+      case ContentKind::kAny:
+      case ContentKind::kMixed:
+        return 1;
+      case ContentKind::kChildren: {
+        uint32_t c = OfParticle(*e.model);
+        return c >= kInf ? kInf : 1 + c;
+      }
+    }
+    return 1;
+  }
+
+  std::map<std::string, uint32_t, std::less<>> cost_;
+};
+
+class Generator {
+ public:
+  Generator(const Dtd& dtd, const DtdGeneratorOptions& options)
+      : dtd_(dtd), options_(options), rng_(options.seed), min_cost_(dtd) {}
+
+  Result<std::string> Run() {
+    const DtdElement* root = dtd_.FindElement(dtd_.root_name());
+    if (root == nullptr) {
+      return Status::Internal("DTD has no root element");
+    }
+    out_ += "<?xml version=\"1.0\"?>\n";
+    MRX_RETURN_IF_ERROR(EmitElement(*root, 0));
+    out_ += "\n";
+    PatchIdrefs();
+    return std::move(out_);
+  }
+
+ private:
+  bool Shrinking(size_t depth) const {
+    return element_count_ >= options_.max_elements ||
+           depth >= options_.max_depth;
+  }
+
+  size_t GeometricCount(double mean) {
+    // Geometric with the given mean (mean >= 0); p = 1/(1+mean).
+    if (mean <= 0) return 0;
+    double p = 1.0 / (1.0 + mean);
+    size_t n = 0;
+    while (!rng_.Chance(p) && n < 64) ++n;
+    return n;
+  }
+
+  std::string RandomWords(size_t count) {
+    std::string text;
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) text += ' ';
+      text += kWords[rng_.Below(kNumWords)];
+    }
+    return text;
+  }
+
+  Status EmitElement(const DtdElement& element, size_t depth) {
+    ++element_count_;
+    out_ += '<';
+    out_ += element.name;
+    MRX_RETURN_IF_ERROR(EmitAttributes(element));
+
+    switch (element.content_kind) {
+      case ContentKind::kEmpty:
+        out_ += "/>";
+        return Status::Ok();
+      case ContentKind::kAny:
+        // ANY: treat as empty-or-text (the generator never fabricates
+        // arbitrary children for ANY).
+        out_ += '>';
+        out_ += RandomWords(1 + rng_.Below(3));
+        break;
+      case ContentKind::kMixed: {
+        out_ += '>';
+        out_ += RandomWords(1 + rng_.Below(4));
+        if (element.model != nullptr && !element.model->children.empty() &&
+            !Shrinking(depth)) {
+          size_t repeats = GeometricCount(options_.star_mean);
+          for (size_t i = 0; i < repeats; ++i) {
+            const Particle& alt = *element.model->children[rng_.Below(
+                element.model->children.size())];
+            MRX_RETURN_IF_ERROR(EmitChildByName(alt.name, depth + 1));
+            out_ += RandomWords(1 + rng_.Below(3));
+          }
+        }
+        break;
+      }
+      case ContentKind::kChildren:
+        out_ += '>';
+        MRX_RETURN_IF_ERROR(EmitParticle(*element.model, depth + 1));
+        break;
+    }
+    out_ += "</";
+    out_ += element.name;
+    out_ += '>';
+    return Status::Ok();
+  }
+
+  Status EmitChildByName(const std::string& name, size_t depth) {
+    const DtdElement* child = dtd_.FindElement(name);
+    if (child == nullptr) {
+      return Status::ParseError("DTD references undeclared element '" +
+                                name + "'");
+    }
+    return EmitElement(*child, depth);
+  }
+
+  Status EmitParticleOnce(const Particle& p, size_t depth) {
+    switch (p.kind) {
+      case ParticleKind::kPcdata:
+        out_ += RandomWords(1 + rng_.Below(4));
+        return Status::Ok();
+      case ParticleKind::kElement:
+        return EmitChildByName(p.name, depth);
+      case ParticleKind::kSequence:
+        for (const auto& c : p.children) {
+          MRX_RETURN_IF_ERROR(EmitParticle(*c, depth));
+        }
+        return Status::Ok();
+      case ParticleKind::kChoice: {
+        if (p.children.empty()) return Status::Ok();
+        if (Shrinking(depth)) {
+          // Pick the cheapest alternative to wind the document down.
+          const Particle* best = p.children.front().get();
+          uint32_t best_cost = min_cost_.OfParticle(*best);
+          for (const auto& c : p.children) {
+            uint32_t cost = min_cost_.OfParticle(*c);
+            if (cost < best_cost) {
+              best = c.get();
+              best_cost = cost;
+            }
+          }
+          return EmitParticle(*best, depth);
+        }
+        return EmitParticle(*p.children[rng_.Below(p.children.size())],
+                            depth);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status EmitParticle(const Particle& p, size_t depth) {
+    size_t count = 0;
+    switch (p.occurrence) {
+      case Occurrence::kOne:
+        count = 1;
+        break;
+      case Occurrence::kOptional:
+        count = (!Shrinking(depth) &&
+                 rng_.Chance(options_.optional_probability))
+                    ? 1
+                    : 0;
+        break;
+      case Occurrence::kZeroOrMore:
+        count = Shrinking(depth) ? 0 : GeometricCount(options_.star_mean);
+        break;
+      case Occurrence::kOneOrMore:
+        count =
+            1 + (Shrinking(depth) ? 0 : GeometricCount(options_.star_mean));
+        break;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      MRX_RETURN_IF_ERROR(EmitParticleOnce(p, depth));
+    }
+    // Root-level lists fill the document up to the size target.
+    if (depth <= 1 && options_.min_elements > 0 &&
+        (p.occurrence == Occurrence::kZeroOrMore ||
+         p.occurrence == Occurrence::kOneOrMore)) {
+      while (element_count_ < options_.min_elements) {
+        size_t before = element_count_;
+        MRX_RETURN_IF_ERROR(EmitParticleOnce(p, depth));
+        if (element_count_ == before) break;  // Particle emits no elements.
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status EmitAttributes(const DtdElement& element) {
+    for (const DtdAttribute& attr : element.attributes) {
+      bool emit = false;
+      switch (attr.presence) {
+        case AttributePresence::kRequired:
+        case AttributePresence::kFixed:
+        case AttributePresence::kDefault:
+          emit = true;
+          break;
+        case AttributePresence::kImplied:
+          emit = rng_.Chance(options_.implied_attribute_probability);
+          break;
+      }
+      if (!emit) continue;
+      out_ += ' ';
+      out_ += attr.name;
+      out_ += "=\"";
+      switch (attr.type) {
+        case AttributeType::kId: {
+          std::string id =
+              element.name + "_" + std::to_string(next_id_++);
+          ids_.push_back(id);
+          out_ += id;
+          break;
+        }
+        case AttributeType::kIdref:
+          MarkIdrefSlot(1);
+          break;
+        case AttributeType::kIdrefs:
+          MarkIdrefSlot(std::max<size_t>(1, options_.idrefs_count));
+          break;
+        case AttributeType::kEnumeration:
+          out_ += attr.enum_values[rng_.Below(attr.enum_values.size())];
+          break;
+        case AttributeType::kCdata:
+        case AttributeType::kNmtoken:
+          if (!attr.default_value.empty()) {
+            out_ += attr.default_value;
+          } else {
+            out_ += kWords[rng_.Below(kNumWords)];
+          }
+          break;
+      }
+      out_ += '"';
+    }
+    return Status::Ok();
+  }
+
+  /// Reserves space for `count` id tokens in the output and remembers the
+  /// slot; PatchIdrefs fills them once the full id population is known,
+  /// letting references point forward in the document.
+  void MarkIdrefSlot(size_t count) {
+    idref_slots_.push_back({out_.size(), count});
+    // Reserve: each token is at most "placeholder" width; we rewrite the
+    // document in one pass at the end, so no fixed width is needed — we
+    // only record the insertion point in the *pre-patch* text.
+    out_ += kIdrefPlaceholder;
+    for (size_t i = 1; i < count; ++i) {
+      out_ += ' ';
+      out_ += kIdrefPlaceholder;
+    }
+  }
+
+  void PatchIdrefs() {
+    if (idref_slots_.empty()) return;
+    std::string patched;
+    patched.reserve(out_.size());
+    size_t prev = 0;
+    for (const auto& [pos, count] : idref_slots_) {
+      patched.append(out_, prev, pos - prev);
+      size_t placeholder_len =
+          kIdrefPlaceholder.size() * count + (count - 1);
+      for (size_t i = 0; i < count; ++i) {
+        if (i > 0) patched += ' ';
+        if (ids_.empty()) {
+          patched += "none";
+        } else {
+          patched += ids_[rng_.Below(ids_.size())];
+        }
+      }
+      prev = pos + placeholder_len;
+    }
+    patched.append(out_, prev, out_.size() - prev);
+    out_ = std::move(patched);
+  }
+
+  static constexpr std::string_view kIdrefPlaceholder = "@IDREF@";
+
+  const Dtd& dtd_;
+  const DtdGeneratorOptions& options_;
+  Rng rng_;
+  MinCost min_cost_;
+  std::string out_;
+  size_t element_count_ = 0;
+  size_t next_id_ = 0;
+  std::vector<std::string> ids_;
+  std::vector<std::pair<size_t, size_t>> idref_slots_;  // (pos, token count)
+};
+
+}  // namespace
+
+Result<std::string> GenerateDocument(const Dtd& dtd,
+                                     const DtdGeneratorOptions& options) {
+  Generator generator(dtd, options);
+  return generator.Run();
+}
+
+}  // namespace mrx::datagen

@@ -1,0 +1,64 @@
+#ifndef MRX_DATAGEN_DTD_GENERATOR_H_
+#define MRX_DATAGEN_DTD_GENERATOR_H_
+
+#include <string>
+
+#include "datagen/dtd.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mrx::datagen {
+
+/// Tuning knobs for the random-instance generator, in the spirit of the
+/// IBM XML Generator the paper used for its NASA dataset.
+struct DtdGeneratorOptions {
+  /// Random seed; the same (dtd, options) pair reproduces the same bytes.
+  uint64_t seed = 42;
+
+  /// Probability that an optional (`?`) particle is emitted.
+  double optional_probability = 0.5;
+
+  /// Mean repetition count of `*` particles (geometric distribution);
+  /// `+` uses 1 + the same distribution. Scales document size.
+  double star_mean = 2.0;
+
+  /// Hard cap on the number of elements; once reached, the generator
+  /// switches to minimal expansions (empty stars, skipped optionals,
+  /// min-depth choices) so the document stays well-formed.
+  size_t max_elements = 200000;
+
+  /// Size target: repeated (`*`/`+`) particles directly under the document
+  /// element keep emitting instances until at least this many elements
+  /// exist (the way the IBM XML Generator fills its size budget through
+  /// the root's list). 0 disables filling.
+  size_t min_elements = 0;
+
+  /// Recursion guard: beyond this depth the generator also switches to
+  /// minimal expansions, bounding recursive content models.
+  size_t max_depth = 24;
+
+  /// Probability that an #IMPLIED attribute is emitted.
+  double implied_attribute_probability = 0.5;
+
+  /// Number of id tokens an IDREFS attribute carries (at least 1).
+  size_t idrefs_count = 2;
+};
+
+/// \brief Generates a random XML document valid against `dtd` (element
+/// nesting and attribute presence; IDREF attributes always reference an ID
+/// that exists in the document).
+///
+/// ID values are `<element>_<counter>`. IDREF/IDREFS values are chosen
+/// uniformly among all IDs generated in a first pass and patched in a
+/// second pass, so references can point forward as well as backward —
+/// yielding the reference-rich, cyclic data graphs the paper's NASA
+/// experiments rely on. #PCDATA runs are short pseudo-English words.
+///
+/// Fails if the DTD references an undeclared element anywhere reachable
+/// from the root.
+Result<std::string> GenerateDocument(const Dtd& dtd,
+                                     const DtdGeneratorOptions& options);
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_DTD_GENERATOR_H_

@@ -1,0 +1,113 @@
+#include "datagen/nasa.h"
+
+#include <algorithm>
+
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+
+namespace mrx::datagen {
+
+const char* NasaDatasetDtd() {
+  return R"dtd(
+<!-- Transcription of the NASA ADC dataset.dtd shape (see nasa.h). -->
+<!ELEMENT datasets (dataset+)>
+
+<!ELEMENT dataset (identifier, title, altname*, reference*, keywords?,
+                   descriptions?, tableHead?, tableLinks?, history?,
+                   footnotes?, seeAlso?)>
+<!ATTLIST dataset id ID #REQUIRED
+                  subject CDATA #IMPLIED
+                  project (adc | heasarc | ned | simbad) "adc">
+
+<!ELEMENT identifier (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT altname (#PCDATA)>
+<!ATTLIST altname type CDATA #IMPLIED
+                  resolvesTo IDREF #IMPLIED>
+
+<!ELEMENT reference (source)>
+<!ELEMENT source (journal | proceedings | thesis | communication | other)>
+
+<!ELEMENT journal (title, author+, name?, volume?, pages?, date?)>
+<!ELEMENT proceedings (title, author+, name?, place?, date?)>
+<!ELEMENT thesis (title, author, institution?, date?)>
+<!ELEMENT communication (author+, date?)>
+<!ELEMENT other (title?, author*, date?)>
+
+<!ELEMENT author ((initial*, lastname) | corporateName)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT corporateName (#PCDATA)>
+<!ELEMENT institution (name, place?)>
+<!ELEMENT place (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT date (year, month?, day?)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT day (#PCDATA)>
+
+<!ELEMENT keywords (keyword+)>
+<!ATTLIST keywords parentListURL CDATA #IMPLIED>
+<!ELEMENT keyword (#PCDATA)>
+<!ATTLIST keyword principal (yes | no) "no"
+                  id ID #IMPLIED
+                  sameAs IDREF #IMPLIED>
+
+<!ELEMENT descriptions (description+)>
+<!ELEMENT description (title?, para+)>
+<!ATTLIST description id ID #IMPLIED
+                      continues IDREF #IMPLIED>
+<!ELEMENT para (#PCDATA | footnote | emph | dataref)*>
+<!ELEMENT emph (#PCDATA)>
+<!ELEMENT footnote (para+)>
+<!ATTLIST footnote marker CDATA #IMPLIED>
+<!ELEMENT dataref EMPTY>
+<!ATTLIST dataref ref IDREF #REQUIRED>
+
+<!ELEMENT tableHead (tableLinks?, fields, footnotes?)>
+<!ATTLIST tableHead rows CDATA #IMPLIED>
+<!ELEMENT fields (field+)>
+<!ELEMENT field (name, definition?, units?, relatedField?)>
+<!ATTLIST field id ID #IMPLIED>
+<!ELEMENT definition (para+)>
+<!ELEMENT units (#PCDATA)>
+<!ELEMENT relatedField EMPTY>
+<!ATTLIST relatedField ref IDREF #REQUIRED>
+
+<!ELEMENT tableLinks (tableLink+)>
+<!ELEMENT tableLink (title?)>
+<!ATTLIST tableLink ref IDREF #REQUIRED>
+
+<!ELEMENT history (ingest?, revisions*)>
+<!ELEMENT ingest (creator, date)>
+<!ELEMENT creator (author, affiliation?)>
+<!ELEMENT affiliation (name, place?)>
+<!ELEMENT revisions (revision+)>
+<!ELEMENT revision (date, author+, description)>
+<!ATTLIST revision basedOn IDREF #IMPLIED>
+
+<!ELEMENT footnotes (footnote+)>
+
+<!ELEMENT seeAlso EMPTY>
+<!ATTLIST seeAlso refs IDREFS #REQUIRED>
+)dtd";
+}
+
+Result<std::string> GenerateNasaDocument(double scale, uint64_t seed) {
+  MRX_ASSIGN_OR_RETURN(Dtd dtd, Dtd::Parse(NasaDatasetDtd()));
+  DtdGeneratorOptions options;
+  options.seed = seed;
+  options.star_mean = 1.4;
+  options.optional_probability = 0.4;
+  options.max_depth = 16;
+  const size_t target = std::max<size_t>(
+      100, static_cast<size_t>(90000 * std::max(scale, 0.0)));
+  options.min_elements = target;
+  options.max_elements = target + target / 10;
+  options.idrefs_count = 3;
+  return GenerateDocument(dtd, options);
+}
+
+}  // namespace mrx::datagen

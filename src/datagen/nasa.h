@@ -1,0 +1,30 @@
+#ifndef MRX_DATAGEN_NASA_H_
+#define MRX_DATAGEN_NASA_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace mrx::datagen {
+
+/// \brief The DTD behind the paper's NASA dataset, embedded.
+///
+/// The paper's NASA data is *synthetic*: it was produced by the IBM XML
+/// Generator from the NASA ADC `dataset.dtd` [9]. With no network access,
+/// this is a transcription of that DTD's shape rather than a byte copy:
+/// astronomical dataset records with deep nesting (9+ levels through
+/// fields/definitions/paragraphs/footnotes), recursive mixed content
+/// (para ⇄ footnote), element names reused in many contexts (`name`,
+/// `title`, `date`, `description`, `para` — the paper notes `name` appears
+/// in seven contexts), and several ID/IDREF(S) attributes so the generated
+/// graph is reference-rich. Unlike [5] (and like the paper) no references
+/// are removed.
+const char* NasaDatasetDtd();
+
+/// \brief Generates a NASA-like document. `scale` = 1.0 targets roughly
+/// the paper's ~90,000 element nodes; smaller values shrink proportionally.
+Result<std::string> GenerateNasaDocument(double scale, uint64_t seed);
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_NASA_H_

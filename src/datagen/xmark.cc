@@ -1,0 +1,391 @@
+#include "datagen/xmark.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mrx::datagen {
+namespace {
+
+constexpr const char* kRegions[] = {"africa",   "asia",    "australia",
+                                    "europe",   "namerica", "samerica"};
+constexpr size_t kNumRegions = 6;
+
+constexpr const char* kWords[] = {
+    "great",   "vintage", "rare",   "classic", "mint",   "signed",
+    "antique", "bargain", "superb", "quality", "sturdy", "elegant",
+    "gadget",  "widget",  "tool",   "lamp",    "clock",  "atlas",
+    "camera",  "guitar",  "stamp",  "coin",    "print",  "chair",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kCities[] = {"Lisbon", "Durham", "Kyoto", "Oslo",
+                                   "Quito",  "Accra",  "Perth", "Reno"};
+constexpr const char* kCountries[] = {"Portugal", "UnitedStates", "Japan",
+                                      "Norway",   "Ecuador",      "Ghana"};
+
+/// Emits the XMark auction-site document.
+class XMarkWriter {
+ public:
+  explicit XMarkWriter(const XMarkOptions& options)
+      : options_(options), rng_(options.seed) {
+    out_.reserve(1 << 20);
+  }
+
+  std::string Run() {
+    out_ += "<?xml version=\"1.0\" standalone=\"yes\"?>\n";
+    Open("site");
+    WriteRegions();
+    WriteCategories();
+    WriteCatgraph();
+    WritePeople();
+    WriteOpenAuctions();
+    WriteClosedAuctions();
+    Close("site");
+    out_ += "\n";
+    return std::move(out_);
+  }
+
+ private:
+  // ---- Small emission helpers -------------------------------------------
+
+  void Open(std::string_view tag) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+  }
+  void OpenWithId(std::string_view tag, std::string_view id_prefix,
+                  size_t n) {
+    out_ += '<';
+    out_ += tag;
+    out_ += " id=\"";
+    out_ += id_prefix;
+    out_ += std::to_string(n);
+    out_ += "\">";
+  }
+  void Close(std::string_view tag) {
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+  void EmptyRef(std::string_view tag, std::string_view attr,
+                std::string_view id_prefix, size_t n) {
+    out_ += '<';
+    out_ += tag;
+    out_ += ' ';
+    out_ += attr;
+    out_ += "=\"";
+    out_ += id_prefix;
+    out_ += std::to_string(n);
+    out_ += "\"/>";
+  }
+  void Leaf(std::string_view tag, std::string_view content) {
+    Open(tag);
+    out_ += content;
+    Close(tag);
+  }
+  void LeafWords(std::string_view tag, size_t count) {
+    Open(tag);
+    Words(count);
+    Close(tag);
+  }
+
+  void Words(size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) out_ += ' ';
+      out_ += kWords[rng_.Below(kNumWords)];
+    }
+  }
+
+  size_t Geometric(double mean) {
+    if (mean <= 0) return 0;
+    double p = 1.0 / (1.0 + mean);
+    size_t n = 0;
+    while (!rng_.Chance(p) && n < 32) ++n;
+    return n;
+  }
+
+  // ---- XMark text markup: text with nested bold/keyword/emph ------------
+
+  /// `text` is mixed content; XMark nests bold/keyword/emph markup inside.
+  void WriteText(size_t depth = 0) {
+    Open("text");
+    Words(2 + rng_.Below(6));
+    if (depth < 2) {
+      size_t markups = Geometric(0.6);
+      for (size_t i = 0; i < markups; ++i) {
+        const char* tag =
+            (rng_.Below(3) == 0) ? "bold"
+                                 : (rng_.Below(2) == 0 ? "keyword" : "emph");
+        Open(tag);
+        Words(1 + rng_.Below(3));
+        // Occasionally nest markup (XMark's parmkup is recursive).
+        if (rng_.Chance(0.25)) {
+          Open("emph");
+          Words(1 + rng_.Below(2));
+          Close("emph");
+        }
+        Close(tag);
+        Words(1 + rng_.Below(3));
+      }
+    }
+    Close("text");
+  }
+
+  /// description is (text | parlist); parlist/listitem recurse.
+  void WriteDescription(size_t depth = 0) {
+    Open("description");
+    if (depth < 2 && rng_.Chance(0.3)) {
+      Open("parlist");
+      size_t items = 1 + Geometric(1.0);
+      for (size_t i = 0; i < items; ++i) {
+        Open("listitem");
+        if (depth + 1 < 2 && rng_.Chance(0.25)) {
+          // Nested parlist inside a listitem.
+          Open("parlist");
+          Open("listitem");
+          WriteText(depth + 2);
+          Close("listitem");
+          Close("parlist");
+        } else {
+          WriteText(depth + 1);
+        }
+        Close("listitem");
+      }
+      Close("parlist");
+    } else {
+      WriteText(depth);
+    }
+    Close("description");
+  }
+
+  // ---- Sections ----------------------------------------------------------
+
+  void WriteRegions() {
+    Open("regions");
+    for (size_t r = 0; r < kNumRegions; ++r) {
+      Open(kRegions[r]);
+      // Items are distributed round-robin so every region is populated.
+      for (size_t i = r; i < options_.num_items; i += kNumRegions) {
+        WriteItem(i);
+      }
+      Close(kRegions[r]);
+    }
+    Close("regions");
+  }
+
+  void WriteItem(size_t i) {
+    OpenWithId("item", "item", i);
+    Leaf("location", kCountries[rng_.Below(6)]);
+    Leaf("quantity", std::to_string(1 + rng_.Below(5)));
+    LeafWords("name", 2);
+    Open("payment");
+    Words(2);
+    Close("payment");
+    WriteDescription();
+    Open("shipping");
+    Words(3);
+    Close("shipping");
+    size_t cats = 1 + Geometric(options_.mean_incategory_per_item - 1);
+    for (size_t c = 0; c < cats; ++c) {
+      EmptyRef("incategory", "category", "category",
+               rng_.Below(options_.num_categories));
+    }
+    size_t mails = Geometric(options_.mean_mails_per_item);
+    if (mails > 0) {
+      Open("mailbox");
+      for (size_t m = 0; m < mails; ++m) {
+        Open("mail");
+        LeafWords("from", 2);
+        LeafWords("to", 2);
+        WriteDate();
+        WriteText();
+        Close("mail");
+      }
+      Close("mailbox");
+    }
+    Close("item");
+  }
+
+  void WriteDate() {
+    Open("date");
+    out_ += std::to_string(1 + rng_.Below(12));
+    out_ += '/';
+    out_ += std::to_string(1 + rng_.Below(28));
+    out_ += "/200";
+    out_ += std::to_string(rng_.Below(4));
+    Close("date");
+  }
+
+  void WriteCategories() {
+    Open("categories");
+    for (size_t c = 0; c < options_.num_categories; ++c) {
+      OpenWithId("category", "category", c);
+      LeafWords("name", 1);
+      WriteDescription();
+      Close("category");
+    }
+    Close("categories");
+  }
+
+  void WriteCatgraph() {
+    Open("catgraph");
+    for (size_t e = 0; e < options_.catgraph_edges; ++e) {
+      out_ += "<edge from=\"category";
+      out_ += std::to_string(rng_.Below(options_.num_categories));
+      out_ += "\" to=\"category";
+      out_ += std::to_string(rng_.Below(options_.num_categories));
+      out_ += "\"/>";
+    }
+    Close("catgraph");
+  }
+
+  void WritePeople() {
+    Open("people");
+    for (size_t p = 0; p < options_.num_persons; ++p) {
+      OpenWithId("person", "person", p);
+      LeafWords("name", 2);
+      Leaf("emailaddress", "mailto:user" + std::to_string(p) + "@host");
+      if (rng_.Chance(0.5)) {
+        Leaf("phone", "+1 (" + std::to_string(100 + rng_.Below(900)) + ") " +
+                          std::to_string(1000000 + rng_.Below(9000000)));
+      }
+      if (rng_.Chance(0.5)) {
+        Open("address");
+        Leaf("street", std::to_string(1 + rng_.Below(99)) + " Main St");
+        Leaf("city", kCities[rng_.Below(8)]);
+        Leaf("country", kCountries[rng_.Below(6)]);
+        if (rng_.Chance(0.3)) LeafWords("province", 1);
+        Leaf("zipcode", std::to_string(10000 + rng_.Below(90000)));
+        Close("address");
+      }
+      if (rng_.Chance(0.3)) {
+        Leaf("homepage", "http://host/~user" + std::to_string(p));
+      }
+      if (rng_.Chance(0.4)) {
+        Leaf("creditcard", std::to_string(1000 + rng_.Below(9000)) + " " +
+                               std::to_string(1000 + rng_.Below(9000)));
+      }
+      if (rng_.Chance(0.7)) WriteProfile();
+      size_t watches = Geometric(options_.mean_watches_per_person);
+      if (watches > 0 && options_.num_open_auctions > 0) {
+        Open("watches");
+        for (size_t w = 0; w < watches; ++w) {
+          EmptyRef("watch", "open_auction", "open_auction",
+                   rng_.Below(options_.num_open_auctions));
+        }
+        Close("watches");
+      }
+      Close("person");
+    }
+    Close("people");
+  }
+
+  void WriteProfile() {
+    out_ += "<profile income=\"";
+    out_ += std::to_string(20000 + rng_.Below(80000));
+    out_ += "\">";
+    size_t interests = Geometric(1.2);
+    for (size_t i = 0; i < interests; ++i) {
+      EmptyRef("interest", "category", "category",
+               rng_.Below(options_.num_categories));
+    }
+    if (rng_.Chance(0.4)) LeafWords("education", 2);
+    if (rng_.Chance(0.6)) Leaf("gender", rng_.Chance(0.5) ? "male" : "female");
+    Leaf("business", rng_.Chance(0.5) ? "Yes" : "No");
+    if (rng_.Chance(0.5)) Leaf("age", std::to_string(18 + rng_.Below(60)));
+    Close("profile");
+  }
+
+  void WriteOpenAuctions() {
+    Open("open_auctions");
+    for (size_t a = 0; a < options_.num_open_auctions; ++a) {
+      OpenWithId("open_auction", "open_auction", a);
+      Leaf("initial", std::to_string(1 + rng_.Below(200)));
+      if (rng_.Chance(0.4)) {
+        Leaf("reserve", std::to_string(50 + rng_.Below(400)));
+      }
+      size_t bidders = Geometric(options_.mean_bidders_per_auction);
+      for (size_t b = 0; b < bidders; ++b) {
+        Open("bidder");
+        WriteDate();
+        Leaf("time", std::to_string(rng_.Below(24)) + ":" +
+                         std::to_string(10 + rng_.Below(50)));
+        EmptyRef("personref", "person", "person",
+                 rng_.Below(options_.num_persons));
+        Leaf("increase", std::to_string(1 + rng_.Below(20)));
+        Close("bidder");
+      }
+      Leaf("current", std::to_string(10 + rng_.Below(500)));
+      if (rng_.Chance(0.3)) Leaf("privacy", "Yes");
+      EmptyRef("itemref", "item", "item", rng_.Below(options_.num_items));
+      EmptyRef("seller", "person", "person", rng_.Below(options_.num_persons));
+      WriteAnnotation();
+      Leaf("quantity", std::to_string(1 + rng_.Below(5)));
+      Leaf("type", rng_.Chance(0.5) ? "Regular" : "Featured");
+      Open("interval");
+      Open("start");
+      out_ += "01/01/2003";
+      Close("start");
+      Open("end");
+      out_ += "12/31/2003";
+      Close("end");
+      Close("interval");
+      Close("open_auction");
+    }
+    Close("open_auctions");
+  }
+
+  void WriteAnnotation() {
+    Open("annotation");
+    EmptyRef("author", "person", "person", rng_.Below(options_.num_persons));
+    WriteDescription();
+    LeafWords("happiness", 1);
+    Close("annotation");
+  }
+
+  void WriteClosedAuctions() {
+    Open("closed_auctions");
+    for (size_t a = 0; a < options_.num_closed_auctions; ++a) {
+      Open("closed_auction");
+      EmptyRef("seller", "person", "person", rng_.Below(options_.num_persons));
+      EmptyRef("buyer", "person", "person", rng_.Below(options_.num_persons));
+      EmptyRef("itemref", "item", "item", rng_.Below(options_.num_items));
+      Leaf("price", std::to_string(10 + rng_.Below(900)));
+      WriteDate();
+      Leaf("quantity", std::to_string(1 + rng_.Below(5)));
+      Leaf("type", rng_.Chance(0.5) ? "Regular" : "Featured");
+      WriteAnnotation();
+      Close("closed_auction");
+    }
+    Close("closed_auctions");
+  }
+
+  XMarkOptions options_;
+  Rng rng_;
+  std::string out_;
+};
+
+}  // namespace
+
+XMarkOptions XMarkOptions::Scaled(double scale, uint64_t seed) {
+  XMarkOptions o;
+  o.seed = seed;
+  auto scaled = [scale](size_t base) {
+    return std::max<size_t>(1, static_cast<size_t>(base * scale));
+  };
+  o.num_categories = scaled(o.num_categories);
+  o.num_items = scaled(o.num_items);
+  o.num_persons = scaled(o.num_persons);
+  o.num_open_auctions = scaled(o.num_open_auctions);
+  o.num_closed_auctions = scaled(o.num_closed_auctions);
+  o.catgraph_edges = scaled(o.catgraph_edges);
+  return o;
+}
+
+std::string GenerateXMarkDocument(const XMarkOptions& options) {
+  XMarkWriter writer(options);
+  return writer.Run();
+}
+
+}  // namespace mrx::datagen

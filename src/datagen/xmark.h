@@ -1,0 +1,47 @@
+#ifndef MRX_DATAGEN_XMARK_H_
+#define MRX_DATAGEN_XMARK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mrx::datagen {
+
+/// Size/shape knobs for the XMark-like generator. The defaults at
+/// `scale = 1.0` (see XMarkOptions::Scaled) target the paper's dataset:
+/// roughly 120,000 element nodes.
+struct XMarkOptions {
+  uint64_t seed = 7;
+
+  size_t num_categories = 120;
+  size_t num_items = 2600;           // Split across the six regions.
+  size_t num_persons = 1500;
+  size_t num_open_auctions = 1400;
+  size_t num_closed_auctions = 900;
+
+  double mean_bidders_per_auction = 2.0;
+  double mean_incategory_per_item = 2.0;
+  double mean_mails_per_item = 1.0;
+  double mean_watches_per_person = 1.5;
+  size_t catgraph_edges = 250;
+
+  /// Returns the default shape multiplied by `scale` (entity counts only).
+  static XMarkOptions Scaled(double scale, uint64_t seed = 7);
+};
+
+/// \brief From-scratch generator of an XMark-style auction-site document
+/// (the XML Benchmark Project schema the paper's first dataset comes from).
+///
+/// Reproduces the XMark element vocabulary, nesting, and reference
+/// topology: site/{regions×6, categories, catgraph, people, open_auctions,
+/// closed_auctions}; items referencing categories (`incategory`), auctions
+/// referencing items (`itemref`) and persons (`seller`, `bidder/personref`,
+/// `buyer`, `annotation/author`), persons watching auctions (`watch`), and
+/// a category graph (`edge from/to`). Recursive description markup
+/// (parlist/listitem, text with bold/keyword/emph) gives the irregular
+/// structure XMark is known for. Text content is filler — structural
+/// indexes never look at it.
+std::string GenerateXMarkDocument(const XMarkOptions& options = {});
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_XMARK_H_

@@ -1,0 +1,116 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrx {
+
+std::string DataGraph::ToDot() const {
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    os << "  n" << n << " [label=\"" << n << ":" << label_name(n) << "\"];\n";
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    auto kids = children(n);
+    auto kinds = child_kinds(n);
+    for (size_t i = 0; i < kids.size(); ++i) {
+      os << "  n" << n << " -> n" << kids[i];
+      if (kinds[i] == EdgeKind::kReference) os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+NodeId DataGraphBuilder::AddNode(std::string_view label) {
+  return AddNodeWithLabelId(symbols_.Intern(label));
+}
+
+NodeId DataGraphBuilder::AddNodeWithLabelId(LabelId label) {
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  return id;
+}
+
+void DataGraphBuilder::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
+  edges_.push_back(Edge{from, to, kind});
+}
+
+Result<DataGraph> DataGraphBuilder::Build() && {
+  const size_t n = labels_.size();
+  if (n == 0) {
+    return Status::FailedPrecondition("cannot build an empty data graph");
+  }
+  if (root_ >= n) {
+    return Status::FailedPrecondition("root node id out of range");
+  }
+  for (const Edge& e : edges_) {
+    if (e.from >= n || e.to >= n) {
+      return Status::FailedPrecondition("edge endpoint out of range");
+    }
+  }
+
+  // Deduplicate parallel edges. When a (u,v) pair appears both as a regular
+  // and as a reference edge, keep the regular kind (containment dominates
+  // for reporting purposes; the indexes ignore the kind entirely).
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.kind < b.kind;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.from == b.from && a.to == b.to;
+                           }),
+               edges_.end());
+
+  DataGraph g;
+  g.symbols_ = std::move(symbols_);
+  g.labels_ = std::move(labels_);
+  g.root_ = root_;
+
+  // Children CSR (edges_ is already sorted by `from`).
+  g.child_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++g.child_offsets_[e.from + 1];
+  for (size_t i = 1; i <= n; ++i) g.child_offsets_[i] += g.child_offsets_[i - 1];
+  g.child_targets_.reserve(edges_.size());
+  g.child_kinds_.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    g.child_targets_.push_back(e.to);
+    g.child_kinds_.push_back(e.kind);
+    if (e.kind == EdgeKind::kReference) ++g.num_reference_edges_;
+  }
+
+  // Parents CSR.
+  g.parent_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++g.parent_offsets_[e.to + 1];
+  for (size_t i = 1; i <= n; ++i) {
+    g.parent_offsets_[i] += g.parent_offsets_[i - 1];
+  }
+  g.parent_targets_.resize(edges_.size());
+  {
+    std::vector<uint32_t> cursor(g.parent_offsets_.begin(),
+                                 g.parent_offsets_.end() - 1);
+    for (const Edge& e : edges_) g.parent_targets_[cursor[e.to]++] = e.from;
+  }
+
+  // Label buckets.
+  const size_t num_labels = g.symbols_.size();
+  g.label_offsets_.assign(num_labels + 1, 0);
+  for (LabelId l : g.labels_) ++g.label_offsets_[l + 1];
+  for (size_t i = 1; i <= num_labels; ++i) {
+    g.label_offsets_[i] += g.label_offsets_[i - 1];
+  }
+  g.label_nodes_.resize(n);
+  {
+    std::vector<uint32_t> cursor(g.label_offsets_.begin(),
+                                 g.label_offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) g.label_nodes_[cursor[g.labels_[v]]++] = v;
+  }
+
+  return g;
+}
+
+}  // namespace mrx

@@ -1,0 +1,159 @@
+#ifndef MRX_GRAPH_DATA_GRAPH_H_
+#define MRX_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/symbol_table.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mrx {
+
+/// Dense identifier of a data node (the paper's "oid").
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// The two edge kinds of the paper's data-graph model (§2): regular edges
+/// are XML parent-child containment; reference edges come from ID/IDREF.
+enum class EdgeKind : uint8_t {
+  kRegular = 0,
+  kReference = 1,
+};
+
+/// \brief An immutable labeled directed graph G = (V, E, root, Σ), the
+/// paper's data model for an XML document (§2).
+///
+/// Stored as twin CSR adjacency structures (children and parents) plus
+/// per-label node buckets. Both children and parents of a node are exposed
+/// in O(1); the indexes lean heavily on parent traversal (bisimilarity is
+/// defined over incoming paths) and on label buckets (query starts and the
+/// A(0) partition).
+///
+/// Build one with DataGraphBuilder; a built graph never changes.
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return child_targets_.size(); }
+
+  /// The document root (always a valid node in a built graph).
+  NodeId root() const { return root_; }
+
+  /// Label id of `n`.
+  LabelId label(NodeId n) const { return labels_[n]; }
+
+  /// Label string of `n` (for diagnostics and DOT export).
+  const std::string& label_name(NodeId n) const {
+    return symbols_.Name(labels_[n]);
+  }
+
+  /// Children of `n` (regular and reference edges together, as in the
+  /// paper: path expressions traverse both).
+  std::span<const NodeId> children(NodeId n) const {
+    return {child_targets_.data() + child_offsets_[n],
+            child_offsets_[n + 1] - child_offsets_[n]};
+  }
+
+  /// Edge kinds parallel to children(n).
+  std::span<const EdgeKind> child_kinds(NodeId n) const {
+    return {child_kinds_.data() + child_offsets_[n],
+            child_offsets_[n + 1] - child_offsets_[n]};
+  }
+
+  /// Parents of `n` (sources of all incoming edges).
+  std::span<const NodeId> parents(NodeId n) const {
+    return {parent_targets_.data() + parent_offsets_[n],
+            parent_offsets_[n + 1] - parent_offsets_[n]};
+  }
+
+  /// All nodes carrying label `l`, in ascending NodeId order. Returns an
+  /// empty span for label ids ≥ the number of interned labels.
+  std::span<const NodeId> nodes_with_label(LabelId l) const {
+    if (l + 1 >= label_offsets_.size()) return {};
+    return {label_nodes_.data() + label_offsets_[l],
+            label_offsets_[l + 1] - label_offsets_[l]};
+  }
+
+  /// The label alphabet Σ.
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Number of reference (ID/IDREF) edges.
+  size_t num_reference_edges() const { return num_reference_edges_; }
+
+  /// Graphviz DOT rendering (reference edges dashed), for debugging small
+  /// graphs; node captions are "oid:label" as in the paper's Figure 1.
+  std::string ToDot() const;
+
+ private:
+  friend class DataGraphBuilder;
+
+  SymbolTable symbols_;
+  std::vector<LabelId> labels_;
+  NodeId root_ = kInvalidNode;
+
+  std::vector<uint32_t> child_offsets_;   // size num_nodes()+1
+  std::vector<NodeId> child_targets_;
+  std::vector<EdgeKind> child_kinds_;
+  std::vector<uint32_t> parent_offsets_;  // size num_nodes()+1
+  std::vector<NodeId> parent_targets_;
+
+  std::vector<uint32_t> label_offsets_;   // size num_labels()+1
+  std::vector<NodeId> label_nodes_;
+
+  size_t num_reference_edges_ = 0;
+};
+
+/// \brief Incrementally assembles a DataGraph.
+///
+/// Nodes are created with AddNode (ids are assigned densely in call order);
+/// edges may reference nodes created later. Build() validates everything,
+/// deduplicates parallel edges (a duplicated (u,v) edge carries no extra
+/// information for any structural index), and freezes the CSR form.
+class DataGraphBuilder {
+ public:
+  DataGraphBuilder() = default;
+
+  /// Adds a node labeled with the interned id of `label`; returns its id.
+  NodeId AddNode(std::string_view label);
+
+  /// Adds a node with an already-interned label id (must come from
+  /// symbols()).
+  NodeId AddNodeWithLabelId(LabelId label);
+
+  /// Adds a directed edge; both endpoints must exist by Build() time.
+  void AddEdge(NodeId from, NodeId to, EdgeKind kind = EdgeKind::kRegular);
+
+  /// Declares the root. Defaults to node 0 if never called.
+  void SetRoot(NodeId root) { root_ = root; }
+
+  /// Access to the label table (so callers can pre-intern labels).
+  SymbolTable& symbols() { return symbols_; }
+
+  size_t num_nodes() const { return labels_.size(); }
+
+  /// Validates and freezes. Fails if the graph is empty, the root is out of
+  /// range, or any edge endpoint is out of range. Consumes the builder.
+  Result<DataGraph> Build() &&;
+
+ private:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    EdgeKind kind;
+  };
+
+  SymbolTable symbols_;
+  std::vector<LabelId> labels_;
+  std::vector<Edge> edges_;
+  NodeId root_ = 0;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,97 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mrx {
+
+GraphStatistics ComputeStatistics(const DataGraph& graph) {
+  GraphStatistics stats;
+  const size_t n = graph.num_nodes();
+  stats.num_nodes = n;
+  stats.num_edges = graph.num_edges();
+  stats.num_reference_edges = graph.num_reference_edges();
+  stats.num_labels = graph.symbols().size();
+
+  // Containment BFS from the root for depths and containment fan-out.
+  std::vector<int64_t> depth(n, -1);
+  std::vector<NodeId> queue = {graph.root()};
+  depth[graph.root()] = 0;
+  uint64_t depth_sum = 0;
+  size_t reachable = 1;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    NodeId u = queue[i];
+    auto kids = graph.children(u);
+    auto kinds = graph.child_kinds(u);
+    size_t containment_degree = 0;
+    for (size_t j = 0; j < kids.size(); ++j) {
+      if (kinds[j] != EdgeKind::kRegular) continue;
+      ++containment_degree;
+      if (depth[kids[j]] < 0) {
+        depth[kids[j]] = depth[u] + 1;
+        stats.max_depth =
+            std::max(stats.max_depth, static_cast<size_t>(depth[kids[j]]));
+        depth_sum += static_cast<uint64_t>(depth[kids[j]]);
+        ++reachable;
+        queue.push_back(kids[j]);
+      }
+    }
+    stats.max_out_degree = std::max(stats.max_out_degree, containment_degree);
+    stats.avg_out_degree += static_cast<double>(containment_degree);
+  }
+  stats.avg_out_degree /= static_cast<double>(n);
+  stats.avg_depth =
+      reachable > 0 ? static_cast<double>(depth_sum) / reachable : 0;
+  stats.unreachable_by_containment = n - reachable;
+
+  // In-degrees and referenced nodes.
+  size_t referenced = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    stats.max_in_degree =
+        std::max(stats.max_in_degree, graph.parents(v).size());
+  }
+  std::vector<char> has_ref(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    auto kids = graph.children(u);
+    auto kinds = graph.child_kinds(u);
+    for (size_t j = 0; j < kids.size(); ++j) {
+      if (kinds[j] == EdgeKind::kReference) has_ref[kids[j]] = 1;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) referenced += has_ref[v];
+  stats.referenced_node_fraction =
+      n > 0 ? static_cast<double>(referenced) / static_cast<double>(n) : 0;
+
+  // Context reuse: labels appearing under more than one parent label.
+  std::vector<std::set<LabelId>> parent_labels(stats.num_labels);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId c : graph.children(u)) {
+      parent_labels[graph.label(c)].insert(graph.label(u));
+    }
+  }
+  for (const auto& contexts : parent_labels) {
+    if (contexts.size() > 1) ++stats.labels_in_multiple_contexts;
+  }
+  return stats;
+}
+
+void PrintStatistics(std::ostream& os, const GraphStatistics& stats) {
+  os << "nodes: " << stats.num_nodes << "\n"
+     << "edges: " << stats.num_edges << " (" << stats.num_reference_edges
+     << " reference)\n"
+     << "labels: " << stats.num_labels << " ("
+     << stats.labels_in_multiple_contexts << " used in multiple contexts)\n"
+     << "depth: max " << stats.max_depth << ", avg " << stats.avg_depth
+     << "\n"
+     << "containment fan-out: max " << stats.max_out_degree << ", avg "
+     << stats.avg_out_degree << "\n"
+     << "max in-degree: " << stats.max_in_degree << "\n"
+     << "nodes referenced via ID/IDREF: "
+     << stats.referenced_node_fraction * 100 << "%\n";
+  if (stats.unreachable_by_containment > 0) {
+    os << "unreachable by containment: "
+       << stats.unreachable_by_containment << "\n";
+  }
+}
+
+}  // namespace mrx

@@ -1,0 +1,54 @@
+#ifndef MRX_GRAPH_STATISTICS_H_
+#define MRX_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace mrx {
+
+/// \brief Shape statistics of a data graph, used to compare generated
+/// datasets against the paper's descriptions (NASA is "deeper, broader,
+/// has a more irregular structure, and contains more references than the
+/// XMark DTD") and printed by the dataset reports.
+struct GraphStatistics {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_reference_edges = 0;
+  size_t num_labels = 0;
+
+  /// Depth = length of the shortest containment path from the root
+  /// (reference edges excluded); nodes unreachable that way count as
+  /// depth 0 and are tallied separately.
+  size_t max_depth = 0;
+  double avg_depth = 0;
+  size_t unreachable_by_containment = 0;
+
+  /// Fan-out over containment edges.
+  size_t max_out_degree = 0;
+  double avg_out_degree = 0;
+
+  /// In-degree over all edges (references included).
+  size_t max_in_degree = 0;
+
+  /// Number of labels used by nodes in at least `contexts` distinct parent
+  /// label sets is expensive to define compactly; instead we report how
+  /// many labels appear under more than one distinct parent label — the
+  /// paper's "name is used in seven different contexts" notion.
+  size_t labels_in_multiple_contexts = 0;
+
+  /// Fraction of nodes with at least one incoming reference edge.
+  double referenced_node_fraction = 0;
+};
+
+/// Computes the statistics in one pass plus a containment BFS.
+GraphStatistics ComputeStatistics(const DataGraph& graph);
+
+/// Multi-line human-readable rendering.
+void PrintStatistics(std::ostream& os, const GraphStatistics& stats);
+
+}  // namespace mrx
+
+#endif  // MRX_GRAPH_STATISTICS_H_

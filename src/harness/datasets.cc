@@ -1,0 +1,33 @@
+#include "harness/datasets.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "datagen/nasa.h"
+#include "datagen/xmark.h"
+#include "xml/graph_builder.h"
+
+namespace mrx::harness {
+
+Result<DataGraph> BuildXMarkGraph(double scale, uint64_t seed) {
+  std::string doc =
+      datagen::GenerateXMarkDocument(datagen::XMarkOptions::Scaled(scale, seed));
+  return xml::BuildGraphFromXml(doc);
+}
+
+Result<DataGraph> BuildNasaGraph(double scale, uint64_t seed) {
+  MRX_ASSIGN_OR_RETURN(std::string doc,
+                       datagen::GenerateNasaDocument(scale, seed));
+  return xml::BuildGraphFromXml(doc);
+}
+
+double BenchScaleFromEnv(double default_scale) {
+  const char* env = std::getenv("MRX_SCALE");
+  if (env == nullptr || *env == '\0') return default_scale;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value <= 0.0) return default_scale;
+  return value;
+}
+
+}  // namespace mrx::harness

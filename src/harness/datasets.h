@@ -1,0 +1,28 @@
+#ifndef MRX_HARNESS_DATASETS_H_
+#define MRX_HARNESS_DATASETS_H_
+
+#include <cstdint>
+
+#include "graph/data_graph.h"
+#include "util/result.h"
+
+namespace mrx::harness {
+
+/// \brief Generates an XMark document at `scale` and loads it into the
+/// paper's graph model (element nodes; containment + ID/IDREF edges).
+/// scale = 1.0 targets the paper's ~120k-node dataset.
+Result<DataGraph> BuildXMarkGraph(double scale, uint64_t seed = 7);
+
+/// \brief Generates a NASA-like document at `scale` and loads it.
+/// scale = 1.0 targets the paper's ~90k-node dataset.
+Result<DataGraph> BuildNasaGraph(double scale, uint64_t seed = 11);
+
+/// \brief Scale factor for the figure benches: reads the MRX_SCALE
+/// environment variable, defaulting to `default_scale`. The benches accept
+/// reduced scales so a full figure sweep stays laptop-friendly; shapes are
+/// stable across scales (see EXPERIMENTS.md).
+double BenchScaleFromEnv(double default_scale);
+
+}  // namespace mrx::harness
+
+#endif  // MRX_HARNESS_DATASETS_H_

@@ -1,0 +1,69 @@
+#include "harness/report.h"
+
+#include "util/table_writer.h"
+
+namespace mrx::harness {
+
+void PrintCostVsSize(std::ostream& os, const std::string& title,
+                     const std::vector<IndexRunResult>& runs) {
+  os << "== " << title << " ==\n";
+  TableWriter table({"index", "nodes", "edges", "avg_cost", "index_visits",
+                     "validation"});
+  for (const IndexRunResult& run : runs) {
+    table.AddRowValues(run.index_name, run.nodes, run.edges,
+                       run.avg_query_cost, run.avg_index_cost,
+                       run.avg_validation_cost);
+  }
+  table.RenderText(os);
+  os << "\n";
+}
+
+void PrintGrowth(std::ostream& os, const std::string& title,
+                 const std::vector<IndexRunResult>& runs) {
+  os << "== " << title << " ==\n";
+  std::vector<std::string> headers = {"queries"};
+  for (const IndexRunResult& run : runs) {
+    headers.push_back(run.index_name + " nodes");
+    headers.push_back(run.index_name + " edges");
+  }
+  TableWriter table(headers);
+  if (!runs.empty()) {
+    for (size_t i = 0; i < runs.front().growth.size(); ++i) {
+      std::vector<std::string> row;
+      row.push_back(
+          TableWriter::Format(runs.front().growth[i].queries_processed));
+      for (const IndexRunResult& run : runs) {
+        if (i < run.growth.size()) {
+          row.push_back(TableWriter::Format(run.growth[i].nodes));
+          row.push_back(TableWriter::Format(run.growth[i].edges));
+        } else {
+          row.push_back("-");
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.RenderText(os);
+  os << "\n";
+}
+
+void PrintHistogram(std::ostream& os, const std::string& title,
+                    const std::vector<double>& fractions) {
+  os << "== " << title << " ==\n";
+  TableWriter table({"query_length", "fraction"});
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    table.AddRowValues(i, fractions[i]);
+  }
+  table.RenderText(os);
+  os << "\n";
+}
+
+void PrintDatasetSummary(std::ostream& os, const std::string& name,
+                         const DataGraph& graph) {
+  os << "dataset " << name << ": " << graph.num_nodes() << " nodes, "
+     << graph.num_edges() << " edges (" << graph.num_reference_edges()
+     << " reference), " << graph.symbols().size() << " labels\n";
+}
+
+}  // namespace mrx::harness

@@ -1,0 +1,34 @@
+#ifndef MRX_HARNESS_REPORT_H_
+#define MRX_HARNESS_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace mrx::harness {
+
+/// \brief Prints the series behind a cost-vs-size figure pair (e.g.
+/// Figures 10+11): one row per index with node count, edge count and the
+/// average per-query cost split into its two components.
+void PrintCostVsSize(std::ostream& os, const std::string& title,
+                     const std::vector<IndexRunResult>& runs);
+
+/// \brief Prints the series behind a growth figure pair (e.g. Figures
+/// 14+15): one row per sample point, node and edge counts per index.
+/// All runs must share the same sampling schedule.
+void PrintGrowth(std::ostream& os, const std::string& title,
+                 const std::vector<IndexRunResult>& runs);
+
+/// \brief Prints a query-length histogram (Figures 8/9).
+void PrintHistogram(std::ostream& os, const std::string& title,
+                    const std::vector<double>& fractions);
+
+/// \brief One-line dataset summary (nodes/edges/labels/references).
+void PrintDatasetSummary(std::ostream& os, const std::string& name,
+                         const DataGraph& graph);
+
+}  // namespace mrx::harness
+
+#endif  // MRX_HARNESS_REPORT_H_

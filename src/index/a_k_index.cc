@@ -1,0 +1,32 @@
+#include "index/a_k_index.h"
+
+#include "index/bisimulation.h"
+
+namespace mrx {
+namespace {
+
+IndexGraph BuildQuotient(const DataGraph& g, int k, int32_t recorded_k) {
+  BisimulationPartition part = ComputeKBisimulation(g, k);
+  std::vector<int32_t> block_k(part.num_blocks, recorded_k);
+  return IndexGraph::FromPartition(g, part.block_of, part.num_blocks,
+                                   block_k);
+}
+
+}  // namespace
+
+AkIndex::AkIndex(const DataGraph& g, int k)
+    : k_(k), graph_(BuildQuotient(g, k, k)), validator_(g) {}
+
+QueryResult AkIndex::Query(const PathExpression& path) {
+  return AnswerOnIndex(graph_, path, &validator_);
+}
+
+OneIndex::OneIndex(const DataGraph& g)
+    : graph_(BuildQuotient(g, /*k=*/-1, kInfiniteSimilarity)),
+      validator_(g) {}
+
+QueryResult OneIndex::Query(const PathExpression& path) {
+  return AnswerOnIndex(graph_, path, &validator_);
+}
+
+}  // namespace mrx

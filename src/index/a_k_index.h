@@ -1,0 +1,55 @@
+#ifndef MRX_INDEX_A_K_INDEX_H_
+#define MRX_INDEX_A_K_INDEX_H_
+
+#include <memory>
+
+#include "index/evaluator.h"
+#include "index/index_graph.h"
+#include "query/data_evaluator.h"
+
+namespace mrx {
+
+/// \brief The A(k)-index of Kaushik et al. (ICDE 2002): the k-bisimulation
+/// quotient of the data graph (§2).
+///
+/// Every index node has local similarity k, so the index is precise for all
+/// simple path expressions of length ≤ k and safe for all of them; longer
+/// queries are validated against the data graph. The parameter k trades
+/// index size for query answering power — the paper's Figures 10-13 sweep
+/// k from 0 to 7.
+class AkIndex {
+ public:
+  /// Builds the A(k)-index of `g`; `g` must outlive the index. k ≥ 0.
+  AkIndex(const DataGraph& g, int k);
+
+  /// Evaluates `path` with validation of under-refined answers (§3.1).
+  QueryResult Query(const PathExpression& path);
+
+  const IndexGraph& graph() const { return graph_; }
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  IndexGraph graph_;
+  DataEvaluator validator_;
+};
+
+/// \brief The 1-index of Milo & Suciu: the full bisimulation quotient,
+/// precise for simple path expressions of every length. Equivalent to the
+/// fixpoint of the A(k) family.
+class OneIndex {
+ public:
+  explicit OneIndex(const DataGraph& g);
+
+  QueryResult Query(const PathExpression& path);
+
+  const IndexGraph& graph() const { return graph_; }
+
+ private:
+  IndexGraph graph_;
+  DataEvaluator validator_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_A_K_INDEX_H_

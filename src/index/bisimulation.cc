@@ -1,0 +1,121 @@
+#include "index/bisimulation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mrx {
+namespace {
+
+/// Hash for a refinement signature: (own previous block, sorted unique
+/// previous blocks of parents). FNV-1a over the words.
+struct SignatureHash {
+  size_t operator()(const std::vector<uint32_t>& sig) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t w : sig) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Initial (round-0) partition: one block per label in use.
+uint32_t LabelBlocks(const DataGraph& g, std::vector<uint32_t>* block_of) {
+  const size_t num_labels = g.symbols().size();
+  std::vector<uint32_t> block_of_label(num_labels, static_cast<uint32_t>(-1));
+  uint32_t num_blocks = 0;
+  for (LabelId l = 0; l < num_labels; ++l) {
+    if (!g.nodes_with_label(l).empty()) block_of_label[l] = num_blocks++;
+  }
+  block_of->resize(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    (*block_of)[n] = block_of_label[g.label(n)];
+  }
+  return num_blocks;
+}
+
+/// One refinement round. `active(n)` says whether node n still refines.
+/// Returns the new block count; fills `next_block_of`.
+template <typename ActivePredicate>
+uint32_t RefineRound(const DataGraph& g,
+                     const std::vector<uint32_t>& block_of,
+                     ActivePredicate active,
+                     std::vector<uint32_t>* next_block_of) {
+  std::unordered_map<std::vector<uint32_t>, uint32_t, SignatureHash> ids;
+  ids.reserve(g.num_nodes() / 4 + 16);
+  next_block_of->resize(g.num_nodes());
+  std::vector<uint32_t> sig;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    sig.clear();
+    if (active(n)) {
+      sig.push_back(block_of[n]);
+      for (NodeId p : g.parents(n)) sig.push_back(block_of[p]);
+      std::sort(sig.begin() + 1, sig.end());
+      sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
+    } else {
+      // Frozen nodes keep their identity; tag distinguishes the signature
+      // space from active ones (frozen blocks must not merge with active).
+      sig.push_back(static_cast<uint32_t>(-1));
+      sig.push_back(block_of[n]);
+    }
+    auto [it, inserted] =
+        ids.emplace(sig, static_cast<uint32_t>(ids.size()));
+    (*next_block_of)[n] = it->second;
+  }
+  return static_cast<uint32_t>(ids.size());
+}
+
+}  // namespace
+
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k) {
+  BisimulationPartition part;
+  part.num_blocks = LabelBlocks(g, &part.block_of);
+
+  std::vector<uint32_t> next;
+  int round = 0;
+  while (k < 0 || round < k) {
+    uint32_t new_blocks = RefineRound(
+        g, part.block_of, [](NodeId) { return true; }, &next);
+    ++round;
+    if (new_blocks == part.num_blocks) {
+      // Refinement is monotone and the new partition refines the old one,
+      // so an unchanged block count means an unchanged partition.
+      part.reached_fixpoint = true;
+      --round;  // The no-op round did not change anything.
+      break;
+    }
+    part.block_of.swap(next);
+    part.num_blocks = new_blocks;
+  }
+  part.rounds = round;
+  return part;
+}
+
+BisimulationPartition ComputeDkConstructPartition(
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label) {
+  BisimulationPartition part;
+  part.num_blocks = LabelBlocks(g, &part.block_of);
+
+  int32_t max_k = 0;
+  for (int32_t k : kreq_by_label) max_k = std::max(max_k, k);
+
+  std::vector<uint32_t> next;
+  int round = 0;
+  for (int32_t i = 1; i <= max_k; ++i) {
+    uint32_t new_blocks = RefineRound(
+        g, part.block_of,
+        [&](NodeId n) { return kreq_by_label[g.label(n)] >= i; }, &next);
+    ++round;
+    if (new_blocks == part.num_blocks) {
+      part.reached_fixpoint = true;
+      --round;
+      break;
+    }
+    part.block_of.swap(next);
+    part.num_blocks = new_blocks;
+  }
+  part.rounds = round;
+  return part;
+}
+
+}  // namespace mrx

@@ -1,0 +1,49 @@
+#ifndef MRX_INDEX_BISIMULATION_H_
+#define MRX_INDEX_BISIMULATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace mrx {
+
+/// Local similarity value recorded for blocks of a full (fixpoint)
+/// bisimulation: bisimilar nodes are k-bisimilar for every k.
+inline constexpr int32_t kInfiniteSimilarity =
+    std::numeric_limits<int32_t>::max();
+
+/// \brief A partition of the data nodes produced by iterated refinement.
+struct BisimulationPartition {
+  std::vector<uint32_t> block_of;  ///< Block of each data node.
+  uint32_t num_blocks = 0;
+  /// Number of refinement rounds actually applied (< requested k when the
+  /// fixpoint — the full bisimulation — was reached early).
+  int rounds = 0;
+  bool reached_fixpoint = false;
+};
+
+/// \brief Computes the k-bisimulation partition of `g` (Definition 2).
+///
+/// Round 0 is the label partition (A(0)); each subsequent round refines by
+/// the parents' blocks of the previous round. Stops early at the fixpoint.
+/// Pass k < 0 to refine all the way to the fixpoint — the full bisimulation
+/// underlying the 1-index (Definition 1).
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k);
+
+/// \brief The D(k)-construct partition (Chen et al., SIGMOD'03), used by
+/// DkIndex::Construct.
+///
+/// `kreq_by_label[l]` is the local similarity required of nodes labeled
+/// `l`; the caller must already have propagated the D(k) constraint
+/// (parent requirement ≥ child requirement − 1 along every data edge).
+/// Nodes freeze once their label's requirement is met, which is exactly
+/// what makes D(k)-construct over-refine *irrelevant index nodes* (every
+/// same-label node is refined alike) but never violate Property 3.
+BisimulationPartition ComputeDkConstructPartition(
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label);
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_BISIMULATION_H_

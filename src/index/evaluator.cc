@@ -1,0 +1,98 @@
+#include "index/evaluator.h"
+
+#include <algorithm>
+
+namespace mrx {
+
+std::vector<IndexNodeId> IndexTargetSet(const IndexGraph& ig,
+                                        const PathExpression& path,
+                                        QueryStats* stats) {
+  std::vector<IndexNodeId> frontier;
+  std::vector<char> in_frontier(ig.capacity(), 0);
+
+  if (path.anchored()) {
+    IndexNodeId root_node = ig.index_of(ig.data().root());
+    if (path.StepMatches(0, ig.node(root_node).label)) {
+      frontier.push_back(root_node);
+    }
+  } else {
+    for (IndexNodeId v = 0; v < ig.capacity(); ++v) {
+      if (ig.alive(v) && path.StepMatches(0, ig.node(v).label)) {
+        frontier.push_back(v);
+      }
+    }
+  }
+  if (stats != nullptr) stats->index_nodes_visited += frontier.size();
+
+  for (size_t step = 1; step < path.num_steps() && !frontier.empty();
+       ++step) {
+    std::vector<IndexNodeId> next;
+    if (path.DescendantStep(step)) {
+      // Descendant axis: the closure of one-or-more index edges, filtered
+      // by the step's label. Safe: index reachability over-approximates
+      // data reachability (Property 2), and answers are validated.
+      std::vector<IndexNodeId> work = frontier;
+      std::vector<char> reached(ig.capacity(), 0);
+      for (size_t i = 0; i < work.size(); ++i) {
+        for (IndexNodeId v : ig.node(work[i]).children) {
+          if (!reached[v]) {
+            reached[v] = 1;
+            work.push_back(v);
+            if (path.StepMatches(step, ig.node(v).label)) {
+              next.push_back(v);
+            }
+          }
+        }
+      }
+    } else {
+      for (IndexNodeId u : frontier) {
+        for (IndexNodeId v : ig.node(u).children) {
+          if (path.StepMatches(step, ig.node(v).label) && !in_frontier[v]) {
+            in_frontier[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+      for (IndexNodeId v : next) in_frontier[v] = 0;
+    }
+    if (stats != nullptr) stats->index_nodes_visited += next.size();
+    frontier.swap(next);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+QueryResult AnswerOnIndex(const IndexGraph& ig, const PathExpression& path,
+                          DataEvaluator* validator) {
+  QueryResult result;
+  result.target = IndexTargetSet(ig, path, &result.stats);
+
+  const int32_t needed = static_cast<int32_t>(path.length());
+  const bool certifiable = !path.anchored() && !path.HasDescendantAxis();
+  for (IndexNodeId v : result.target) {
+    const IndexGraph::Node& node = ig.node(v);
+    if (node.k >= needed && certifiable) {
+      // Precise: the whole extent is part of the answer (§3.1 step 2).
+      result.answer.insert(result.answer.end(), node.extent.begin(),
+                           node.extent.end());
+      continue;
+    }
+    if (node.k >= needed && !certifiable) {
+      // Anchored expressions pin the instance's start to the root, and
+      // descendant-axis expressions have unbounded instances; in both
+      // cases k-bisimilarity cannot certify the whole extent, so fall
+      // through to validation (answers stay exact either way).
+    }
+    result.precise = false;
+    for (NodeId o : node.extent) {
+      if (validator->HasIncomingPath(o, path,
+                                     &result.stats.data_nodes_validated)) {
+        result.answer.push_back(o);
+      }
+    }
+  }
+  std::sort(result.answer.begin(), result.answer.end());
+  return result;
+}
+
+}  // namespace mrx

@@ -1,0 +1,51 @@
+#ifndef MRX_INDEX_EVALUATOR_H_
+#define MRX_INDEX_EVALUATOR_H_
+
+#include <vector>
+
+#include "index/index_graph.h"
+#include "query/data_evaluator.h"
+#include "query/path_expression.h"
+#include "query/stats.h"
+
+namespace mrx {
+
+/// \brief The answer to a path expression evaluated through an index.
+struct QueryResult {
+  /// Data nodes satisfying the expression, sorted ascending. When some
+  /// target index node is under-refined (k < query length) the answer has
+  /// been validated against the data graph, so it is always exact.
+  std::vector<NodeId> answer;
+
+  /// The target set of the expression in the index graph.
+  std::vector<IndexNodeId> target;
+
+  /// Cost incurred, per the paper's metric.
+  QueryStats stats;
+
+  /// True if every target index node had sufficient local similarity, i.e.
+  /// no validation was needed (the index was *precise* for this query).
+  bool precise = true;
+};
+
+/// \brief Computes the target set of `path` in `ig`: all alive index nodes
+/// with `path` as an incoming label path (instances starting at the index
+/// node of the data root for anchored paths).
+///
+/// Adds every index node placed on a search frontier to
+/// `stats->index_nodes_visited` (the paper's index-side cost) if `stats` is
+/// non-null.
+std::vector<IndexNodeId> IndexTargetSet(const IndexGraph& ig,
+                                        const PathExpression& path,
+                                        QueryStats* stats);
+
+/// \brief The M(k)/A(k)/D(k) query algorithm (§3.1): computes the target
+/// set on the index, returns extents of sufficiently-refined target nodes
+/// directly, and validates the extents of under-refined ones against the
+/// data graph via `validator` (charging `data_nodes_validated`).
+QueryResult AnswerOnIndex(const IndexGraph& ig, const PathExpression& path,
+                          DataEvaluator* validator);
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_EVALUATOR_H_

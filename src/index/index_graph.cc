@@ -1,0 +1,285 @@
+#include "index/index_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace mrx {
+
+namespace {
+
+/// Inserts `id` into the sorted-unique vector `v` if absent.
+void InsertSorted(std::vector<IndexNodeId>* v, IndexNodeId id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it == v->end() || *it != id) v->insert(it, id);
+}
+
+/// Removes `id` from the sorted-unique vector `v` if present.
+void EraseSorted(std::vector<IndexNodeId>* v, IndexNodeId id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it != v->end() && *it == id) v->erase(it);
+}
+
+void SortUnique(std::vector<IndexNodeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+IndexGraph IndexGraph::LabelPartition(const DataGraph& g) {
+  const size_t num_labels = g.symbols().size();
+  std::vector<uint32_t> block_of(g.num_nodes());
+  // Blocks are labels with at least one node, renumbered densely.
+  std::vector<uint32_t> block_of_label(num_labels, static_cast<uint32_t>(-1));
+  uint32_t num_blocks = 0;
+  for (LabelId l = 0; l < num_labels; ++l) {
+    if (!g.nodes_with_label(l).empty()) block_of_label[l] = num_blocks++;
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    block_of[n] = block_of_label[g.label(n)];
+  }
+  std::vector<int32_t> block_k(num_blocks, 0);
+  return FromPartition(g, block_of, num_blocks, block_k);
+}
+
+IndexGraph IndexGraph::FromPartition(const DataGraph& g,
+                                     const std::vector<uint32_t>& block_of,
+                                     uint32_t num_blocks,
+                                     const std::vector<int32_t>& block_k) {
+  assert(block_of.size() == g.num_nodes());
+  assert(block_k.size() == num_blocks);
+
+  IndexGraph ig;
+  ig.graph_ = &g;
+  ig.nodes_.resize(num_blocks);
+  ig.node_of_.assign(g.num_nodes(), kInvalidIndexNode);
+  ig.num_alive_ = num_blocks;
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    IndexNodeId b = block_of[n];
+    assert(b < num_blocks);
+    ig.nodes_[b].extent.push_back(n);
+    ig.node_of_[n] = b;
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    Node& node = ig.nodes_[b];
+    assert(!node.extent.empty());
+    node.k = block_k[b];
+    node.label = g.label(node.extent.front());
+    // NodeIds are visited in ascending order above, so extents are sorted.
+  }
+  // Adjacency from data edges.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    IndexNodeId bu = block_of[u];
+    for (NodeId v : g.children(u)) {
+      ig.nodes_[bu].children.push_back(block_of[v]);
+      ig.nodes_[block_of[v]].parents.push_back(bu);
+    }
+  }
+  for (Node& node : ig.nodes_) {
+    SortUnique(&node.children);
+    SortUnique(&node.parents);
+  }
+  return ig;
+}
+
+size_t IndexGraph::num_edges() const {
+  size_t edges = 0;
+  for (const Node& node : nodes_) {
+    if (node.alive) edges += node.children.size();
+  }
+  return edges;
+}
+
+std::vector<IndexNodeId> IndexGraph::AliveNodes() const {
+  std::vector<IndexNodeId> out;
+  out.reserve(num_alive_);
+  for (IndexNodeId v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].alive) out.push_back(v);
+  }
+  return out;
+}
+
+void IndexGraph::ComputeAdjacency(IndexNodeId v) {
+  Node& node = nodes_[v];
+  node.children.clear();
+  node.parents.clear();
+  for (NodeId o : node.extent) {
+    for (NodeId c : graph_->children(o)) node.children.push_back(node_of_[c]);
+    for (NodeId p : graph_->parents(o)) node.parents.push_back(node_of_[p]);
+  }
+  SortUnique(&node.children);
+  SortUnique(&node.parents);
+}
+
+std::vector<IndexNodeId> IndexGraph::ReplaceNode(IndexNodeId v,
+                                                 std::vector<Part> parts) {
+  assert(alive(v));
+  assert(!parts.empty());
+#ifndef NDEBUG
+  {
+    size_t total = 0;
+    for (const Part& p : parts) {
+      assert(!p.extent.empty());
+      assert(std::is_sorted(p.extent.begin(), p.extent.end()));
+      total += p.extent.size();
+    }
+    assert(total == nodes_[v].extent.size());
+    for (const Part& p : parts) {
+      for (NodeId o : p.extent) assert(node_of_[o] == v);
+    }
+  }
+#endif
+
+  // Detach v from its neighbors.
+  const std::vector<IndexNodeId> old_children = nodes_[v].children;
+  const std::vector<IndexNodeId> old_parents = nodes_[v].parents;
+  for (IndexNodeId c : old_children) {
+    if (c != v) EraseSorted(&nodes_[c].parents, v);
+  }
+  for (IndexNodeId p : old_parents) {
+    if (p != v) EraseSorted(&nodes_[p].children, v);
+  }
+  const LabelId label = nodes_[v].label;
+  if (parts.size() > 1) {
+    ++refinement_stats_.splits;
+    refinement_stats_.nodes_created += parts.size() - 1;
+    refinement_stats_.extent_moves += nodes_[v].extent.size();
+  }
+  nodes_[v].alive = false;
+  nodes_[v].extent.clear();
+  nodes_[v].children.clear();
+  nodes_[v].parents.clear();
+  --num_alive_;
+
+  // Create the parts and remap their data nodes.
+  std::vector<IndexNodeId> part_ids;
+  part_ids.reserve(parts.size());
+  for (Part& part : parts) {
+    IndexNodeId id = static_cast<IndexNodeId>(nodes_.size());
+    part_ids.push_back(id);
+    Node node;
+    node.label = label;
+    node.k = part.k;
+    node.extent = std::move(part.extent);
+    nodes_.push_back(std::move(node));
+    ++num_alive_;
+    for (NodeId o : nodes_.back().extent) node_of_[o] = id;
+  }
+
+  // Compute the parts' adjacency from the data graph (part-to-part edges
+  // come out consistent on both sides because node_of_ is fully remapped),
+  // then mirror edges into non-part neighbors.
+  std::unordered_set<IndexNodeId> part_set(part_ids.begin(), part_ids.end());
+  for (IndexNodeId id : part_ids) ComputeAdjacency(id);
+  for (IndexNodeId id : part_ids) {
+    for (IndexNodeId c : nodes_[id].children) {
+      if (!part_set.contains(c)) InsertSorted(&nodes_[c].parents, id);
+    }
+    for (IndexNodeId p : nodes_[id].parents) {
+      if (!part_set.contains(p)) InsertSorted(&nodes_[p].children, id);
+    }
+  }
+  return part_ids;
+}
+
+std::vector<NodeId> IndexGraph::Succ(const std::vector<NodeId>& s) const {
+  std::vector<NodeId> out;
+  for (NodeId o : s) {
+    auto kids = graph_->children(o);
+    out.insert(out.end(), kids.begin(), kids.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> IndexGraph::Pred(const std::vector<NodeId>& s) const {
+  std::vector<NodeId> out;
+  for (NodeId o : s) {
+    auto ps = graph_->parents(o);
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status IndexGraph::CheckConsistency() const {
+  const DataGraph& g = *graph_;
+  std::vector<char> seen(g.num_nodes(), 0);
+  size_t alive_count = 0;
+  for (IndexNodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& node = nodes_[v];
+    if (!node.alive) continue;
+    ++alive_count;
+    if (node.extent.empty()) {
+      return Status::Internal("alive index node with empty extent");
+    }
+    if (!std::is_sorted(node.extent.begin(), node.extent.end())) {
+      return Status::Internal("extent not sorted");
+    }
+    for (NodeId o : node.extent) {
+      if (seen[o]) return Status::Internal("data node in two extents");
+      seen[o] = 1;
+      if (node_of_[o] != v) return Status::Internal("node_of out of sync");
+      if (g.label(o) != node.label) {
+        return Status::Internal("extent label not uniform");
+      }
+    }
+  }
+  if (alive_count != num_alive_) {
+    return Status::Internal("alive counter out of sync");
+  }
+  for (NodeId o = 0; o < g.num_nodes(); ++o) {
+    if (!seen[o]) return Status::Internal("data node in no extent");
+  }
+  // Property 2: edges match data edges exactly, both directions.
+  for (IndexNodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& node = nodes_[v];
+    if (!node.alive) continue;
+    std::vector<IndexNodeId> children;
+    std::vector<IndexNodeId> parents;
+    for (NodeId o : node.extent) {
+      for (NodeId c : g.children(o)) children.push_back(node_of_[c]);
+      for (NodeId p : g.parents(o)) parents.push_back(node_of_[p]);
+    }
+    SortUnique(&children);
+    SortUnique(&parents);
+    if (children != node.children) {
+      return Status::Internal("children list does not match Property 2");
+    }
+    if (parents != node.parents) {
+      return Status::Internal("parents list does not match Property 2");
+    }
+    for (IndexNodeId c : node.children) {
+      if (!nodes_[c].alive) return Status::Internal("edge to dead node");
+    }
+    for (IndexNodeId p : node.parents) {
+      if (!nodes_[p].alive) return Status::Internal("edge from dead node");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string IndexGraph::DebugString() const {
+  std::ostringstream os;
+  for (IndexNodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& node = nodes_[v];
+    if (!node.alive) continue;
+    os << v << "[" << graph_->symbols().Name(node.label) << ",k=" << node.k
+       << "]{";
+    for (size_t i = 0; i < node.extent.size(); ++i) {
+      if (i > 0) os << ",";
+      os << node.extent[i];
+    }
+    os << "} ->";
+    for (IndexNodeId c : node.children) os << " " << c;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrx

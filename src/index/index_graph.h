@@ -1,0 +1,156 @@
+#ifndef MRX_INDEX_INDEX_GRAPH_H_
+#define MRX_INDEX_INDEX_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "util/status.h"
+
+namespace mrx {
+
+/// Dense identifier of an index node (an equivalence class of data nodes).
+using IndexNodeId = uint32_t;
+
+/// Sentinel for "no index node".
+inline constexpr IndexNodeId kInvalidIndexNode = static_cast<IndexNodeId>(-1);
+
+/// \brief Reorganization-effort counters maintained by IndexGraph: how
+/// much splitting work refinement performed. The adaptive indexes expose
+/// them so experiments can weigh query savings against refinement cost.
+struct RefinementStats {
+  uint64_t splits = 0;          ///< ReplaceNode calls that split a node.
+  uint64_t nodes_created = 0;   ///< New index nodes created by splits.
+  uint64_t extent_moves = 0;    ///< Data nodes re-homed across splits.
+
+  RefinementStats& operator+=(const RefinementStats& o) {
+    splits += o.splits;
+    nodes_created += o.nodes_created;
+    extent_moves += o.extent_moves;
+    return *this;
+  }
+};
+
+/// \brief The shared structural-index representation used by the A(k),
+/// D(k), M(k) indexes and by each component of the M*(k) index.
+///
+/// An IndexGraph is a labeled directed graph over index nodes, each holding
+/// an *extent* (the set of data nodes it stands for), a label, and a local
+/// similarity value `k` (paper §2/§3). It maintains the paper's structural
+/// properties mechanically:
+///
+///  - extents of alive nodes partition the data nodes (Property 1's carrier);
+///  - there is an index edge (u, v) iff some data edge crosses the extents
+///    (Property 2) — ReplaceNode rebuilds adjacency from the data graph;
+///  - `k` values are whatever the owning index algorithm assigns; the
+///    *semantic* guarantees (extents k-bisimilar, Property 3) are the
+///    algorithm's responsibility and are verified in the test suite.
+///
+/// Node ids are stable; splitting marks the old node dead and appends new
+/// nodes. Dead nodes stay as tombstones (cheap, and keeps outstanding ids
+/// harmless); all accessors that enumerate skip them.
+class IndexGraph {
+ public:
+  struct Node {
+    LabelId label = 0;
+    int32_t k = 0;
+    std::vector<NodeId> extent;         // sorted ascending
+    std::vector<IndexNodeId> parents;   // sorted unique, alive ids
+    std::vector<IndexNodeId> children;  // sorted unique, alive ids
+    bool alive = true;
+  };
+
+  /// One piece of a node split: the new extent and its local similarity.
+  struct Part {
+    std::vector<NodeId> extent;
+    int32_t k = 0;
+  };
+
+  /// The A(0) partition: one index node per label occurring in `g`, k = 0.
+  static IndexGraph LabelPartition(const DataGraph& g);
+
+  /// Builds an index graph from an arbitrary partition. `block_of[n]` is
+  /// the block of data node n, in [0, num_blocks); `block_k[b]` the local
+  /// similarity to record for block b. Every block must be non-empty and
+  /// label-uniform (callers produce refinements of the label partition).
+  static IndexGraph FromPartition(const DataGraph& g,
+                                  const std::vector<uint32_t>& block_of,
+                                  uint32_t num_blocks,
+                                  const std::vector<int32_t>& block_k);
+
+  IndexGraph(const IndexGraph&) = default;
+  IndexGraph& operator=(const IndexGraph&) = default;
+  IndexGraph(IndexGraph&&) = default;
+  IndexGraph& operator=(IndexGraph&&) = default;
+
+  const DataGraph& data() const { return *graph_; }
+
+  /// Upper bound on node ids (including tombstones).
+  size_t capacity() const { return nodes_.size(); }
+
+  bool alive(IndexNodeId v) const { return nodes_[v].alive; }
+  const Node& node(IndexNodeId v) const { return nodes_[v]; }
+
+  /// The index node whose extent contains data node `o`.
+  IndexNodeId index_of(NodeId o) const { return node_of_[o]; }
+
+  /// Number of alive index nodes — the paper's "number of index nodes".
+  size_t num_nodes() const { return num_alive_; }
+
+  /// Number of index edges between alive nodes — the paper's "number of
+  /// index edges". Computed on demand.
+  size_t num_edges() const;
+
+  /// All alive node ids, ascending.
+  std::vector<IndexNodeId> AliveNodes() const;
+
+  /// Sets the local similarity of `v`.
+  void SetK(IndexNodeId v, int32_t k) { nodes_[v].k = k; }
+
+  /// Replaces alive node `v` by `parts`. Part extents must be non-empty,
+  /// pairwise disjoint, and cover v's extent exactly (checked with
+  /// assertions in debug builds). Adjacency of the new nodes and of their
+  /// neighbors is rebuilt from the data graph so Property 2 keeps holding.
+  /// Passing a single part effectively relabels v's similarity under a new
+  /// id. Returns the new node ids in part order.
+  std::vector<IndexNodeId> ReplaceNode(IndexNodeId v,
+                                       std::vector<Part> parts);
+
+  /// The paper's Succ(s): all data nodes with a parent in `s`; sorted.
+  /// `s` must be sorted.
+  std::vector<NodeId> Succ(const std::vector<NodeId>& s) const;
+
+  /// The paper's Pred(s): all data nodes with a child in `s`; sorted.
+  std::vector<NodeId> Pred(const std::vector<NodeId>& s) const;
+
+  /// Structural self-check used by tests and debugging: extents partition
+  /// the data nodes, node_of is consistent, labels are uniform within
+  /// extents, adjacency matches Property 2 exactly and is symmetric.
+  Status CheckConsistency() const;
+
+  /// Multi-line dump ("id[label,k]{extent} -> children") for debugging.
+  std::string DebugString() const;
+
+  /// Cumulative reorganization effort of all ReplaceNode calls.
+  const RefinementStats& refinement_stats() const {
+    return refinement_stats_;
+  }
+
+ private:
+  IndexGraph() = default;
+
+  /// Recomputes children/parents of `v` from the data graph. Does not
+  /// touch other nodes' lists.
+  void ComputeAdjacency(IndexNodeId v);
+
+  const DataGraph* graph_ = nullptr;
+  std::vector<Node> nodes_;
+  std::vector<IndexNodeId> node_of_;  // per data node
+  size_t num_alive_ = 0;
+  RefinementStats refinement_stats_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_INDEX_GRAPH_H_

@@ -1,0 +1,703 @@
+#include "index/m_star_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "index/bisimulation.h"
+
+namespace mrx {
+namespace {
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> Difference(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+void SortUnique(std::vector<NodeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+void SortUniqueIndex(std::vector<IndexNodeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+MStarIndex::MStarIndex(const DataGraph& g) : data_(g), evaluator_(g) {
+  IndexGraph g0 = IndexGraph::LabelPartition(g);
+  std::vector<IndexNodeId> sup(g0.capacity(), kInvalidIndexNode);
+  components_.push_back(Component{std::move(g0), std::move(sup)});
+}
+
+Result<MStarIndex> MStarIndex::FromComponents(
+    const DataGraph& g, const std::vector<MStarComponentSpec>& specs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("need at least one component spec");
+  }
+  MStarIndex index(g);
+  index.components_.clear();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const MStarComponentSpec& spec = specs[i];
+    if (spec.extents.size() != spec.ks.size() ||
+        (i > 0 && spec.supernodes.size() != spec.extents.size())) {
+      return Status::InvalidArgument("component spec vectors disagree");
+    }
+    std::vector<uint32_t> block_of(g.num_nodes(), static_cast<uint32_t>(-1));
+    for (uint32_t b = 0; b < spec.extents.size(); ++b) {
+      for (NodeId o : spec.extents[b]) {
+        if (o >= g.num_nodes() || block_of[o] != static_cast<uint32_t>(-1)) {
+          return Status::InvalidArgument(
+              "component extents do not partition the data nodes");
+        }
+        block_of[o] = b;
+      }
+    }
+    for (uint32_t b : block_of) {
+      if (b == static_cast<uint32_t>(-1)) {
+        return Status::InvalidArgument(
+            "component extents do not cover the data nodes");
+      }
+    }
+    IndexGraph graph = IndexGraph::FromPartition(
+        g, block_of, static_cast<uint32_t>(spec.extents.size()), spec.ks);
+    // FromPartition numbers nodes by block ordinal, so the spec's
+    // supernode ordinals are node ids in the previous component directly.
+    std::vector<IndexNodeId> sup(graph.capacity(), kInvalidIndexNode);
+    if (i > 0) {
+      const size_t prev_size = specs[i - 1].extents.size();
+      for (IndexNodeId v = 0; v < graph.capacity(); ++v) {
+        if (spec.supernodes[v] >= prev_size) {
+          return Status::InvalidArgument("supernode ordinal out of range");
+        }
+        sup[v] = spec.supernodes[v];
+      }
+    }
+    index.components_.push_back(Component{std::move(graph), std::move(sup)});
+  }
+  MRX_RETURN_IF_ERROR(index.CheckProperties());
+  return index;
+}
+
+MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g,
+                                            int k_max) {
+  std::vector<MStarComponentSpec> specs;
+  std::vector<uint32_t> prev_block_of;
+  for (int i = 0; i <= k_max; ++i) {
+    BisimulationPartition part = ComputeKBisimulation(g, i);
+    MStarComponentSpec spec;
+    spec.extents.resize(part.num_blocks);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      spec.extents[part.block_of[n]].push_back(n);
+    }
+    spec.ks.assign(part.num_blocks, i);
+    spec.supernodes.assign(part.num_blocks, 0);
+    if (i > 0) {
+      for (uint32_t b = 0; b < part.num_blocks; ++b) {
+        spec.supernodes[b] = prev_block_of[spec.extents[b].front()];
+      }
+    }
+    prev_block_of = part.block_of;
+    specs.push_back(std::move(spec));
+  }
+  // The A(i) family satisfies Properties 1-5 by construction (each A(i+1)
+  // refines A(i)); FromComponents re-verifies.
+  Result<MStarIndex> index = FromComponents(g, specs);
+  return std::move(index).value();
+}
+
+void MStarIndex::AppendComponentCopy() {
+  // Copies the finest component; supernode links are the identity.
+  IndexGraph graph = components_.back().graph;
+  std::vector<IndexNodeId> sup(graph.capacity(), kInvalidIndexNode);
+  for (IndexNodeId v = 0; v < graph.capacity(); ++v) {
+    if (graph.alive(v)) sup[v] = v;
+  }
+  components_.push_back(Component{std::move(graph), std::move(sup)});
+}
+
+void MStarIndex::Refine(const PathExpression& fup) {
+  const int32_t len = static_cast<int32_t>(fup.length());
+  if (len == 0) return;
+  // Descendant-axis expressions have unbounded instances; no finite k
+  // certifies them, so there is nothing to refine toward (queries remain
+  // exact through validation).
+  if (fup.HasDescendantAxis()) return;
+  while (components_.size() <= static_cast<size_t>(len)) {
+    AppendComponentCopy();
+  }
+
+  std::vector<NodeId> target = evaluator_.Evaluate(fup);
+  if (!target.empty()) RefineNodeStar(len, target);
+
+  // REFINE* lines 7-8: break false instances created by refinement.
+  while (true) {
+    IndexGraph& finest = components_[len].graph;
+    std::vector<IndexNodeId> s = IndexTargetSet(finest, fup, nullptr);
+    IndexNodeId bad = kInvalidIndexNode;
+    for (IndexNodeId v : s) {
+      if (finest.node(v).k < len) {
+        bad = v;
+        break;
+      }
+    }
+    if (bad == kInvalidIndexNode) return;
+    // Copy the extent: PromoteStar splits nodes, which can reallocate the
+    // component's node array and invalidate references into it.
+    std::vector<NodeId> bad_extent = finest.node(bad).extent;
+    PromoteStar(len, bad_extent, fup);
+  }
+}
+
+void MStarIndex::RefineNodeStar(int k, const std::vector<NodeId>& relevant) {
+  if (k <= 0 || relevant.empty()) return;
+  IndexGraph& comp = components_[k].graph;
+
+  auto under_refined_covers = [&]() {
+    std::vector<IndexNodeId> covers;
+    for (NodeId o : relevant) covers.push_back(comp.index_of(o));
+    SortUniqueIndex(&covers);
+    std::erase_if(covers, [&](IndexNodeId v) {
+      return comp.node(v).k >= k;
+    });
+    return covers;
+  };
+
+  std::vector<IndexNodeId> covers = under_refined_covers();
+  if (covers.empty()) return;
+
+  // Only relevant data inside under-refined covers drives refinement
+  // (REFINENODE* line 2's early return, per node).
+  std::vector<NodeId> active;
+  for (IndexNodeId v : covers) {
+    std::vector<NodeId> here = Intersect(comp.node(v).extent, relevant);
+    active.insert(active.end(), here.begin(), here.end());
+  }
+  SortUnique(&active);
+
+  // Lines 4-7: refine the predecessors in component k-1 first.
+  RefineNodeStar(k - 1, comp.Pred(active));
+
+  // Lines 9-13: split the ancestor supernodes coarse-to-fine; each split
+  // cascades into finer components immediately (the propagation of line
+  // 13), so by the time component i is processed, component i-1 is final.
+  for (int i = 1; i <= k; ++i) {
+    while (true) {
+      IndexGraph& ci = components_[i].graph;
+      IndexNodeId p = kInvalidIndexNode;
+      for (NodeId o : active) {
+        IndexNodeId cand = ci.index_of(o);
+        if (ci.node(cand).k < i) {
+          p = cand;
+          break;
+        }
+      }
+      if (p == kInvalidIndexNode) break;
+      SplitNodeStar(i, p, active);
+    }
+  }
+}
+
+void MStarIndex::SplitNodeStar(int ci, IndexNodeId v,
+                               const std::vector<NodeId>& relevant) {
+  assert(ci >= 1);
+  IndexGraph& comp = components_[ci].graph;
+  const IndexGraph& prev = components_[ci - 1].graph;
+
+  const std::vector<NodeId> relevant_here =
+      Intersect(comp.node(v).extent, relevant);
+  if (relevant_here.empty()) return;
+  const int32_t kold = comp.node(v).k;
+  const std::vector<NodeId> pred_relevant = comp.Pred(relevant_here);
+
+  // The perfectly qualified parents: parents of v's supernode in component
+  // ci-1 (their similarity is exactly ci-1 after the recursion refined
+  // them — never overqualified, the whole point of §4).
+  IndexNodeId sup = prev.index_of(comp.node(v).extent.front());
+  const std::vector<IndexNodeId> sup_parents = prev.node(sup).parents;
+
+  std::vector<std::vector<NodeId>> pieces = {comp.node(v).extent};
+  std::vector<NodeId> qualifying_union;
+  for (IndexNodeId u : sup_parents) {
+    if (Intersect(pred_relevant, prev.node(u).extent).empty()) continue;
+    const auto& u_extent = prev.node(u).extent;
+    qualifying_union.insert(qualifying_union.end(), u_extent.begin(),
+                            u_extent.end());
+    std::vector<NodeId> succ = prev.Succ(u_extent);
+    std::vector<std::vector<NodeId>> next;
+    for (const auto& w : pieces) {
+      std::vector<NodeId> in = Intersect(w, succ);
+      std::vector<NodeId> out = Difference(w, succ);
+      if (!in.empty()) next.push_back(std::move(in));
+      if (!out.empty()) next.push_back(std::move(out));
+    }
+    pieces.swap(next);
+  }
+  SortUnique(&qualifying_union);
+
+  // Merge pieces with no relevant member into the remainder (SPLITNODE*
+  // lines 11-19). As in MkIndex::SplitCover, an irrelevant member of a
+  // mixed piece stays at the new similarity only when all its parents lie
+  // in the qualifying parents' extents (which makes it provably
+  // ci-bisimilar to the relevant members); otherwise it joins the
+  // remainder.
+  std::vector<IndexGraph::Part> parts;
+  std::vector<NodeId> remainder;
+  auto provably_bisimilar = [&](NodeId m) {
+    for (NodeId p : comp.data().parents(m)) {
+      if (!std::binary_search(qualifying_union.begin(),
+                              qualifying_union.end(), p)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (auto& piece : pieces) {
+    if (Intersect(piece, relevant_here).empty()) {
+      remainder.insert(remainder.end(), piece.begin(), piece.end());
+      continue;
+    }
+    std::vector<NodeId> keep;
+    for (NodeId m : piece) {
+      if (provably_bisimilar(m)) {
+        keep.push_back(m);
+      } else {
+        remainder.push_back(m);
+      }
+    }
+    if (!keep.empty()) {
+      parts.push_back(IndexGraph::Part{std::move(keep), ci});
+    }
+  }
+  if (!remainder.empty()) {
+    SortUnique(&remainder);
+    parts.push_back(IndexGraph::Part{std::move(remainder), kold});
+  }
+  SplitAndPropagate(ci, v, std::move(parts));
+}
+
+void MStarIndex::SplitAndPropagate(int ci, IndexNodeId v,
+                                   std::vector<IndexGraph::Part> parts) {
+  Component& comp = components_[ci];
+  const IndexNodeId sup = comp.supernode[v];
+  const std::vector<NodeId> affected = comp.graph.node(v).extent;
+  std::vector<IndexNodeId> ids =
+      comp.graph.ReplaceNode(v, std::move(parts));
+  comp.supernode.resize(comp.graph.capacity(), kInvalidIndexNode);
+  for (IndexNodeId id : ids) comp.supernode[id] = sup;
+  if (static_cast<size_t>(ci) + 1 < components_.size()) {
+    CascadeInto(ci + 1, affected);
+  }
+}
+
+void MStarIndex::CascadeInto(int ci, const std::vector<NodeId>& affected) {
+  Component& comp = components_[ci];
+  const IndexGraph& prev = components_[ci - 1].graph;
+
+  std::vector<IndexNodeId> touched;
+  for (NodeId o : affected) touched.push_back(comp.graph.index_of(o));
+  SortUniqueIndex(&touched);
+
+  bool any_split = false;
+  std::vector<NodeId> deeper;
+  for (IndexNodeId q : touched) {
+    // Group q's extent by the (new) partition of the previous component.
+    std::map<IndexNodeId, std::vector<NodeId>> groups;
+    for (NodeId o : comp.graph.node(q).extent) {
+      groups[prev.index_of(o)].push_back(o);
+    }
+    if (groups.size() == 1) {
+      IndexNodeId sup = groups.begin()->first;
+      comp.supernode[q] = sup;
+      // Property 4: a subnode is at least as refined as its supernode. Its
+      // extent is a subset of the supernode's, so inheriting the larger k
+      // is sound.
+      if (comp.graph.node(q).k < prev.node(sup).k) {
+        comp.graph.SetK(q, prev.node(sup).k);
+        const auto& extent = comp.graph.node(q).extent;
+        deeper.insert(deeper.end(), extent.begin(), extent.end());
+        any_split = true;  // k changed; finer components must re-check.
+      }
+      continue;
+    }
+    // q now spans several supernodes: split it along them. A piece is both
+    // q.k-bisimilar (subset of q) and supernode.k-bisimilar (subset of the
+    // supernode), so it soundly records the max of the two.
+    any_split = true;
+    const auto& extent = comp.graph.node(q).extent;
+    deeper.insert(deeper.end(), extent.begin(), extent.end());
+    const int32_t qk = comp.graph.node(q).k;
+    std::vector<IndexGraph::Part> parts;
+    std::vector<IndexNodeId> sups;
+    for (auto& [sup_id, group] : groups) {
+      parts.push_back(IndexGraph::Part{
+          std::move(group), std::max(qk, prev.node(sup_id).k)});
+      sups.push_back(sup_id);
+    }
+    std::vector<IndexNodeId> ids =
+        comp.graph.ReplaceNode(q, std::move(parts));
+    comp.supernode.resize(comp.graph.capacity(), kInvalidIndexNode);
+    for (size_t j = 0; j < ids.size(); ++j) comp.supernode[ids[j]] = sups[j];
+  }
+  if (any_split && static_cast<size_t>(ci) + 1 < components_.size()) {
+    SortUnique(&deeper);
+    CascadeInto(ci + 1, deeper);
+  }
+}
+
+bool MStarIndex::NoFalseInstances(const PathExpression& fup) {
+  const int32_t len = static_cast<int32_t>(fup.length());
+  const size_t ci =
+      std::min<size_t>(len, components_.size() - 1);
+  IndexGraph& comp = components_[ci].graph;
+  for (IndexNodeId v : IndexTargetSet(comp, fup, nullptr)) {
+    if (comp.node(v).k < len) return false;
+  }
+  return true;
+}
+
+bool MStarIndex::PromoteStar(int k, const std::vector<NodeId>& extent,
+                             const PathExpression& fup) {
+  if (NoFalseInstances(fup)) return true;
+  if (k <= 0 || extent.empty()) return false;
+  IndexGraph& comp = components_[k].graph;
+
+  auto under_refined_covers = [&]() {
+    std::vector<IndexNodeId> covers;
+    for (NodeId o : extent) covers.push_back(comp.index_of(o));
+    SortUniqueIndex(&covers);
+    std::erase_if(covers, [&](IndexNodeId v) {
+      return comp.node(v).k >= k;
+    });
+    return covers;
+  };
+
+  std::vector<IndexNodeId> covers = under_refined_covers();
+  if (covers.empty()) return NoFalseInstances(fup);
+
+  std::vector<NodeId> all;
+  for (IndexNodeId v : covers) {
+    const auto& e = comp.node(v).extent;
+    all.insert(all.end(), e.begin(), e.end());
+  }
+  SortUnique(&all);
+
+  // Recurse on all predecessors (PROMOTE* promotes all data nodes).
+  if (PromoteStar(k - 1, comp.Pred(all), fup)) return true;
+
+  // Split ancestor supernodes coarse-to-fine by *all* parents of the
+  // supernode in the previous component; long-jump out as soon as no
+  // false instance of the FUP remains.
+  for (int i = 1; i <= k; ++i) {
+    while (true) {
+      IndexGraph& ci_graph = components_[i].graph;
+      const IndexGraph& prev = components_[i - 1].graph;
+      IndexNodeId p = kInvalidIndexNode;
+      for (NodeId o : all) {
+        IndexNodeId cand = ci_graph.index_of(o);
+        if (ci_graph.node(cand).k < i) {
+          p = cand;
+          break;
+        }
+      }
+      if (p == kInvalidIndexNode) break;
+
+      IndexNodeId sup = prev.index_of(ci_graph.node(p).extent.front());
+      const std::vector<IndexNodeId> sup_parents = prev.node(sup).parents;
+      std::vector<std::vector<NodeId>> pieces = {ci_graph.node(p).extent};
+      for (IndexNodeId u : sup_parents) {
+        std::vector<NodeId> succ = prev.Succ(prev.node(u).extent);
+        std::vector<std::vector<NodeId>> next;
+        for (const auto& w : pieces) {
+          std::vector<NodeId> in = Intersect(w, succ);
+          std::vector<NodeId> out = Difference(w, succ);
+          if (!in.empty()) next.push_back(std::move(in));
+          if (!out.empty()) next.push_back(std::move(out));
+        }
+        pieces.swap(next);
+      }
+      std::vector<IndexGraph::Part> parts;
+      for (auto& piece : pieces) {
+        parts.push_back(IndexGraph::Part{std::move(piece), i});
+      }
+      SplitAndPropagate(i, p, std::move(parts));
+      if (NoFalseInstances(fup)) return true;
+    }
+  }
+  return NoFalseInstances(fup);
+}
+
+QueryResult MStarIndex::QueryNaive(const PathExpression& path) {
+  const size_t ci = std::min(path.length(), components_.size() - 1);
+  return AnswerOnIndex(components_[ci].graph, path, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryTopDown(const PathExpression& path) {
+  // Descendant axes need closure evaluation; the naive strategy's
+  // AnswerOnIndex implements it.
+  if (path.HasDescendantAxis()) return QueryNaive(path);
+  QueryResult result;
+  const size_t finest = components_.size() - 1;
+
+  // Level 0 in I0.
+  std::vector<IndexNodeId> q;
+  {
+    const IndexGraph& c0 = components_[0].graph;
+    if (path.anchored()) {
+      IndexNodeId root_node = c0.index_of(data_.root());
+      if (path.StepMatches(0, c0.node(root_node).label)) {
+        q.push_back(root_node);
+      }
+    } else {
+      for (IndexNodeId v = 0; v < c0.capacity(); ++v) {
+        if (c0.alive(v) && path.StepMatches(0, c0.node(v).label)) {
+          q.push_back(v);
+        }
+      }
+    }
+    result.stats.index_nodes_visited += q.size();
+  }
+
+  size_t current_component = 0;
+  for (size_t step = 1; step < path.num_steps() && !q.empty(); ++step) {
+    const size_t ci = std::min(step, finest);
+    const IndexGraph& comp = components_[ci].graph;
+
+    // QUERYTOPDOWN line 3: descend to the subnodes in the next component.
+    std::vector<IndexNodeId> s;
+    if (ci != current_component) {
+      const IndexGraph& prev_comp = components_[current_component].graph;
+      for (IndexNodeId u : q) {
+        for (NodeId o : prev_comp.node(u).extent) {
+          s.push_back(comp.index_of(o));
+        }
+      }
+      SortUniqueIndex(&s);
+      result.stats.index_nodes_visited += s.size();
+      current_component = ci;
+    } else {
+      s = std::move(q);
+    }
+
+    // QUERYTOPDOWN line 4: one forward step within component ci.
+    std::vector<IndexNodeId> next;
+    std::vector<char> seen(comp.capacity(), 0);
+    for (IndexNodeId u : s) {
+      for (IndexNodeId v : comp.node(u).children) {
+        if (path.StepMatches(step, comp.node(v).label) && !seen[v]) {
+          seen[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    result.stats.index_nodes_visited += next.size();
+    q = std::move(next);
+  }
+
+  // Lines 5-12: collect extents, validating under-refined nodes.
+  SortUniqueIndex(&q);
+  result.target = q;
+  const IndexGraph& comp = components_[current_component].graph;
+  const int32_t needed = static_cast<int32_t>(path.length());
+  for (IndexNodeId v : q) {
+    const IndexGraph::Node& node = comp.node(v);
+    if (node.k >= needed && !path.anchored()) {
+      result.answer.insert(result.answer.end(), node.extent.begin(),
+                           node.extent.end());
+    } else {
+      result.precise = false;
+      for (NodeId o : node.extent) {
+        if (evaluator_.HasIncomingPath(
+                o, path, &result.stats.data_nodes_validated)) {
+          result.answer.push_back(o);
+        }
+      }
+    }
+  }
+  std::sort(result.answer.begin(), result.answer.end());
+  return result;
+}
+
+QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
+                                           size_t sub_begin,
+                                           size_t sub_end) {
+  if (path.HasDescendantAxis()) return QueryNaive(path);
+  assert(sub_begin <= sub_end && sub_end < path.num_steps());
+  QueryResult result;
+  const size_t finest = components_.size() - 1;
+  const size_t cq = std::min(path.length(), finest);
+  const IndexGraph& fine = components_[cq].graph;
+
+  // Phase 1: evaluate the subpath in the coarse component of its length.
+  PathExpression sub = path.Subpath(sub_begin, sub_end);
+  const size_t cs = std::min(sub.length(), finest);
+  std::vector<IndexNodeId> coarse_hits =
+      IndexTargetSet(components_[cs].graph, sub, &result.stats);
+
+  // Map the survivors down to the fine component through the hierarchy
+  // (extent containment makes the data-node route exact).
+  std::vector<char> candidate(fine.capacity(), 0);
+  std::vector<IndexNodeId> fine_candidates;
+  for (IndexNodeId u : coarse_hits) {
+    for (NodeId o : components_[cs].graph.node(u).extent) {
+      IndexNodeId v = fine.index_of(o);
+      if (!candidate[v]) {
+        candidate[v] = 1;
+        fine_candidates.push_back(v);
+      }
+    }
+  }
+  result.stats.index_nodes_visited += fine_candidates.size();
+
+  // Phase 2: evaluate the full path in the fine component, restricting the
+  // frontier at step `sub_end` to the pre-filtered candidates.
+  std::vector<IndexNodeId> frontier;
+  if (path.anchored()) {
+    IndexNodeId root_node = fine.index_of(data_.root());
+    if (path.StepMatches(0, fine.node(root_node).label)) {
+      frontier.push_back(root_node);
+    }
+  } else {
+    for (IndexNodeId v = 0; v < fine.capacity(); ++v) {
+      if (fine.alive(v) && path.StepMatches(0, fine.node(v).label)) {
+        frontier.push_back(v);
+      }
+    }
+  }
+  if (sub_end == 0) {
+    std::erase_if(frontier, [&](IndexNodeId v) { return !candidate[v]; });
+  }
+  result.stats.index_nodes_visited += frontier.size();
+
+  for (size_t step = 1; step < path.num_steps() && !frontier.empty();
+       ++step) {
+    std::vector<IndexNodeId> next;
+    std::vector<char> seen(fine.capacity(), 0);
+    for (IndexNodeId u : frontier) {
+      for (IndexNodeId v : fine.node(u).children) {
+        if (!path.StepMatches(step, fine.node(v).label) || seen[v]) continue;
+        if (step == sub_end && !candidate[v]) continue;
+        seen[v] = 1;
+        next.push_back(v);
+      }
+    }
+    result.stats.index_nodes_visited += next.size();
+    frontier = std::move(next);
+  }
+
+  SortUniqueIndex(&frontier);
+  result.target = frontier;
+  const int32_t needed = static_cast<int32_t>(path.length());
+  for (IndexNodeId v : frontier) {
+    const IndexGraph::Node& node = fine.node(v);
+    if (node.k >= needed && !path.anchored()) {
+      result.answer.insert(result.answer.end(), node.extent.begin(),
+                           node.extent.end());
+    } else {
+      result.precise = false;
+      for (NodeId o : node.extent) {
+        if (evaluator_.HasIncomingPath(
+                o, path, &result.stats.data_nodes_validated)) {
+          result.answer.push_back(o);
+        }
+      }
+    }
+  }
+  std::sort(result.answer.begin(), result.answer.end());
+  return result;
+}
+
+bool MStarIndex::IsDuplicate(size_t i, IndexNodeId v) const {
+  const IndexGraph& comp = components_[i].graph;
+  const IndexGraph& prev = components_[i - 1].graph;
+  IndexNodeId sup = prev.index_of(comp.node(v).extent.front());
+  return prev.node(sup).extent.size() == comp.node(v).extent.size();
+}
+
+RefinementStats MStarIndex::TotalRefinementStats() const {
+  RefinementStats total;
+  for (const Component& c : components_) {
+    total += c.graph.refinement_stats();
+  }
+  return total;
+}
+
+size_t MStarIndex::PhysicalNodeCount() const {
+  size_t count = components_[0].graph.num_nodes();
+  for (size_t i = 1; i < components_.size(); ++i) {
+    const IndexGraph& comp = components_[i].graph;
+    for (IndexNodeId v = 0; v < comp.capacity(); ++v) {
+      if (comp.alive(v) && !IsDuplicate(i, v)) ++count;
+    }
+  }
+  return count;
+}
+
+size_t MStarIndex::PhysicalEdgeCount() const {
+  size_t count = components_[0].graph.num_edges();
+  for (size_t i = 1; i < components_.size(); ++i) {
+    const IndexGraph& comp = components_[i].graph;
+    for (IndexNodeId v = 0; v < comp.capacity(); ++v) {
+      if (!comp.alive(v)) continue;
+      const bool v_dup = IsDuplicate(i, v);
+      // Component edges: skip those whose endpoints are both duplicates
+      // (the corresponding edge already exists one component up).
+      for (IndexNodeId c : comp.node(v).children) {
+        if (!(v_dup && IsDuplicate(i, c))) ++count;
+      }
+      // Cross-component link from the supernode, skipped for duplicates.
+      if (!v_dup) ++count;
+    }
+  }
+  return count;
+}
+
+Status MStarIndex::CheckProperties() const {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const Component& comp = components_[i];
+    MRX_RETURN_IF_ERROR(comp.graph.CheckConsistency());
+    for (IndexNodeId v = 0; v < comp.graph.capacity(); ++v) {
+      if (!comp.graph.alive(v)) continue;
+      const IndexGraph::Node& node = comp.graph.node(v);
+      if (node.k > static_cast<int32_t>(i)) {
+        return Status::Internal("Property 2 violated: k exceeds component");
+      }
+      if (i == 0) continue;
+      const IndexGraph& prev = components_[i - 1].graph;
+      IndexNodeId sup = comp.supernode[v];
+      if (sup == kInvalidIndexNode || !prev.alive(sup)) {
+        return Status::Internal("missing or dead supernode link");
+      }
+      for (NodeId o : node.extent) {
+        if (prev.index_of(o) != sup) {
+          return Status::Internal(
+              "Property 3 violated: extent not within supernode");
+        }
+      }
+      const IndexGraph::Node& sup_node = prev.node(sup);
+      if (node.k < sup_node.k || node.k > sup_node.k + 1) {
+        return Status::Internal("Property 4 violated: k bounds");
+      }
+      if (sup_node.k < static_cast<int32_t>(i) - 1 &&
+          node.k != sup_node.k) {
+        return Status::Internal("Property 5 violated: k not stable");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrx

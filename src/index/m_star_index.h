@@ -1,0 +1,202 @@
+#ifndef MRX_INDEX_M_STAR_INDEX_H_
+#define MRX_INDEX_M_STAR_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/evaluator.h"
+#include "index/index_graph.h"
+#include "query/data_evaluator.h"
+#include "query/path_expression.h"
+#include "util/status.h"
+
+namespace mrx {
+
+/// \brief The M*(k)-index (paper §4): a *multiresolution* structural index.
+///
+/// Logically it is a sequence of component indexes I0, I1, ..., organized
+/// in a partition hierarchy: each Ii is an M(k)-like index whose local
+/// similarity values are capped at i, and Ii+1 refines Ii (every Ii+1 node
+/// has exactly one supernode in Ii whose extent contains its own). The
+/// hierarchy keeps k-bisimilarity information for *all* k up to the finest
+/// resolution required, which:
+///   - lets short queries run on coarse (small) components,
+///   - gives refinement "perfectly qualified" parents (always exactly the
+///     (k-1)-bisimulation), eliminating over-refinement due to
+///     overqualified parents (§2's Figure 4 problem).
+///
+/// Physical size accounting follows §4/§5: a node of Ii+1 that is its
+/// supernode's only subnode is a *duplicate* and not counted; neither is an
+/// edge between two duplicates, nor the cross link to a duplicate.
+class MStarIndex;
+
+/// One component's logical content, used by the storage layer to persist
+/// and reassemble an M*(k)-index. Nodes are identified by their position
+/// ("ordinal") in these parallel vectors.
+struct MStarComponentSpec {
+  std::vector<std::vector<NodeId>> extents;  ///< Sorted, per node.
+  std::vector<int32_t> ks;                   ///< Local similarity, per node.
+  /// Ordinal of each node's supernode within the *previous* component's
+  /// spec; ignored for component 0.
+  std::vector<uint32_t> supernodes;
+};
+
+class MStarIndex {
+ public:
+  /// Starts with the single component I0 = A(0); `g` must outlive the
+  /// index.
+  explicit MStarIndex(const DataGraph& g);
+
+  /// Reassembles an index from per-component partitions (the storage
+  /// layer's load path). Adjacency is recomputed from the data graph
+  /// (Property 2 makes index edges derivable), and the result is checked
+  /// against Properties 1-5 before being returned.
+  static Result<MStarIndex> FromComponents(
+      const DataGraph& g, const std::vector<MStarComponentSpec>& specs);
+
+  /// Builds the *static* multiresolution hierarchy: component Ii is the
+  /// full A(i) partition, for i = 0..k_max. No workload awareness — every
+  /// node is refined to the cap everywhere. Precise for every simple path
+  /// expression of length ≤ k_max, at the size cost the paper's adaptive
+  /// refinement exists to avoid (the static-vs-adaptive ablation bench
+  /// quantifies the gap).
+  static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max);
+
+  /// REFINE* (§4.2): creates components up to I_length(fup) (by copying)
+  /// if needed, then refines the hierarchy so `fup` evaluates precisely in
+  /// the finest required component, and finally breaks any surviving false
+  /// instance with PROMOTE*.
+  void Refine(const PathExpression& fup);
+
+  /// §4.1 "Naive evaluation": evaluates in component I_min(length, finest)
+  /// with the M(k) query algorithm.
+  QueryResult QueryNaive(const PathExpression& path);
+
+  /// §4.1 QUERYTOPDOWN: evaluates prefixes of increasing length in
+  /// successively finer components, descending through the partition
+  /// hierarchy via supernode links, and validates under-refined answers.
+  QueryResult QueryTopDown(const PathExpression& path);
+
+  /// §4.1 "Subpath pre-filtering": evaluates the floating subpath
+  /// steps[sub_begin..sub_end] in the coarse component of its own length,
+  /// maps the survivors down to the finest needed component, and finishes
+  /// the full expression there with the frontier at step `sub_end`
+  /// restricted to the survivors. `sub_begin <= sub_end < num_steps()`.
+  QueryResult QueryWithPrefilter(const PathExpression& path,
+                                 size_t sub_begin, size_t sub_end);
+
+  /// §4.1 "Other approaches", bottom-up: evaluates progressively longer
+  /// *suffixes* of the expression in progressively finer components.
+  /// Because k-bisimilarity guarantees nothing about outgoing paths, every
+  /// descent re-checks downward that the suffix still exists — the
+  /// overhead the paper predicts makes bottom-up lose to top-down (the
+  /// strategy ablation bench quantifies it). Anchored paths are rejected
+  /// to the top-down algorithm internally.
+  QueryResult QueryBottomUp(const PathExpression& path);
+
+  /// §4.1 "Other approaches", hybrid: top-down for the prefix up to step
+  /// `meet` (default: the middle), bottom-up for the suffix, joined at the
+  /// meeting step in the finest needed component.
+  QueryResult QueryHybrid(const PathExpression& path);
+  QueryResult QueryHybrid(const PathExpression& path, size_t meet);
+
+  size_t num_components() const { return components_.size(); }
+  const IndexGraph& component(size_t i) const { return components_[i].graph; }
+
+  /// The supernode in component i-1 of node `v` of component i (i ≥ 1).
+  IndexNodeId supernode(size_t i, IndexNodeId v) const {
+    return components_[i].supernode[v];
+  }
+
+  /// Total reorganization effort across all components (including the
+  /// cascade realignments).
+  RefinementStats TotalRefinementStats() const;
+
+  /// Physical node count across components (§5 cost metric): nodes of I0
+  /// plus non-duplicate nodes of finer components.
+  size_t PhysicalNodeCount() const;
+
+  /// Physical edge count: edges of I0, edges of finer components not
+  /// connecting two duplicates, plus cross links to non-duplicate nodes.
+  size_t PhysicalEdgeCount() const;
+
+  /// Verifies Properties 1-5 of §4 that are checkable structurally
+  /// (component consistency, caps, hierarchy refinement, Property 4 k
+  /// bounds, Property 5 stability). Bisimilarity of extents is checked
+  /// separately in tests against reference partitions.
+  Status CheckProperties() const;
+
+ private:
+  struct Component {
+    IndexGraph graph;
+    /// Per node id (parallel to graph's id space): the node's supernode in
+    /// the previous component; kInvalidIndexNode in component 0.
+    std::vector<IndexNodeId> supernode;
+  };
+
+  /// Appends a copy of the finest component; supernode links are identity.
+  void AppendComponentCopy();
+
+  /// REFINENODE*, reformulated over data-node sets: ensures every index
+  /// node of component k containing a node of `relevant` has similarity
+  /// ≥ k, recursing on predecessors in component k-1 first and then
+  /// splitting ancestor supernodes coarse-to-fine with SPLITNODE*,
+  /// propagating each component's changes to finer components immediately.
+  void RefineNodeStar(int k, const std::vector<NodeId>& relevant);
+
+  /// SPLITNODE* (§4.2) on node `v` of component `ci`: splits by the Succ
+  /// sets of the *perfectly qualified* parents of v's supernode in
+  /// component ci-1, keeps `relevant` pieces at similarity ci, merges the
+  /// rest. Then cascades the refinement into finer components.
+  void SplitNodeStar(int ci, IndexNodeId v,
+                     const std::vector<NodeId>& relevant);
+
+  /// Replaces `v` in component `ci` by `parts` (inheriting v's supernode)
+  /// and realigns all finer components with the new partition.
+  void SplitAndPropagate(int ci, IndexNodeId v,
+                         std::vector<IndexGraph::Part> parts);
+
+  /// Realigns component `ci` with component ci-1 over the data nodes in
+  /// `affected` (splitting nodes that now span several supernodes and
+  /// refreshing supernode links), recursing into finer components.
+  void CascadeInto(int ci, const std::vector<NodeId>& affected);
+
+  /// PROMOTE*: like RefineNodeStar but relevance-free, breaking false
+  /// instances of `fup`; returns true as soon as none remain.
+  bool PromoteStar(int k, const std::vector<NodeId>& extent,
+                   const PathExpression& fup);
+
+  bool NoFalseInstances(const PathExpression& fup);
+
+  /// True if node `v` of component `i` (≥1) duplicates its supernode
+  /// (equal extents).
+  bool IsDuplicate(size_t i, IndexNodeId v) const;
+
+  /// Shared tail of the query strategies: collects extents of the target
+  /// index nodes of `path` in component `ci`, validating under-refined
+  /// ones, into `result`.
+  void CollectAnswer(const PathExpression& path, size_t ci,
+                     std::vector<IndexNodeId> target, QueryResult* result);
+
+  /// True iff `v` (in component `ci`) has an outgoing instance of
+  /// steps[from..] of `path` within that component; visited index nodes
+  /// are charged to `stats`. `v`'s own label is assumed checked.
+  bool HasOutgoingSuffix(size_t ci, IndexNodeId v,
+                         const PathExpression& path, size_t from,
+                         QueryStats* stats) const;
+
+  /// Maps index nodes of component `from_ci` to the index nodes of the
+  /// finer component `to_ci` covering the same data, charging the visit
+  /// count to `stats`.
+  std::vector<IndexNodeId> DescendNodes(size_t from_ci, size_t to_ci,
+                                        const std::vector<IndexNodeId>& nodes,
+                                        QueryStats* stats) const;
+
+  const DataGraph& data_;
+  DataEvaluator evaluator_;
+  std::vector<Component> components_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_M_STAR_INDEX_H_

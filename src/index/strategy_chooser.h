@@ -1,0 +1,60 @@
+#ifndef MRX_INDEX_STRATEGY_CHOOSER_H_
+#define MRX_INDEX_STRATEGY_CHOOSER_H_
+
+#include "index/m_star_index.h"
+#include "query/path_expression.h"
+
+namespace mrx {
+
+/// The M*(k) evaluation strategies of §4.1.
+enum class MStarQueryStrategy {
+  kNaive,
+  kTopDown,
+  kBottomUp,
+  kHybrid,
+};
+
+/// \brief A cost-based chooser for the §4.1 strategies — the "interesting
+/// query optimization problem" the paper leaves open.
+///
+/// The estimate uses only catalog-grade statistics that are O(1) to
+/// maintain: per-component label-row sizes (how many index nodes carry
+/// each label). Top-down's cost is dominated by the prefix frontiers in
+/// successively finer components; naive's by frontiers that all live in
+/// the finest component; bottom-up additionally pays a downward re-check
+/// per candidate, which the estimator charges as a multiplicative penalty.
+/// The frontier-size estimates are crude upper bounds (label-row sizes,
+/// ignoring edge selectivity), but the *relative* order they induce is
+/// what the choice needs.
+class StrategyChooser {
+ public:
+  /// Builds label-row statistics for the index's current components.
+  /// Cheap (one pass over index nodes); rebuild after refinement batches.
+  explicit StrategyChooser(const MStarIndex& index);
+
+  /// Picks a strategy for `path`. Anchored and descendant-axis paths
+  /// always pick strategies that support them (top-down / naive).
+  MStarQueryStrategy Choose(const PathExpression& path) const;
+
+  /// The estimated index-node visits used for the decision (exposed for
+  /// tests and the ablation bench).
+  double EstimateCost(const PathExpression& path,
+                      MStarQueryStrategy strategy) const;
+
+  /// Convenience: Choose then evaluate with the chosen strategy.
+  static QueryResult QueryAuto(MStarIndex& index,
+                               const PathExpression& path);
+
+ private:
+  /// Number of alive index nodes with label `l` in component `ci`
+  /// (wildcard = all nodes of the component).
+  double RowSize(size_t ci, LabelId l) const;
+
+  /// label_rows_[ci][label] = node count; labels beyond the table are 0.
+  std::vector<std::vector<uint32_t>> label_rows_;
+  std::vector<uint32_t> component_sizes_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_INDEX_STRATEGY_CHOOSER_H_

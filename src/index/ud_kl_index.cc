@@ -1,0 +1,107 @@
+#include "index/ud_kl_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mrx {
+namespace {
+
+struct SignatureHash {
+  size_t operator()(const std::vector<uint32_t>& sig) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t w : sig) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+uint32_t LabelBlocks(const DataGraph& g, std::vector<uint32_t>* block_of) {
+  const size_t num_labels = g.symbols().size();
+  std::vector<uint32_t> block_of_label(num_labels, static_cast<uint32_t>(-1));
+  uint32_t num_blocks = 0;
+  for (LabelId l = 0; l < num_labels; ++l) {
+    if (!g.nodes_with_label(l).empty()) block_of_label[l] = num_blocks++;
+  }
+  block_of->resize(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    (*block_of)[n] = block_of_label[g.label(n)];
+  }
+  return num_blocks;
+}
+
+}  // namespace
+
+BisimulationPartition ComputeDownBisimulation(const DataGraph& g, int l) {
+  BisimulationPartition part;
+  part.num_blocks = LabelBlocks(g, &part.block_of);
+
+  std::vector<uint32_t> next(g.num_nodes());
+  std::vector<uint32_t> sig;
+  int round = 0;
+  while (l < 0 || round < l) {
+    std::unordered_map<std::vector<uint32_t>, uint32_t, SignatureHash> ids;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      sig.clear();
+      sig.push_back(part.block_of[n]);
+      for (NodeId c : g.children(n)) sig.push_back(part.block_of[c]);
+      std::sort(sig.begin() + 1, sig.end());
+      sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
+      auto [it, inserted] =
+          ids.emplace(sig, static_cast<uint32_t>(ids.size()));
+      next[n] = it->second;
+    }
+    ++round;
+    if (ids.size() == part.num_blocks) {
+      part.reached_fixpoint = true;
+      --round;
+      break;
+    }
+    part.block_of.swap(next);
+    part.num_blocks = static_cast<uint32_t>(ids.size());
+  }
+  part.rounds = round;
+  return part;
+}
+
+BisimulationPartition ComputeUdKlPartition(const DataGraph& g, int k,
+                                           int l) {
+  BisimulationPartition up = ComputeKBisimulation(g, k);
+  BisimulationPartition down = ComputeDownBisimulation(g, l);
+
+  // Common refinement: block = dense id of the (up, down) pair.
+  BisimulationPartition part;
+  part.rounds = std::max(up.rounds, down.rounds);
+  part.reached_fixpoint = up.reached_fixpoint && down.reached_fixpoint;
+  part.block_of.resize(g.num_nodes());
+  std::unordered_map<uint64_t, uint32_t> pair_ids;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    uint64_t key = (static_cast<uint64_t>(up.block_of[n]) << 32) |
+                   down.block_of[n];
+    auto [it, inserted] =
+        pair_ids.emplace(key, static_cast<uint32_t>(pair_ids.size()));
+    part.block_of[n] = it->second;
+  }
+  part.num_blocks = static_cast<uint32_t>(pair_ids.size());
+  return part;
+}
+
+UdklIndex::UdklIndex(const DataGraph& g, int k, int l)
+    : k_(k),
+      l_(l),
+      graph_([&] {
+        BisimulationPartition part = ComputeUdKlPartition(g, k, l);
+        // Incoming precision is governed by k: each block is a subset of
+        // a k-bisimilarity class.
+        std::vector<int32_t> block_k(part.num_blocks, k);
+        return IndexGraph::FromPartition(g, part.block_of, part.num_blocks,
+                                         block_k);
+      }()),
+      validator_(g) {}
+
+QueryResult UdklIndex::Query(const PathExpression& path) {
+  return AnswerOnIndex(graph_, path, &validator_);
+}
+
+}  // namespace mrx

@@ -1,0 +1,124 @@
+#include "query/data_evaluator.h"
+
+#include <algorithm>
+
+namespace mrx {
+
+DataEvaluator::DataEvaluator(const DataGraph& graph)
+    : graph_(graph), mark_(graph.num_nodes(), 0) {}
+
+std::vector<NodeId> DataEvaluator::Evaluate(const PathExpression& path) {
+  // Forward, level by level: frontier_ holds the distinct nodes reachable
+  // as instances of the prefix ending at the current step.
+  frontier_.clear();
+  NextEpoch();
+  if (path.anchored()) {
+    if (path.StepMatches(0, graph_.label(graph_.root()))) {
+      frontier_.push_back(graph_.root());
+      Mark(graph_.root());
+    }
+  } else if (path.label(0) == kWildcardLabel) {
+    for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+      frontier_.push_back(n);
+      Mark(n);
+    }
+  } else if (path.label(0) != kUnknownLabel) {
+    for (NodeId n : graph_.nodes_with_label(path.label(0))) {
+      frontier_.push_back(n);
+      Mark(n);
+    }
+  }
+
+  for (size_t step = 1; step < path.num_steps() && !frontier_.empty();
+       ++step) {
+    next_.clear();
+    NextEpoch();
+    if (path.DescendantStep(step)) {
+      // Descendant axis: everything reachable through one or more edges;
+      // collect the label matches. `work` doubles as the BFS queue.
+      std::vector<NodeId> work = frontier_;
+      // The frontier nodes themselves are *not* marked: a node may match
+      // through a cycle back to itself (one-or-more edges).
+      for (size_t i = 0; i < work.size(); ++i) {
+        for (NodeId c : graph_.children(work[i])) {
+          if (Mark(c)) {
+            work.push_back(c);
+            if (path.StepMatches(step, graph_.label(c))) {
+              next_.push_back(c);
+            }
+          }
+        }
+      }
+    } else {
+      for (NodeId u : frontier_) {
+        for (NodeId v : graph_.children(u)) {
+          if (path.StepMatches(step, graph_.label(v)) && Mark(v)) {
+            next_.push_back(v);
+          }
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+
+  std::vector<NodeId> result = frontier_;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool DataEvaluator::HasIncomingPath(NodeId node, const PathExpression& path,
+                                    uint64_t* visited) {
+  if (!path.StepMatches(path.num_steps() - 1, graph_.label(node))) {
+    return false;
+  }
+  // Backward, level by level, from `node` toward the first step.
+  frontier_.clear();
+  NextEpoch();
+  frontier_.push_back(node);
+  Mark(node);
+  uint64_t visit_count = 1;  // `node` itself is visited.
+
+  for (size_t step = path.num_steps() - 1; step > 0 && !frontier_.empty();
+       --step) {
+    next_.clear();
+    NextEpoch();
+    if (path.DescendantStep(step)) {
+      // Ancestors through one or more edges, filtered to the previous
+      // step's label.
+      std::vector<NodeId> work = frontier_;
+      for (size_t i = 0; i < work.size(); ++i) {
+        for (NodeId u : graph_.parents(work[i])) {
+          if (Mark(u)) {
+            work.push_back(u);
+            ++visit_count;
+            if (path.StepMatches(step - 1, graph_.label(u))) {
+              next_.push_back(u);
+            }
+          }
+        }
+      }
+    } else {
+      for (NodeId v : frontier_) {
+        for (NodeId u : graph_.parents(v)) {
+          if (path.StepMatches(step - 1, graph_.label(u)) && Mark(u)) {
+            next_.push_back(u);
+            ++visit_count;
+          }
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+
+  bool found;
+  if (path.anchored()) {
+    found = std::find(frontier_.begin(), frontier_.end(), graph_.root()) !=
+            frontier_.end();
+  } else {
+    found = !frontier_.empty();
+  }
+  if (visited != nullptr) *visited += visit_count;
+  return found;
+}
+
+}  // namespace mrx

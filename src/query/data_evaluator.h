@@ -1,0 +1,61 @@
+#ifndef MRX_QUERY_DATA_EVALUATOR_H_
+#define MRX_QUERY_DATA_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "query/path_expression.h"
+
+namespace mrx {
+
+/// \brief Evaluates path expressions directly on the data graph.
+///
+/// This is the reproduction's ground truth (the paper's "target set of l in
+/// the data graph", input T of REFINE) and also the validation oracle used
+/// to strip false positives from imprecise index answers.
+///
+/// The evaluator is reusable across queries; it keeps scratch buffers sized
+/// to the graph so repeated evaluation does not reallocate.
+class DataEvaluator {
+ public:
+  explicit DataEvaluator(const DataGraph& graph);
+
+  DataEvaluator(const DataEvaluator&) = delete;
+  DataEvaluator& operator=(const DataEvaluator&) = delete;
+  // Movable (not assignable — holds a reference) so owners like
+  // MStarIndex can be returned from factory functions.
+  DataEvaluator(DataEvaluator&&) = default;
+
+  /// The target set of `path` in the data graph, sorted ascending.
+  std::vector<NodeId> Evaluate(const PathExpression& path);
+
+  /// True iff `node` has `path` as an incoming label path (ending at
+  /// `node`). For anchored paths the instance must start at the root.
+  /// If `visited` is non-null, the number of data nodes visited by the
+  /// backward search (including `node` itself) is added to it — this is the
+  /// validation cost of the paper's metric.
+  bool HasIncomingPath(NodeId node, const PathExpression& path,
+                       uint64_t* visited = nullptr);
+
+  const DataGraph& graph() const { return graph_; }
+
+ private:
+  /// Marks `n` in the current epoch; returns true if newly marked.
+  bool Mark(NodeId n) {
+    if (mark_[n] == epoch_) return false;
+    mark_[n] = epoch_;
+    return true;
+  }
+  void NextEpoch() { ++epoch_; }
+
+  const DataGraph& graph_;
+  std::vector<uint64_t> mark_;
+  uint64_t epoch_ = 0;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_QUERY_DATA_EVALUATOR_H_

@@ -1,0 +1,96 @@
+#include "query/path_expression.h"
+
+#include <cstdint>
+
+#include "util/string_util.h"
+
+namespace mrx {
+
+Result<PathExpression> PathExpression::Parse(std::string_view text,
+                                             const SymbolTable& symbols) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) return Status::InvalidArgument("empty path expression");
+
+  bool anchored = false;
+  if (StartsWith(s, "//")) {
+    s.remove_prefix(2);
+  } else if (StartsWith(s, "/")) {
+    anchored = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) {
+    return Status::InvalidArgument("path expression has no steps");
+  }
+
+  // Empty pieces inside mark the descendant axis for the following step:
+  // "a//b" splits to {"a", "", "b"}.
+  std::vector<LabelId> labels;
+  std::vector<uint8_t> descendant;
+  bool next_is_descendant = false;
+  for (std::string_view step : Split(s, '/')) {
+    if (step.empty()) {
+      if (next_is_descendant || labels.empty()) {
+        return Status::InvalidArgument(
+            "malformed '//' in path expression");
+      }
+      next_is_descendant = true;
+      continue;
+    }
+    if (step == "*") {
+      labels.push_back(kWildcardLabel);
+    } else {
+      auto id = symbols.Lookup(step);
+      labels.push_back(id.has_value() ? *id : kUnknownLabel);
+    }
+    descendant.push_back(next_is_descendant ? 1 : 0);
+    next_is_descendant = false;
+  }
+  if (next_is_descendant) {
+    return Status::InvalidArgument("path expression ends with '//'");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("path expression has no steps");
+  }
+  return PathExpression(std::move(labels), std::move(descendant), anchored);
+}
+
+bool PathExpression::HasWildcard() const {
+  for (LabelId l : labels_) {
+    if (l == kWildcardLabel) return true;
+  }
+  return false;
+}
+
+bool PathExpression::HasDescendantAxis() const {
+  for (uint8_t d : descendant_) {
+    if (d != 0) return true;
+  }
+  return false;
+}
+
+PathExpression PathExpression::Subpath(size_t begin, size_t end) const {
+  std::vector<LabelId> labels(labels_.begin() + begin,
+                              labels_.begin() + end + 1);
+  std::vector<uint8_t> descendant(descendant_.begin() + begin,
+                                  descendant_.begin() + end + 1);
+  descendant[0] = 0;  // A subpath starts fresh; its first step floats.
+  return PathExpression(std::move(labels), std::move(descendant),
+                        /*anchored=*/false);
+}
+
+std::string PathExpression::ToString(const SymbolTable& symbols) const {
+  std::string out = anchored_ ? "/" : "//";
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += descendant_[i] ? "//" : "/";
+    if (labels_[i] == kWildcardLabel) {
+      out += '*';
+    } else if (labels_[i] == kUnknownLabel) {
+      out += '?';
+    } else {
+      out += symbols.Name(labels_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrx

@@ -1,0 +1,106 @@
+#ifndef MRX_QUERY_PATH_EXPRESSION_H_
+#define MRX_QUERY_PATH_EXPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/symbol_table.h"
+#include "util/result.h"
+
+namespace mrx {
+
+/// Pseudo-label matching any element label (the `*` wildcard of §2's
+/// /site/regions/*/item example).
+inline constexpr LabelId kWildcardLabel = static_cast<LabelId>(-1);
+
+/// Pseudo-label for a name that does not occur in the data graph at all; it
+/// matches nothing, so such queries cleanly evaluate to the empty set.
+inline constexpr LabelId kUnknownLabel = static_cast<LabelId>(-2);
+
+/// \brief A simple path expression: a label path `l0/l1/.../lm`, either
+/// anchored at the document root (`/l0/...`) or floating (`//l0/...`).
+///
+/// This is the paper's query class (§2 "we focus on simple path
+/// expressions, which are basically label paths"). The *length* of the
+/// expression is its edge count m, matching the paper's convention
+/// ("the path length is defined by the edge number of a path").
+class PathExpression {
+ public:
+  /// `labels` must be non-empty. Every step uses the child axis.
+  PathExpression(std::vector<LabelId> labels, bool anchored)
+      : labels_(std::move(labels)),
+        descendant_(labels_.size(), 0),
+        anchored_(anchored) {}
+
+  /// Full form: `descendant[i]` nonzero means step i is reached through
+  /// the descendant axis (one *or more* edges from step i-1, XPath
+  /// `a//b`). `descendant[0]` must be 0 (a leading `//` is the
+  /// anchored=false case). Vectors must have equal size.
+  PathExpression(std::vector<LabelId> labels, std::vector<uint8_t> descendant,
+                 bool anchored)
+      : labels_(std::move(labels)),
+        descendant_(std::move(descendant)),
+        anchored_(anchored) {}
+
+  /// Parses an XPath-like string: "/a/b" (anchored), "//a/b" (floating),
+  /// "a/b" (floating), with `*` as a wildcard step and `//` *inside* the
+  /// expression as the descendant axis ("a//b" matches b any number of
+  /// levels below a). Steps whose labels do not occur in `symbols` become
+  /// kUnknownLabel (the query is well-formed but selects nothing). Fails
+  /// on empty input.
+  static Result<PathExpression> Parse(std::string_view text,
+                                      const SymbolTable& symbols);
+
+  /// Number of edges of a *shortest* instance (= number of labels - 1;
+  /// descendant steps can span more). This is the paper's length for
+  /// child-axis-only expressions; expressions with a descendant step are
+  /// never treated as precise, so the exact value only affects which
+  /// component a multiresolution strategy starts from.
+  size_t length() const { return labels_.size() - 1; }
+
+  /// Number of labels (steps).
+  size_t num_steps() const { return labels_.size(); }
+
+  LabelId label(size_t step) const { return labels_[step]; }
+  const std::vector<LabelId>& labels() const { return labels_; }
+  bool anchored() const { return anchored_; }
+
+  /// True if `label` satisfies the step at `position`.
+  bool StepMatches(size_t position, LabelId label) const {
+    LabelId want = labels_[position];
+    return want == kWildcardLabel || want == label;
+  }
+
+  /// True if step `i` is reached through the descendant axis.
+  bool DescendantStep(size_t i) const { return descendant_[i] != 0; }
+
+  /// True if the expression contains a `*` step.
+  bool HasWildcard() const;
+
+  /// True if any step uses the descendant axis (such expressions always
+  /// validate: k-bisimilarity cannot certify unbounded-length paths).
+  bool HasDescendantAxis() const;
+
+  /// The sub-expression labels[begin..end] (inclusive bounds, floating).
+  PathExpression Subpath(size_t begin, size_t end) const;
+
+  /// Renders as "//a/b/c" or "/a/b/c" (wildcards as `*`, unknown labels as
+  /// `?`).
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const PathExpression& a, const PathExpression& b) {
+    return a.anchored_ == b.anchored_ && a.labels_ == b.labels_ &&
+           a.descendant_ == b.descendant_;
+  }
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<uint8_t> descendant_;  // Parallel to labels_.
+  bool anchored_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_QUERY_PATH_EXPRESSION_H_

@@ -1,0 +1,28 @@
+#ifndef MRX_QUERY_STATS_H_
+#define MRX_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace mrx {
+
+/// \brief The paper's main-memory query cost model (§5 "Cost metrics"):
+/// the number of index nodes visited while evaluating the expression on the
+/// index graph, plus the number of data nodes visited while validating
+/// candidate answers against the data graph. Extent members of target index
+/// nodes are *not* counted unless validation visits them.
+struct QueryStats {
+  uint64_t index_nodes_visited = 0;
+  uint64_t data_nodes_validated = 0;
+
+  uint64_t total() const { return index_nodes_visited + data_nodes_validated; }
+
+  QueryStats& operator+=(const QueryStats& other) {
+    index_nodes_visited += other.index_nodes_visited;
+    data_nodes_validated += other.data_nodes_validated;
+    return *this;
+  }
+};
+
+}  // namespace mrx
+
+#endif  // MRX_QUERY_STATS_H_

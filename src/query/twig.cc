@@ -1,0 +1,316 @@
+#include "query/twig.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mrx {
+namespace {
+
+/// Character cursor for the twig parser.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void Advance() { ++pos_; }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  std::string_view ReadName() {
+    size_t begin = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == '.' ||
+                        Peek() == ':' || Peek() == '#' || Peek() == '@' ||
+                        Peek() == '*')) {
+      ++pos_;
+    }
+    return text_.substr(begin, pos_ - begin);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parses a chain of steps (with predicates) into a TwigNode; the chain's
+/// continuation becomes a child with `trunk = mark_trunk`.
+Result<TwigNode> ParseChain(Cursor* cur, const SymbolTable& symbols,
+                            bool first_descendant, bool mark_trunk);
+
+Result<TwigNode> ParseStep(Cursor* cur, const SymbolTable& symbols,
+                           bool descendant, bool mark_trunk) {
+  std::string_view name = cur->ReadName();
+  if (name.empty()) {
+    return Status::InvalidArgument("expected a step name in twig");
+  }
+  TwigNode node;
+  node.descendant = descendant;
+  if (name == "*") {
+    node.label = kWildcardLabel;
+  } else {
+    auto id = symbols.Lookup(name);
+    node.label = id.has_value() ? *id : kUnknownLabel;
+  }
+
+  // Predicates: zero or more [ ... ] groups.
+  while (cur->Consume('[')) {
+    // Inside a predicate, a leading "//" means descendant axis relative to
+    // this node; default is child axis.
+    bool pred_descendant = cur->ConsumeLiteral("//");
+    if (!pred_descendant) cur->Consume('/');  // Optional "./"-like slash.
+    MRX_ASSIGN_OR_RETURN(
+        TwigNode pred,
+        ParseChain(cur, symbols, pred_descendant, /*mark_trunk=*/false));
+    if (!cur->Consume(']')) {
+      return Status::InvalidArgument("unterminated '[' in twig");
+    }
+    node.children.push_back(std::move(pred));
+  }
+
+  // Continuation of the chain.
+  if (cur->ConsumeLiteral("//")) {
+    MRX_ASSIGN_OR_RETURN(
+        TwigNode next,
+        ParseChain(cur, symbols, /*first_descendant=*/true, mark_trunk));
+    next.trunk = mark_trunk;
+    node.children.push_back(std::move(next));
+  } else if (cur->Consume('/')) {
+    MRX_ASSIGN_OR_RETURN(
+        TwigNode next,
+        ParseChain(cur, symbols, /*first_descendant=*/false, mark_trunk));
+    next.trunk = mark_trunk;
+    node.children.push_back(std::move(next));
+  }
+  return node;
+}
+
+Result<TwigNode> ParseChain(Cursor* cur, const SymbolTable& symbols,
+                            bool first_descendant, bool mark_trunk) {
+  return ParseStep(cur, symbols, first_descendant, mark_trunk);
+}
+
+const TwigNode* TrunkChild(const TwigNode& node) {
+  for (const TwigNode& c : node.children) {
+    if (c.trunk) return &c;
+  }
+  return nullptr;
+}
+
+bool AnyPredicates(const TwigNode& node) {
+  for (const TwigNode& c : node.children) {
+    if (!c.trunk) return true;
+    if (AnyPredicates(c)) return true;
+  }
+  return false;
+}
+
+void RenderNode(const TwigNode& node, const SymbolTable& symbols,
+                std::string* out) {
+  if (node.label == kWildcardLabel) {
+    *out += '*';
+  } else if (node.label == kUnknownLabel) {
+    *out += '?';
+  } else {
+    *out += symbols.Name(node.label);
+  }
+  for (const TwigNode& c : node.children) {
+    if (c.trunk) continue;
+    *out += '[';
+    if (c.descendant) *out += "//";
+    RenderNode(c, symbols, out);
+    *out += ']';
+  }
+  if (const TwigNode* trunk = TrunkChild(node)) {
+    *out += trunk->descendant ? "//" : "/";
+    RenderNode(*trunk, symbols, out);
+  }
+}
+
+// ---- Data-graph evaluation ------------------------------------------------
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<NodeId> ParentsOf(const DataGraph& g,
+                              const std::vector<NodeId>& s) {
+  std::vector<NodeId> out;
+  for (NodeId n : s) {
+    auto ps = g.parents(n);
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return SortedUnique(std::move(out));
+}
+
+/// All nodes with a descendant (≥1 edge) in `s`: backward closure.
+std::vector<NodeId> AncestorsOf(const DataGraph& g,
+                                const std::vector<NodeId>& s) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> work;
+  for (NodeId n : s) {
+    for (NodeId p : g.parents(n)) {
+      if (!seen[p]) {
+        seen[p] = 1;
+        work.push_back(p);
+      }
+    }
+  }
+  for (size_t i = 0; i < work.size(); ++i) {
+    for (NodeId p : g.parents(work[i])) {
+      if (!seen[p]) {
+        seen[p] = 1;
+        work.push_back(p);
+      }
+    }
+  }
+  return SortedUnique(std::move(work));
+}
+
+std::vector<NodeId> ChildrenOf(const DataGraph& g,
+                               const std::vector<NodeId>& s) {
+  std::vector<NodeId> out;
+  for (NodeId n : s) {
+    auto cs = g.children(n);
+    out.insert(out.end(), cs.begin(), cs.end());
+  }
+  return SortedUnique(std::move(out));
+}
+
+std::vector<NodeId> DescendantsOf(const DataGraph& g,
+                                  const std::vector<NodeId>& s) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> work;
+  for (NodeId n : s) {
+    for (NodeId c : g.children(n)) {
+      if (!seen[c]) {
+        seen[c] = 1;
+        work.push_back(c);
+      }
+    }
+  }
+  for (size_t i = 0; i < work.size(); ++i) {
+    for (NodeId c : g.children(work[i])) {
+      if (!seen[c]) {
+        seen[c] = 1;
+        work.push_back(c);
+      }
+    }
+  }
+  return SortedUnique(std::move(work));
+}
+
+std::vector<NodeId> LabelRow(const DataGraph& g, LabelId label) {
+  if (label == kWildcardLabel) {
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) all[n] = n;
+    return all;
+  }
+  if (label == kUnknownLabel) return {};
+  auto row = g.nodes_with_label(label);
+  return {row.begin(), row.end()};
+}
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Bottom-up: nodes matching the subtree rooted at `t` (ignoring how the
+/// node itself is reached).
+std::vector<NodeId> MatchSet(const DataGraph& g, const TwigNode& t) {
+  std::vector<NodeId> result = LabelRow(g, t.label);
+  for (const TwigNode& c : t.children) {
+    std::vector<NodeId> child_set = MatchSet(g, c);
+    std::vector<NodeId> allowed =
+        c.descendant ? AncestorsOf(g, child_set) : ParentsOf(g, child_set);
+    result = Intersect(result, allowed);
+    if (result.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<TwigQuery> TwigQuery::Parse(std::string_view text,
+                                   const SymbolTable& symbols) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) return Status::InvalidArgument("empty twig query");
+  bool anchored = false;
+  if (StartsWith(s, "//")) {
+    s.remove_prefix(2);
+  } else if (StartsWith(s, "/")) {
+    anchored = true;
+    s.remove_prefix(1);
+  }
+  Cursor cur(s);
+  MRX_ASSIGN_OR_RETURN(TwigNode root,
+                       ParseChain(&cur, symbols, /*first_descendant=*/false,
+                                  /*mark_trunk=*/true));
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing characters in twig query");
+  }
+  root.trunk = true;
+  return TwigQuery(std::move(root), anchored);
+}
+
+PathExpression TwigQuery::TrunkExpression() const {
+  std::vector<LabelId> labels;
+  std::vector<uint8_t> descendant;
+  const TwigNode* node = &root_;
+  while (node != nullptr) {
+    labels.push_back(node->label);
+    descendant.push_back(node == &root_ ? 0 : (node->descendant ? 1 : 0));
+    node = TrunkChild(*node);
+  }
+  return PathExpression(std::move(labels), std::move(descendant),
+                        anchored_);
+}
+
+bool TwigQuery::HasPredicates() const { return AnyPredicates(root_); }
+
+std::string TwigQuery::ToString(const SymbolTable& symbols) const {
+  std::string out = anchored_ ? "/" : "//";
+  RenderNode(root_, symbols, &out);
+  return out;
+}
+
+std::vector<NodeId> EvaluateTwig(const DataGraph& graph,
+                                 const TwigQuery& twig) {
+  // Bottom-up candidate sets for every pattern node, then a top-down
+  // restriction along the trunk.
+  std::vector<NodeId> current = MatchSet(graph, twig.root());
+  if (twig.anchored()) {
+    current = Intersect(current, {graph.root()});
+  }
+  const TwigNode* node = &twig.root();
+  while (const TwigNode* trunk = [&]() -> const TwigNode* {
+           for (const TwigNode& c : node->children) {
+             if (c.trunk) return &c;
+           }
+           return nullptr;
+         }()) {
+    std::vector<NodeId> reach = trunk->descendant
+                                    ? DescendantsOf(graph, current)
+                                    : ChildrenOf(graph, current);
+    current = Intersect(MatchSet(graph, *trunk), reach);
+    node = trunk;
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace mrx

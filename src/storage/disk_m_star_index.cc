@@ -1,0 +1,179 @@
+#include "storage/disk_m_star_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "storage/binary_io.h"
+
+namespace mrx::storage {
+
+Result<DiskMStarIndex> DiskMStarIndex::Open(const DataGraph& graph,
+                                            const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  // The TOC lives at the front; read a bounded prefix.
+  std::string head(4 + 16, '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  if (!in) return Status::ParseError("index container too small");
+  if (std::string_view(head).substr(0, 4) != "MRX*") {
+    return Status::ParseError("not an MRX* index container");
+  }
+  // Re-read with the full TOC once the component count is known: simplest
+  // is to read the fixed-size region (magic + 2 fixed64 + count * 24).
+  BinaryReader counter(std::string_view(head).substr(4));
+  MRX_ASSIGN_OR_RETURN(uint64_t version, counter.GetFixed64());
+  (void)version;  // Validated by ReadMStarToc below.
+  MRX_ASSIGN_OR_RETURN(uint64_t count, counter.GetFixed64());
+  if (count == 0 || count > 4096) {
+    return Status::ParseError("implausible component count " +
+                              std::to_string(count));
+  }
+  const size_t header_size = 4 + 16 + count * 24;
+  std::string header_bytes(header_size, '\0');
+  in.seekg(0);
+  in.read(header_bytes.data(), static_cast<std::streamsize>(header_size));
+  if (!in) return Status::ParseError("index container truncated (TOC)");
+  // ReadMStarToc bounds-checks offsets against the view we hand it, so
+  // extend the view to the real file size.
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  MRX_ASSIGN_OR_RETURN(MStarFileToc toc,
+                       ReadMStarToc(header_bytes, file_size));
+  if (toc.components.empty()) {
+    return Status::ParseError("index container has no components");
+  }
+  return DiskMStarIndex(graph, path, std::move(toc));
+}
+
+Status DiskMStarIndex::EnsureLoaded(size_t i) {
+  if (cache_[i].has_value()) return Status::Ok();
+  const MStarFileToc::Entry& entry = toc_.components[i];
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path_);
+  std::string blob(entry.length, '\0');
+  in.seekg(static_cast<std::streamoff>(entry.offset));
+  in.read(blob.data(), static_cast<std::streamsize>(entry.length));
+  if (!in) return Status::ParseError("component blob truncated");
+  if (Checksum(blob) != entry.checksum) {
+    return Status::ParseError("component blob checksum mismatch");
+  }
+  MRX_ASSIGN_OR_RETURN(MStarComponentSpec spec, DecodeComponentBlob(blob));
+
+  std::vector<uint32_t> block_of(graph_.num_nodes(),
+                                 static_cast<uint32_t>(-1));
+  for (uint32_t b = 0; b < spec.extents.size(); ++b) {
+    for (NodeId o : spec.extents[b]) {
+      if (o >= graph_.num_nodes() ||
+          block_of[o] != static_cast<uint32_t>(-1)) {
+        return Status::ParseError("component extents are not a partition");
+      }
+      block_of[o] = b;
+    }
+  }
+  for (uint32_t b : block_of) {
+    if (b == static_cast<uint32_t>(-1)) {
+      return Status::ParseError("component extents do not cover the graph");
+    }
+  }
+  cache_[i] = IndexGraph::FromPartition(
+      graph_, block_of, static_cast<uint32_t>(spec.extents.size()),
+      spec.ks);
+  ++loaded_count_;
+  bytes_read_ += entry.length;
+  return Status::Ok();
+}
+
+Result<QueryResult> DiskMStarIndex::QueryNaive(const PathExpression& path) {
+  const size_t ci = std::min(path.length(), num_components() - 1);
+  MRX_RETURN_IF_ERROR(EnsureLoaded(ci));
+  return AnswerOnIndex(component(ci), path, &evaluator_);
+}
+
+Result<QueryResult> DiskMStarIndex::QueryTopDown(
+    const PathExpression& path) {
+  if (path.HasDescendantAxis()) return QueryNaive(path);
+  QueryResult result;
+  const size_t finest = num_components() - 1;
+
+  MRX_RETURN_IF_ERROR(EnsureLoaded(0));
+  std::vector<IndexNodeId> q;
+  {
+    const IndexGraph& c0 = component(0);
+    if (path.anchored()) {
+      IndexNodeId root_node = c0.index_of(graph_.root());
+      if (path.StepMatches(0, c0.node(root_node).label)) {
+        q.push_back(root_node);
+      }
+    } else {
+      for (IndexNodeId v = 0; v < c0.capacity(); ++v) {
+        if (c0.alive(v) && path.StepMatches(0, c0.node(v).label)) {
+          q.push_back(v);
+        }
+      }
+    }
+    result.stats.index_nodes_visited += q.size();
+  }
+
+  size_t current = 0;
+  for (size_t step = 1; step < path.num_steps() && !q.empty(); ++step) {
+    const size_t ci = std::min(step, finest);
+    MRX_RETURN_IF_ERROR(EnsureLoaded(ci));
+    const IndexGraph& comp = component(ci);
+
+    std::vector<IndexNodeId> s;
+    if (ci != current) {
+      const IndexGraph& prev = component(current);
+      std::vector<char> seen(comp.capacity(), 0);
+      for (IndexNodeId u : q) {
+        for (NodeId o : prev.node(u).extent) {
+          IndexNodeId v = comp.index_of(o);
+          if (!seen[v]) {
+            seen[v] = 1;
+            s.push_back(v);
+          }
+        }
+      }
+      result.stats.index_nodes_visited += s.size();
+      current = ci;
+    } else {
+      s = std::move(q);
+    }
+
+    std::vector<IndexNodeId> next;
+    std::vector<char> seen(comp.capacity(), 0);
+    for (IndexNodeId u : s) {
+      for (IndexNodeId v : comp.node(u).children) {
+        if (path.StepMatches(step, comp.node(v).label) && !seen[v]) {
+          seen[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    result.stats.index_nodes_visited += next.size();
+    q = std::move(next);
+  }
+
+  std::sort(q.begin(), q.end());
+  result.target = q;
+  const IndexGraph& comp = component(current);
+  const int32_t needed = static_cast<int32_t>(path.length());
+  for (IndexNodeId v : q) {
+    const IndexGraph::Node& node = comp.node(v);
+    if (node.k >= needed && !path.anchored()) {
+      result.answer.insert(result.answer.end(), node.extent.begin(),
+                           node.extent.end());
+    } else {
+      result.precise = false;
+      for (NodeId o : node.extent) {
+        if (evaluator_.HasIncomingPath(
+                o, path, &result.stats.data_nodes_validated)) {
+          result.answer.push_back(o);
+        }
+      }
+    }
+  }
+  std::sort(result.answer.begin(), result.answer.end());
+  return result;
+}
+
+}  // namespace mrx::storage

@@ -1,0 +1,27 @@
+#ifndef MRX_STORAGE_GRAPH_IO_H_
+#define MRX_STORAGE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/data_graph.h"
+#include "util/result.h"
+
+namespace mrx::storage {
+
+/// \brief Serializes `graph` into a compact, checksummed binary blob
+/// (magic "MRXG", version 1; labels interned once, node labels and
+/// delta-encoded adjacency as varints).
+std::string SerializeDataGraph(const DataGraph& graph);
+
+/// \brief Reconstructs a DataGraph from SerializeDataGraph output.
+/// Verifies magic, version and checksum; the result is value-identical to
+/// the original (same node ids, labels, edges, kinds, root).
+Result<DataGraph> DeserializeDataGraph(std::string_view bytes);
+
+/// File convenience wrappers.
+Status SaveDataGraphToFile(const DataGraph& graph, const std::string& path);
+Result<DataGraph> LoadDataGraphFromFile(const std::string& path);
+
+}  // namespace mrx::storage
+
+#endif  // MRX_STORAGE_GRAPH_IO_H_

@@ -1,0 +1,174 @@
+#include "storage/index_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "storage/binary_io.h"
+
+namespace mrx::storage {
+namespace {
+
+constexpr std::string_view kMagic = "MRX*";
+constexpr uint64_t kVersion = 1;
+
+/// Node id → ordinal (position among alive nodes) for one component.
+std::unordered_map<IndexNodeId, uint32_t> OrdinalMap(const IndexGraph& g) {
+  std::unordered_map<IndexNodeId, uint32_t> out;
+  uint32_t ordinal = 0;
+  for (IndexNodeId v : g.AliveNodes()) out.emplace(v, ordinal++);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeComponentBlob(const MStarIndex& index, size_t component) {
+  const IndexGraph& graph = index.component(component);
+  std::unordered_map<IndexNodeId, uint32_t> prev_ordinals;
+  if (component > 0) {
+    prev_ordinals = OrdinalMap(index.component(component - 1));
+  }
+
+  BinaryWriter blob;
+  blob.PutVarint(component);
+  blob.PutVarint(graph.num_nodes());
+  for (IndexNodeId v : graph.AliveNodes()) {
+    const IndexGraph::Node& node = graph.node(v);
+    blob.PutSignedVarint(node.k);
+    if (component > 0) {
+      blob.PutVarint(prev_ordinals.at(index.supernode(component, v)));
+    }
+    blob.PutVarint(node.extent.size());
+    NodeId prev = 0;
+    for (NodeId o : node.extent) {
+      blob.PutVarint(o - prev);
+      prev = o;
+    }
+  }
+  return blob.TakeBuffer();
+}
+
+Result<MStarComponentSpec> DecodeComponentBlob(std::string_view blob) {
+  BinaryReader reader(blob);
+  MRX_ASSIGN_OR_RETURN(uint64_t component, reader.GetVarint());
+  MRX_ASSIGN_OR_RETURN(uint64_t num_nodes, reader.GetVarint());
+  MStarComponentSpec spec;
+  spec.extents.reserve(num_nodes);
+  spec.ks.reserve(num_nodes);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    MRX_ASSIGN_OR_RETURN(int64_t k, reader.GetSignedVarint());
+    spec.ks.push_back(static_cast<int32_t>(k));
+    if (component > 0) {
+      MRX_ASSIGN_OR_RETURN(uint64_t sup, reader.GetVarint());
+      spec.supernodes.push_back(static_cast<uint32_t>(sup));
+    }
+    MRX_ASSIGN_OR_RETURN(uint64_t extent_size, reader.GetVarint());
+    std::vector<NodeId> extent;
+    extent.reserve(extent_size);
+    NodeId prev = 0;
+    for (uint64_t i = 0; i < extent_size; ++i) {
+      MRX_ASSIGN_OR_RETURN(uint64_t delta, reader.GetVarint());
+      prev += static_cast<NodeId>(delta);
+      extent.push_back(prev);
+    }
+    spec.extents.push_back(std::move(extent));
+  }
+  if (component == 0) {
+    spec.supernodes.assign(spec.extents.size(), 0);
+  }
+  return spec;
+}
+
+std::string SerializeMStarIndex(const MStarIndex& index) {
+  std::vector<std::string> blobs;
+  blobs.reserve(index.num_components());
+  for (size_t i = 0; i < index.num_components(); ++i) {
+    blobs.push_back(EncodeComponentBlob(index, i));
+  }
+
+  // Header: magic, version, component count, then the TOC with fixed-size
+  // entries so offsets are computable before writing.
+  BinaryWriter header;
+  header.PutRaw(kMagic);
+  header.PutFixed64(kVersion);
+  header.PutFixed64(blobs.size());
+  uint64_t offset = header.size() + blobs.size() * 24;  // 3 fixed64 each
+  BinaryWriter toc;
+  for (const std::string& blob : blobs) {
+    toc.PutFixed64(offset);
+    toc.PutFixed64(blob.size());
+    toc.PutFixed64(Checksum(blob));
+    offset += blob.size();
+  }
+
+  std::string out = header.TakeBuffer();
+  out += toc.buffer();
+  for (const std::string& blob : blobs) out += blob;
+  return out;
+}
+
+Result<MStarFileToc> ReadMStarToc(std::string_view bytes,
+                                  uint64_t total_size) {
+  if (bytes.substr(0, kMagic.size()) != kMagic) {
+    return Status::ParseError("not an MRX* index container");
+  }
+  BinaryReader reader(bytes.substr(kMagic.size()));
+  MRX_ASSIGN_OR_RETURN(uint64_t version, reader.GetFixed64());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported index container version " +
+                              std::to_string(version));
+  }
+  MRX_ASSIGN_OR_RETURN(uint64_t count, reader.GetFixed64());
+  MStarFileToc toc;
+  toc.components.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MStarFileToc::Entry entry;
+    MRX_ASSIGN_OR_RETURN(entry.offset, reader.GetFixed64());
+    MRX_ASSIGN_OR_RETURN(entry.length, reader.GetFixed64());
+    MRX_ASSIGN_OR_RETURN(entry.checksum, reader.GetFixed64());
+    if (entry.offset + entry.length > total_size) {
+      return Status::ParseError("index container TOC out of bounds");
+    }
+    toc.components.push_back(entry);
+  }
+  return toc;
+}
+
+Result<MStarIndex> DeserializeMStarIndex(const DataGraph& graph,
+                                         std::string_view bytes) {
+  MRX_ASSIGN_OR_RETURN(MStarFileToc toc, ReadMStarToc(bytes));
+  std::vector<MStarComponentSpec> specs;
+  specs.reserve(toc.components.size());
+  for (const auto& entry : toc.components) {
+    std::string_view blob = bytes.substr(entry.offset, entry.length);
+    if (Checksum(blob) != entry.checksum) {
+      return Status::ParseError("index component checksum mismatch");
+    }
+    MRX_ASSIGN_OR_RETURN(MStarComponentSpec spec, DecodeComponentBlob(blob));
+    specs.push_back(std::move(spec));
+  }
+  return MStarIndex::FromComponents(graph, specs);
+}
+
+Status SaveMStarIndexToFile(const MStarIndex& index,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  std::string bytes = SerializeMStarIndex(index);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<MStarIndex> LoadMStarIndexFromFile(const DataGraph& graph,
+                                          const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  return DeserializeMStarIndex(graph, bytes);
+}
+
+}  // namespace mrx::storage

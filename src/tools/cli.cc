@@ -1,0 +1,363 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "datagen/nasa.h"
+#include "datagen/xmark.h"
+#include "graph/statistics.h"
+#include "index/m_star_index.h"
+#include "index/strategy_chooser.h"
+#include "index/twig_eval.h"
+#include "query/data_evaluator.h"
+#include "query/twig.h"
+#include "storage/disk_m_star_index.h"
+#include "storage/graph_io.h"
+#include "storage/index_io.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/label_paths.h"
+#include "xml/graph_builder.h"
+#include "xml/writer.h"
+
+namespace mrx::tools {
+namespace {
+
+constexpr const char* kUsage = R"(usage: mrx <command> [args]
+
+commands:
+  stats <graph>                         graph shape statistics
+  convert <in> <out>                    convert between .xml and .mrxg
+  index build <graph> <out.mrxs> --fup <expr> [--fup <expr> ...]
+  index info <graph> <index.mrxs>
+  query <graph> [index.mrxs] <expr> [--strategy auto|topdown|naive|bottomup|hybrid]
+  generate <xmark|nasa> <out.xml> [--scale S] [--seed N]
+  workload <graph> [--count N] [--max-length L] [--seed N]
+
+graphs are detected by suffix: .xml (parsed) or .mrxg (binary).
+)";
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<DataGraph> LoadGraph(const std::string& path) {
+  MRX_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  if (EndsWith(path, ".mrxg")) {
+    return storage::DeserializeDataGraph(bytes);
+  }
+  return xml::BuildGraphFromXml(bytes);
+}
+
+/// Parses "--key value" style options out of `args` from `begin` on;
+/// returns positional arguments. Unknown keys are an error via `err`.
+struct Options {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::string Flag(const std::string& key,
+                   const std::string& fallback = "") const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  std::vector<std::string> AllFlags(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+Result<Options> ParseOptions(const std::vector<std::string>& args,
+                             size_t begin) {
+  Options options;
+  for (size_t i = begin; i < args.size(); ++i) {
+    if (StartsWith(args[i], "--")) {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("missing value for " + args[i]);
+      }
+      options.flags.emplace_back(args[i].substr(2), args[i + 1]);
+      ++i;
+    } else {
+      options.positional.push_back(args[i]);
+    }
+  }
+  return options;
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status << "\n";
+  return 1;
+}
+
+int CmdStats(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: mrx stats <graph>\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+  PrintStatistics(out, ComputeStatistics(*g));
+  return 0;
+}
+
+int CmdConvert(const Options& options, std::ostream& out,
+               std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: mrx convert <in> <out>\n";
+    return 2;
+  }
+  const std::string& in_path = options.positional[0];
+  const std::string& out_path = options.positional[1];
+  Result<DataGraph> g = LoadGraph(in_path);
+  if (!g.ok()) return Fail(err, g.status());
+  Status s = Status::Ok();
+  if (EndsWith(out_path, ".mrxg")) {
+    s = WriteFile(out_path, storage::SerializeDataGraph(*g));
+  } else {
+    Result<std::string> text = xml::WriteGraphAsXml(*g);
+    if (!text.ok()) return Fail(err, text.status());
+    s = WriteFile(out_path, *text);
+  }
+  if (!s.ok()) return Fail(err, s);
+  out << "wrote " << out_path << " (" << g->num_nodes() << " nodes)\n";
+  return 0;
+}
+
+int CmdIndexBuild(const Options& options, std::ostream& out,
+                  std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: mrx index build <graph> <out.mrxs> --fup <expr> ...\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+  MStarIndex index(*g);
+  for (const std::string& text : options.AllFlags("fup")) {
+    auto fup = PathExpression::Parse(text, g->symbols());
+    if (!fup.ok()) return Fail(err, fup.status());
+    index.Refine(*fup);
+    out << "refined for " << text << "\n";
+  }
+  Status s = storage::SaveMStarIndexToFile(index, options.positional[1]);
+  if (!s.ok()) return Fail(err, s);
+  out << "wrote " << options.positional[1] << ": "
+      << index.num_components() << " components, "
+      << index.PhysicalNodeCount() << " physical nodes\n";
+  return 0;
+}
+
+int CmdIndexInfo(const Options& options, std::ostream& out,
+                 std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: mrx index info <graph> <index.mrxs>\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+  Result<MStarIndex> index =
+      storage::LoadMStarIndexFromFile(*g, options.positional[1]);
+  if (!index.ok()) return Fail(err, index.status());
+  out << "components: " << index->num_components() << "\n";
+  for (size_t i = 0; i < index->num_components(); ++i) {
+    out << "  I" << i << ": " << index->component(i).num_nodes()
+        << " nodes, " << index->component(i).num_edges() << " edges\n";
+  }
+  out << "physical: " << index->PhysicalNodeCount() << " nodes, "
+      << index->PhysicalEdgeCount() << " edges\n";
+  return 0;
+}
+
+int CmdQuery(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() < 2 || options.positional.size() > 3) {
+    err << "usage: mrx query <graph> [index.mrxs] <expr> [--strategy ...]\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+
+  const bool has_index = options.positional.size() == 3;
+  const std::string& expr = options.positional.back();
+
+  // Expressions with [...] predicates are twigs: the index answers the
+  // trunk, predicates validate against the data graph.
+  if (expr.find('[') != std::string::npos) {
+    auto twig = TwigQuery::Parse(expr, g->symbols());
+    if (!twig.ok()) return Fail(err, twig.status());
+    DataEvaluator evaluator(*g);
+    QueryResult result;
+    if (has_index) {
+      Result<MStarIndex> index =
+          storage::LoadMStarIndexFromFile(*g, options.positional[1]);
+      if (!index.ok()) return Fail(err, index.status());
+      result = EvaluateTwigWithIndex(*index, *twig, evaluator);
+    } else {
+      MStarIndex fresh(*g);
+      result = EvaluateTwigWithIndex(fresh, *twig, evaluator);
+    }
+    out << result.answer.size() << " nodes (cost " << result.stats.total()
+        << ", twig):";
+    size_t shown = 0;
+    for (NodeId n : result.answer) {
+      if (++shown > 20) {
+        out << " ...";
+        break;
+      }
+      out << " " << n << ":" << g->label_name(n);
+    }
+    out << "\n";
+    return 0;
+  }
+
+  auto query = PathExpression::Parse(expr, g->symbols());
+  if (!query.ok()) return Fail(err, query.status());
+
+  QueryResult result;
+  if (has_index) {
+    Result<MStarIndex> index =
+        storage::LoadMStarIndexFromFile(*g, options.positional[1]);
+    if (!index.ok()) return Fail(err, index.status());
+    const std::string strategy = options.Flag("strategy", "auto");
+    if (strategy == "auto") {
+      result = StrategyChooser::QueryAuto(*index, *query);
+    } else if (strategy == "topdown") {
+      result = index->QueryTopDown(*query);
+    } else if (strategy == "naive") {
+      result = index->QueryNaive(*query);
+    } else if (strategy == "bottomup") {
+      result = index->QueryBottomUp(*query);
+    } else if (strategy == "hybrid") {
+      result = index->QueryHybrid(*query);
+    } else {
+      err << "unknown strategy: " << strategy << "\n";
+      return 2;
+    }
+  } else {
+    MStarIndex fresh(*g);
+    result = fresh.QueryTopDown(*query);
+  }
+
+  out << result.answer.size() << " nodes (cost " << result.stats.total()
+      << (result.precise ? ", precise" : ", validated") << "):";
+  size_t shown = 0;
+  for (NodeId n : result.answer) {
+    if (++shown > 20) {
+      out << " ...";
+      break;
+    }
+    out << " " << n << ":" << g->label_name(n);
+  }
+  out << "\n";
+  return 0;
+}
+
+int CmdGenerate(const Options& options, std::ostream& out,
+                std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: mrx generate <xmark|nasa> <out.xml> [--scale S] "
+           "[--seed N]\n";
+    return 2;
+  }
+  const double scale = std::atof(options.Flag("scale", "0.1").c_str());
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "7").c_str()));
+  std::string doc;
+  if (options.positional[0] == "xmark") {
+    doc = datagen::GenerateXMarkDocument(
+        datagen::XMarkOptions::Scaled(scale, seed));
+  } else if (options.positional[0] == "nasa") {
+    Result<std::string> nasa = datagen::GenerateNasaDocument(scale, seed);
+    if (!nasa.ok()) return Fail(err, nasa.status());
+    doc = *std::move(nasa);
+  } else {
+    err << "unknown dataset: " << options.positional[0] << "\n";
+    return 2;
+  }
+  Status s = WriteFile(options.positional[1], doc);
+  if (!s.ok()) return Fail(err, s);
+  out << "wrote " << options.positional[1] << " (" << doc.size()
+      << " bytes)\n";
+  return 0;
+}
+
+int CmdWorkload(const Options& options, std::ostream& out,
+                std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: mrx workload <graph> [--count N] [--max-length L] "
+           "[--seed N]\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+  LabelPathEnumerationOptions eo;
+  eo.max_length = 9;
+  LabelPathSet paths = EnumerateLabelPaths(*g, eo);
+  WorkloadOptions wo;
+  wo.num_queries =
+      static_cast<size_t>(std::atoll(options.Flag("count", "20").c_str()));
+  wo.max_query_length = static_cast<size_t>(
+      std::atoll(options.Flag("max-length", "9").c_str()));
+  wo.seed =
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+  for (const PathExpression& q : GenerateWorkload(paths, wo)) {
+    out << q.ToString(g->symbols()) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+
+  size_t begin = 1;
+  std::string sub;
+  if (command == "index") {
+    if (args.size() < 2) {
+      err << "usage: mrx index <build|info> ...\n";
+      return 2;
+    }
+    sub = args[1];
+    begin = 2;
+  }
+  Result<Options> options = ParseOptions(args, begin);
+  if (!options.ok()) return Fail(err, options.status());
+
+  if (command == "stats") return CmdStats(*options, out, err);
+  if (command == "convert") return CmdConvert(*options, out, err);
+  if (command == "index" && sub == "build") {
+    return CmdIndexBuild(*options, out, err);
+  }
+  if (command == "index" && sub == "info") {
+    return CmdIndexInfo(*options, out, err);
+  }
+  if (command == "query") return CmdQuery(*options, out, err);
+  if (command == "generate") return CmdGenerate(*options, out, err);
+  if (command == "workload") return CmdWorkload(*options, out, err);
+
+  err << "unknown command: " << command << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace mrx::tools

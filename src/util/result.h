@@ -1,0 +1,76 @@
+#ifndef MRX_UTIL_RESULT_H_
+#define MRX_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mrx {
+
+/// \brief A value-or-Status union, the library's exception-free analogue of
+/// `absl::StatusOr<T>`.
+///
+/// Invariant: exactly one of {value, error status} is present. Accessing
+/// `value()` on an error Result aborts in debug builds (assert) and is
+/// undefined in release builds; call `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. The status must not be OK:
+  /// an OK status carries no value and is normalized to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace mrx
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` may declare a new variable.
+#define MRX_ASSIGN_OR_RETURN(lhs, expr)          \
+  MRX_ASSIGN_OR_RETURN_IMPL_(                    \
+      MRX_RESULT_CONCAT_(mrx_result_, __LINE__), lhs, expr)
+
+#define MRX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define MRX_RESULT_CONCAT_INNER_(a, b) a##b
+#define MRX_RESULT_CONCAT_(a, b) MRX_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // MRX_UTIL_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef MRX_UTIL_STATUS_H_
+#define MRX_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mrx {
+
+/// Error category for a Status. Mirrors the small set of failure modes the
+/// library can produce; the library does not throw exceptions on these paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed (bad query, ...).
+  kParseError,        ///< XML/DTD/path text could not be parsed.
+  kNotFound,          ///< A referenced entity (label, ID, file) is missing.
+  kOutOfRange,        ///< A numeric parameter is outside its legal range.
+  kFailedPrecondition,///< An invariant required by the call does not hold.
+  kInternal,          ///< A bug in the library itself.
+};
+
+/// \brief Human-readable name of a StatusCode, e.g. "ParseError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A lightweight success-or-error value, used instead of exceptions
+/// on all library paths (per the project style rules).
+///
+/// A Status is cheap to copy in the success case (no allocation) and carries
+/// a code plus a free-form message in the failure case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A code of kOk with
+  /// a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string()
+                                                      : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mrx
+
+/// Propagates a non-OK Status to the caller; evaluates `expr` exactly once.
+#define MRX_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::mrx::Status mrx_status_ = (expr);          \
+    if (!mrx_status_.ok()) return mrx_status_;   \
+  } while (0)
+
+#endif  // MRX_UTIL_STATUS_H_

@@ -1,0 +1,91 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace mrx {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  for (std::string_view piece : Split(s, sep)) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+namespace {
+template <typename T>
+std::string JoinImpl(const std::vector<T>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrx

@@ -1,0 +1,37 @@
+#ifndef MRX_UTIL_STRING_UTIL_H_
+#define MRX_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrx {
+
+/// Splits `s` on `sep`, keeping empty pieces ("a//b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string_view> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with / ends with the given prefix / suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-only lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Escapes &, <, >, ", ' into XML character entities.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_STRING_UTIL_H_

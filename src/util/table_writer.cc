@@ -1,0 +1,74 @@
+#include "util/table_writer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+namespace mrx {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::RenderText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+         << row[i];
+    }
+    os << "\n";
+  };
+  render_row(headers_);
+  size_t total = 0;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    total += widths[i] + (i == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) render_row(row);
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void TableWriter::RenderCsv(std::ostream& os) const {
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << CsvEscape(row[i]);
+    }
+    os << "\n";
+  };
+  render_row(headers_);
+  for (const auto& row : rows_) render_row(row);
+}
+
+std::string TableWriter::Format(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+
+
+}  // namespace mrx

@@ -1,0 +1,55 @@
+#ifndef MRX_UTIL_TABLE_WRITER_H_
+#define MRX_UTIL_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mrx {
+
+/// \brief Accumulates rows of string cells and renders them either as an
+/// aligned monospace table (for terminal output of the figure benches) or as
+/// CSV (for replotting the paper's figures).
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with Format() below.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    AddRow({Format(args)...});
+  }
+
+  /// Renders an aligned table with a header separator line.
+  void RenderText(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void RenderCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a value for a cell: doubles with 2 decimal places, integrals
+  /// as-is, strings passed through.
+  static std::string Format(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string Format(T v) {
+    return std::to_string(v);
+  }
+  static std::string Format(const std::string& v) { return v; }
+  static std::string Format(const char* v) { return v; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,30 @@
+#include "workload/fup_extractor.h"
+
+namespace mrx {
+
+bool FupExtractor::Observe(const PathExpression& query) {
+  // Single labels need no refinement; descendant-axis expressions cannot
+  // be certified by any finite local similarity.
+  if (query.length() == 0 || query.HasDescendantAxis()) return false;
+  Key key = KeyOf(query);
+  auto it = counts_.find(key);
+  if (it == counts_.end()) {
+    if (options_.max_tracked != 0 && counts_.size() >= options_.max_tracked) {
+      return false;
+    }
+    it = counts_.emplace(std::move(key), 0).first;
+  }
+  ++it->second;
+  if (it->second == options_.min_frequency) {
+    fups_.push_back(query);
+    return true;
+  }
+  return false;
+}
+
+size_t FupExtractor::Frequency(const PathExpression& query) const {
+  auto it = counts_.find(KeyOf(query));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace mrx

@@ -1,0 +1,64 @@
+#ifndef MRX_WORKLOAD_FUP_EXTRACTOR_H_
+#define MRX_WORKLOAD_FUP_EXTRACTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "query/path_expression.h"
+
+namespace mrx {
+
+/// \brief The "FUP processor" of the paper's Figure 5: watches the query
+/// stream and decides which path expressions are *frequently used* and
+/// therefore worth refining the index for.
+///
+/// A query becomes a FUP once it has been observed `min_frequency` times;
+/// it is reported exactly once (the refine processor only needs to act on
+/// it once). Length-0 queries are never reported — a single label is
+/// always answered precisely by any index in this library.
+class FupExtractor {
+ public:
+  struct Options {
+    /// Observations needed before a query counts as frequent. 1 treats
+    /// every query as a FUP, reproducing the paper's §5 experiments where
+    /// the whole 500-query workload is the FUP set.
+    size_t min_frequency = 2;
+
+    /// Upper bound on distinct queries tracked; once reached, queries not
+    /// seen before are counted against nothing (a simple guard against
+    /// adversarial churn; 0 = unlimited).
+    size_t max_tracked = 100000;
+  };
+
+  FupExtractor() : FupExtractor(Options{}) {}
+  explicit FupExtractor(Options options) : options_(options) {}
+
+  /// Records one observation. Returns true if this observation promoted
+  /// the query to FUP status (i.e. the caller should refine for it now).
+  bool Observe(const PathExpression& query);
+
+  /// Number of times `query` has been observed.
+  size_t Frequency(const PathExpression& query) const;
+
+  /// All queries promoted to FUPs so far, in promotion order.
+  const std::vector<PathExpression>& fups() const { return fups_; }
+
+  size_t num_tracked() const { return counts_.size(); }
+
+ private:
+  using Key = std::pair<bool, std::vector<LabelId>>;
+
+  static Key KeyOf(const PathExpression& query) {
+    return {query.anchored(), query.labels()};
+  }
+
+  Options options_;
+  std::map<Key, size_t> counts_;
+  std::vector<PathExpression> fups_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_WORKLOAD_FUP_EXTRACTOR_H_

@@ -1,0 +1,43 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mrx {
+
+std::vector<PathExpression> GenerateWorkload(const LabelPathSet& paths,
+                                             const WorkloadOptions& options) {
+  std::vector<PathExpression> queries;
+  if (paths.paths.empty()) return queries;
+  queries.reserve(options.num_queries);
+  Rng rng(options.seed);
+
+  while (queries.size() < options.num_queries) {
+    const std::vector<LabelId>& labels =
+        paths.paths[rng.Below(paths.paths.size())];
+    const size_t n = labels.size() - 1;  // Path length in edges.
+    const size_t start = rng.Below(n + 1);
+    const size_t feasible =
+        std::min(options.max_query_length, n - start);
+    const size_t len = rng.Below(feasible + 1);
+    std::vector<LabelId> slice(labels.begin() + start,
+                               labels.begin() + start + len + 1);
+    queries.emplace_back(std::move(slice), /*anchored=*/false);
+  }
+  return queries;
+}
+
+std::vector<double> QueryLengthHistogram(
+    const std::vector<PathExpression>& queries, size_t max_length) {
+  std::vector<double> fractions(max_length + 1, 0.0);
+  if (queries.empty()) return fractions;
+  for (const PathExpression& q : queries) {
+    size_t len = std::min(q.length(), max_length);
+    fractions[len] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(queries.size());
+  return fractions;
+}
+
+}  // namespace mrx

@@ -1,0 +1,39 @@
+#ifndef MRX_WORKLOAD_GENERATOR_H_
+#define MRX_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/path_expression.h"
+#include "workload/label_paths.h"
+
+namespace mrx {
+
+struct WorkloadOptions {
+  /// Number of path expression queries (the paper uses 500 per dataset).
+  size_t num_queries = 500;
+
+  /// Maximum query length in edges. The paper runs two variants: 9
+  /// (Figures 10-17) and 4 (Figures 18-26).
+  size_t max_query_length = 9;
+
+  uint64_t seed = 1;
+};
+
+/// \brief The paper's synthetic workload generator (§5 "Query workload"):
+/// pick a rooted label path at random, extract a subsequence with a random
+/// start position and random feasible length (capped at max_query_length),
+/// and prepend `//`. Random starts make short queries more likely than
+/// long ones, matching the observation that short path expressions
+/// dominate real workloads (Figures 8-9).
+std::vector<PathExpression> GenerateWorkload(const LabelPathSet& paths,
+                                             const WorkloadOptions& options);
+
+/// \brief Fraction of queries at each length 0..max_length (the series of
+/// Figures 8 and 9). Index i holds the fraction of queries of length i.
+std::vector<double> QueryLengthHistogram(
+    const std::vector<PathExpression>& queries, size_t max_length);
+
+}  // namespace mrx
+
+#endif  // MRX_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,66 @@
+#include "workload/label_paths.h"
+
+#include <algorithm>
+#include <map>
+
+#include "index/bisimulation.h"
+#include "index/index_graph.h"
+
+namespace mrx {
+
+LabelPathSet EnumerateLabelPaths(
+    const DataGraph& g, const LabelPathEnumerationOptions& options) {
+  BisimulationPartition part = ComputeKBisimulation(g, /*k=*/-1);
+  std::vector<int32_t> block_k(part.num_blocks, kInfiniteSimilarity);
+  IndexGraph index =
+      IndexGraph::FromPartition(g, part.block_of, part.num_blocks, block_k);
+
+  LabelPathSet result;
+
+  // DataGuide-style frontier: each distinct label sequence of the current
+  // length, with the set of 1-index nodes its instances end at.
+  struct Entry {
+    std::vector<LabelId> labels;
+    std::vector<IndexNodeId> nodes;  // sorted unique
+  };
+  std::vector<Entry> frontier;
+  {
+    Entry root_entry;
+    root_entry.labels = {g.label(g.root())};
+    root_entry.nodes = {index.index_of(g.root())};
+    frontier.push_back(std::move(root_entry));
+    result.paths.push_back(frontier.front().labels);
+  }
+
+  for (size_t depth = 1;
+       depth <= options.max_length && !frontier.empty(); ++depth) {
+    std::vector<Entry> next;
+    for (const Entry& entry : frontier) {
+      // Group the children of the whole node set by label.
+      std::map<LabelId, std::vector<IndexNodeId>> by_label;
+      for (IndexNodeId u : entry.nodes) {
+        for (IndexNodeId v : index.node(u).children) {
+          by_label[index.node(v).label].push_back(v);
+        }
+      }
+      for (auto& [label, nodes] : by_label) {
+        std::sort(nodes.begin(), nodes.end());
+        nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+        Entry child;
+        child.labels = entry.labels;
+        child.labels.push_back(label);
+        child.nodes = std::move(nodes);
+        if (result.paths.size() >= options.max_paths) {
+          result.truncated = true;
+          return result;
+        }
+        result.paths.push_back(child.labels);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+}  // namespace mrx

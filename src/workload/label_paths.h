@@ -1,0 +1,42 @@
+#ifndef MRX_WORKLOAD_LABEL_PATHS_H_
+#define MRX_WORKLOAD_LABEL_PATHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace mrx {
+
+struct LabelPathEnumerationOptions {
+  /// Maximum path length in edges (the paper uses 9: "the length limit
+  /// prevents paths containing infinite loops from being generated").
+  size_t max_length = 9;
+
+  /// Safety cap on the number of distinct label paths returned.
+  size_t max_paths = 500000;
+};
+
+struct LabelPathSet {
+  /// Distinct rooted label paths (each starts with the root's label),
+  /// ordered by length then lexicographically by label id.
+  std::vector<std::vector<LabelId>> paths;
+
+  /// True if max_paths stopped the enumeration early.
+  bool truncated = false;
+};
+
+/// \brief Enumerates all distinct rooted label paths of `g` of length up to
+/// `max_length` (the first stage of the paper's workload generator, §5).
+///
+/// Works on the 1-index (full bisimulation quotient) rather than the data
+/// graph: the 1-index preserves the set of rooted label paths exactly and
+/// is much smaller. Distinct label sequences are expanded DataGuide-style
+/// (each sequence tracked with the set of index nodes it reaches), so the
+/// work is proportional to the output, not to the number of node paths.
+LabelPathSet EnumerateLabelPaths(const DataGraph& g,
+                                 const LabelPathEnumerationOptions& options);
+
+}  // namespace mrx
+
+#endif  // MRX_WORKLOAD_LABEL_PATHS_H_

@@ -1,0 +1,97 @@
+#include "xml/graph_builder.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mrx::xml {
+
+Status GraphBuildingHandler::StartElement(
+    std::string_view name, const std::vector<Attribute>& attributes) {
+  NodeId node = builder_.AddNode(name);
+  ++num_elements_;
+  if (stack_.empty()) {
+    builder_.SetRoot(node);
+  } else {
+    builder_.AddEdge(stack_.back(), node, EdgeKind::kRegular);
+  }
+  stack_.push_back(node);
+
+  for (const Attribute& attr : attributes) {
+    if (attr.name == options_.id_attribute) {
+      auto [it, inserted] = ids_.emplace(attr.value, node);
+      if (!inserted && !duplicate_id_) {
+        duplicate_id_ = true;
+        duplicate_id_value_ = attr.value;
+      }
+      continue;
+    }
+    if (options_.resolve_references) {
+      pending_refs_.push_back(PendingRef{node, attr.value});
+    }
+    if (options_.include_attribute_nodes) {
+      NodeId attr_node = builder_.AddNode("@" + attr.name);
+      builder_.AddEdge(node, attr_node, EdgeKind::kRegular);
+    }
+  }
+  return Status::Ok();
+}
+
+Status GraphBuildingHandler::EndElement(std::string_view name) {
+  (void)name;  // The parser already verified tag matching.
+  stack_.pop_back();
+  return Status::Ok();
+}
+
+Status GraphBuildingHandler::CharacterData(std::string_view text) {
+  if (!options_.include_text_nodes || stack_.empty()) return Status::Ok();
+  if (StripWhitespace(text).empty()) return Status::Ok();
+  NodeId text_node = builder_.AddNode("#text");
+  builder_.AddEdge(stack_.back(), text_node, EdgeKind::kRegular);
+  return Status::Ok();
+}
+
+Result<DataGraph> GraphBuildingHandler::Finish() && {
+  if (duplicate_id_) {
+    return Status::ParseError("duplicate ID value '" + duplicate_id_value_ +
+                              "'");
+  }
+  for (const PendingRef& ref : pending_refs_) {
+    // Try the whole value first (IDREF), then whitespace-separated tokens
+    // (IDREFS). Values that match no ID are plain data and are ignored.
+    auto it = ids_.find(ref.value);
+    if (it != ids_.end()) {
+      builder_.AddEdge(ref.from, it->second, EdgeKind::kReference);
+      continue;
+    }
+    size_t pos = 0;
+    while (pos < ref.value.size()) {
+      while (pos < ref.value.size() &&
+             std::isspace(static_cast<unsigned char>(ref.value[pos]))) {
+        ++pos;
+      }
+      size_t begin = pos;
+      while (pos < ref.value.size() &&
+             !std::isspace(static_cast<unsigned char>(ref.value[pos]))) {
+        ++pos;
+      }
+      if (begin == pos) break;
+      auto token_it = ids_.find(ref.value.substr(begin, pos - begin));
+      if (token_it != ids_.end()) {
+        builder_.AddEdge(ref.from, token_it->second, EdgeKind::kReference);
+      }
+    }
+  }
+  return std::move(builder_).Build();
+}
+
+Result<DataGraph> BuildGraphFromXml(std::string_view document,
+                                    const GraphBuildOptions& options) {
+  GraphBuildingHandler handler(options);
+  Parser parser;
+  Status s = parser.Parse(document, &handler);
+  if (!s.ok()) return s;
+  return std::move(handler).Finish();
+}
+
+}  // namespace mrx::xml

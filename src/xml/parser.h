@@ -1,0 +1,63 @@
+#ifndef MRX_XML_PARSER_H_
+#define MRX_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrx::xml {
+
+/// A single attribute on a start tag; entity references in the value are
+/// already decoded.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief Receiver of parse events, SAX-style.
+///
+/// Returning a non-OK Status from any callback aborts the parse and the
+/// status is surfaced from Parser::Parse.
+class ParseEventHandler {
+ public:
+  virtual ~ParseEventHandler() = default;
+
+  /// `<name attr="v" ...>` or `<name .../>`; a self-closing tag produces a
+  /// StartElement immediately followed by EndElement.
+  virtual Status StartElement(std::string_view name,
+                              const std::vector<Attribute>& attributes) = 0;
+
+  /// `</name>`.
+  virtual Status EndElement(std::string_view name) = 0;
+
+  /// Character data between tags (entity references decoded; CDATA sections
+  /// delivered verbatim). Whitespace-only runs are still reported.
+  virtual Status CharacterData(std::string_view text) = 0;
+};
+
+/// \brief A small, dependency-free, non-validating XML parser.
+///
+/// Supports the subset of XML 1.0 that structural XML indexing needs:
+///   - elements, attributes (single- or double-quoted), self-closing tags
+///   - character data with the five predefined entities plus numeric
+///     character references (`&#NN;`, `&#xHH;`)
+///   - comments, processing instructions, CDATA sections
+///   - an XML declaration and a DOCTYPE declaration (skipped, including an
+///     internal subset)
+/// Checks well-formedness: matching end tags, a single document element,
+/// nothing but misc content outside it. DTD validation is not performed
+/// (the paper's model is schemaless, semi-structured data).
+class Parser {
+ public:
+  Parser() = default;
+
+  /// Parses `input`, driving `handler`. On failure returns a ParseError
+  /// whose message includes 1-based line:column.
+  Status Parse(std::string_view input, ParseEventHandler* handler);
+};
+
+}  // namespace mrx::xml
+
+#endif  // MRX_XML_PARSER_H_

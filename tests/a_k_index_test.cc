@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "index/a_k_index.h"
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+using mrx::testing::RandomGraph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(AkIndexTest, A0IsLabelPartition) {
+  DataGraph g = MakeFigure1Graph();
+  AkIndex index(g, 0);
+  EXPECT_EQ(index.graph().num_nodes(), g.symbols().size());
+  EXPECT_TRUE(index.graph().CheckConsistency().ok());
+}
+
+TEST(AkIndexTest, SafeForAllQueries) {
+  DataGraph g = MakeFigure1Graph();
+  DataEvaluator eval(g);
+  for (int k = 0; k <= 3; ++k) {
+    AkIndex index(g, k);
+    for (const char* text :
+         {"//person", "//site/people/person", "//auction/bidder/person",
+          "//site/regions/*/item", "//root/site/auctions/auction/item/item",
+          "//bidder"}) {
+      PathExpression p = Q(g, text);
+      // AnswerOnIndex validates, so answers are exact; the deeper check is
+      // that they match the data-graph ground truth.
+      EXPECT_EQ(index.Query(p).answer, eval.Evaluate(p))
+          << "k=" << k << " q=" << text;
+    }
+  }
+}
+
+TEST(AkIndexTest, PreciseUpToK) {
+  DataGraph g = MakeFigure1Graph();
+  AkIndex index(g, 3);
+  // Length-3 query: no validation should occur.
+  QueryResult r = index.Query(Q(g, "//site/people/person"));
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.stats.data_nodes_validated, 0u);
+  EXPECT_EQ(r.answer, (std::vector<NodeId>{7, 8, 9}));
+}
+
+TEST(AkIndexTest, LongQueriesValidate) {
+  // Chain long enough that A(1) is imprecise for a length-3 query over
+  // colliding structures.
+  DataGraph g = MakeGraph(
+      {"r", "x", "y", "a", "b", "a", "b"},
+      {{0, 1}, {0, 2}, {1, 3}, {3, 4}, {2, 5}, {5, 6}});
+  DataEvaluator eval(g);
+  AkIndex index(g, 1);
+  PathExpression p = Q(g, "//r/x/a/b");
+  QueryResult r = index.Query(p);
+  EXPECT_EQ(r.answer, eval.Evaluate(p));
+  EXPECT_EQ(r.answer, (std::vector<NodeId>{4}));
+}
+
+TEST(AkIndexTest, SizeGrowsWithK) {
+  DataGraph g = RandomGraph(3, 120, 5, 60);
+  size_t prev = 0;
+  for (int k = 0; k <= 4; ++k) {
+    AkIndex index(g, k);
+    EXPECT_GE(index.graph().num_nodes(), prev);
+    prev = index.graph().num_nodes();
+  }
+}
+
+TEST(AkIndexTest, ExtentsAreKBisimilar) {
+  DataGraph g = RandomGraph(9, 50, 4, 25);
+  for (int k = 0; k <= 3; ++k) {
+    AkIndex index(g, k);
+    EXPECT_TRUE(mrx::testing::ExtentsAreKBisimilar(index.graph()))
+        << "k=" << k;
+  }
+}
+
+TEST(OneIndexTest, PreciseForEveryLength) {
+  DataGraph g = MakeFigure1Graph();
+  OneIndex index(g);
+  QueryResult r = index.Query(Q(g, "//root/site/auctions/auction/seller/person"));
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.stats.data_nodes_validated, 0u);
+  EXPECT_EQ(r.answer, (std::vector<NodeId>{7, 9}));
+}
+
+TEST(OneIndexTest, MatchesDataEvaluationOnRandomGraphs) {
+  DataGraph g = RandomGraph(101, 70, 5, 35);
+  OneIndex index(g);
+  DataEvaluator eval(g);
+  // Evaluate every length-2 label path that exists plus some that do not.
+  const auto& symbols = g.symbols();
+  for (LabelId a = 0; a < symbols.size(); ++a) {
+    for (LabelId b = 0; b < symbols.size(); ++b) {
+      PathExpression p({a, b}, /*anchored=*/false);
+      EXPECT_EQ(index.Query(p).answer, eval.Evaluate(p));
+    }
+  }
+}
+
+TEST(OneIndexTest, NeverCoarserThanAk) {
+  DataGraph g = RandomGraph(5, 60, 4, 30);
+  OneIndex one(g);
+  for (int k = 0; k <= 4; ++k) {
+    AkIndex ak(g, k);
+    EXPECT_GE(one.graph().num_nodes(), ak.graph().num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace mrx

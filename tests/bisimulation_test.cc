@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "index/bisimulation.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+using mrx::testing::RandomGraph;
+using mrx::testing::ReferenceBisimilarity;
+
+/// Checks that `part` equals the oracle k-bisimilarity relation exactly:
+/// same block iff k-bisimilar.
+::testing::AssertionResult MatchesOracle(const DataGraph& g,
+                                         const BisimulationPartition& part,
+                                         int k) {
+  ReferenceBisimilarity ref(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      bool same_block = part.block_of[u] == part.block_of[v];
+      bool bisimilar = ref.Bisimilar(u, v, k);
+      if (same_block != bisimilar) {
+        return ::testing::AssertionFailure()
+               << "nodes " << u << "," << v << ": same_block=" << same_block
+               << " but " << k << "-bisimilar=" << bisimilar;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(BisimulationTest, ZeroBisimulationIsLabelPartition) {
+  DataGraph g = MakeFigure1Graph();
+  BisimulationPartition part = ComputeKBisimulation(g, 0);
+  EXPECT_EQ(part.rounds, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(part.block_of[u] == part.block_of[v],
+                g.label(u) == g.label(v));
+    }
+  }
+}
+
+TEST(BisimulationTest, MatchesOracleOnFigure1) {
+  DataGraph g = MakeFigure1Graph();
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_TRUE(MatchesOracle(g, ComputeKBisimulation(g, k), k)) << "k=" << k;
+  }
+}
+
+TEST(BisimulationTest, RefinementIsMonotone) {
+  DataGraph g = MakeFigure1Graph();
+  uint32_t prev = 0;
+  for (int k = 0; k <= 6; ++k) {
+    BisimulationPartition part = ComputeKBisimulation(g, k);
+    EXPECT_GE(part.num_blocks, prev) << "k=" << k;
+    prev = part.num_blocks;
+  }
+}
+
+TEST(BisimulationTest, KPlusOneRefinesK) {
+  // Property 5 of the A(k)-index (§2): (k+1)-bisimulation refines k.
+  DataGraph g = RandomGraph(21, 60, 5, 30);
+  for (int k = 0; k < 4; ++k) {
+    BisimulationPartition coarse = ComputeKBisimulation(g, k);
+    BisimulationPartition fine = ComputeKBisimulation(g, k + 1);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (fine.block_of[u] == fine.block_of[v]) {
+          EXPECT_EQ(coarse.block_of[u], coarse.block_of[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BisimulationTest, FixpointIsFullBisimulation) {
+  DataGraph g = MakeGraph({"r", "a", "b", "c", "c", "d", "d"},
+                          {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}});
+  BisimulationPartition part = ComputeKBisimulation(g, -1);
+  EXPECT_TRUE(part.reached_fixpoint);
+  // Figure 2's insight: the two d nodes have distinct incoming label path
+  // *sets* only through their c parents; here c3 (parent a) and c4
+  // (parent b) are not bisimilar, so d5 and d6 are not either.
+  EXPECT_NE(part.block_of[5], part.block_of[6]);
+  EXPECT_NE(part.block_of[3], part.block_of[4]);
+}
+
+TEST(BisimulationTest, FixpointStopsEarly) {
+  DataGraph g = MakeGraph({"r", "a", "a"}, {{0, 1}, {0, 2}});
+  BisimulationPartition part = ComputeKBisimulation(g, 100);
+  // a-nodes are fully bisimilar; one round suffices to see the fixpoint.
+  EXPECT_TRUE(part.reached_fixpoint);
+  EXPECT_LE(part.rounds, 1);
+  EXPECT_EQ(part.block_of[1], part.block_of[2]);
+}
+
+TEST(BisimulationTest, CyclicGraphTerminates) {
+  DataGraph g = MakeGraph({"r", "a", "b"}, {{0, 1}, {1, 2}, {2, 1}});
+  BisimulationPartition part = ComputeKBisimulation(g, -1);
+  EXPECT_TRUE(part.reached_fixpoint);
+  EXPECT_EQ(part.num_blocks, 3u);
+}
+
+class BisimulationRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BisimulationRandomTest, MatchesOracleAtEveryK) {
+  DataGraph g = RandomGraph(GetParam(), 40, 4, 25);
+  for (int k = 0; k <= 3; ++k) {
+    ASSERT_TRUE(MatchesOracle(g, ComputeKBisimulation(g, k), k))
+        << "seed=" << GetParam() << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisimulationRandomTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(DkPartitionTest, UniformRequirementMatchesAk) {
+  DataGraph g = RandomGraph(33, 50, 4, 20);
+  std::vector<int32_t> kreq(g.symbols().size(), 2);
+  BisimulationPartition dk = ComputeDkConstructPartition(g, kreq);
+  BisimulationPartition ak = ComputeKBisimulation(g, 2);
+  EXPECT_EQ(dk.num_blocks, ak.num_blocks);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dk.block_of[u] == dk.block_of[v],
+                ak.block_of[u] == ak.block_of[v]);
+    }
+  }
+}
+
+TEST(DkPartitionTest, FrozenLabelsStayCoarse) {
+  // r -> a -> b and r -> a' -> b' with distinguishable a's; only label b
+  // requires similarity, label a requires 1 by the D(k) constraint.
+  DataGraph g = MakeGraph({"r", "q", "a", "a", "b", "b"},
+                          {{0, 2}, {0, 1}, {1, 3}, {2, 4}, {3, 5}});
+  std::vector<int32_t> kreq(g.symbols().size(), 0);
+  kreq[*g.symbols().Lookup("b")] = 2;
+  kreq[*g.symbols().Lookup("a")] = 1;
+  BisimulationPartition part = ComputeDkConstructPartition(g, kreq);
+  // b nodes split (their a parents differ at level 1)...
+  EXPECT_NE(part.block_of[4], part.block_of[5]);
+  // ...while r and q blocks are just the label blocks (requirement 0).
+  mrx::testing::ReferenceBisimilarity ref(g);
+  EXPECT_NE(part.block_of[2], part.block_of[3]);  // a's required k=1...
+  // a2 (parent r) and a3 (parent q) differ already at k=1.
+  EXPECT_FALSE(ref.Bisimilar(2, 3, 1));
+}
+
+TEST(DkPartitionTest, ExtentsMeetPerLabelRequirement) {
+  DataGraph g = RandomGraph(55, 60, 5, 25);
+  std::vector<int32_t> kreq(g.symbols().size());
+  for (size_t l = 0; l < kreq.size(); ++l) {
+    kreq[l] = static_cast<int32_t>(l % 3);
+  }
+  // Enforce the D(k) constraint at label level first.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.children(u)) {
+        if (kreq[g.label(u)] < kreq[g.label(v)] - 1) {
+          kreq[g.label(u)] = kreq[g.label(v)] - 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  BisimulationPartition part = ComputeDkConstructPartition(g, kreq);
+  ReferenceBisimilarity ref(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (part.block_of[u] == part.block_of[v]) {
+        ASSERT_TRUE(ref.Bisimilar(u, v, kreq[g.label(u)]))
+            << u << " vs " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/cli.h"
+
+namespace mrx::tools {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunTool(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteTempXml(const std::string& path) {
+  std::ofstream f(path);
+  f << "<site><person id=\"p0\"/><bidder person=\"p0\"/>"
+       "<people><person id=\"p1\"/></people></site>";
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  CliRun r = RunTool({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpIsSuccess) {
+  CliRun r = RunTool({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliRun r = RunTool({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, StatsOnXmlFile) {
+  std::string path = TempPath("mrx_cli_stats.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"stats", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("nodes: 5"), std::string::npos);
+  EXPECT_NE(r.out.find("reference"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, StatsMissingFileFails) {
+  CliRun r = RunTool({"stats", TempPath("does_not_exist.xml")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+TEST(CliTest, ConvertRoundTrip) {
+  std::string xml_path = TempPath("mrx_cli_convert.xml");
+  std::string bin_path = TempPath("mrx_cli_convert.mrxg");
+  std::string back_path = TempPath("mrx_cli_convert_back.xml");
+  WriteTempXml(xml_path);
+  EXPECT_EQ(RunTool({"convert", xml_path, bin_path}).code, 0);
+  EXPECT_EQ(RunTool({"convert", bin_path, back_path}).code, 0);
+  CliRun stats = RunTool({"stats", back_path});
+  EXPECT_NE(stats.out.find("nodes: 5"), std::string::npos);
+  for (const auto& p : {xml_path, bin_path, back_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, GenerateQueryAndIndexPipeline) {
+  std::string doc_path = TempPath("mrx_cli_pipe.xml");
+  std::string index_path = TempPath("mrx_cli_pipe.mrxs");
+  CliRun gen = RunTool({"generate", "xmark", doc_path, "--scale", "0.01"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  CliRun build = RunTool({"index", "build", doc_path, index_path, "--fup",
+                      "//open_auction/seller/person"});
+  ASSERT_EQ(build.code, 0) << build.err;
+  EXPECT_NE(build.out.find("components"), std::string::npos);
+
+  CliRun info = RunTool({"index", "info", doc_path, index_path});
+  ASSERT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("components: 3"), std::string::npos);
+
+  CliRun query = RunTool({"query", doc_path, index_path,
+                      "//open_auction/seller/person"});
+  ASSERT_EQ(query.code, 0) << query.err;
+  EXPECT_NE(query.out.find("precise"), std::string::npos);
+
+  // Every explicit strategy answers too.
+  for (const char* strategy : {"topdown", "naive", "bottomup", "hybrid"}) {
+    CliRun r = RunTool({"query", doc_path, index_path, "//person", "--strategy",
+                    strategy});
+    EXPECT_EQ(r.code, 0) << strategy << ": " << r.err;
+  }
+  CliRun bad = RunTool({"query", doc_path, index_path, "//person", "--strategy",
+                    "psychic"});
+  EXPECT_EQ(bad.code, 2);
+
+  std::remove(doc_path.c_str());
+  std::remove(index_path.c_str());
+}
+
+TEST(CliTest, TwigQueryAutoDetected) {
+  std::string path = TempPath("mrx_cli_twig.xml");
+  {
+    std::ofstream f(path);
+    f << "<r><a><b/><c/></a><a><c/></a></r>";
+  }
+  CliRun r = RunTool({"query", path, "//a[b]/c"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 nodes"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("twig"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, QueryWithoutIndexUsesFreshA0) {
+  std::string path = TempPath("mrx_cli_query.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"query", path, "//bidder/person"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 nodes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, WorkloadPrintsQueries) {
+  std::string path = TempPath("mrx_cli_workload.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"workload", path, "--count", "5", "--max-length", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Five lines, all floating path expressions.
+  int lines = 0;
+  std::istringstream in(r.out);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.substr(0, 2), "//");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, GenerateRejectsUnknownDataset) {
+  CliRun r = RunTool({"generate", "mars", TempPath("mrx_cli_mars.xml")});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, MissingFlagValueFails) {
+  std::string path = TempPath("mrx_cli_flags.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"workload", path, "--count"});
+  EXPECT_EQ(r.code, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrx::tools

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "index/a_k_index.h"
+#include "index/d_k_index.h"
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure3Graph;
+using mrx::testing::MakeGraph;
+using mrx::testing::MakeOverqualifiedGraph;
+using mrx::testing::RandomGraph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(DkLabelRequirementsTest, TargetLabelGetsFupLength) {
+  DataGraph g = MakeFigure3Graph();
+  auto kreq = ComputeDkLabelRequirements(g, {Q(g, "//r/a/b")});
+  EXPECT_EQ(kreq[*g.symbols().Lookup("b")], 2);
+}
+
+TEST(DkLabelRequirementsTest, ConstraintPropagatesToParentLabels) {
+  DataGraph g = MakeFigure3Graph();
+  auto kreq = ComputeDkLabelRequirements(g, {Q(g, "//r/a/b")});
+  // Every label with an edge into b needs at least 1.
+  EXPECT_GE(kreq[*g.symbols().Lookup("a")], 1);
+  EXPECT_GE(kreq[*g.symbols().Lookup("c")], 1);
+  EXPECT_GE(kreq[*g.symbols().Lookup("d")], 1);
+  EXPECT_GE(kreq[*g.symbols().Lookup("r")], 0);
+}
+
+TEST(DkLabelRequirementsTest, TakesMaxOverFups) {
+  DataGraph g = MakeFigure3Graph();
+  auto kreq = ComputeDkLabelRequirements(
+      g, {Q(g, "//a/b"), Q(g, "//r/a/b")});
+  EXPECT_EQ(kreq[*g.symbols().Lookup("b")], 2);
+}
+
+TEST(DkConstructTest, OverRefinesIrrelevantIndexNodes) {
+  // The §1 lastname example, miniaturized: one FUP targets b under a; the
+  // D(k)-construct requirement applies to *all* b nodes, including those
+  // only reachable under c and d.
+  DataGraph g = MakeFigure3Graph();
+  DkIndex dk = DkIndex::Construct(g, {Q(g, "//r/a/b")});
+  // Every b index node carries k = 2 even though only {4} needed it.
+  for (IndexNodeId v : dk.graph().AliveNodes()) {
+    if (dk.graph().node(v).label == *g.symbols().Lookup("b")) {
+      EXPECT_EQ(dk.graph().node(v).k, 2);
+    }
+  }
+  EXPECT_TRUE(dk.graph().CheckConsistency().ok());
+}
+
+TEST(DkConstructTest, SupportsFupsPrecisely) {
+  DataGraph g = RandomGraph(42, 80, 5, 40);
+  DataEvaluator eval(g);
+  std::vector<PathExpression> fups;
+  // Build FUPs from actual label paths so they are non-trivial.
+  const SymbolTable& symbols = g.symbols();
+  for (LabelId a = 0; a < symbols.size() && fups.size() < 4; ++a) {
+    for (LabelId b = 0; b < symbols.size() && fups.size() < 4; ++b) {
+      PathExpression p({a, b}, false);
+      if (!eval.Evaluate(p).empty()) fups.push_back(p);
+    }
+  }
+  ASSERT_FALSE(fups.empty());
+  DkIndex dk = DkIndex::Construct(g, fups);
+  for (const PathExpression& p : fups) {
+    QueryResult r = dk.Query(p);
+    EXPECT_TRUE(r.precise) << p.ToString(symbols);
+    EXPECT_EQ(r.answer, eval.Evaluate(p));
+  }
+}
+
+TEST(DkConstructTest, ExtentsMeetRecordedK) {
+  DataGraph g = RandomGraph(47, 60, 4, 25);
+  DataEvaluator eval(g);
+  std::vector<PathExpression> fups;
+  const SymbolTable& symbols = g.symbols();
+  for (LabelId a = 0; a < symbols.size() && fups.size() < 3; ++a) {
+    for (LabelId b = 0; b < symbols.size() && fups.size() < 3; ++b) {
+      for (LabelId c = 0; c < symbols.size() && fups.size() < 3; ++c) {
+        PathExpression p({a, b, c}, false);
+        if (!eval.Evaluate(p).empty()) fups.push_back(p);
+      }
+    }
+  }
+  DkIndex dk = DkIndex::Construct(g, fups);
+  EXPECT_TRUE(mrx::testing::ExtentsAreKBisimilar(dk.graph()));
+  EXPECT_TRUE(mrx::testing::SatisfiesProperty3(dk.graph()));
+}
+
+TEST(DkPromoteTest, Figure3OverRefinesIrrelevantDataNodes) {
+  // The paper's Figure 3(c): promoting for r/a/b splits the irrelevant b
+  // nodes apart as well, because PROMOTE partitions by *every* parent.
+  DataGraph g = MakeFigure3Graph();
+  DkIndex dk(g);
+  dk.Promote(Q(g, "//r/a/b"));
+  EXPECT_TRUE(dk.graph().CheckConsistency().ok());
+  // b{4} separated, and the irrelevant b's are split by their c/d parents
+  // into {5,6} and {7,8,9} — all with k = 2 (over-refined).
+  IndexNodeId b4 = dk.graph().index_of(4);
+  EXPECT_EQ(dk.graph().node(b4).extent, (std::vector<NodeId>{4}));
+  EXPECT_EQ(dk.graph().node(b4).k, 2);
+  IndexNodeId b5 = dk.graph().index_of(5);
+  EXPECT_EQ(dk.graph().node(b5).extent, (std::vector<NodeId>{5, 6}));
+  EXPECT_EQ(dk.graph().node(b5).k, 2);
+  IndexNodeId b7 = dk.graph().index_of(7);
+  EXPECT_EQ(dk.graph().node(b7).extent, (std::vector<NodeId>{7, 8, 9}));
+  // 8 index nodes total: r, a, c, d and three b parts... plus none spare.
+  EXPECT_EQ(dk.graph().num_nodes(), 7u);
+}
+
+TEST(DkPromoteTest, PromotedFupIsPrecise) {
+  DataGraph g = MakeFigure3Graph();
+  DataEvaluator eval(g);
+  DkIndex dk(g);
+  PathExpression p = Q(g, "//r/a/b");
+  dk.Promote(p);
+  QueryResult r = dk.Query(p);
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.answer, (std::vector<NodeId>{4}));
+  EXPECT_EQ(r.stats.data_nodes_validated, 0u);
+}
+
+TEST(DkPromoteTest, OverqualifiedParentsSplitBisimilarNodes) {
+  // The paper's Figure 4 scenario: after a FUP refines the b's to k=2,
+  // promoting c to k=1 uses the overqualified b singletons and splits the
+  // two 1-bisimilar c nodes apart.
+  DataGraph g = MakeOverqualifiedGraph();
+  DkIndex dk(g);
+  dk.Promote(Q(g, "//r/a/b"));
+  // The two b's are split (only node 3 has the r/a prefix).
+  ASSERT_NE(dk.graph().index_of(3), dk.graph().index_of(4));
+  dk.Promote(Q(g, "//b/c"));
+  EXPECT_TRUE(dk.graph().CheckConsistency().ok());
+  // Over-refinement: c5 and c6 are 1-bisimilar yet land in different
+  // index nodes.
+  mrx::testing::ReferenceBisimilarity ref(g);
+  EXPECT_TRUE(ref.Bisimilar(5, 6, 1));
+  EXPECT_NE(dk.graph().index_of(5), dk.graph().index_of(6));
+}
+
+TEST(DkPromoteTest, IdempotentOnSupportedFup) {
+  DataGraph g = MakeFigure3Graph();
+  DkIndex dk(g);
+  PathExpression p = Q(g, "//r/a/b");
+  dk.Promote(p);
+  size_t nodes = dk.graph().num_nodes();
+  dk.Promote(p);
+  EXPECT_EQ(dk.graph().num_nodes(), nodes);
+}
+
+TEST(DkPromoteTest, ZeroLengthFupIsNoOp) {
+  DataGraph g = MakeFigure3Graph();
+  DkIndex dk(g);
+  size_t nodes = dk.graph().num_nodes();
+  dk.Promote(Q(g, "//b"));
+  EXPECT_EQ(dk.graph().num_nodes(), nodes);
+}
+
+TEST(DkPromoteTest, AnswersStayExactOnRandomGraphs) {
+  DataGraph g = RandomGraph(61, 60, 5, 30);
+  DataEvaluator eval(g);
+  DkIndex dk(g);
+  const SymbolTable& symbols = g.symbols();
+  std::vector<PathExpression> fups;
+  for (LabelId a = 0; a < symbols.size() && fups.size() < 5; ++a) {
+    for (LabelId b = 0; b < symbols.size() && fups.size() < 5; ++b) {
+      PathExpression p({a, b}, false);
+      if (!eval.Evaluate(p).empty()) fups.push_back(p);
+    }
+  }
+  for (const PathExpression& p : fups) {
+    dk.Promote(p);
+    ASSERT_TRUE(dk.graph().CheckConsistency().ok());
+  }
+  EXPECT_TRUE(mrx::testing::ExtentsAreKBisimilar(dk.graph()));
+  for (const PathExpression& p : fups) {
+    QueryResult r = dk.Query(p);
+    EXPECT_TRUE(r.precise) << p.ToString(symbols);
+    EXPECT_EQ(r.answer, eval.Evaluate(p));
+  }
+}
+
+}  // namespace
+}  // namespace mrx

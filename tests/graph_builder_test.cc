@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "xml/graph_builder.h"
+
+namespace mrx::xml {
+namespace {
+
+TEST(GraphBuilderTest, ContainmentBecomesRegularEdges) {
+  auto g = BuildGraphFromXml("<site><people><person/></people></site>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->label_name(g->root()), "site");
+  EXPECT_EQ(g->num_reference_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, IdrefBecomesReferenceEdge) {
+  auto g = BuildGraphFromXml(
+      "<site>"
+      "<person id=\"p0\"/>"
+      "<bidder person=\"p0\"/>"
+      "</site>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->num_reference_edges(), 1u);
+  // bidder (node 2) points at person (node 1).
+  auto kids = g->children(2);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids[0], 1u);
+}
+
+TEST(GraphBuilderTest, ForwardReferencesResolve) {
+  auto g = BuildGraphFromXml(
+      "<site>"
+      "<watch open_auction=\"a0\"/>"
+      "<open_auction id=\"a0\"/>"
+      "</site>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_reference_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, IdrefsAttributeResolvesEachToken) {
+  auto g = BuildGraphFromXml(
+      "<r>"
+      "<a id=\"x1\"/><a id=\"x2\"/>"
+      "<see refs=\"x1 x2\"/>"
+      "</r>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_reference_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, NonMatchingAttributeValuesAreIgnored) {
+  auto g = BuildGraphFromXml("<r><a color=\"red\"/><b id=\"blue\"/></r>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_reference_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, DuplicateIdIsAnError) {
+  auto g = BuildGraphFromXml("<r><a id=\"x\"/><b id=\"x\"/></r>");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kParseError);
+}
+
+TEST(GraphBuilderTest, ReferenceResolutionCanBeDisabled) {
+  GraphBuildOptions options;
+  options.resolve_references = false;
+  auto g = BuildGraphFromXml(
+      "<r><a id=\"x\"/><b ref=\"x\"/></r>", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_reference_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, CustomIdAttributeName) {
+  GraphBuildOptions options;
+  options.id_attribute = "oid";
+  auto g = BuildGraphFromXml(
+      "<r><a oid=\"x\"/><b ref=\"x\"/></r>", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_reference_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, AttributeNodesOptional) {
+  GraphBuildOptions options;
+  options.include_attribute_nodes = true;
+  auto g = BuildGraphFromXml("<r><a color=\"red\"/></r>", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_TRUE(g->symbols().Lookup("@color").has_value());
+}
+
+TEST(GraphBuilderTest, TextNodesOptional) {
+  GraphBuildOptions options;
+  options.include_text_nodes = true;
+  auto g = BuildGraphFromXml("<r>hello <b>world</b></r>", options);
+  ASSERT_TRUE(g.ok());
+  // r, b, and two #text nodes.
+  EXPECT_EQ(g->num_nodes(), 4u);
+  EXPECT_TRUE(g->symbols().Lookup("#text").has_value());
+}
+
+TEST(GraphBuilderTest, WhitespaceTextNeverBecomesNodes) {
+  GraphBuildOptions options;
+  options.include_text_nodes = true;
+  auto g = BuildGraphFromXml("<r>  <b/>  </r>", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 2u);
+}
+
+TEST(GraphBuilderTest, SelfReferenceIsAllowed) {
+  auto g = BuildGraphFromXml("<r><a id=\"x\" link=\"x\"/></r>");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_reference_edges(), 1u);
+  // The self loop shows up in both adjacency directions.
+  EXPECT_EQ(g->children(1)[0], 1u);
+  EXPECT_EQ(g->parents(1).back(), 1u);
+}
+
+}  // namespace
+}  // namespace mrx::xml

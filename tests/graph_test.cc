@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/data_graph.h"
+#include "graph/symbol_table.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+
+TEST(SymbolTableTest, InternAssignsDenseIds) {
+  SymbolTable t;
+  EXPECT_EQ(t.Intern("a"), 0u);
+  EXPECT_EQ(t.Intern("b"), 1u);
+  EXPECT_EQ(t.Intern("a"), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Name(0), "a");
+  EXPECT_EQ(t.Name(1), "b");
+}
+
+TEST(SymbolTableTest, LookupWithoutInterning) {
+  SymbolTable t;
+  t.Intern("site");
+  EXPECT_TRUE(t.Lookup("site").has_value());
+  EXPECT_EQ(*t.Lookup("site"), 0u);
+  EXPECT_FALSE(t.Lookup("absent").has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTableTest, CopyIsIndependent) {
+  SymbolTable t;
+  t.Intern("a");
+  SymbolTable copy = t;
+  copy.Intern("b");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(*copy.Lookup("a"), 0u);
+}
+
+TEST(DataGraphTest, BasicShape) {
+  DataGraph g = MakeGraph({"r", "a", "b"}, {{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.root(), 0u);
+  EXPECT_EQ(g.label_name(0), "r");
+  ASSERT_EQ(g.children(0).size(), 2u);
+  EXPECT_EQ(g.children(0)[0], 1u);
+  EXPECT_EQ(g.children(0)[1], 2u);
+  ASSERT_EQ(g.parents(2).size(), 2u);
+  EXPECT_EQ(g.parents(2)[0], 0u);
+  EXPECT_EQ(g.parents(2)[1], 1u);
+  EXPECT_TRUE(g.parents(0).empty());
+}
+
+TEST(DataGraphTest, LabelBuckets) {
+  DataGraph g = MakeGraph({"r", "b", "a", "b"}, {{0, 1}, {0, 2}, {0, 3}});
+  LabelId b = *g.symbols().Lookup("b");
+  auto nodes = g.nodes_with_label(b);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 1u);
+  EXPECT_EQ(nodes[1], 3u);
+  // Out-of-range label ids yield empty spans, not UB.
+  EXPECT_TRUE(g.nodes_with_label(999).empty());
+}
+
+TEST(DataGraphTest, ParallelEdgesAreDeduplicated) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddNode("x");
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1, EdgeKind::kReference);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  // Regular kind wins over reference for a duplicated pair.
+  EXPECT_EQ(g->child_kinds(0)[0], EdgeKind::kRegular);
+  EXPECT_EQ(g->num_reference_edges(), 0u);
+}
+
+TEST(DataGraphTest, ReferenceEdgeKindIsTracked) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddNode("x");
+  b.AddNode("y");
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2, EdgeKind::kReference);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_reference_edges(), 1u);
+  EXPECT_EQ(g->child_kinds(1)[0], EdgeKind::kReference);
+}
+
+TEST(DataGraphTest, BuildRejectsEmptyGraph) {
+  DataGraphBuilder b;
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DataGraphTest, BuildRejectsBadRoot) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.SetRoot(5);
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(DataGraphTest, BuildRejectsDanglingEdge) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddEdge(0, 3);
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(DataGraphTest, Figure1TargetSetsViaAdjacency) {
+  DataGraph g = MakeFigure1Graph();
+  EXPECT_EQ(g.num_nodes(), 21u);
+  // The figure's six dashed lines are reference edges.
+  EXPECT_EQ(g.num_reference_edges(), 6u);
+  // person nodes are 7, 8, 9 as in the figure.
+  LabelId person = *g.symbols().Lookup("person");
+  auto persons = g.nodes_with_label(person);
+  EXPECT_EQ(std::vector<NodeId>(persons.begin(), persons.end()),
+            (std::vector<NodeId>{7, 8, 9}));
+}
+
+TEST(DataGraphTest, DotExportMentionsEveryNode) {
+  DataGraph g = MakeGraph({"r", "a"}, {{0, 1}});
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0:r"), std::string::npos);
+  EXPECT_NE(dot.find("1:a"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DataGraphTest, DotMarksReferenceEdgesDashed) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddNode("x");
+  b.AddEdge(0, 1, EdgeKind::kReference);
+  DataGraph g = std::move(std::move(b).Build()).value();
+  EXPECT_NE(g.ToDot().find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrx

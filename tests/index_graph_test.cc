@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "index/bisimulation.h"
+#include "index/index_graph.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure3Graph;
+using mrx::testing::MakeGraph;
+using mrx::testing::RandomGraph;
+
+TEST(IndexGraphTest, LabelPartitionShape) {
+  DataGraph g = MakeFigure3Graph();  // labels r,a,c,d,b over 10 nodes
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  EXPECT_EQ(ig.num_nodes(), 5u);
+  EXPECT_TRUE(ig.CheckConsistency().ok());
+  // The b node holds all six b's with k = 0.
+  IndexNodeId b = ig.index_of(4);
+  EXPECT_EQ(ig.node(b).extent.size(), 6u);
+  EXPECT_EQ(ig.node(b).k, 0);
+  // Edges r->a, r->c, r->d, a->b, c->b, d->b.
+  EXPECT_EQ(ig.num_edges(), 6u);
+}
+
+TEST(IndexGraphTest, FromPartitionRecordsK) {
+  DataGraph g = MakeGraph({"r", "a", "a"}, {{0, 1}, {0, 2}});
+  std::vector<uint32_t> blocks = {0, 1, 1};
+  std::vector<int32_t> k = {0, 3};
+  IndexGraph ig = IndexGraph::FromPartition(g, blocks, 2, k);
+  EXPECT_EQ(ig.num_nodes(), 2u);
+  EXPECT_EQ(ig.node(ig.index_of(1)).k, 3);
+  EXPECT_TRUE(ig.CheckConsistency().ok());
+}
+
+TEST(IndexGraphTest, ReplaceNodeSplitsAndRewires) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  IndexNodeId b = ig.index_of(4);
+  std::vector<IndexGraph::Part> parts;
+  parts.push_back({{4}, 2});
+  parts.push_back({{5, 6, 7, 8, 9}, 0});
+  auto ids = ig.ReplaceNode(b, std::move(parts));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_FALSE(ig.alive(b));
+  EXPECT_EQ(ig.num_nodes(), 6u);
+  EXPECT_TRUE(ig.CheckConsistency().ok()) << ig.CheckConsistency();
+  // {4} is a child of the a node only; the rest has c and d parents.
+  EXPECT_EQ(ig.index_of(4), ids[0]);
+  EXPECT_EQ(ig.node(ids[0]).parents.size(), 1u);
+  EXPECT_EQ(ig.node(ids[0]).parents[0], ig.index_of(1));
+  EXPECT_EQ(ig.node(ids[1]).parents.size(), 2u);
+  EXPECT_EQ(ig.node(ids[0]).k, 2);
+  EXPECT_EQ(ig.node(ids[1]).k, 0);
+}
+
+TEST(IndexGraphTest, ReplaceNodeWithSelfLoop) {
+  DataGraph g = MakeGraph({"r", "a", "a"}, {{0, 1}, {1, 2}, {2, 1}});
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  IndexNodeId a = ig.index_of(1);
+  // The a node has a self loop (a1 -> a2, a2 -> a1).
+  EXPECT_TRUE(std::binary_search(ig.node(a).children.begin(),
+                                 ig.node(a).children.end(), a));
+  auto ids = ig.ReplaceNode(a, {{{1}, 1}, {{2}, 1}});
+  EXPECT_TRUE(ig.CheckConsistency().ok()) << ig.CheckConsistency();
+  // Now the two singleton a nodes point at each other.
+  EXPECT_EQ(ig.node(ids[0]).children, (std::vector<IndexNodeId>{ids[1]}));
+  EXPECT_EQ(ig.node(ids[1]).children, (std::vector<IndexNodeId>{ids[0]}));
+}
+
+TEST(IndexGraphTest, ReplaceNodeSinglePartRaisesK) {
+  DataGraph g = MakeGraph({"r", "a"}, {{0, 1}});
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  IndexNodeId a = ig.index_of(1);
+  auto ids = ig.ReplaceNode(a, {{{1}, 5}});
+  EXPECT_EQ(ig.num_nodes(), 2u);
+  EXPECT_EQ(ig.node(ids[0]).k, 5);
+  EXPECT_TRUE(ig.CheckConsistency().ok());
+}
+
+TEST(IndexGraphTest, NumEdgesCountsAliveOnly) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  size_t before = ig.num_edges();
+  IndexNodeId b = ig.index_of(4);
+  ig.ReplaceNode(b, {{{4}, 1}, {{5, 6, 7, 8, 9}, 0}});
+  // a->b4; c,d -> rest; r->a,c,d: total 6 edges again.
+  EXPECT_EQ(before, 6u);
+  EXPECT_EQ(ig.num_edges(), 6u);
+}
+
+TEST(IndexGraphTest, SuccAndPred) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  EXPECT_EQ(ig.Succ({0}), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(ig.Succ({2, 3}), (std::vector<NodeId>{5, 6, 7, 8, 9}));
+  EXPECT_EQ(ig.Pred({4}), (std::vector<NodeId>{1}));
+  EXPECT_EQ(ig.Pred({5, 9}), (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(ig.Succ({}).empty());
+  EXPECT_TRUE(ig.Pred({}).empty());
+}
+
+TEST(IndexGraphTest, AliveNodesSkipsTombstones) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  IndexNodeId b = ig.index_of(4);
+  ig.ReplaceNode(b, {{{4}, 1}, {{5, 6, 7, 8, 9}, 0}});
+  auto alive = ig.AliveNodes();
+  EXPECT_EQ(alive.size(), ig.num_nodes());
+  for (IndexNodeId v : alive) EXPECT_TRUE(ig.alive(v));
+  EXPECT_EQ(std::count(alive.begin(), alive.end(), b), 0);
+}
+
+TEST(IndexGraphTest, CopyIsDeep) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph a = IndexGraph::LabelPartition(g);
+  IndexGraph b = a;
+  b.ReplaceNode(b.index_of(4), {{{4}, 1}, {{5, 6, 7, 8, 9}, 0}});
+  EXPECT_EQ(a.num_nodes(), 5u);
+  EXPECT_EQ(b.num_nodes(), 6u);
+  EXPECT_TRUE(a.CheckConsistency().ok());
+  EXPECT_TRUE(b.CheckConsistency().ok());
+}
+
+TEST(IndexGraphTest, RandomSplitsKeepConsistency) {
+  DataGraph g = RandomGraph(77, 80, 6, 40);
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  Rng rng(5);
+  for (int step = 0; step < 30; ++step) {
+    auto alive = ig.AliveNodes();
+    IndexNodeId v = alive[rng.Below(alive.size())];
+    const auto& extent = ig.node(v).extent;
+    if (extent.size() < 2) continue;
+    // Split off a random nonempty strict subset.
+    std::vector<NodeId> left, right;
+    for (NodeId o : extent) {
+      (rng.Chance(0.5) ? left : right).push_back(o);
+    }
+    if (left.empty() || right.empty()) continue;
+    ig.ReplaceNode(v, {{left, 1}, {right, 0}});
+    ASSERT_TRUE(ig.CheckConsistency().ok()) << ig.CheckConsistency();
+  }
+}
+
+TEST(IndexGraphTest, RefinementStatsCountSplits) {
+  DataGraph g = MakeFigure3Graph();
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  EXPECT_EQ(ig.refinement_stats().splits, 0u);
+  IndexNodeId b = ig.index_of(4);
+  ig.ReplaceNode(b, {{{4}, 1}, {{5, 6, 7, 8, 9}, 0}});
+  EXPECT_EQ(ig.refinement_stats().splits, 1u);
+  EXPECT_EQ(ig.refinement_stats().nodes_created, 1u);
+  EXPECT_EQ(ig.refinement_stats().extent_moves, 6u);
+  // A single-part replace (k relabel) is not a split.
+  ig.ReplaceNode(ig.index_of(4), {{{4}, 2}});
+  EXPECT_EQ(ig.refinement_stats().splits, 1u);
+}
+
+TEST(IndexGraphTest, DebugStringListsAliveNodes) {
+  DataGraph g = MakeGraph({"r", "a"}, {{0, 1}});
+  IndexGraph ig = IndexGraph::LabelPartition(g);
+  std::string dump = ig.DebugString();
+  EXPECT_NE(dump.find("[r,k=0]"), std::string::npos);
+  EXPECT_NE(dump.find("[a,k=0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "index/d_k_index.h"
+#include "index/m_k_index.h"
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure3Graph;
+using mrx::testing::MakeGraph;
+using mrx::testing::MakeOverqualifiedGraph;
+using mrx::testing::RandomGraph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(MkIndexTest, StartsAsA0) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex index(g);
+  EXPECT_EQ(index.graph().num_nodes(), 5u);
+  for (IndexNodeId v : index.graph().AliveNodes()) {
+    EXPECT_EQ(index.graph().node(v).k, 0);
+  }
+}
+
+TEST(MkIndexTest, Figure3RefinementIsCompact) {
+  // The paper's Figure 3(d): refining for r/a/b separates only the
+  // relevant b node {4}; all irrelevant b's stay in one remainder node
+  // with their old similarity.
+  DataGraph g = MakeFigure3Graph();
+  MkIndex index(g);
+  index.Refine(Q(g, "//r/a/b"));
+  EXPECT_TRUE(index.graph().CheckConsistency().ok());
+
+  IndexNodeId b4 = index.graph().index_of(4);
+  EXPECT_EQ(index.graph().node(b4).extent, (std::vector<NodeId>{4}));
+  EXPECT_EQ(index.graph().node(b4).k, 2);
+  IndexNodeId rest = index.graph().index_of(5);
+  EXPECT_EQ(index.graph().node(rest).extent,
+            (std::vector<NodeId>{5, 6, 7, 8, 9}));
+  EXPECT_EQ(index.graph().node(rest).k, 0);
+  // 6 index nodes total (the figure's part (d)) vs D(k)-promote's 7+.
+  EXPECT_EQ(index.graph().num_nodes(), 6u);
+}
+
+TEST(MkIndexTest, SmallerThanDkPromoteOnFigure3) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex mk(g);
+  DkIndex dk(g);
+  PathExpression p = Q(g, "//r/a/b");
+  mk.Refine(p);
+  dk.Promote(p);
+  EXPECT_LT(mk.graph().num_nodes(), dk.graph().num_nodes());
+}
+
+TEST(MkIndexTest, RefinedFupIsPreciseAndExact) {
+  DataGraph g = MakeFigure3Graph();
+  DataEvaluator eval(g);
+  MkIndex index(g);
+  PathExpression p = Q(g, "//r/a/b");
+  index.Refine(p);
+  QueryResult r = index.Query(p);
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.stats.data_nodes_validated, 0u);
+  EXPECT_EQ(r.answer, eval.Evaluate(p));
+}
+
+TEST(MkIndexTest, UnrefinedQueriesStillExactViaValidation) {
+  DataGraph g = MakeFigure3Graph();
+  DataEvaluator eval(g);
+  MkIndex index(g);
+  PathExpression p = Q(g, "//c/b");
+  QueryResult r = index.Query(p);
+  EXPECT_FALSE(r.precise);
+  EXPECT_GT(r.stats.data_nodes_validated, 0u);
+  EXPECT_EQ(r.answer, eval.Evaluate(p));
+}
+
+TEST(MkIndexTest, PropertiesHoldAfterEachRefinement) {
+  DataGraph g = RandomGraph(71, 50, 4, 25);
+  DataEvaluator eval(g);
+  MkIndex index(g);
+  const SymbolTable& symbols = g.symbols();
+  int refined = 0;
+  for (LabelId a = 0; a < symbols.size() && refined < 6; ++a) {
+    for (LabelId b = 0; b < symbols.size() && refined < 6; ++b) {
+      PathExpression p({a, b}, false);
+      if (eval.Evaluate(p).empty()) continue;
+      index.Refine(p);
+      ++refined;
+      ASSERT_TRUE(index.graph().CheckConsistency().ok());
+      ASSERT_TRUE(mrx::testing::ExtentsAreKBisimilar(index.graph()));
+      ASSERT_TRUE(mrx::testing::SatisfiesProperty3(index.graph()));
+    }
+  }
+  EXPECT_GT(refined, 0);
+}
+
+TEST(MkIndexTest, EmptyTargetFupOnlyBreaksFalseInstances) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex index(g);
+  // //d/b/c matches nothing (b has no c child).
+  PathExpression p = Q(g, "//a/b/c");
+  index.Refine(p);
+  EXPECT_TRUE(index.graph().CheckConsistency().ok());
+  QueryResult r = index.Query(p);
+  EXPECT_TRUE(r.answer.empty());
+}
+
+TEST(MkIndexTest, ZeroLengthFupIsNoOp) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex index(g);
+  index.Refine(Q(g, "//b"));
+  EXPECT_EQ(index.graph().num_nodes(), 5u);
+}
+
+TEST(MkIndexTest, IdempotentRefinement) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex index(g);
+  PathExpression p = Q(g, "//r/a/b");
+  index.Refine(p);
+  size_t nodes = index.graph().num_nodes();
+  index.Refine(p);
+  EXPECT_EQ(index.graph().num_nodes(), nodes);
+}
+
+TEST(MkIndexTest, SuffersFromOverqualifiedParents) {
+  // Like D(k)-promote, M(k) splits the 1-bisimilar c's once the b parents
+  // are overqualified (the limitation §4 removes via M*(k)).
+  DataGraph g = MakeOverqualifiedGraph();
+  MkIndex index(g);
+  index.Refine(Q(g, "//r/a/b"));
+  index.Refine(Q(g, "//b/c"));
+  EXPECT_TRUE(index.graph().CheckConsistency().ok());
+  mrx::testing::ReferenceBisimilarity ref(g);
+  EXPECT_TRUE(ref.Bisimilar(5, 6, 1));
+  EXPECT_NE(index.graph().index_of(5), index.graph().index_of(6));
+}
+
+TEST(MkIndexTest, MergeAblationReproducesPromoteBehaviour) {
+  DataGraph g = MakeFigure3Graph();
+  MkIndex merged(g);
+  MkIndex unmerged(g);
+  unmerged.set_merge_unnecessary_splits(false);
+  PathExpression p = Q(g, "//r/a/b");
+  merged.Refine(p);
+  unmerged.Refine(p);
+  // Without the vrest merge, irrelevant b's split by their c/d parents.
+  EXPECT_GT(unmerged.graph().num_nodes(), merged.graph().num_nodes());
+  EXPECT_TRUE(unmerged.graph().CheckConsistency().ok());
+}
+
+TEST(MkIndexTest, LongerFupsRefineAncestorsTransitively) {
+  DataGraph g = MakeGraph(
+      {"r", "s", "a", "a", "b", "b", "c", "c"},
+      {{0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 7}, {0, 1}});
+  DataEvaluator eval(g);
+  MkIndex index(g);
+  PathExpression p = Q(g, "//r/a/b/c");
+  index.Refine(p);
+  EXPECT_TRUE(index.graph().CheckConsistency().ok());
+  EXPECT_TRUE(mrx::testing::ExtentsAreKBisimilar(index.graph()));
+  QueryResult r = index.Query(p);
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.answer, (std::vector<NodeId>{6}));
+  // The b's got separated (their parents differ at level 1 of the FUP).
+  EXPECT_NE(index.graph().index_of(4), index.graph().index_of(5));
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/mrx.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeFigure3Graph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(FupExtractorTest, PromotesAtThreshold) {
+  DataGraph g = MakeFigure3Graph();
+  FupExtractor extractor(FupExtractor::Options{3, 0});
+  PathExpression p = Q(g, "//r/a/b");
+  EXPECT_FALSE(extractor.Observe(p));
+  EXPECT_FALSE(extractor.Observe(p));
+  EXPECT_TRUE(extractor.Observe(p));   // Third observation promotes.
+  EXPECT_FALSE(extractor.Observe(p));  // Promoted only once.
+  EXPECT_EQ(extractor.Frequency(p), 4u);
+  ASSERT_EQ(extractor.fups().size(), 1u);
+  EXPECT_TRUE(extractor.fups()[0] == p);
+}
+
+TEST(FupExtractorTest, DistinguishesQueries) {
+  DataGraph g = MakeFigure3Graph();
+  FupExtractor extractor(FupExtractor::Options{2, 0});
+  EXPECT_FALSE(extractor.Observe(Q(g, "//r/a")));
+  EXPECT_FALSE(extractor.Observe(Q(g, "//r/c")));
+  EXPECT_FALSE(extractor.Observe(Q(g, "/r/a")));  // Anchored is distinct.
+  EXPECT_TRUE(extractor.Observe(Q(g, "//r/a")));
+  EXPECT_EQ(extractor.num_tracked(), 3u);
+}
+
+TEST(FupExtractorTest, IgnoresSingleLabelQueries) {
+  DataGraph g = MakeFigure3Graph();
+  FupExtractor extractor(FupExtractor::Options{1, 0});
+  EXPECT_FALSE(extractor.Observe(Q(g, "//b")));
+  EXPECT_FALSE(extractor.Observe(Q(g, "//b")));
+  EXPECT_TRUE(extractor.fups().empty());
+}
+
+TEST(FupExtractorTest, TrackingCapHolds) {
+  DataGraph g = MakeFigure3Graph();
+  FupExtractor extractor(FupExtractor::Options{1, 2});
+  EXPECT_TRUE(extractor.Observe(Q(g, "//r/a")));
+  EXPECT_TRUE(extractor.Observe(Q(g, "//r/c")));
+  // Table is full; new queries are not tracked.
+  EXPECT_FALSE(extractor.Observe(Q(g, "//r/d")));
+  EXPECT_EQ(extractor.num_tracked(), 2u);
+  // Already-tracked queries keep counting.
+  EXPECT_EQ(extractor.Frequency(Q(g, "//r/a")), 1u);
+}
+
+TEST(FupExtractorTest, MinFrequencyOneRefinesImmediately) {
+  DataGraph g = MakeFigure3Graph();
+  FupExtractor extractor(FupExtractor::Options{1, 0});
+  EXPECT_TRUE(extractor.Observe(Q(g, "//r/a/b")));
+}
+
+TEST(SessionTest, RefinesAfterThresholdAndBecomesPrecise) {
+  DataGraph g = MakeFigure3Graph();
+  SessionOptions options;
+  options.refine_after = 2;
+  AdaptiveIndexSession session(g, options);
+  PathExpression p = Q(g, "//r/a/b");
+
+  QueryResult first = session.Query(p);
+  EXPECT_FALSE(first.precise);  // Still the A(0) index.
+  EXPECT_EQ(first.answer, (std::vector<NodeId>{4}));
+  EXPECT_EQ(session.index().num_components(), 1u);
+
+  QueryResult second = session.Query(p);  // Promotion happens here.
+  EXPECT_TRUE(second.precise);
+  EXPECT_EQ(second.answer, (std::vector<NodeId>{4}));
+  EXPECT_EQ(session.index().num_components(), 3u);
+  EXPECT_EQ(session.queries_answered(), 2u);
+  EXPECT_GT(session.cumulative_stats().total(), 0u);
+}
+
+TEST(SessionTest, PeekDoesNotObserve) {
+  DataGraph g = MakeFigure3Graph();
+  SessionOptions options;
+  options.refine_after = 1;
+  AdaptiveIndexSession session(g, options);
+  PathExpression p = Q(g, "//r/a/b");
+  session.Peek(p);
+  session.Peek(p);
+  EXPECT_EQ(session.index().num_components(), 1u);
+  EXPECT_EQ(session.queries_answered(), 0u);
+  session.Query(p);
+  EXPECT_EQ(session.index().num_components(), 3u);
+}
+
+TEST(SessionTest, ManualRefine) {
+  DataGraph g = MakeFigure3Graph();
+  AdaptiveIndexSession session(g);
+  session.Refine(Q(g, "//r/a/b"));
+  EXPECT_TRUE(session.Peek(Q(g, "//r/a/b")).precise);
+}
+
+TEST(SessionTest, StrategiesAllAnswerExactly) {
+  DataGraph g = MakeFigure1Graph();
+  DataEvaluator eval(g);
+  PathExpression p = Q(g, "//site/people/person");
+  for (auto strategy :
+       {SessionOptions::Strategy::kTopDown, SessionOptions::Strategy::kNaive,
+        SessionOptions::Strategy::kBottomUp,
+        SessionOptions::Strategy::kHybrid,
+        SessionOptions::Strategy::kAuto}) {
+    SessionOptions options;
+    options.strategy = strategy;
+    options.refine_after = 1;
+    AdaptiveIndexSession session(g, options);
+    EXPECT_EQ(session.Query(p).answer, eval.Evaluate(p));
+    EXPECT_EQ(session.Query(p).answer, eval.Evaluate(p));
+  }
+}
+
+TEST(SessionTest, ResultCacheServesRepeats) {
+  DataGraph g = MakeFigure1Graph();
+  SessionOptions options;
+  options.cache_results = true;
+  options.refine_after = 100;  // No refinement in this test.
+  AdaptiveIndexSession session(g, options);
+  PathExpression p = Q(g, "//site/people/person");
+
+  QueryResult cold = session.Query(p);
+  EXPECT_GT(cold.stats.total(), 0u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+
+  QueryResult warm = session.Query(p);
+  EXPECT_EQ(session.cache_hits(), 1u);
+  EXPECT_EQ(warm.answer, cold.answer);
+  EXPECT_EQ(warm.stats.total(), 0u);  // Served from cache.
+}
+
+TEST(SessionTest, CacheInvalidatedByRefinement) {
+  DataGraph g = MakeFigure1Graph();
+  SessionOptions options;
+  options.cache_results = true;
+  options.refine_after = 2;
+  AdaptiveIndexSession session(g, options);
+  PathExpression p = Q(g, "//site/people/person");
+  session.Query(p);                      // Cold, cached.
+  QueryResult r = session.Query(p);      // Promotion -> cache cleared.
+  EXPECT_EQ(session.cache_hits(), 0u);
+  EXPECT_TRUE(r.precise);
+  QueryResult hit = session.Query(p);    // Re-cached, now a hit.
+  EXPECT_EQ(session.cache_hits(), 1u);
+  EXPECT_EQ(hit.answer, r.answer);
+}
+
+TEST(SessionTest, CacheEvictsOldestAtCapacity) {
+  DataGraph g = MakeFigure1Graph();
+  SessionOptions options;
+  options.cache_results = true;
+  options.cache_capacity = 2;
+  options.refine_after = 100;
+  AdaptiveIndexSession session(g, options);
+  PathExpression a = Q(g, "//person");
+  PathExpression b = Q(g, "//item");
+  PathExpression c = Q(g, "//bidder");
+  session.Query(a);
+  session.Query(b);
+  session.Query(c);  // Evicts a.
+  session.Query(b);  // Hit.
+  EXPECT_EQ(session.cache_hits(), 1u);
+  session.Query(a);  // Miss (was evicted).
+  EXPECT_EQ(session.cache_hits(), 1u);
+}
+
+TEST(SessionTest, FullWorkloadDrivesCostDown) {
+  DataGraph g = MakeFigure1Graph();
+  SessionOptions options;
+  options.refine_after = 2;
+  AdaptiveIndexSession session(g, options);
+  PathExpression p = Q(g, "//site/auctions/auction/bidder/person");
+  uint64_t cold = session.Query(p).stats.total();
+  session.Query(p);  // Triggers refinement.
+  uint64_t warm = session.Query(p).stats.total();
+  EXPECT_LT(warm, cold);
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/statistics.h"
+#include "harness/datasets.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+
+TEST(StatisticsTest, SimpleTree) {
+  //   r
+  //  / \
+  // a   b
+  // |
+  // c
+  DataGraph g = MakeGraph({"r", "a", "b", "c"}, {{0, 1}, {0, 2}, {1, 3}});
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.num_reference_edges, 0u);
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.unreachable_by_containment, 0u);
+  EXPECT_EQ(stats.referenced_node_fraction, 0.0);
+  // avg depth over reachable: (0+1+1+2)/4 = 1.
+  EXPECT_DOUBLE_EQ(stats.avg_depth, 1.0);
+}
+
+TEST(StatisticsTest, ReferenceEdgesDoNotAffectDepth) {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddNode("a");
+  b.AddNode("b");
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2, EdgeKind::kReference);  // Shortcut, must not shrink depth.
+  DataGraph g = std::move(std::move(b).Build()).value();
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_EQ(stats.num_reference_edges, 1u);
+  EXPECT_NEAR(stats.referenced_node_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(StatisticsTest, MultiContextLabels) {
+  // c appears under both a and b; d only under a.
+  DataGraph g = MakeGraph({"r", "a", "b", "c", "c", "d"},
+                          {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {1, 5}});
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.labels_in_multiple_contexts, 1u);
+}
+
+TEST(StatisticsTest, Figure1) {
+  DataGraph g = MakeFigure1Graph();
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.num_nodes, 21u);
+  EXPECT_EQ(stats.num_reference_edges, 6u);
+  EXPECT_EQ(stats.max_depth, 4u);  // root/site/auctions/auction/seller
+  // person and item are referenced.
+  EXPECT_GT(stats.referenced_node_fraction, 0.0);
+}
+
+TEST(StatisticsTest, PrintRendersAllFields) {
+  DataGraph g = MakeFigure1Graph();
+  std::ostringstream os;
+  PrintStatistics(os, ComputeStatistics(g));
+  std::string text = os.str();
+  EXPECT_NE(text.find("nodes: 21"), std::string::npos);
+  EXPECT_NE(text.find("reference"), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+}
+
+TEST(StatisticsTest, DatasetsMatchPaperDescription) {
+  // §5: "The NASA DTD is deeper, broader, has a more irregular structure,
+  // and contains more references than the XMark DTD."
+  auto xmark = harness::BuildXMarkGraph(0.05);
+  auto nasa = harness::BuildNasaGraph(0.05);
+  ASSERT_TRUE(xmark.ok());
+  ASSERT_TRUE(nasa.ok());
+  GraphStatistics xs = ComputeStatistics(*xmark);
+  GraphStatistics ns = ComputeStatistics(*nasa);
+  // Deeper.
+  EXPECT_GT(ns.max_depth, xs.max_depth);
+  // More references, relative to size.
+  EXPECT_GT(
+      static_cast<double>(ns.num_reference_edges) / ns.num_nodes,
+      static_cast<double>(xs.num_reference_edges) / xs.num_nodes);
+  // Label reuse across contexts (the "name in seven contexts" effect).
+  EXPECT_GT(ns.labels_in_multiple_contexts, 3u);
+  // Both datasets have reference-rich graph structure.
+  EXPECT_GT(xs.referenced_node_fraction, 0.01);
+  EXPECT_GT(ns.referenced_node_fraction, 0.01);
+}
+
+}  // namespace
+}  // namespace mrx

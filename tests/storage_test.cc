@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include "harness/datasets.h"
+#include "index/m_star_index.h"
+#include "query/data_evaluator.h"
+#include "storage/binary_io.h"
+#include "storage/disk_m_star_index.h"
+#include "storage/graph_io.h"
+#include "storage/index_io.h"
+#include "tests/test_util.h"
+
+namespace mrx::storage {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeFigure3Graph;
+using mrx::testing::RandomGraph;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(BinaryIoTest, VarintRoundTrip) {
+  BinaryWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, ~0ULL};
+  for (uint64_t v : values) w.PutVarint(v);
+  BinaryReader r(w.buffer());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, SignedVarintRoundTrip) {
+  BinaryWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, -100000, 1LL << 40,
+                            -(1LL << 40)};
+  for (int64_t v : values) w.PutSignedVarint(v);
+  BinaryReader r(w.buffer());
+  for (int64_t v : values) {
+    auto got = r.GetSignedVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(BinaryIoTest, StringAndFixedRoundTrip) {
+  BinaryWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutFixed32(0xDEADBEEF);
+  w.PutFixed64(0x0123456789ABCDEFULL);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetFixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetFixed64(), 0x0123456789ABCDEFULL);
+}
+
+TEST(BinaryIoTest, TruncationIsAnError) {
+  BinaryWriter w;
+  w.PutVarint(1u << 30);
+  std::string bytes = w.TakeBuffer();
+  BinaryReader r(std::string_view(bytes).substr(0, bytes.size() - 1));
+  EXPECT_FALSE(r.GetVarint().ok());
+
+  BinaryReader r2("\x05" "ab");  // String claims 5 bytes, has 2.
+  EXPECT_FALSE(r2.GetString().ok());
+}
+
+TEST(BinaryIoTest, ChecksumDetectsFlips) {
+  std::string data = "some index bytes";
+  uint64_t sum = Checksum(data);
+  data[3] ^= 1;
+  EXPECT_NE(Checksum(data), sum);
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  DataGraph original = MakeFigure1Graph();
+  std::string blob = SerializeDataGraph(original);
+  auto loaded = DeserializeDataGraph(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->num_reference_edges(), original.num_reference_edges());
+  EXPECT_EQ(loaded->root(), original.root());
+  for (NodeId n = 0; n < original.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->label_name(n), original.label_name(n));
+    auto a = original.children(n);
+    auto b = loaded->children(n);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(original.child_kinds(n)[i], loaded->child_kinds(n)[i]);
+    }
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  DataGraph g = RandomGraph(7, 50, 5, 25);
+  std::string path = TempPath("mrx_graph_io_test.mrxg");
+  ASSERT_TRUE(SaveDataGraphToFile(g, path).ok());
+  auto loaded = LoadDataGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CorruptionIsDetected) {
+  DataGraph g = MakeFigure3Graph();
+  std::string blob = SerializeDataGraph(g);
+  EXPECT_FALSE(DeserializeDataGraph("XXXX" + blob.substr(4)).ok());
+  std::string flipped = blob;
+  flipped[flipped.size() / 2] ^= 0x40;
+  auto r = DeserializeDataGraph(flipped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(DeserializeDataGraph(blob.substr(0, blob.size() - 3)).ok());
+}
+
+TEST(IndexIoTest, RoundTripPreservesComponents) {
+  DataGraph g = MakeFigure1Graph();
+  MStarIndex index(g);
+  index.Refine(Q(g, "//site/people/person"));
+  index.Refine(Q(g, "//auction/seller/person"));
+  ASSERT_TRUE(index.CheckProperties().ok());
+
+  std::string bytes = SerializeMStarIndex(index);
+  auto loaded = DeserializeMStarIndex(g, bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_components(), index.num_components());
+  for (size_t i = 0; i < index.num_components(); ++i) {
+    EXPECT_EQ(loaded->component(i).num_nodes(),
+              index.component(i).num_nodes());
+    EXPECT_EQ(loaded->component(i).num_edges(),
+              index.component(i).num_edges());
+    // Same partition: each data node's extent-mates coincide.
+    for (NodeId o = 0; o < g.num_nodes(); ++o) {
+      EXPECT_EQ(
+          loaded->component(i).node(loaded->component(i).index_of(o)).extent,
+          index.component(i).node(index.component(i).index_of(o)).extent);
+      EXPECT_EQ(
+          loaded->component(i).node(loaded->component(i).index_of(o)).k,
+          index.component(i).node(index.component(i).index_of(o)).k);
+    }
+  }
+  EXPECT_EQ(loaded->PhysicalNodeCount(), index.PhysicalNodeCount());
+  EXPECT_EQ(loaded->PhysicalEdgeCount(), index.PhysicalEdgeCount());
+}
+
+TEST(IndexIoTest, LoadedIndexAnswersQueries) {
+  DataGraph g = MakeFigure1Graph();
+  DataEvaluator eval(g);
+  MStarIndex index(g);
+  PathExpression fup = Q(g, "//site/people/person");
+  index.Refine(fup);
+  std::string path = TempPath("mrx_index_io_test.mrxs");
+  ASSERT_TRUE(SaveMStarIndexToFile(index, path).ok());
+  auto loaded = LoadMStarIndexFromFile(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  QueryResult r = loaded->QueryTopDown(fup);
+  EXPECT_TRUE(r.precise);
+  EXPECT_EQ(r.answer, eval.Evaluate(fup));
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, ChecksumMismatchIsDetected) {
+  DataGraph g = MakeFigure3Graph();
+  MStarIndex index(g);
+  index.Refine(Q(g, "//r/a/b"));
+  std::string bytes = SerializeMStarIndex(index);
+  bytes.back() ^= 0x01;  // Corrupt the last component blob.
+  EXPECT_FALSE(DeserializeMStarIndex(g, bytes).ok());
+}
+
+TEST(IndexIoTest, WrongGraphIsRejected) {
+  DataGraph g = MakeFigure3Graph();
+  MStarIndex index(g);
+  index.Refine(Q(g, "//r/a/b"));
+  std::string bytes = SerializeMStarIndex(index);
+  DataGraph other = RandomGraph(3, 5, 2, 2);  // Far fewer nodes.
+  EXPECT_FALSE(DeserializeMStarIndex(other, bytes).ok());
+}
+
+TEST(DiskMStarIndexTest, LoadsComponentsLazily) {
+  DataGraph g = MakeFigure1Graph();
+  DataEvaluator eval(g);
+  MStarIndex index(g);
+  index.Refine(Q(g, "//root/site/auctions/auction/seller/person"));
+  ASSERT_EQ(index.num_components(), 6u);
+
+  std::string path = TempPath("mrx_disk_index_test.mrxs");
+  ASSERT_TRUE(SaveMStarIndexToFile(index, path).ok());
+  auto disk = DiskMStarIndex::Open(g, path);
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  EXPECT_EQ(disk->num_components(), 6u);
+  EXPECT_EQ(disk->components_loaded(), 0u);
+
+  // A single-label query touches only I0.
+  auto r0 = disk->QueryTopDown(Q(g, "//person"));
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(disk->components_loaded(), 1u);
+  EXPECT_EQ(r0->answer, eval.Evaluate(Q(g, "//person")));
+
+  // A length-1 query additionally pulls in I1.
+  auto r2 = disk->QueryTopDown(Q(g, "//people/person"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(disk->components_loaded(), 2u);
+  EXPECT_EQ(r2->answer, eval.Evaluate(Q(g, "//people/person")));
+
+  // Re-running does not reload.
+  ASSERT_TRUE(disk->QueryTopDown(Q(g, "//people/person")).ok());
+  EXPECT_EQ(disk->components_loaded(), 2u);
+
+  // The refined FUP needs every component and stays exact and precise.
+  PathExpression fup = Q(g, "//root/site/auctions/auction/seller/person");
+  auto rf = disk->QueryTopDown(fup);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(disk->components_loaded(), 6u);
+  EXPECT_TRUE(rf->precise);
+  EXPECT_EQ(rf->answer, eval.Evaluate(fup));
+  std::remove(path.c_str());
+}
+
+TEST(DiskMStarIndexTest, NaiveLoadsOneComponent) {
+  DataGraph g = MakeFigure3Graph();
+  MStarIndex index(g);
+  index.Refine(Q(g, "//r/a/b"));
+  std::string path = TempPath("mrx_disk_naive_test.mrxs");
+  ASSERT_TRUE(SaveMStarIndexToFile(index, path).ok());
+  auto disk = DiskMStarIndex::Open(g, path);
+  ASSERT_TRUE(disk.ok());
+  auto r = disk->QueryNaive(Q(g, "//r/a/b"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(disk->components_loaded(), 1u);  // Only I2.
+  EXPECT_EQ(r->answer, (std::vector<NodeId>{4}));
+  std::remove(path.c_str());
+}
+
+TEST(DiskMStarIndexTest, MatchesInMemoryAnswersOnGeneratedData) {
+  auto g = harness::BuildXMarkGraph(0.02);
+  ASSERT_TRUE(g.ok());
+  DataEvaluator eval(*g);
+  MStarIndex index(*g);
+  std::vector<PathExpression> queries;
+  for (const char* text :
+       {"//open_auction/seller/person", "//regions/africa/item",
+        "//person/watches/watch/open_auction", "//item/incategory/category"}) {
+    queries.push_back(Q(*g, text));
+  }
+  for (const auto& q : queries) index.Refine(q);
+  std::string path = TempPath("mrx_disk_xmark_test.mrxs");
+  ASSERT_TRUE(SaveMStarIndexToFile(index, path).ok());
+  auto disk = DiskMStarIndex::Open(*g, path);
+  ASSERT_TRUE(disk.ok());
+  for (const auto& q : queries) {
+    auto r = disk->QueryTopDown(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->answer, eval.Evaluate(q));
+    EXPECT_EQ(r->answer, index.QueryTopDown(q).answer);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskMStarIndexTest, OpenRejectsGarbage) {
+  std::string path = TempPath("mrx_disk_garbage_test.mrxs");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an index container at all";
+  }
+  DataGraph g = MakeFigure3Graph();
+  EXPECT_FALSE(DiskMStarIndex::Open(g, path).ok());
+  EXPECT_FALSE(DiskMStarIndex::Open(g, TempPath("does_not_exist")).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrx::storage

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "harness/datasets.h"
+#include "index/strategy_chooser.h"
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+#include "workload/label_paths.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeFigure3Graph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(StrategyChooserTest, AnchoredAlwaysTopDown) {
+  DataGraph g = MakeFigure3Graph();
+  MStarIndex index(g);
+  StrategyChooser chooser(index);
+  EXPECT_EQ(chooser.Choose(Q(g, "/r/a/b")), MStarQueryStrategy::kTopDown);
+}
+
+TEST(StrategyChooserTest, DescendantAxisAlwaysNaive) {
+  DataGraph g = MakeFigure3Graph();
+  MStarIndex index(g);
+  StrategyChooser chooser(index);
+  EXPECT_EQ(chooser.Choose(Q(g, "//r//b")), MStarQueryStrategy::kNaive);
+}
+
+TEST(StrategyChooserTest, EstimatesAreFiniteAndOrdered) {
+  DataGraph g = MakeFigure1Graph();
+  MStarIndex index(g);
+  index.Refine(Q(g, "//site/auctions/auction/seller/person"));
+  StrategyChooser chooser(index);
+  PathExpression p = Q(g, "//site/auctions/auction/seller/person");
+  for (MStarQueryStrategy s :
+       {MStarQueryStrategy::kNaive, MStarQueryStrategy::kTopDown,
+        MStarQueryStrategy::kBottomUp, MStarQueryStrategy::kHybrid}) {
+    EXPECT_GE(chooser.EstimateCost(p, s), 0.0);
+  }
+  // Bottom-up's downward-check penalty makes it the most expensive
+  // estimate for a long path whose labels appear throughout.
+  EXPECT_GT(chooser.EstimateCost(p, MStarQueryStrategy::kBottomUp),
+            chooser.EstimateCost(p, MStarQueryStrategy::kTopDown));
+}
+
+TEST(StrategyChooserTest, AutoAnswersAreExact) {
+  DataGraph g = MakeFigure1Graph();
+  DataEvaluator eval(g);
+  MStarIndex index(g);
+  index.Refine(Q(g, "//site/people/person"));
+  for (const char* text :
+       {"//person", "//site/people/person", "//auction/seller/person",
+        "//site//item", "/root/site", "//site/regions/*/item"}) {
+    PathExpression p = Q(g, text);
+    EXPECT_EQ(StrategyChooser::QueryAuto(index, p).answer, eval.Evaluate(p))
+        << text;
+  }
+}
+
+TEST(StrategyChooserTest, AutoIsCompetitiveOnGeneratedWorkload) {
+  auto g = harness::BuildXMarkGraph(0.05);
+  ASSERT_TRUE(g.ok());
+  LabelPathEnumerationOptions eo;
+  eo.max_length = 9;
+  auto paths = EnumerateLabelPaths(*g, eo);
+  WorkloadOptions wo;
+  wo.num_queries = 120;
+  wo.max_query_length = 9;
+  auto workload = GenerateWorkload(paths, wo);
+
+  MStarIndex index(*g);
+  for (const auto& q : workload) index.Refine(q);
+  StrategyChooser chooser(index);
+
+  uint64_t auto_cost = 0;
+  uint64_t best_cost = 0;
+  uint64_t topdown_cost = 0;
+  for (const auto& q : workload) {
+    uint64_t naive = index.QueryNaive(q).stats.total();
+    uint64_t topdown = index.QueryTopDown(q).stats.total();
+    uint64_t bottomup = index.QueryBottomUp(q).stats.total();
+    uint64_t hybrid = index.QueryHybrid(q).stats.total();
+    best_cost += std::min({naive, topdown, bottomup, hybrid});
+    topdown_cost += topdown;
+    switch (chooser.Choose(q)) {
+      case MStarQueryStrategy::kNaive:
+        auto_cost += naive;
+        break;
+      case MStarQueryStrategy::kTopDown:
+        auto_cost += topdown;
+        break;
+      case MStarQueryStrategy::kBottomUp:
+        auto_cost += bottomup;
+        break;
+      case MStarQueryStrategy::kHybrid:
+        auto_cost += hybrid;
+        break;
+    }
+  }
+  // The chooser must not be a disaster: within 2x of the per-query best,
+  // and no worse than always-top-down by more than 25%.
+  EXPECT_LE(auto_cost, best_cost * 2);
+  EXPECT_LE(auto_cost, topdown_cost + topdown_cost / 4);
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+#include "workload/label_paths.h"
+
+namespace mrx {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+
+TEST(LabelPathsTest, EnumeratesExactRootedPaths) {
+  //     r
+  //    / \
+  //   a   b
+  //   |   |
+  //   c   c
+  DataGraph g = MakeGraph({"r", "a", "b", "c", "c"},
+                          {{0, 1}, {0, 2}, {1, 3}, {2, 4}});
+  LabelPathEnumerationOptions options;
+  options.max_length = 9;
+  LabelPathSet set = EnumerateLabelPaths(g, options);
+  EXPECT_FALSE(set.truncated);
+  std::set<std::string> rendered;
+  for (const auto& path : set.paths) {
+    std::string s;
+    for (LabelId l : path) {
+      if (!s.empty()) s += '/';
+      s += g.symbols().Name(l);
+    }
+    rendered.insert(s);
+  }
+  EXPECT_EQ(rendered, (std::set<std::string>{"r", "r/a", "r/b", "r/a/c",
+                                             "r/b/c"}));
+}
+
+TEST(LabelPathsTest, RespectsMaxLength) {
+  DataGraph g = MakeGraph({"r", "a", "b", "c"}, {{0, 1}, {1, 2}, {2, 3}});
+  LabelPathEnumerationOptions options;
+  options.max_length = 1;
+  LabelPathSet set = EnumerateLabelPaths(g, options);
+  for (const auto& path : set.paths) EXPECT_LE(path.size(), 2u);
+  EXPECT_EQ(set.paths.size(), 2u);  // r, r/a
+}
+
+TEST(LabelPathsTest, CyclesAreBoundedByLength) {
+  DataGraph g = MakeGraph({"r", "a", "b"}, {{0, 1}, {1, 2}, {2, 1}});
+  LabelPathEnumerationOptions options;
+  options.max_length = 5;
+  LabelPathSet set = EnumerateLabelPaths(g, options);
+  // r, r/a, r/a/b, r/a/b/a, r/a/b/a/b, r/a/b/a/b/a — one per length.
+  EXPECT_EQ(set.paths.size(), 6u);
+}
+
+TEST(LabelPathsTest, TruncationCapHolds) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathEnumerationOptions options;
+  options.max_length = 9;
+  options.max_paths = 10;
+  LabelPathSet set = EnumerateLabelPaths(g, options);
+  EXPECT_TRUE(set.truncated);
+  EXPECT_EQ(set.paths.size(), 10u);
+}
+
+TEST(LabelPathsTest, EveryEnumeratedPathHasInstances) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathEnumerationOptions options;
+  options.max_length = 6;
+  LabelPathSet set = EnumerateLabelPaths(g, options);
+  EXPECT_FALSE(set.truncated);
+  DataEvaluator eval(g);
+  for (const auto& labels : set.paths) {
+    PathExpression p(labels, /*anchored=*/false);
+    EXPECT_FALSE(eval.Evaluate(p).empty())
+        << p.ToString(g.symbols()) << " has no instance";
+  }
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathSet paths = EnumerateLabelPaths(g, {});
+  WorkloadOptions options;
+  options.num_queries = 123;
+  auto queries = GenerateWorkload(paths, options);
+  EXPECT_EQ(queries.size(), 123u);
+}
+
+TEST(WorkloadTest, RespectsMaxQueryLength) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathSet paths = EnumerateLabelPaths(g, {});
+  WorkloadOptions options;
+  options.num_queries = 400;
+  options.max_query_length = 4;
+  for (const PathExpression& q : GenerateWorkload(paths, options)) {
+    EXPECT_LE(q.length(), 4u);
+    EXPECT_FALSE(q.anchored());
+  }
+}
+
+TEST(WorkloadTest, QueriesAreSubsequencesOfRealPaths) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathSet paths = EnumerateLabelPaths(g, {});
+  WorkloadOptions options;
+  options.num_queries = 200;
+  DataEvaluator eval(g);
+  for (const PathExpression& q : GenerateWorkload(paths, options)) {
+    EXPECT_FALSE(eval.Evaluate(q).empty()) << q.ToString(g.symbols());
+  }
+}
+
+TEST(WorkloadTest, ShortQueriesDominate) {
+  // The paper's Figures 8-9: random start positions bias toward short
+  // queries.
+  DataGraph g = MakeFigure1Graph();
+  LabelPathSet paths = EnumerateLabelPaths(g, {});
+  WorkloadOptions options;
+  options.num_queries = 2000;
+  auto queries = GenerateWorkload(paths, options);
+  auto hist = QueryLengthHistogram(queries, options.max_query_length);
+  EXPECT_EQ(hist.size(), 10u);
+  double total = 0;
+  for (double f : hist) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Length 0 is the most common bucket and lengths decay overall.
+  EXPECT_GT(hist[0], hist[3]);
+  EXPECT_GT(hist[1], hist[5]);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathSet paths = EnumerateLabelPaths(g, {});
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.seed = 77;
+  auto a = GenerateWorkload(paths, options);
+  auto b = GenerateWorkload(paths, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  options.seed = 78;
+  auto c = GenerateWorkload(paths, options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, EmptyPathSetYieldsNoQueries) {
+  LabelPathSet empty;
+  EXPECT_TRUE(GenerateWorkload(empty, {}).empty());
+}
+
+TEST(WorkloadTest, HistogramOfEmptyWorkloadIsZero) {
+  auto hist = QueryLengthHistogram({}, 4);
+  for (double f : hist) EXPECT_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "datagen/nasa.h"
+#include "datagen/xmark.h"
+#include "tests/test_util.h"
+#include "xml/graph_builder.h"
+#include "query/data_evaluator.h"
+#include "xml/writer.h"
+
+namespace mrx::xml {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+using mrx::testing::MakeGraph;
+
+/// Structural equality of two data graphs: same labels, root, and edge
+/// sets (ids included — the writer preserves document order).
+::testing::AssertionResult SameGraph(const DataGraph& a,
+                                     const DataGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return ::testing::AssertionFailure()
+           << "node counts " << a.num_nodes() << " vs " << b.num_nodes();
+  }
+  if (a.root() != b.root()) {
+    return ::testing::AssertionFailure() << "roots differ";
+  }
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    if (a.label_name(n) != b.label_name(n)) {
+      return ::testing::AssertionFailure()
+             << "label of " << n << ": " << a.label_name(n) << " vs "
+             << b.label_name(n);
+    }
+    auto ka = a.children(n);
+    auto kb = b.children(n);
+    if (std::vector<NodeId>(ka.begin(), ka.end()) !=
+        std::vector<NodeId>(kb.begin(), kb.end())) {
+      return ::testing::AssertionFailure() << "children of " << n
+                                           << " differ";
+    }
+    for (size_t i = 0; i < ka.size(); ++i) {
+      if (a.child_kinds(n)[i] != b.child_kinds(n)[i]) {
+        return ::testing::AssertionFailure()
+               << "edge kind differs at " << n << "[" << i << "]";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(XmlWriterTest, SimpleTreeRoundTrip) {
+  auto g = BuildGraphFromXml("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(g.ok());
+  auto text = WriteGraphAsXml(*g);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = BuildGraphFromXml(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(SameGraph(*g, *reparsed));
+}
+
+TEST(XmlWriterTest, ReferencesRoundTrip) {
+  auto g = BuildGraphFromXml(
+      "<site><person id=\"p0\"/><person id=\"p1\"/>"
+      "<bidder person=\"p0\"/>"
+      "<watch a=\"p0\" b=\"p1\"/></site>");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_reference_edges(), 3u);
+  auto text = WriteGraphAsXml(*g);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = BuildGraphFromXml(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(SameGraph(*g, *reparsed));
+}
+
+TEST(XmlWriterTest, Figure1RoundTripIsEquivalent) {
+  // The figure graph is hand-built in level order, so node ids are
+  // renumbered into document order by the round trip; the structures must
+  // still be equivalent: same label census, edge counts, and query
+  // answers by label.
+  DataGraph g = MakeFigure1Graph();
+  auto text = WriteGraphAsXml(g);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = BuildGraphFromXml(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->num_nodes(), g.num_nodes());
+  EXPECT_EQ(reparsed->num_edges(), g.num_edges());
+  EXPECT_EQ(reparsed->num_reference_edges(), g.num_reference_edges());
+  DataEvaluator eval_a(g);
+  DataEvaluator eval_b(*reparsed);
+  for (const char* text_query :
+       {"//site/people/person", "//auction/seller/person",
+        "//site/regions/*/item", "//site//item"}) {
+    auto pa = PathExpression::Parse(text_query, g.symbols());
+    auto pb = PathExpression::Parse(text_query, reparsed->symbols());
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    EXPECT_EQ(eval_a.Evaluate(*pa).size(), eval_b.Evaluate(*pb).size())
+        << text_query;
+  }
+}
+
+TEST(XmlWriterTest, GeneratedDatasetsRoundTrip) {
+  {
+    auto doc = datagen::GenerateXMarkDocument(
+        datagen::XMarkOptions::Scaled(0.01));
+    auto g = BuildGraphFromXml(doc);
+    ASSERT_TRUE(g.ok());
+    auto text = WriteGraphAsXml(*g);
+    ASSERT_TRUE(text.ok()) << text.status();
+    auto reparsed = BuildGraphFromXml(*text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_TRUE(SameGraph(*g, *reparsed));
+  }
+  {
+    auto doc = datagen::GenerateNasaDocument(0.01, 5);
+    ASSERT_TRUE(doc.ok());
+    auto g = BuildGraphFromXml(*doc);
+    ASSERT_TRUE(g.ok());
+    auto text = WriteGraphAsXml(*g);
+    ASSERT_TRUE(text.ok()) << text.status();
+    auto reparsed = BuildGraphFromXml(*text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_TRUE(SameGraph(*g, *reparsed));
+  }
+}
+
+TEST(XmlWriterTest, NonTreeContainmentIsRejected) {
+  // Two regular parents for node 2.
+  DataGraph g = MakeGraph({"r", "a", "b"}, {{0, 1}, {0, 2}, {1, 2}});
+  auto text = WriteGraphAsXml(g);
+  EXPECT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(XmlWriterTest, CompactModeHasNoNewlinesInside) {
+  auto g = BuildGraphFromXml("<a><b/></a>");
+  ASSERT_TRUE(g.ok());
+  XmlWriteOptions options;
+  options.indent = false;
+  auto text = WriteGraphAsXml(*g, options);
+  ASSERT_TRUE(text.ok());
+  // Only the declaration line break.
+  EXPECT_EQ(std::count(text->begin(), text->end(), '\n'), 1);
+}
+
+TEST(XmlWriterTest, CustomAttributeNames) {
+  auto g = BuildGraphFromXml(
+      "<r><a id=\"x\"/><b ref=\"x\"/></r>");
+  ASSERT_TRUE(g.ok());
+  XmlWriteOptions options;
+  options.id_attribute = "oid";
+  options.ref_attribute = "link";
+  auto text = WriteGraphAsXml(*g, options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("oid=\""), std::string::npos);
+  EXPECT_NE(text->find("link=\""), std::string::npos);
+  GraphBuildOptions parse_options;
+  parse_options.id_attribute = "oid";
+  auto reparsed = BuildGraphFromXml(*text, parse_options);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_reference_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace mrx::xml
