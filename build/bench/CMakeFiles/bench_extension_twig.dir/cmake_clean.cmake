@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_twig.dir/bench_extension_twig.cc.o"
+  "CMakeFiles/bench_extension_twig.dir/bench_extension_twig.cc.o.d"
+  "bench_extension_twig"
+  "bench_extension_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

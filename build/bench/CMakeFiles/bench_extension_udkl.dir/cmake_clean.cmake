@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_udkl.dir/bench_extension_udkl.cc.o"
+  "CMakeFiles/bench_extension_udkl.dir/bench_extension_udkl.cc.o.d"
+  "bench_extension_udkl"
+  "bench_extension_udkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_udkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_17_growth_nasa_len9.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_24_growth_xmark_len4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig25_26_growth_nasa_len4.
+# This may be replaced when dependencies are built.

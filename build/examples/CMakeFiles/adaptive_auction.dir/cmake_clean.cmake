@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_auction.dir/adaptive_auction.cpp.o"
+  "CMakeFiles/adaptive_auction.dir/adaptive_auction.cpp.o.d"
+  "adaptive_auction"
+  "adaptive_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_search.dir/twig_search.cpp.o"
+  "CMakeFiles/twig_search.dir/twig_search.cpp.o.d"
+  "twig_search"
+  "twig_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_core.dir/session.cc.o"
+  "CMakeFiles/mrx_core.dir/session.cc.o.d"
+  "libmrx_core.a"
+  "libmrx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dtd.cc" "src/datagen/CMakeFiles/mrx_datagen.dir/dtd.cc.o" "gcc" "src/datagen/CMakeFiles/mrx_datagen.dir/dtd.cc.o.d"
+  "/root/repo/src/datagen/dtd_generator.cc" "src/datagen/CMakeFiles/mrx_datagen.dir/dtd_generator.cc.o" "gcc" "src/datagen/CMakeFiles/mrx_datagen.dir/dtd_generator.cc.o.d"
+  "/root/repo/src/datagen/nasa.cc" "src/datagen/CMakeFiles/mrx_datagen.dir/nasa.cc.o" "gcc" "src/datagen/CMakeFiles/mrx_datagen.dir/nasa.cc.o.d"
+  "/root/repo/src/datagen/xmark.cc" "src/datagen/CMakeFiles/mrx_datagen.dir/xmark.cc.o" "gcc" "src/datagen/CMakeFiles/mrx_datagen.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_datagen.dir/dtd.cc.o"
+  "CMakeFiles/mrx_datagen.dir/dtd.cc.o.d"
+  "CMakeFiles/mrx_datagen.dir/dtd_generator.cc.o"
+  "CMakeFiles/mrx_datagen.dir/dtd_generator.cc.o.d"
+  "CMakeFiles/mrx_datagen.dir/nasa.cc.o"
+  "CMakeFiles/mrx_datagen.dir/nasa.cc.o.d"
+  "CMakeFiles/mrx_datagen.dir/xmark.cc.o"
+  "CMakeFiles/mrx_datagen.dir/xmark.cc.o.d"
+  "libmrx_datagen.a"
+  "libmrx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

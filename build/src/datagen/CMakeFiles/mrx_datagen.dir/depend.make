@@ -1,0 +1,2 @@
+# Empty dependencies file for mrx_datagen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/data_graph.cc" "src/graph/CMakeFiles/mrx_graph.dir/data_graph.cc.o" "gcc" "src/graph/CMakeFiles/mrx_graph.dir/data_graph.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/graph/CMakeFiles/mrx_graph.dir/statistics.cc.o" "gcc" "src/graph/CMakeFiles/mrx_graph.dir/statistics.cc.o.d"
+  "/root/repo/src/graph/symbol_table.cc" "src/graph/CMakeFiles/mrx_graph.dir/symbol_table.cc.o" "gcc" "src/graph/CMakeFiles/mrx_graph.dir/symbol_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

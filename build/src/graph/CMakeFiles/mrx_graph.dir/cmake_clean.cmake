@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_graph.dir/data_graph.cc.o"
+  "CMakeFiles/mrx_graph.dir/data_graph.cc.o.d"
+  "CMakeFiles/mrx_graph.dir/statistics.cc.o"
+  "CMakeFiles/mrx_graph.dir/statistics.cc.o.d"
+  "CMakeFiles/mrx_graph.dir/symbol_table.cc.o"
+  "CMakeFiles/mrx_graph.dir/symbol_table.cc.o.d"
+  "libmrx_graph.a"
+  "libmrx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

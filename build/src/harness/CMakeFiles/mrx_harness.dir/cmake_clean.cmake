@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_harness.dir/datasets.cc.o"
+  "CMakeFiles/mrx_harness.dir/datasets.cc.o.d"
+  "CMakeFiles/mrx_harness.dir/experiment.cc.o"
+  "CMakeFiles/mrx_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/mrx_harness.dir/report.cc.o"
+  "CMakeFiles/mrx_harness.dir/report.cc.o.d"
+  "libmrx_harness.a"
+  "libmrx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

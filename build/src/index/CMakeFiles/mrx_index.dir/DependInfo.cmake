@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/a_k_index.cc" "src/index/CMakeFiles/mrx_index.dir/a_k_index.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/a_k_index.cc.o.d"
+  "/root/repo/src/index/bisimulation.cc" "src/index/CMakeFiles/mrx_index.dir/bisimulation.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/bisimulation.cc.o.d"
+  "/root/repo/src/index/d_k_index.cc" "src/index/CMakeFiles/mrx_index.dir/d_k_index.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/d_k_index.cc.o.d"
+  "/root/repo/src/index/evaluator.cc" "src/index/CMakeFiles/mrx_index.dir/evaluator.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/evaluator.cc.o.d"
+  "/root/repo/src/index/index_graph.cc" "src/index/CMakeFiles/mrx_index.dir/index_graph.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/index_graph.cc.o.d"
+  "/root/repo/src/index/m_k_index.cc" "src/index/CMakeFiles/mrx_index.dir/m_k_index.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/m_k_index.cc.o.d"
+  "/root/repo/src/index/m_star_index.cc" "src/index/CMakeFiles/mrx_index.dir/m_star_index.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/m_star_index.cc.o.d"
+  "/root/repo/src/index/m_star_strategies.cc" "src/index/CMakeFiles/mrx_index.dir/m_star_strategies.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/m_star_strategies.cc.o.d"
+  "/root/repo/src/index/strategy_chooser.cc" "src/index/CMakeFiles/mrx_index.dir/strategy_chooser.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/strategy_chooser.cc.o.d"
+  "/root/repo/src/index/twig_eval.cc" "src/index/CMakeFiles/mrx_index.dir/twig_eval.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/twig_eval.cc.o.d"
+  "/root/repo/src/index/ud_kl_index.cc" "src/index/CMakeFiles/mrx_index.dir/ud_kl_index.cc.o" "gcc" "src/index/CMakeFiles/mrx_index.dir/ud_kl_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mrx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mrx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_index.dir/a_k_index.cc.o"
+  "CMakeFiles/mrx_index.dir/a_k_index.cc.o.d"
+  "CMakeFiles/mrx_index.dir/bisimulation.cc.o"
+  "CMakeFiles/mrx_index.dir/bisimulation.cc.o.d"
+  "CMakeFiles/mrx_index.dir/d_k_index.cc.o"
+  "CMakeFiles/mrx_index.dir/d_k_index.cc.o.d"
+  "CMakeFiles/mrx_index.dir/evaluator.cc.o"
+  "CMakeFiles/mrx_index.dir/evaluator.cc.o.d"
+  "CMakeFiles/mrx_index.dir/index_graph.cc.o"
+  "CMakeFiles/mrx_index.dir/index_graph.cc.o.d"
+  "CMakeFiles/mrx_index.dir/m_k_index.cc.o"
+  "CMakeFiles/mrx_index.dir/m_k_index.cc.o.d"
+  "CMakeFiles/mrx_index.dir/m_star_index.cc.o"
+  "CMakeFiles/mrx_index.dir/m_star_index.cc.o.d"
+  "CMakeFiles/mrx_index.dir/m_star_strategies.cc.o"
+  "CMakeFiles/mrx_index.dir/m_star_strategies.cc.o.d"
+  "CMakeFiles/mrx_index.dir/strategy_chooser.cc.o"
+  "CMakeFiles/mrx_index.dir/strategy_chooser.cc.o.d"
+  "CMakeFiles/mrx_index.dir/twig_eval.cc.o"
+  "CMakeFiles/mrx_index.dir/twig_eval.cc.o.d"
+  "CMakeFiles/mrx_index.dir/ud_kl_index.cc.o"
+  "CMakeFiles/mrx_index.dir/ud_kl_index.cc.o.d"
+  "libmrx_index.a"
+  "libmrx_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrx_index.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_query.dir/data_evaluator.cc.o"
+  "CMakeFiles/mrx_query.dir/data_evaluator.cc.o.d"
+  "CMakeFiles/mrx_query.dir/path_expression.cc.o"
+  "CMakeFiles/mrx_query.dir/path_expression.cc.o.d"
+  "CMakeFiles/mrx_query.dir/twig.cc.o"
+  "CMakeFiles/mrx_query.dir/twig.cc.o.d"
+  "libmrx_query.a"
+  "libmrx_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

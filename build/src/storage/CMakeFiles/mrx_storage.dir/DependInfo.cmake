@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_m_star_index.cc" "src/storage/CMakeFiles/mrx_storage.dir/disk_m_star_index.cc.o" "gcc" "src/storage/CMakeFiles/mrx_storage.dir/disk_m_star_index.cc.o.d"
+  "/root/repo/src/storage/graph_io.cc" "src/storage/CMakeFiles/mrx_storage.dir/graph_io.cc.o" "gcc" "src/storage/CMakeFiles/mrx_storage.dir/graph_io.cc.o.d"
+  "/root/repo/src/storage/index_io.cc" "src/storage/CMakeFiles/mrx_storage.dir/index_io.cc.o" "gcc" "src/storage/CMakeFiles/mrx_storage.dir/index_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mrx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mrx_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_storage.dir/disk_m_star_index.cc.o"
+  "CMakeFiles/mrx_storage.dir/disk_m_star_index.cc.o.d"
+  "CMakeFiles/mrx_storage.dir/graph_io.cc.o"
+  "CMakeFiles/mrx_storage.dir/graph_io.cc.o.d"
+  "CMakeFiles/mrx_storage.dir/index_io.cc.o"
+  "CMakeFiles/mrx_storage.dir/index_io.cc.o.d"
+  "libmrx_storage.a"
+  "libmrx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

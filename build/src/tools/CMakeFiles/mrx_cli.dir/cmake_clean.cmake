@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_cli.dir/mrx_main.cc.o"
+  "CMakeFiles/mrx_cli.dir/mrx_main.cc.o.d"
+  "mrx"
+  "mrx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_tools.dir/cli.cc.o"
+  "CMakeFiles/mrx_tools.dir/cli.cc.o.d"
+  "libmrx_tools.a"
+  "libmrx_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

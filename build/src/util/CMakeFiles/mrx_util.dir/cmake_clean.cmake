@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_util.dir/status.cc.o"
+  "CMakeFiles/mrx_util.dir/status.cc.o.d"
+  "CMakeFiles/mrx_util.dir/string_util.cc.o"
+  "CMakeFiles/mrx_util.dir/string_util.cc.o.d"
+  "CMakeFiles/mrx_util.dir/table_writer.cc.o"
+  "CMakeFiles/mrx_util.dir/table_writer.cc.o.d"
+  "libmrx_util.a"
+  "libmrx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fup_extractor.cc" "src/workload/CMakeFiles/mrx_workload.dir/fup_extractor.cc.o" "gcc" "src/workload/CMakeFiles/mrx_workload.dir/fup_extractor.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/mrx_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/mrx_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/label_paths.cc" "src/workload/CMakeFiles/mrx_workload.dir/label_paths.cc.o" "gcc" "src/workload/CMakeFiles/mrx_workload.dir/label_paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mrx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mrx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_workload.dir/fup_extractor.cc.o"
+  "CMakeFiles/mrx_workload.dir/fup_extractor.cc.o.d"
+  "CMakeFiles/mrx_workload.dir/generator.cc.o"
+  "CMakeFiles/mrx_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mrx_workload.dir/label_paths.cc.o"
+  "CMakeFiles/mrx_workload.dir/label_paths.cc.o.d"
+  "libmrx_workload.a"
+  "libmrx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrx_xml.dir/graph_builder.cc.o"
+  "CMakeFiles/mrx_xml.dir/graph_builder.cc.o.d"
+  "CMakeFiles/mrx_xml.dir/parser.cc.o"
+  "CMakeFiles/mrx_xml.dir/parser.cc.o.d"
+  "CMakeFiles/mrx_xml.dir/writer.cc.o"
+  "CMakeFiles/mrx_xml.dir/writer.cc.o.d"
+  "libmrx_xml.a"
+  "libmrx_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrx_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a_k_index_test.dir/a_k_index_test.cc.o"
+  "CMakeFiles/a_k_index_test.dir/a_k_index_test.cc.o.d"
+  "a_k_index_test"
+  "a_k_index_test.pdb"
+  "a_k_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a_k_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

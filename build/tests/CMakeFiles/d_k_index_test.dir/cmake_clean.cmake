@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d_k_index_test.dir/d_k_index_test.cc.o"
+  "CMakeFiles/d_k_index_test.dir/d_k_index_test.cc.o.d"
+  "d_k_index_test"
+  "d_k_index_test.pdb"
+  "d_k_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d_k_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descendant_axis_test.dir/descendant_axis_test.cc.o"
+  "CMakeFiles/descendant_axis_test.dir/descendant_axis_test.cc.o.d"
+  "descendant_axis_test"
+  "descendant_axis_test.pdb"
+  "descendant_axis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descendant_axis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mrx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/mrx_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mrx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mrx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mrx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mrx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mrx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

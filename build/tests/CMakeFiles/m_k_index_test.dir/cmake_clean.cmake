@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m_k_index_test.dir/m_k_index_test.cc.o"
+  "CMakeFiles/m_k_index_test.dir/m_k_index_test.cc.o.d"
+  "m_k_index_test"
+  "m_k_index_test.pdb"
+  "m_k_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m_k_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

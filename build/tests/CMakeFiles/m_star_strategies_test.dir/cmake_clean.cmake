@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m_star_strategies_test.dir/m_star_strategies_test.cc.o"
+  "CMakeFiles/m_star_strategies_test.dir/m_star_strategies_test.cc.o.d"
+  "m_star_strategies_test"
+  "m_star_strategies_test.pdb"
+  "m_star_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m_star_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_chooser_test.dir/strategy_chooser_test.cc.o"
+  "CMakeFiles/strategy_chooser_test.dir/strategy_chooser_test.cc.o.d"
+  "strategy_chooser_test"
+  "strategy_chooser_test.pdb"
+  "strategy_chooser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_chooser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_kl_index_test.dir/ud_kl_index_test.cc.o"
+  "CMakeFiles/ud_kl_index_test.dir/ud_kl_index_test.cc.o.d"
+  "ud_kl_index_test"
+  "ud_kl_index_test.pdb"
+  "ud_kl_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_kl_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
