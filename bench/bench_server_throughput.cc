@@ -1,0 +1,62 @@
+// Closed-loop load driver for the concurrent query-serving subsystem
+// (src/server/): replays the paper's synthetic workload stream against a
+// QueryServer from N client threads and reports aggregate throughput and
+// latency percentiles vs. worker count. The serving regime is the one the
+// paper's Figure 5 loop converges to: the index is primed by one replay of
+// the stream (FUPs promoted, refinements published), then the timed phase
+// measures steady-state concurrent serving with the sharded answer cache
+// and shared-mutex read path.
+//
+// The final CSV block (via TableWriter::RenderCsv) is the machine-readable
+// record the harness tracks across PRs.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "server/load_driver.h"
+#include "util/table_writer.h"
+
+namespace {
+
+void RunDataset(const std::string& name) {
+  using namespace mrx;
+  DataGraph g = bench::LoadDataset(name);
+  std::vector<PathExpression> workload = bench::MakeWorkload(g, 9);
+
+  TableWriter table(server::ServerStatsHeaders());
+  double baseline_qps = 0;
+  std::vector<double> speedups;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    server::LoadDriverOptions options;
+    options.num_workers = workers;
+    options.num_clients = workers;  // Closed loop: one stream per worker.
+    options.total_queries = 20000;
+    server::LoadReport report = server::RunLoadDriver(g, workload, options);
+    if (workers == 1) baseline_qps = report.Qps();
+    speedups.push_back(baseline_qps > 0 ? report.Qps() / baseline_qps : 0);
+    server::AppendServerStatsRow(report.stats,
+                                 name + "/" + std::to_string(workers) + "w",
+                                 report.Qps(), &table);
+  }
+
+  std::cout << "== Server throughput vs worker threads, " << name << " ==\n";
+  table.RenderText(std::cout);
+  std::cout << "speedup vs 1 worker:";
+  const size_t worker_counts[] = {1, 2, 4, 8};
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    std::cout << "  " << worker_counts[i] << "w="
+              << TableWriter::Format(speedups[i]) << "x";
+  }
+  std::cout << "\n\ncsv:\n";
+  table.RenderCsv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("xmark");
+  return 0;
+}

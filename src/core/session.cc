@@ -8,7 +8,8 @@ AdaptiveIndexSession::AdaptiveIndexSession(const DataGraph& graph,
                                            SessionOptions options)
     : options_(options),
       index_(graph),
-      fups_(FupExtractor::Options{options.refine_after, 0}) {}
+      fups_(FupExtractor::Options{options.refine_after, 0}),
+      cache_(options.cache_results ? options.cache_capacity : 0) {}
 
 QueryResult AdaptiveIndexSession::Query(const PathExpression& query) {
   if (fups_.Observe(query)) {
@@ -16,18 +17,16 @@ QueryResult AdaptiveIndexSession::Query(const PathExpression& query) {
     // Refinement restructures the index; cached answers remain *correct*
     // (the data graph is immutable) but their stats and precision flags
     // would be stale, so drop them wholesale.
-    cache_.clear();
-    cache_order_.clear();
+    cache_.Clear();
   }
 
   std::string key;
   if (options_.cache_results) {
     key = query.ToString(index_.component(0).data().symbols());
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    if (const QueryResult* cached = cache_.Get(key)) {
       ++cache_hits_;
       ++queries_answered_;
-      QueryResult hit = it->second;
+      QueryResult hit = *cached;
       hit.stats = QueryStats{};  // A cache hit visits no nodes.
       return hit;
     }
@@ -37,12 +36,7 @@ QueryResult AdaptiveIndexSession::Query(const PathExpression& query) {
   ++queries_answered_;
   cumulative_stats_ += result.stats;
   if (options_.cache_results) {
-    if (cache_.size() >= options_.cache_capacity && !cache_order_.empty()) {
-      cache_.erase(cache_order_.front());
-      cache_order_.pop_front();
-    }
-    auto [it, inserted] = cache_.emplace(key, result);
-    if (inserted) cache_order_.push_back(std::move(key));
+    cache_.Put(std::move(key), result);
   }
   return result;
 }

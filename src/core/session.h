@@ -2,11 +2,11 @@
 #define MRX_CORE_SESSION_H_
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <string>
 
 #include "index/m_star_index.h"
 #include "query/path_expression.h"
+#include "util/lru_cache.h"
 #include "workload/fup_extractor.h"
 
 namespace mrx {
@@ -43,7 +43,8 @@ struct SessionOptions {
   /// with zero index/validation cost.
   bool cache_results = false;
 
-  /// Upper bound on cached answers (oldest-inserted evicted first).
+  /// Upper bound on cached answers; the least recently *used* entry is
+  /// evicted first (a hit refreshes an entry's recency).
   size_t cache_capacity = 1024;
 };
 
@@ -77,16 +78,14 @@ class AdaptiveIndexSession {
   const QueryStats& cumulative_stats() const { return cumulative_stats_; }
 
  private:
-  using CacheKey = std::pair<bool, std::vector<LabelId>>;
-
   SessionOptions options_;
   MStarIndex index_;
   FupExtractor fups_;
   uint64_t queries_answered_ = 0;
   uint64_t cache_hits_ = 0;
   QueryStats cumulative_stats_;
-  std::map<std::string, QueryResult> cache_;  // Keyed by canonical text.
-  std::deque<std::string> cache_order_;       // Insertion order for eviction.
+  /// Memoized answers keyed by canonical query text, LRU-evicted.
+  LruCache<std::string, QueryResult> cache_;
 };
 
 }  // namespace mrx

@@ -441,14 +441,24 @@ bool MStarIndex::PromoteStar(int k, const std::vector<NodeId>& extent,
 }
 
 QueryResult MStarIndex::QueryNaive(const PathExpression& path) {
+  return QueryNaive(path, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryNaive(const PathExpression& path,
+                                   DataEvaluator* validator) const {
   const size_t ci = std::min(path.length(), components_.size() - 1);
-  return AnswerOnIndex(components_[ci].graph, path, &evaluator_);
+  return AnswerOnIndex(components_[ci].graph, path, validator);
 }
 
 QueryResult MStarIndex::QueryTopDown(const PathExpression& path) {
+  return QueryTopDown(path, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
+                                     DataEvaluator* validator) const {
   // Descendant axes need closure evaluation; the naive strategy's
   // AnswerOnIndex implements it.
-  if (path.HasDescendantAxis()) return QueryNaive(path);
+  if (path.HasDescendantAxis()) return QueryNaive(path, validator);
   QueryResult result;
   const size_t finest = components_.size() - 1;
 
@@ -520,7 +530,7 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path) {
     } else {
       result.precise = false;
       for (NodeId o : node.extent) {
-        if (evaluator_.HasIncomingPath(
+        if (validator->HasIncomingPath(
                 o, path, &result.stats.data_nodes_validated)) {
           result.answer.push_back(o);
         }
@@ -534,7 +544,13 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path) {
 QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
                                            size_t sub_begin,
                                            size_t sub_end) {
-  if (path.HasDescendantAxis()) return QueryNaive(path);
+  return QueryWithPrefilter(path, sub_begin, sub_end, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
+                                           size_t sub_begin, size_t sub_end,
+                                           DataEvaluator* validator) const {
+  if (path.HasDescendantAxis()) return QueryNaive(path, validator);
   assert(sub_begin <= sub_end && sub_end < path.num_steps());
   QueryResult result;
   const size_t finest = components_.size() - 1;
@@ -609,7 +625,7 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
     } else {
       result.precise = false;
       for (NodeId o : node.extent) {
-        if (evaluator_.HasIncomingPath(
+        if (validator->HasIncomingPath(
                 o, path, &result.stats.data_nodes_validated)) {
           result.answer.push_back(o);
         }
@@ -618,6 +634,12 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
   }
   std::sort(result.answer.begin(), result.answer.end());
   return result;
+}
+
+MStarIndex MStarIndex::Clone() const {
+  MStarIndex copy(data_);
+  copy.components_ = components_;
+  return copy;
 }
 
 bool MStarIndex::IsDuplicate(size_t i, IndexNodeId v) const {

@@ -77,6 +77,32 @@ class MStarIndex {
   /// hierarchy via supernode links, and validates under-refined answers.
   QueryResult QueryTopDown(const PathExpression& path);
 
+  /// Concurrent-read variants of the query strategies: identical results,
+  /// but validation runs through the caller-supplied evaluator instead of
+  /// the index's internal scratch evaluator. Queries never mutate the
+  /// index, so any number of threads may call these on one index
+  /// concurrently as long as (a) each thread passes its own evaluator and
+  /// (b) no thread is inside Refine() at the same time — the server
+  /// subsystem enforces both (see docs/SERVER.md).
+  QueryResult QueryNaive(const PathExpression& path,
+                         DataEvaluator* validator) const;
+  QueryResult QueryTopDown(const PathExpression& path,
+                           DataEvaluator* validator) const;
+  QueryResult QueryBottomUp(const PathExpression& path,
+                            DataEvaluator* validator) const;
+  QueryResult QueryHybrid(const PathExpression& path,
+                          DataEvaluator* validator) const;
+  QueryResult QueryHybrid(const PathExpression& path, size_t meet,
+                          DataEvaluator* validator) const;
+  QueryResult QueryWithPrefilter(const PathExpression& path, size_t sub_begin,
+                                 size_t sub_end,
+                                 DataEvaluator* validator) const;
+
+  /// Deep copy over the same data graph. The server's refinement worker
+  /// refines a private master copy off the read path and publishes clones,
+  /// so readers never observe a half-refined hierarchy.
+  MStarIndex Clone() const;
+
   /// §4.1 "Subpath pre-filtering": evaluates the floating subpath
   /// steps[sub_begin..sub_end] in the coarse component of its own length,
   /// maps the survivors down to the finest needed component, and finishes
@@ -174,9 +200,10 @@ class MStarIndex {
 
   /// Shared tail of the query strategies: collects extents of the target
   /// index nodes of `path` in component `ci`, validating under-refined
-  /// ones, into `result`.
+  /// ones through `validator`, into `result`.
   void CollectAnswer(const PathExpression& path, size_t ci,
-                     std::vector<IndexNodeId> target, QueryResult* result);
+                     std::vector<IndexNodeId> target, DataEvaluator* validator,
+                     QueryResult* result) const;
 
   /// True iff `v` (in component `ci`) has an outgoing instance of
   /// steps[from..] of `path` within that component; visited index nodes

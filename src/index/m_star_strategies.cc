@@ -20,7 +20,8 @@ void SortUniqueIndex(std::vector<IndexNodeId>* v) {
 
 void MStarIndex::CollectAnswer(const PathExpression& path, size_t ci,
                                std::vector<IndexNodeId> target,
-                               QueryResult* result) {
+                               DataEvaluator* validator,
+                               QueryResult* result) const {
   SortUniqueIndex(&target);
   result->target = std::move(target);
   const IndexGraph& comp = components_[ci].graph;
@@ -34,7 +35,7 @@ void MStarIndex::CollectAnswer(const PathExpression& path, size_t ci,
     } else {
       result->precise = false;
       for (NodeId o : node.extent) {
-        if (evaluator_.HasIncomingPath(
+        if (validator->HasIncomingPath(
                 o, path, &result->stats.data_nodes_validated)) {
           result->answer.push_back(o);
         }
@@ -89,11 +90,16 @@ std::vector<IndexNodeId> MStarIndex::DescendNodes(
 }
 
 QueryResult MStarIndex::QueryBottomUp(const PathExpression& path) {
+  return QueryBottomUp(path, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryBottomUp(const PathExpression& path,
+                                      DataEvaluator* validator) const {
   // Anchoring needs the prefix side pinned to the root; top-down handles
   // it naturally. Descendant axes need closure logic, which the naive
   // strategy (AnswerOnIndex) implements.
-  if (path.anchored()) return QueryTopDown(path);
-  if (path.HasDescendantAxis()) return QueryNaive(path);
+  if (path.anchored()) return QueryTopDown(path, validator);
+  if (path.HasDescendantAxis()) return QueryNaive(path, validator);
 
   QueryResult result;
   const size_t finest = components_.size() - 1;
@@ -164,7 +170,7 @@ QueryResult MStarIndex::QueryBottomUp(const PathExpression& path) {
     result.stats.index_nodes_visited += next.size();
     frontier = std::move(next);
   }
-  CollectAnswer(path, current_ci, std::move(frontier), &result);
+  CollectAnswer(path, current_ci, std::move(frontier), validator, &result);
   return result;
 }
 
@@ -174,8 +180,20 @@ QueryResult MStarIndex::QueryHybrid(const PathExpression& path) {
 
 QueryResult MStarIndex::QueryHybrid(const PathExpression& path,
                                     size_t meet) {
-  if (path.HasDescendantAxis()) return QueryNaive(path);
-  if (path.anchored() || path.num_steps() < 3) return QueryTopDown(path);
+  return QueryHybrid(path, meet, &evaluator_);
+}
+
+QueryResult MStarIndex::QueryHybrid(const PathExpression& path,
+                                    DataEvaluator* validator) const {
+  return QueryHybrid(path, path.num_steps() / 2, validator);
+}
+
+QueryResult MStarIndex::QueryHybrid(const PathExpression& path, size_t meet,
+                                    DataEvaluator* validator) const {
+  if (path.HasDescendantAxis()) return QueryNaive(path, validator);
+  if (path.anchored() || path.num_steps() < 3) {
+    return QueryTopDown(path, validator);
+  }
   assert(meet < path.num_steps());
 
   QueryResult result;
@@ -273,7 +291,7 @@ QueryResult MStarIndex::QueryHybrid(const PathExpression& path,
     result.stats.index_nodes_visited += next.size();
     frontier = std::move(next);
   }
-  CollectAnswer(path, cq, std::move(frontier), &result);
+  CollectAnswer(path, cq, std::move(frontier), validator, &result);
   return result;
 }
 

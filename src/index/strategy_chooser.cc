@@ -110,6 +110,22 @@ MStarQueryStrategy StrategyChooser::Choose(
   return best;
 }
 
+QueryResult StrategyChooser::Evaluate(const MStarIndex& index,
+                                      const PathExpression& path,
+                                      DataEvaluator* validator) const {
+  switch (Choose(path)) {
+    case MStarQueryStrategy::kNaive:
+      return index.QueryNaive(path, validator);
+    case MStarQueryStrategy::kTopDown:
+      return index.QueryTopDown(path, validator);
+    case MStarQueryStrategy::kBottomUp:
+      return index.QueryBottomUp(path, validator);
+    case MStarQueryStrategy::kHybrid:
+      return index.QueryHybrid(path, validator);
+  }
+  return index.QueryTopDown(path, validator);
+}
+
 QueryResult StrategyChooser::QueryAuto(MStarIndex& index,
                                        const PathExpression& path) {
   StrategyChooser chooser(index);

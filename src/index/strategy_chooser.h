@@ -45,6 +45,14 @@ class StrategyChooser {
   static QueryResult QueryAuto(MStarIndex& index,
                                const PathExpression& path);
 
+  /// Concurrent-read variant: Choose with this chooser's (prebuilt)
+  /// statistics, then evaluate through the index's const query path with
+  /// the caller's evaluator. The server rebuilds one chooser per published
+  /// index and shares it across worker threads; Choose/EstimateCost only
+  /// read the row tables, so this is safe to call concurrently.
+  QueryResult Evaluate(const MStarIndex& index, const PathExpression& path,
+                       DataEvaluator* validator) const;
+
  private:
   /// Number of alive index nodes with label `l` in component `ci`
   /// (wildcard = all nodes of the component).

@@ -1,0 +1,55 @@
+#include "server/answer_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace mrx::server {
+
+ShardedAnswerCache::ShardedAnswerCache(size_t capacity, size_t num_shards) {
+  const size_t shards = std::bit_ceil(std::max<size_t>(1, num_shards));
+  shard_mask_ = shards - 1;
+  // Split the budget evenly; round up so the total is never below the
+  // requested capacity (a shard capacity of 0 would disable its cache).
+  const size_t per_shard =
+      capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+bool ShardedAnswerCache::Get(const std::string& key, QueryResult* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const QueryResult* cached = shard.lru.Get(key);
+  if (cached == nullptr) return false;
+  *out = *cached;
+  return true;
+}
+
+void ShardedAnswerCache::Put(const std::string& key, const QueryResult& value,
+                             uint64_t epoch) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.epoch != epoch) return;  // Stale: index republished since.
+  shard.lru.Put(key, value);
+}
+
+void ShardedAnswerCache::Invalidate(uint64_t new_epoch) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.Clear();
+    shard->epoch = new_epoch;
+  }
+}
+
+size_t ShardedAnswerCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace mrx::server

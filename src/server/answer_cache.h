@@ -1,0 +1,71 @@
+#ifndef MRX_SERVER_ANSWER_CACHE_H_
+#define MRX_SERVER_ANSWER_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/evaluator.h"
+#include "util/lru_cache.h"
+
+namespace mrx::server {
+
+/// \brief A thread-safe LRU cache of query answers, sharded by key hash.
+///
+/// This is the concurrent replacement for AdaptiveIndexSession's
+/// single-threaded memo (and the paper's §2 reading of APEX: "an
+/// efficiently organized cache of answers to FUPs"). Each shard is an
+/// independently locked LruCache, so workers hitting different shards
+/// never contend; the total capacity is split evenly across shards.
+///
+/// Entries are tagged with the index epoch they were computed under.
+/// Publishing a refined index bumps the epoch and clears the cache; a
+/// racing insert that started under the old epoch is rejected by Put, so
+/// readers never see an entry whose stats/precision predate the published
+/// index (answers themselves are always exact either way — the data graph
+/// is immutable).
+class ShardedAnswerCache {
+ public:
+  /// `capacity` is the total entry bound across all shards; `num_shards`
+  /// is rounded up to a power of two. A capacity of 0 disables caching.
+  ShardedAnswerCache(size_t capacity, size_t num_shards);
+
+  /// Copies the cached result for `key` into `*out` and refreshes its
+  /// recency. Returns false on miss.
+  bool Get(const std::string& key, QueryResult* out);
+
+  /// Inserts `value` computed under `epoch`; dropped silently if the
+  /// current epoch has moved on (a refinement was published in between).
+  void Put(const std::string& key, const QueryResult& value, uint64_t epoch);
+
+  /// Clears all shards and records `new_epoch` as current. Called by the
+  /// refinement worker while it holds the index write lock.
+  void Invalidate(uint64_t new_epoch);
+
+  /// Current entry count across shards (approximate under concurrency).
+  size_t size() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    LruCache<std::string, QueryResult> lru;
+    uint64_t epoch = 0;
+
+    explicit Shard(size_t capacity) : lru(capacity) {}
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_;
+};
+
+}  // namespace mrx::server
+
+#endif  // MRX_SERVER_ANSWER_CACHE_H_

@@ -1,0 +1,212 @@
+#include "server/concurrent_session.h"
+
+#include <utility>
+
+namespace mrx::server {
+
+/// RAII lease of a pooled DataEvaluator: pops one (or builds the first for
+/// this concurrency level) on construction, returns it on destruction.
+class ConcurrentSession::EvaluatorLease {
+ public:
+  explicit EvaluatorLease(ConcurrentSession* session) : session_(session) {
+    std::lock_guard<std::mutex> lock(session_->pool_mu_);
+    if (!session_->evaluator_pool_.empty()) {
+      evaluator_ = std::move(session_->evaluator_pool_.back());
+      session_->evaluator_pool_.pop_back();
+    }
+    if (evaluator_ == nullptr) {
+      evaluator_ = std::make_unique<DataEvaluator>(session_->graph_);
+    }
+  }
+
+  ~EvaluatorLease() {
+    std::lock_guard<std::mutex> lock(session_->pool_mu_);
+    session_->evaluator_pool_.push_back(std::move(evaluator_));
+  }
+
+  DataEvaluator* get() { return evaluator_.get(); }
+
+ private:
+  ConcurrentSession* session_;
+  std::unique_ptr<DataEvaluator> evaluator_;
+};
+
+ConcurrentSession::ConcurrentSession(const DataGraph& graph,
+                                     ConcurrentSessionOptions options)
+    : graph_(graph),
+      options_(options),
+      cache_(options.cache_results ? options.cache_capacity : 0,
+             options.cache_shards == 0 ? 16 : options.cache_shards),
+      fups_(FupExtractor::Options{options.refine_after, 0}),
+      master_(graph) {
+  published_ = std::make_unique<const MStarIndex>(master_.Clone());
+  chooser_ = std::make_unique<const StrategyChooser>(*published_);
+  refiner_ = std::thread([this] { RefineLoop(); });
+}
+
+ConcurrentSession::~ConcurrentSession() {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    stop_ = true;
+  }
+  inbox_cv_.notify_all();
+  refiner_.join();
+}
+
+QueryResult ConcurrentSession::EvaluateLocked(const PathExpression& query,
+                                              DataEvaluator* validator) const {
+  switch (options_.strategy) {
+    case SessionOptions::Strategy::kNaive:
+      return published_->QueryNaive(query, validator);
+    case SessionOptions::Strategy::kBottomUp:
+      return published_->QueryBottomUp(query, validator);
+    case SessionOptions::Strategy::kHybrid:
+      return published_->QueryHybrid(query, validator);
+    case SessionOptions::Strategy::kAuto:
+      return chooser_->Evaluate(*published_, query, validator);
+    case SessionOptions::Strategy::kTopDown:
+      break;
+  }
+  return published_->QueryTopDown(query, validator);
+}
+
+QueryResult ConcurrentSession::Query(const PathExpression& query) {
+  // The observation is recorded only *after* the cache lookup: if it went
+  // to the inbox first, the refiner could promote this very query and
+  // invalidate the cache between the observation and the lookup, making
+  // even a single-threaded repeat nondeterministically miss.
+  std::string key;
+  if (options_.cache_results) {
+    key = query.ToString(graph_.symbols());
+    QueryResult hit;
+    if (cache_.Get(key, &hit)) {
+      RecordObservation(query);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      queries_answered_.fetch_add(1, std::memory_order_relaxed);
+      hit.stats = QueryStats{};  // A cache hit visits no nodes.
+      return hit;
+    }
+  }
+
+  // On a miss, record before evaluating so promotion can overlap the
+  // evaluation; the answer is exact either way (validation covers
+  // under-refinement), and at worst the Put below is dropped as stale.
+  RecordObservation(query);
+
+  QueryResult result;
+  uint64_t epoch;
+  {
+    EvaluatorLease lease(this);
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    epoch = epoch_;
+    result = EvaluateLocked(query, lease.get());
+  }
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  stat_index_nodes_.fetch_add(result.stats.index_nodes_visited,
+                              std::memory_order_relaxed);
+  stat_data_nodes_.fetch_add(result.stats.data_nodes_validated,
+                             std::memory_order_relaxed);
+  if (options_.cache_results) {
+    cache_.Put(key, result, epoch);
+  }
+  return result;
+}
+
+QueryResult ConcurrentSession::Peek(const PathExpression& query) {
+  EvaluatorLease lease(this);
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return EvaluateLocked(query, lease.get());
+}
+
+void ConcurrentSession::RecordObservation(const PathExpression& query) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    // Never block the read path on the refiner: a full inbox sheds the
+    // observation. Frequency signals are statistical — a genuinely hot
+    // query will come around again.
+    if (inbox_.size() >= options_.inbox_capacity) return;
+    inbox_.push_back(query);
+    ++submitted_;
+  }
+  inbox_cv_.notify_one();
+}
+
+void ConcurrentSession::RefineLoop() {
+  std::vector<PathExpression> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(inbox_mu_);
+      inbox_cv_.wait(lock, [&] { return stop_ || !inbox_.empty(); });
+      if (inbox_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch.clear();
+      batch.swap(inbox_);
+    }
+
+    // FUP extraction and refinement run entirely on this thread, against
+    // the private master copy — no locks held, readers undisturbed.
+    bool refined = false;
+    for (const PathExpression& q : batch) {
+      if (fups_.Observe(q)) {
+        master_.Refine(q);
+        refinements_applied_.fetch_add(1, std::memory_order_relaxed);
+        refined = true;
+      }
+    }
+    if (refined) Publish();
+
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      processed_ += batch.size();
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void ConcurrentSession::Publish() {
+  // Clone and build the chooser *before* taking the write lock: readers
+  // only ever wait for two pointer swaps and the cache wipe.
+  auto fresh = std::make_unique<const MStarIndex>(master_.Clone());
+  auto chooser = std::make_unique<const StrategyChooser>(*fresh);
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    published_ = std::move(fresh);
+    chooser_ = std::move(chooser);
+    ++epoch_;
+    cache_.Invalidate(epoch_);
+  }
+  publications_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentSession::DrainRefinements() {
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  drained_cv_.wait(lock, [&] { return processed_ == submitted_; });
+}
+
+uint64_t ConcurrentSession::observations_pending() const {
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  return submitted_ - processed_;
+}
+
+QueryStats ConcurrentSession::cumulative_stats() const {
+  QueryStats stats;
+  stats.index_nodes_visited =
+      stat_index_nodes_.load(std::memory_order_relaxed);
+  stats.data_nodes_validated =
+      stat_data_nodes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t ConcurrentSession::index_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return epoch_;
+}
+
+size_t ConcurrentSession::published_components() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return published_->num_components();
+}
+
+}  // namespace mrx::server

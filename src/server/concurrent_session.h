@@ -1,0 +1,171 @@
+#ifndef MRX_SERVER_CONCURRENT_SESSION_H_
+#define MRX_SERVER_CONCURRENT_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "index/strategy_chooser.h"
+#include "server/answer_cache.h"
+#include "workload/fup_extractor.h"
+
+namespace mrx::server {
+
+/// Options for ConcurrentSession.
+struct ConcurrentSessionOptions {
+  /// Observations before a query becomes a FUP and triggers background
+  /// refinement (the serial session's refine_after).
+  size_t refine_after = 2;
+
+  /// Evaluation strategy; kAuto uses a StrategyChooser rebuilt at each
+  /// index publication.
+  SessionOptions::Strategy strategy = SessionOptions::Strategy::kTopDown;
+
+  /// Memoize answers in the sharded LRU cache.
+  bool cache_results = true;
+
+  /// Total answer-cache capacity across shards.
+  size_t cache_capacity = 4096;
+
+  /// Number of cache shards (rounded up to a power of two). More shards =
+  /// less lock contention between workers; 0 picks a default.
+  size_t cache_shards = 16;
+
+  /// FUP-observation inbox bound. The read path never blocks on the
+  /// refiner: observations beyond this backlog are dropped (they are
+  /// statistics, not work items — a hot query will be observed again).
+  size_t inbox_capacity = 1 << 16;
+};
+
+/// \brief The paper's Figure 5 closed loop as a *concurrent* service: the
+/// thread-safe counterpart of AdaptiveIndexSession.
+///
+/// Threading model (see docs/SERVER.md for the full protocol):
+///  - Any number of reader threads call Query()/Peek() concurrently. The
+///    published index is immutable and guarded by a shared mutex; each
+///    reader validates through a pooled DataEvaluator, so the hot path
+///    takes the lock in shared (non-exclusive) mode only.
+///  - Query() records its expression in a bounded inbox (mutex + swap). A
+///    single background refinement worker drains the inbox, runs the FUP
+///    extractor, refines a *private* master copy of the M*(k)-index, and
+///    publishes a clone under the write lock. Readers therefore never
+///    observe a half-refined hierarchy, and refinement cost never rides on
+///    the query path.
+///  - Publishing bumps the index epoch and invalidates the sharded answer
+///    cache; racing inserts tagged with the old epoch are dropped.
+///
+/// Answers are always exact (as in the serial session): under-refined
+/// index nodes are validated against the immutable data graph.
+class ConcurrentSession {
+ public:
+  explicit ConcurrentSession(const DataGraph& graph,
+                             ConcurrentSessionOptions options = {});
+  ~ConcurrentSession();
+
+  ConcurrentSession(const ConcurrentSession&) = delete;
+  ConcurrentSession& operator=(const ConcurrentSession&) = delete;
+
+  /// Answers `query` on the currently published index and records the
+  /// observation for background FUP extraction. Thread-safe.
+  QueryResult Query(const PathExpression& query);
+
+  /// Answers without recording the observation or touching the cache.
+  QueryResult Peek(const PathExpression& query);
+
+  /// Blocks until every observation recorded so far has been processed by
+  /// the refinement worker and any resulting index publication is visible.
+  /// Tests and benchmarks use this to reach a deterministic index state.
+  void DrainRefinements();
+
+  uint64_t queries_answered() const {
+    return queries_answered_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t refinements_applied() const {
+    return refinements_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t index_publications() const {
+    return publications_.load(std::memory_order_relaxed);
+  }
+
+  /// Observations recorded but not yet processed by the refiner.
+  uint64_t observations_pending() const;
+
+  /// Cumulative paper-metric cost of all Query() calls.
+  QueryStats cumulative_stats() const;
+
+  size_t cache_entries() const { return cache_.size(); }
+
+  /// Epoch of the currently published index (starts at 0, bumped per
+  /// publication).
+  uint64_t index_epoch() const;
+
+  /// Component count of the currently published index.
+  size_t published_components() const;
+
+  const DataGraph& graph() const { return graph_; }
+
+ private:
+  class EvaluatorLease;
+
+  QueryResult EvaluateLocked(const PathExpression& query,
+                             DataEvaluator* validator) const;
+  void RecordObservation(const PathExpression& query);
+  void RefineLoop();
+  void Publish();
+
+  const DataGraph& graph_;
+  const ConcurrentSessionOptions options_;
+
+  // --- Read path ---------------------------------------------------------
+  /// Guards published_/chooser_/epoch_. Readers: shared; publisher:
+  /// exclusive.
+  mutable std::shared_mutex index_mu_;
+  std::unique_ptr<const MStarIndex> published_;
+  std::unique_ptr<const StrategyChooser> chooser_;
+  uint64_t epoch_ = 0;
+
+  ShardedAnswerCache cache_;
+
+  /// Reusable validation evaluators (each holds graph-sized scratch
+  /// buffers, so they are pooled rather than rebuilt per query).
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<DataEvaluator>> evaluator_pool_;
+
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> stat_index_nodes_{0};
+  std::atomic<uint64_t> stat_data_nodes_{0};
+
+  // --- Refine path -------------------------------------------------------
+  mutable std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;   ///< Signals the refiner.
+  std::condition_variable drained_cv_; ///< Signals DrainRefinements waiters.
+  std::vector<PathExpression> inbox_;
+  uint64_t submitted_ = 0;  ///< Observations accepted into the inbox.
+  uint64_t processed_ = 0;  ///< Observations fully handled (post-publish).
+  bool stop_ = false;
+
+  /// Refiner-thread-private state: the FUP extractor and the master index
+  /// the worker refines before cloning it into published_.
+  FupExtractor fups_;
+  MStarIndex master_;
+
+  std::atomic<uint64_t> refinements_applied_{0};
+  std::atomic<uint64_t> publications_{0};
+
+  std::thread refiner_;
+};
+
+}  // namespace mrx::server
+
+#endif  // MRX_SERVER_CONCURRENT_SESSION_H_

@@ -1,0 +1,59 @@
+#include "server/load_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mrx::server {
+
+LoadReport RunLoadDriver(const DataGraph& graph,
+                         const std::vector<PathExpression>& workload,
+                         const LoadDriverOptions& options) {
+  LoadReport report;
+  if (workload.empty() || options.total_queries == 0) return report;
+
+  QueryServerOptions server_options;
+  server_options.num_workers = options.num_workers;
+  server_options.queue_capacity = options.queue_capacity;
+  server_options.session = options.session;
+  QueryServer server(graph, server_options);
+
+  if (options.prime_before_timing) {
+    for (const PathExpression& q : workload) {
+      server.session().Query(q);
+    }
+    server.session().DrainRefinements();
+  }
+
+  const size_t num_clients =
+      options.num_clients == 0 ? std::max<size_t>(1, options.num_workers)
+                               : options.num_clients;
+
+  // Clients claim global stream positions so the replayed query order (and
+  // therefore the FUP mix) is independent of the client count.
+  std::atomic<size_t> next{0};
+  auto client = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= options.total_queries) return;
+      Result<QueryResult> r = server.Execute(workload[i % workload.size()]);
+      (void)r;  // Unavailable only on shutdown, which we don't race with.
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) clients.emplace_back(client);
+  for (std::thread& t : clients) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  report.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.timed_queries = options.total_queries;
+  report.stats = server.Snapshot();
+  server.Shutdown();
+  return report;
+}
+
+}  // namespace mrx::server

@@ -1,0 +1,63 @@
+#ifndef MRX_SERVER_LOAD_DRIVER_H_
+#define MRX_SERVER_LOAD_DRIVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/path_expression.h"
+#include "server/query_server.h"
+
+namespace mrx::server {
+
+/// Options for RunLoadDriver.
+struct LoadDriverOptions {
+  /// Worker threads in the server under test.
+  size_t num_workers = 4;
+
+  /// Closed-loop client threads; 0 means one client per worker. Each
+  /// client submits a query, waits for the answer, and immediately submits
+  /// the next — the classic closed-loop load model.
+  size_t num_clients = 0;
+
+  /// Total queries driven through the pool during the timed phase.
+  size_t total_queries = 20000;
+
+  size_t queue_capacity = 1024;
+
+  /// Replay the workload stream once through the session before timing
+  /// (off the pool), then wait for the refiner to catch up — so the timed
+  /// phase measures steady-state serving, the deployment regime the
+  /// paper's FUP loop converges to.
+  bool prime_before_timing = true;
+
+  ConcurrentSessionOptions session;
+};
+
+/// What a load run measured.
+struct LoadReport {
+  /// Snapshot at the end of the run (includes priming traffic in the
+  /// session-level counters; worker latency histograms cover only the
+  /// timed pool traffic).
+  ServerStats stats;
+
+  /// Timed-phase wall time and the queries driven during it.
+  double elapsed_seconds = 0;
+  size_t timed_queries = 0;
+
+  double Qps() const {
+    return elapsed_seconds > 0 ? timed_queries / elapsed_seconds : 0.0;
+  }
+};
+
+/// \brief Drives `workload` through a freshly built QueryServer from
+/// closed-loop client threads and reports throughput plus a stats
+/// snapshot. Clients cycle through the workload stream in submission
+/// order, so the FUP mix matches the paper's generator regardless of
+/// thread count.
+LoadReport RunLoadDriver(const DataGraph& graph,
+                         const std::vector<PathExpression>& workload,
+                         const LoadDriverOptions& options);
+
+}  // namespace mrx::server
+
+#endif  // MRX_SERVER_LOAD_DRIVER_H_

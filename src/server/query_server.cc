@@ -1,0 +1,92 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace mrx::server {
+
+QueryServer::QueryServer(const DataGraph& graph, QueryServerOptions options)
+    : options_(options),
+      session_(graph, options.session),
+      queue_(std::max<size_t>(1, options.queue_capacity)) {
+  const size_t n = std::max<size_t>(1, options_.num_workers);
+  worker_stats_.reserve(n);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+    workers_.emplace_back(
+        [this, stats = worker_stats_.back().get()] { WorkerLoop(stats); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Submit(PathExpression query, Callback done) {
+  Request request{std::move(query), std::move(done), Clock::now()};
+  if (!queue_.TryPush(request)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(queue_.closed()
+                                   ? "server is shutting down"
+                                   : "request queue full; retry later");
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> QueryServer::Execute(const PathExpression& query) {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> answer = promise->get_future();
+  Request request{query,
+                  [promise](const QueryResult& r) { promise->set_value(r); },
+                  Clock::now()};
+  if (!queue_.Push(std::move(request))) {
+    return Status::Unavailable("server is shutting down");
+  }
+  return answer.get();
+}
+
+void QueryServer::WorkerLoop(WorkerStats* stats) {
+  for (;;) {
+    std::optional<Request> request = queue_.Pop();
+    if (!request.has_value()) return;  // Closed and drained.
+    QueryResult result = session_.Query(request->query);
+    const auto elapsed = Clock::now() - request->enqueued_at;
+    {
+      std::lock_guard<std::mutex> lock(stats->mu);
+      ++stats->queries;
+      stats->latency_ns.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+    if (request->done) request->done(result);
+  }
+}
+
+void QueryServer::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;  // Already shut down (workers joined exactly once).
+  }
+  queue_.Close();
+  for (std::thread& t : workers_) t.join();
+}
+
+ServerStats QueryServer::Snapshot() const {
+  ServerStats stats;
+  stats.num_workers = workers_.size();
+  stats.queue_depth = queue_.size();
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  for (const auto& ws : worker_stats_) {
+    std::lock_guard<std::mutex> lock(ws->mu);
+    stats.latency.Merge(ws->latency_ns);
+  }
+  stats.queries_answered = session_.queries_answered();
+  stats.cache_hits = session_.cache_hits();
+  stats.cumulative_cost = session_.cumulative_stats();
+  stats.refinements_applied = session_.refinements_applied();
+  stats.index_publications = session_.index_publications();
+  stats.observations_pending = session_.observations_pending();
+  stats.cache_entries = session_.cache_entries();
+  return stats;
+}
+
+}  // namespace mrx::server

@@ -1,0 +1,101 @@
+#ifndef MRX_SERVER_QUERY_SERVER_H_
+#define MRX_SERVER_QUERY_SERVER_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/bounded_queue.h"
+#include "server/concurrent_session.h"
+#include "server/server_stats.h"
+#include "util/result.h"
+
+namespace mrx::server {
+
+struct QueryServerOptions {
+  /// Worker threads draining the request queue.
+  size_t num_workers = 4;
+
+  /// Bounded MPMC request-queue capacity; Submit rejects with
+  /// kUnavailable once this many requests are waiting (backpressure).
+  size_t queue_capacity = 1024;
+
+  ConcurrentSessionOptions session;
+};
+
+/// \brief A fixed-size worker pool serving path-expression queries from a
+/// bounded MPMC queue over one shared ConcurrentSession.
+///
+/// Clients Submit() a query with a completion callback (invoked on a
+/// worker thread), or use the blocking Execute() convenience. When the
+/// queue is full, Submit fails fast with Status::Unavailable — the
+/// backpressure contract; callers decide whether to retry, shed, or block
+/// (Execute blocks). Shutdown() stops intake, finishes every accepted
+/// request, and joins the workers; the destructor calls it.
+///
+/// Each worker keeps private latency/cost counters (merged into a
+/// ServerStats by Snapshot()), so the hot path never touches a shared
+/// stats lock.
+class QueryServer {
+ public:
+  using Callback = std::function<void(const QueryResult&)>;
+
+  explicit QueryServer(const DataGraph& graph, QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueues `query`; `done` runs on a worker thread once answered.
+  /// Fails with kUnavailable if the queue is full or the server is
+  /// shutting down (the callback is then never invoked).
+  Status Submit(PathExpression query, Callback done);
+
+  /// Blocking convenience for closed-loop clients: waits for queue space,
+  /// then for the answer. Fails only if the server is shutting down.
+  Result<QueryResult> Execute(const PathExpression& query);
+
+  /// Stops intake, completes accepted requests, joins workers. Idempotent.
+  void Shutdown();
+
+  /// Aggregates per-worker counters and session/queue gauges. Safe to call
+  /// at any time, including while the server is under load.
+  ServerStats Snapshot() const;
+
+  ConcurrentSession& session() { return session_; }
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    PathExpression query;
+    Callback done;
+    Clock::time_point enqueued_at;
+  };
+
+  /// One worker's counters. Guarded by its own (uncontended) mutex so
+  /// Snapshot can read while the worker runs; latency covers submit to
+  /// completion, so queueing delay shows up in the percentiles.
+  struct WorkerStats {
+    mutable std::mutex mu;
+    uint64_t queries = 0;
+    LatencyHistogram latency_ns;
+  };
+
+  void WorkerLoop(WorkerStats* stats);
+
+  const QueryServerOptions options_;
+  ConcurrentSession session_;
+  BoundedQueue<Request> queue_;
+  std::atomic<uint64_t> rejected_{0};
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mrx::server
+
+#endif  // MRX_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,24 @@
+#include "server/server_stats.h"
+
+namespace mrx::server {
+
+std::vector<std::string> ServerStatsHeaders() {
+  return {"config",          "workers",     "queries",    "qps",
+          "p50_us",          "p95_us",      "p99_us",     "cache_hit_rate",
+          "avg_query_cost",  "refinements", "rejected"};
+}
+
+void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
+                          double qps, TableWriter* table) {
+  const double avg_cost =
+      stats.queries_answered == 0
+          ? 0.0
+          : static_cast<double>(stats.cumulative_cost.total()) /
+                static_cast<double>(stats.queries_answered);
+  table->AddRowValues(label, stats.num_workers, stats.queries_answered, qps,
+                      stats.LatencyUs(50), stats.LatencyUs(95),
+                      stats.LatencyUs(99), stats.CacheHitRate(), avg_cost,
+                      stats.refinements_applied, stats.rejected);
+}
+
+}  // namespace mrx::server

@@ -1,0 +1,61 @@
+#ifndef MRX_SERVER_SERVER_STATS_H_
+#define MRX_SERVER_SERVER_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/stats.h"
+#include "util/latency_histogram.h"
+#include "util/table_writer.h"
+
+namespace mrx::server {
+
+/// \brief A point-in-time aggregate of the server's per-worker counters,
+/// produced by QueryServer::Snapshot(). Plain data: safe to copy around
+/// and hand to reporting code with no locks held.
+struct ServerStats {
+  uint64_t queries_answered = 0;
+  uint64_t cache_hits = 0;
+  uint64_t rejected = 0;  ///< Submissions refused by backpressure.
+
+  /// Cumulative paper-metric cost of all answered queries.
+  QueryStats cumulative_cost;
+
+  /// End-to-end per-query service latency in nanoseconds (dequeue to
+  /// completion), merged across workers.
+  LatencyHistogram latency;
+
+  uint64_t refinements_applied = 0;   ///< FUP promotions refined so far.
+  uint64_t index_publications = 0;    ///< Refined indexes published.
+  uint64_t observations_pending = 0;  ///< Refine-inbox backlog.
+
+  size_t queue_depth = 0;  ///< Requests waiting in the MPMC queue.
+  size_t num_workers = 0;
+  size_t cache_entries = 0;
+
+  double CacheHitRate() const {
+    return queries_answered == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / queries_answered;
+  }
+
+  /// Latency percentile in microseconds.
+  double LatencyUs(double percentile) const {
+    return latency.ValueAtPercentile(percentile) / 1000.0;
+  }
+};
+
+/// Column headers matching AppendServerStatsRow, for building a TableWriter
+/// whose rows track the throughput trajectory across configurations (and,
+/// via RenderCsv, across PRs).
+std::vector<std::string> ServerStatsHeaders();
+
+/// Appends one row for a finished run: `label` names the configuration,
+/// `qps` the measured aggregate throughput (callers time the driven phase
+/// themselves — the snapshot alone cannot know the measurement window).
+void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
+                          double qps, TableWriter* table);
+
+}  // namespace mrx::server
+
+#endif  // MRX_SERVER_SERVER_STATS_H_

@@ -11,10 +11,12 @@
 #include "index/twig_eval.h"
 #include "query/data_evaluator.h"
 #include "query/twig.h"
+#include "server/load_driver.h"
 #include "storage/disk_m_star_index.h"
 #include "storage/graph_io.h"
 #include "storage/index_io.h"
 #include "util/string_util.h"
+#include "util/table_writer.h"
 #include "workload/generator.h"
 #include "workload/label_paths.h"
 #include "xml/graph_builder.h"
@@ -33,6 +35,8 @@ commands:
   query <graph> [index.mrxs] <expr> [--strategy auto|topdown|naive|bottomup|hybrid]
   generate <xmark|nasa> <out.xml> [--scale S] [--seed N]
   workload <graph> [--count N] [--max-length L] [--seed N]
+  serve-bench <graph> [--workers N] [--clients N] [--queries N]
+              [--count N] [--max-length L] [--seed N] [--csv out.csv]
 
 graphs are detected by suffix: .xml (parsed) or .mrxg (binary).
 )";
@@ -321,6 +325,58 @@ int CmdWorkload(const Options& options, std::ostream& out,
   return 0;
 }
 
+int CmdServeBench(const Options& options, std::ostream& out,
+                  std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: mrx serve-bench <graph> [--workers N] [--clients N] "
+           "[--queries N] [--count N] [--max-length L] [--seed N] "
+           "[--csv out.csv]\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+
+  LabelPathEnumerationOptions eo;
+  eo.max_length = 9;
+  LabelPathSet paths = EnumerateLabelPaths(*g, eo);
+  WorkloadOptions wo;
+  wo.num_queries =
+      static_cast<size_t>(std::atoll(options.Flag("count", "500").c_str()));
+  wo.max_query_length = static_cast<size_t>(
+      std::atoll(options.Flag("max-length", "9").c_str()));
+  wo.seed =
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+  std::vector<PathExpression> workload = GenerateWorkload(paths, wo);
+  if (workload.empty()) {
+    err << "error: graph yields an empty workload\n";
+    return 1;
+  }
+
+  server::LoadDriverOptions lo;
+  lo.num_workers =
+      static_cast<size_t>(std::atoll(options.Flag("workers", "4").c_str()));
+  lo.num_clients =
+      static_cast<size_t>(std::atoll(options.Flag("clients", "0").c_str()));
+  lo.total_queries =
+      static_cast<size_t>(std::atoll(options.Flag("queries", "10000").c_str()));
+  server::LoadReport report = server::RunLoadDriver(*g, workload, lo);
+
+  TableWriter table(server::ServerStatsHeaders());
+  server::AppendServerStatsRow(
+      report.stats, std::to_string(lo.num_workers) + " workers",
+      report.Qps(), &table);
+  table.RenderText(out);
+
+  const std::string csv_path = options.Flag("csv");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path, std::ios::trunc);
+    if (!csv) return Fail(err, Status::NotFound("cannot open: " + csv_path));
+    table.RenderCsv(csv);
+    out << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -355,6 +411,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "query") return CmdQuery(*options, out, err);
   if (command == "generate") return CmdGenerate(*options, out, err);
   if (command == "workload") return CmdWorkload(*options, out, err);
+  if (command == "serve-bench") return CmdServeBench(*options, out, err);
 
   err << "unknown command: " << command << "\n" << kUsage;
   return 2;

@@ -21,6 +21,10 @@ namespace mrx::tools {
 ///   generate xmark|nasa <out.xml> [--scale S] [--seed N]
 ///   workload <graph> [--count N] [--max-length L] [--seed N]
 ///                                           print a synthetic workload
+///   serve-bench <graph> [--workers N] [--clients N] [--queries N]
+///               [--count N] [--max-length L] [--seed N] [--csv out.csv]
+///                                           closed-loop load test against
+///                                           the concurrent query server
 ///
 /// Returns a process exit code; all human output goes to `out`, errors to
 /// `err`. File formats are detected by suffix (.xml / .mrxg / .mrxs).

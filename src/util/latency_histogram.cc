@@ -1,0 +1,60 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace mrx {
+
+size_t LatencyHistogram::BucketOf(uint64_t value) {
+  // Values below kSubBuckets land in magnitude 0, where the sub-buckets
+  // are exact (width 1).
+  if (value < kSubBuckets) return value;
+  const size_t magnitude = std::bit_width(value) - kSubBucketBits;
+  const size_t sub = (value >> magnitude) & (kSubBuckets - 1);
+  return magnitude * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t b) {
+  const size_t magnitude = b / kSubBuckets;
+  const size_t sub = b % kSubBuckets;
+  if (magnitude == 0) return sub;
+  // For magnitude m >= 1 the bucket holds values v with
+  // bit_width(v) == m + kSubBucketBits and (v >> m) == sub (sub is then in
+  // [kSubBuckets/2, kSubBuckets)), i.e. v in [sub<<m, ((sub+1)<<m) - 1].
+  return ((static_cast<uint64_t>(sub) + 1) << magnitude) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++buckets_[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+uint64_t LatencyHistogram::ValueAtPercentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample we are after, 1-based, rounded up.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(p / 100.0 * count_ + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(BucketUpperBound(b), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = sum_ = max_ = 0;
+}
+
+}  // namespace mrx

@@ -1,0 +1,62 @@
+#ifndef MRX_UTIL_LATENCY_HISTOGRAM_H_
+#define MRX_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mrx {
+
+/// \brief A fixed-size log-bucketed histogram for latency samples.
+///
+/// Values (in any unit; the server records nanoseconds) are binned by the
+/// bit width of the sample, with each power of two subdivided into
+/// `kSubBuckets` linear sub-buckets — the classic HdrHistogram-lite layout.
+/// Relative quantile error is bounded by 1/kSubBuckets (~6%), which is
+/// plenty for p50/p95/p99 reporting, and Record() is a single array
+/// increment so it is cheap enough for per-query instrumentation.
+///
+/// Not thread-safe; the server keeps one histogram per worker and merges
+/// them under the workers' stats mutexes when taking a snapshot.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = 1u << kSubBucketBits;  // 16
+  static constexpr size_t kMagnitudes = 64 - kSubBucketBits;
+  static constexpr size_t kNumBuckets = kMagnitudes * kSubBuckets;
+
+  void Record(uint64_t value);
+
+  /// The value below which `p` (in [0, 100]) percent of recorded samples
+  /// fall, approximated by the upper bound of the containing bucket.
+  /// Returns 0 when empty.
+  uint64_t ValueAtPercentile(double p) const;
+
+  /// Adds all of `other`'s samples to this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+
+  /// Mean of recorded samples (0 when empty).
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+ private:
+  static size_t BucketOf(uint64_t value);
+  /// Largest value mapping to bucket `b` (the reported quantile bound).
+  static uint64_t BucketUpperBound(size_t b);
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,68 @@
+#ifndef MRX_UTIL_LRU_CACHE_H_
+#define MRX_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace mrx {
+
+/// \brief A bounded map with least-recently-used eviction.
+///
+/// Get() and Put() both count as a use and move the entry to the front of
+/// the recency order; when an insertion would exceed the capacity the least
+/// recently used entry is dropped. Not thread-safe — callers that share an
+/// instance across threads must lock around it (the server's answer-cache
+/// shards do exactly that).
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// A capacity of 0 disables the cache (every Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and marks it most recently used, or nullptr.
+  /// The pointer is invalidated by any subsequent Put/Clear.
+  const V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, marking it most recently used; evicts the
+  /// least recently used entry if the cache was full.
+  void Put(K key, V value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(std::move(key), std::move(value));
+    map_.emplace(order_.front().first, order_.begin());
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  /// Front = most recently used. map_ values point into this list.
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_LRU_CACHE_H_

@@ -17,6 +17,8 @@ enum class StatusCode {
   kNotFound,          ///< A referenced entity (label, ID, file) is missing.
   kOutOfRange,        ///< A numeric parameter is outside its legal range.
   kFailedPrecondition,///< An invariant required by the call does not hold.
+  kUnavailable,       ///< Transient overload (queue full, shutting down);
+                      ///< the caller may retry after backing off.
   kInternal,          ///< A bug in the library itself.
 };
 
@@ -59,6 +61,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

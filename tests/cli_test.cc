@@ -153,6 +153,35 @@ TEST(CliTest, WorkloadPrintsQueries) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, ServeBenchReportsAndWritesCsv) {
+  std::string path = TempPath("mrx_cli_serve.xml");
+  std::string csv_path = TempPath("mrx_cli_serve.csv");
+  WriteTempXml(path);
+  CliRun r = RunTool({"serve-bench", path, "--workers", "2", "--queries",
+                      "200", "--count", "8", "--max-length", "3", "--csv",
+                      csv_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("qps"), std::string::npos);
+  EXPECT_NE(r.out.find("2 workers"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header.substr(0, 6), "config");
+  std::string row;
+  EXPECT_TRUE(static_cast<bool>(std::getline(csv, row)));
+  std::remove(path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(CliTest, ServeBenchRejectsMissingGraph) {
+  CliRun r = RunTool({"serve-bench"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
 TEST(CliTest, GenerateRejectsUnknownDataset) {
   CliRun r = RunTool({"generate", "mars", TempPath("mrx_cli_mars.xml")});
   EXPECT_EQ(r.code, 2);

@@ -174,6 +174,27 @@ TEST(SessionTest, CacheEvictsOldestAtCapacity) {
   EXPECT_EQ(session.cache_hits(), 1u);
 }
 
+TEST(SessionTest, CacheHitRefreshesRecencySoEvictionIsLru) {
+  DataGraph g = MakeFigure1Graph();
+  SessionOptions options;
+  options.cache_results = true;
+  options.cache_capacity = 2;
+  options.refine_after = 100;
+  AdaptiveIndexSession session(g, options);
+  PathExpression a = Q(g, "//person");
+  PathExpression b = Q(g, "//item");
+  PathExpression c = Q(g, "//bidder");
+  session.Query(a);
+  session.Query(b);
+  session.Query(a);  // Hit; refreshes a's recency, so b is now LRU.
+  EXPECT_EQ(session.cache_hits(), 1u);
+  session.Query(c);  // Evicts b (a FIFO memo would evict a instead).
+  session.Query(a);  // Still cached.
+  EXPECT_EQ(session.cache_hits(), 2u);
+  session.Query(b);  // Miss: was evicted.
+  EXPECT_EQ(session.cache_hits(), 2u);
+}
+
 TEST(SessionTest, FullWorkloadDrivesCostDown) {
   DataGraph g = MakeFigure1Graph();
   SessionOptions options;

@@ -3,6 +3,8 @@
 #include <set>
 #include <sstream>
 
+#include "util/latency_histogram.h"
+#include "util/lru_cache.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -212,6 +214,89 @@ TEST(TableWriterTest, CsvEscaping) {
 TEST(TableWriterTest, FormatsDoublesWithTwoDecimals) {
   EXPECT_EQ(TableWriter::Format(3.14159), "3.14");
   EXPECT_EQ(TableWriter::Format(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(LruCacheTest, GetRefreshesRecencySoEvictionIsLruNotFifo) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // "a" becomes most recently used.
+  cache.Put("c", 3);                   // Evicts "b" (LRU), not "a" (FIFO).
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(*cache.Get("c"), 3);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutOverwritesAndRefreshes) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("a", 10);  // Overwrite also counts as a use.
+  cache.Put("c", 3);   // So "b" is the eviction victim.
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 10);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<std::string, int> cache(0);
+  cache.Put("a", 1);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsCapacity) {
+  LruCache<int, int> cache(3);
+  for (int i = 0; i < 3; ++i) cache.Put(i, i);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 3u);
+  cache.Put(7, 7);
+  EXPECT_EQ(*cache.Get(7), 7);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v : {1u, 2u, 3u, 4u}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  // Values below kSubBuckets land in identity buckets: exact quantiles.
+  EXPECT_EQ(h.ValueAtPercentile(25), 1u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 2u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 4u);
+}
+
+TEST(LatencyHistogramTest, QuantileErrorIsBounded) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Bucket upper bounds over-approximate by at most one sub-bucket width
+  // (1/8 of the value at this layout's granularity).
+  uint64_t p50 = h.ValueAtPercentile(50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 563u);
+  uint64_t p99 = h.ValueAtPercentile(99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1114u);
+  EXPECT_EQ(h.ValueAtPercentile(0), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LatencyHistogramTest, MergeAndResetCombineSamples) {
+  LatencyHistogram a, b;
+  a.Record(100);
+  b.Record(1000);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1001100u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_GE(a.ValueAtPercentile(100), 1000000u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.ValueAtPercentile(50), 0u);
 }
 
 }  // namespace
