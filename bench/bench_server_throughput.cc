@@ -7,20 +7,25 @@
 // measures steady-state concurrent serving with the sharded answer cache
 // and shared-mutex read path.
 //
-// The final CSV block (via TableWriter::RenderCsv) is the machine-readable
-// record the harness tracks across PRs.
+// The final CSV block (via TableWriter::RenderCsv) and the BENCH_server.json
+// trajectory record (via harness::WriteBenchJson) are the machine-readable
+// records the harness tracks across PRs.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "harness/report.h"
 #include "server/load_driver.h"
 #include "util/table_writer.h"
 
 namespace {
 
-void RunDataset(const std::string& name) {
+void RunDataset(const std::string& name,
+                std::vector<std::pair<std::string, double>>* trajectory) {
   using namespace mrx;
   DataGraph g = bench::LoadDataset(name);
   std::vector<PathExpression> workload = bench::MakeWorkload(g, 9);
@@ -39,6 +44,11 @@ void RunDataset(const std::string& name) {
     server::AppendServerStatsRow(report.stats,
                                  name + "/" + std::to_string(workers) + "w",
                                  report.Qps(), &table);
+    const std::string prefix = name + "_" + std::to_string(workers) + "w_";
+    trajectory->emplace_back(prefix + "qps", report.Qps());
+    trajectory->emplace_back(prefix + "p99_us", report.stats.LatencyUs(99));
+    trajectory->emplace_back(prefix + "utilization",
+                             report.stats.AvgWorkerUtilization());
   }
 
   std::cout << "== Server throughput vs worker threads, " << name << " ==\n";
@@ -57,6 +67,11 @@ void RunDataset(const std::string& name) {
 }  // namespace
 
 int main() {
-  RunDataset("xmark");
+  std::vector<std::pair<std::string, double>> trajectory;
+  RunDataset("xmark", &trajectory);
+
+  std::ofstream bench("BENCH_server.json", std::ios::trunc);
+  mrx::harness::WriteBenchJson(bench, "server_throughput", trajectory);
+  std::cout << "wrote BENCH_server.json\n";
   return 0;
 }

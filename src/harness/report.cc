@@ -1,5 +1,9 @@
 #include "harness/report.h"
 
+#include <cmath>
+#include <cstdio>
+
+#include "obs/trace.h"
 #include "util/table_writer.h"
 
 namespace mrx::harness {
@@ -57,6 +61,23 @@ void PrintHistogram(std::ostream& os, const std::string& title,
   }
   table.RenderText(os);
   os << "\n";
+}
+
+void WriteBenchJson(
+    std::ostream& os, const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  os << "{\"bench\":";
+  obs::AppendJsonString(os, bench_name);
+  os << ",\"metrics\":{";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) os << ',';
+    obs::AppendJsonString(os, metrics[i].first);
+    const double v = std::isfinite(metrics[i].second) ? metrics[i].second : 0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << ':' << buf;
+  }
+  os << "}}\n";
 }
 
 void PrintDatasetSummary(std::ostream& os, const std::string& name,

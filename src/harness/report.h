@@ -3,6 +3,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -28,6 +29,16 @@ void PrintHistogram(std::ostream& os, const std::string& title,
 /// \brief One-line dataset summary (nodes/edges/labels/references).
 void PrintDatasetSummary(std::ostream& os, const std::string& name,
                          const DataGraph& graph);
+
+/// \brief Writes one machine-readable bench-trajectory record:
+///   {"bench":"server","metrics":{"xmark_4w_qps":12345.6,...}}
+/// `mrx serve-bench --metrics-out` and bench_server_throughput emit this as
+/// BENCH_server.json so the perf trajectory is diffable across PRs (CI
+/// uploads it as an artifact). Non-finite values are serialized as 0 to
+/// keep the record valid JSON. Metrics appear in the given order.
+void WriteBenchJson(
+    std::ostream& os, const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace mrx::harness
 

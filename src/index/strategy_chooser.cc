@@ -2,8 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace mrx {
 namespace {
+
+/// Bumps the process-global counter for the chosen strategy, so the
+/// kAuto traffic mix is visible in any metrics exposition
+/// (mrx_strategy_chosen_<name>_total in the catalog). Handles are resolved
+/// once; the hot path is one striped-atomic increment.
+void CountChoice(MStarQueryStrategy strategy) {
+  using obs::Counter;
+  static Counter* const naive =
+      obs::MetricsRegistry::Global().GetCounter("mrx_strategy_chosen_naive_total");
+  static Counter* const topdown = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_strategy_chosen_topdown_total");
+  static Counter* const bottomup = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_strategy_chosen_bottomup_total");
+  static Counter* const hybrid = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_strategy_chosen_hybrid_total");
+  switch (strategy) {
+    case MStarQueryStrategy::kNaive:
+      naive->Increment();
+      break;
+    case MStarQueryStrategy::kTopDown:
+      topdown->Increment();
+      break;
+    case MStarQueryStrategy::kBottomUp:
+      bottomup->Increment();
+      break;
+    case MStarQueryStrategy::kHybrid:
+      hybrid->Increment();
+      break;
+  }
+}
 
 // Multiplier on the bottom-up/hybrid downward-check term. The checks walk
 // real frontiers, so they cost far more than one node visit per candidate;
@@ -113,7 +145,9 @@ MStarQueryStrategy StrategyChooser::Choose(
 QueryResult StrategyChooser::Evaluate(const MStarIndex& index,
                                       const PathExpression& path,
                                       DataEvaluator* validator) const {
-  switch (Choose(path)) {
+  const MStarQueryStrategy chosen = Choose(path);
+  CountChoice(chosen);
+  switch (chosen) {
     case MStarQueryStrategy::kNaive:
       return index.QueryNaive(path, validator);
     case MStarQueryStrategy::kTopDown:
@@ -129,7 +163,9 @@ QueryResult StrategyChooser::Evaluate(const MStarIndex& index,
 QueryResult StrategyChooser::QueryAuto(MStarIndex& index,
                                        const PathExpression& path) {
   StrategyChooser chooser(index);
-  switch (chooser.Choose(path)) {
+  const MStarQueryStrategy chosen = chooser.Choose(path);
+  CountChoice(chosen);
+  switch (chosen) {
     case MStarQueryStrategy::kNaive:
       return index.QueryNaive(path);
     case MStarQueryStrategy::kTopDown:

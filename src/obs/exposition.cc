@@ -1,0 +1,56 @@
+#include "obs/exposition.h"
+
+#include "obs/trace.h"
+
+namespace mrx::obs {
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const MetricsSnapshot::CounterSample& c : snapshot.counters) {
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const MetricsSnapshot::GaugeSample& g : snapshot.gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << ' ' << g.value << '\n';
+  }
+  for (const MetricsSnapshot::HistogramSample& h : snapshot.histograms) {
+    os << "# TYPE " << h.name << " summary\n";
+    os << h.name << "{quantile=\"0.5\"} " << h.hist.ValueAtPercentile(50)
+       << '\n';
+    os << h.name << "{quantile=\"0.95\"} " << h.hist.ValueAtPercentile(95)
+       << '\n';
+    os << h.name << "{quantile=\"0.99\"} " << h.hist.ValueAtPercentile(99)
+       << '\n';
+    os << h.name << "_sum " << h.hist.sum() << '\n';
+    os << h.name << "_count " << h.hist.count() << '\n';
+    // Not part of the summary convention, but too useful to drop; exported
+    // as a companion gauge.
+    os << "# TYPE " << h.name << "_max gauge\n";
+    os << h.name << "_max " << h.hist.max() << '\n';
+  }
+}
+
+void WriteJsonlSnapshot(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const MetricsSnapshot::CounterSample& c : snapshot.counters) {
+    os << "{\"kind\":\"counter\",\"name\":";
+    AppendJsonString(os, c.name);
+    os << ",\"value\":" << c.value << "}\n";
+  }
+  for (const MetricsSnapshot::GaugeSample& g : snapshot.gauges) {
+    os << "{\"kind\":\"gauge\",\"name\":";
+    AppendJsonString(os, g.name);
+    os << ",\"value\":" << g.value << "}\n";
+  }
+  for (const MetricsSnapshot::HistogramSample& h : snapshot.histograms) {
+    os << "{\"kind\":\"histogram\",\"name\":";
+    AppendJsonString(os, h.name);
+    os << ",\"count\":" << h.hist.count() << ",\"sum\":" << h.hist.sum()
+       << ",\"max\":" << h.hist.max()
+       << ",\"p50\":" << h.hist.ValueAtPercentile(50)
+       << ",\"p95\":" << h.hist.ValueAtPercentile(95)
+       << ",\"p99\":" << h.hist.ValueAtPercentile(99) << ",\"mean\":"
+       << h.hist.Mean() << "}\n";
+  }
+}
+
+}  // namespace mrx::obs

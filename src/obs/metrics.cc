@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include <functional>
+#include <thread>
+
+namespace mrx::obs {
+
+size_t ThisThreadStripe() {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricStripes;
+  return stripe;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->Merged()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    for (Counter::Cell& c : counter->cells_) {
+      c.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) {
+    for (Histogram::Cell& c : histogram->cells_) {
+      std::lock_guard<std::mutex> cell_lock(c.mu);
+      c.hist.Reset();
+    }
+  }
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const LatencyHistogram* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+}  // namespace mrx::obs

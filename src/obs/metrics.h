@@ -1,0 +1,163 @@
+#ifndef MRX_OBS_METRICS_H_
+#define MRX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/latency_histogram.h"
+
+namespace mrx::obs {
+
+/// Stripe count for the sharded hot-path instruments. Sixteen stripes keep
+/// two threads on the same cache line rare at the worker counts the server
+/// runs (and a stripe is one cache line, so the memory cost is 1 KiB per
+/// counter).
+inline constexpr size_t kMetricStripes = 16;
+
+/// Index of the calling thread's stripe: a cheap hash of the thread id,
+/// computed once per thread.
+size_t ThisThreadStripe();
+
+/// \brief A monotonically increasing counter, striped across cache-line-
+/// aligned atomics so concurrent Increment() calls from different threads
+/// never contend. Increment is wait-free; Value() sums the stripes (it may
+/// miss increments that race with it, which is fine for telemetry).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    cells_[ThisThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kMetricStripes> cells_{};
+};
+
+/// \brief A point-in-time signed value (queue depth, index size). Set/Add
+/// are single relaxed atomic operations.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A distribution of uint64 samples, striped like Counter. Each
+/// stripe pairs a LatencyHistogram (the engine: log-bucketed, ~6% quantile
+/// error) with its own mutex; Record() locks only the calling thread's
+/// stripe, which is uncontended unless two threads hash to the same stripe
+/// *and* race, so the hot path stays at roughly mutex-uncontended cost.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    Cell& c = cells_[ThisThreadStripe()];
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.hist.Record(value);
+  }
+
+  /// All stripes merged into one histogram.
+  LatencyHistogram Merged() const {
+    LatencyHistogram out;
+    for (const Cell& c : cells_) {
+      std::lock_guard<std::mutex> lock(c.mu);
+      out.Merge(c.hist);
+    }
+    return out;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell {
+    mutable std::mutex mu;
+    LatencyHistogram hist;
+  };
+  std::array<Cell, kMetricStripes> cells_{};
+};
+
+/// A consistent-enough copy of every registered metric, sorted by name
+/// (registration order is irrelevant, exposition is deterministic).
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramSample {
+    std::string name;
+    LatencyHistogram hist;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Lookup helpers for tests and reporting code; return 0 / an empty
+  /// histogram when `name` was never registered.
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  const LatencyHistogram* FindHistogram(std::string_view name) const;
+};
+
+/// \brief The process-wide name → instrument table.
+///
+/// Instrumented components resolve their handles once (at construction) and
+/// then record through the stable Counter*/Gauge*/Histogram* pointers — the
+/// registry mutex is only taken on registration and Snapshot(), never on
+/// the record path. Names follow Prometheus convention
+/// (`mrx_<subsystem>_<what>[_total|_ns]`, see docs/OBSERVABILITY.md for the
+/// catalog); registering the same name twice returns the same instrument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry every component defaults to. Never
+  /// destroyed (intentionally leaked) so handles stay valid during static
+  /// teardown.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument, keeping handles valid. For tests
+  /// that want a clean slate of the global registry.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps snapshots sorted by name with no extra work; these are
+  // touched only at registration/snapshot frequency.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mrx::obs
+
+#endif  // MRX_OBS_METRICS_H_

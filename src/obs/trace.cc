@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mrx::obs {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendJsonString(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+// --- Span ------------------------------------------------------------------
+
+Span::Span(TraceRecorder* recorder, std::string_view name, uint64_t trace_id,
+           uint64_t parent_id)
+    : recorder_(recorder) {
+  event_.trace_id = trace_id;
+  event_.span_id = recorder->NextId();
+  event_.parent_id = parent_id;
+  event_.name = name;
+  event_.start_ns = MonotonicNowNs();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    recorder_ = other.recorder_;
+    event_ = std::move(other.event_);
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+Span Span::Child(std::string_view name) {
+  if (!enabled()) return Span();
+  return Span(recorder_, name, event_.trace_id, event_.span_id);
+}
+
+void Span::AddAttr(std::string_view key, uint64_t value) {
+  if (!enabled()) return;
+  event_.attrs.emplace_back(std::string(key), value);
+}
+
+void Span::End() {
+  if (!enabled()) return;
+  event_.duration_ns = MonotonicNowNs() - event_.start_ns;
+  TraceRecorder* recorder = recorder_;
+  recorder_ = nullptr;
+  recorder->Record(std::move(event_));
+}
+
+void Span::EndManual(uint64_t start_ns, uint64_t duration_ns) {
+  if (!enabled()) return;
+  event_.start_ns = start_ns;
+  event_.duration_ns = duration_ns;
+  TraceRecorder* recorder = recorder_;
+  recorder_ = nullptr;
+  recorder->Record(std::move(event_));
+}
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TraceRecorder::TraceRecorder(Options options) : options_(options) {}
+
+Span TraceRecorder::StartTrace(std::string_view name, bool always_sample) {
+  if (options_.sample_every == 0) return Span();
+  const uint64_t n = traces_.fetch_add(1, std::memory_order_relaxed);
+  if (!always_sample && n % options_.sample_every != 0) return Span();
+  const uint64_t trace_id = NextId();
+  return Span(this, name, trace_id, /*parent_id=*/0);
+}
+
+void TraceRecorder::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= options_.max_events) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::WriteJsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanEvent& e : events_) {
+    os << "{\"trace\":" << e.trace_id << ",\"span\":" << e.span_id
+       << ",\"parent\":" << e.parent_id << ",\"name\":";
+    AppendJsonString(os, e.name);
+    os << ",\"start_ns\":" << e.start_ns << ",\"dur_ns\":" << e.duration_ns;
+    if (!e.attrs.empty()) {
+      os << ",\"attrs\":{";
+      for (size_t i = 0; i < e.attrs.size(); ++i) {
+        if (i > 0) os << ',';
+        AppendJsonString(os, e.attrs[i].first);
+        os << ':' << e.attrs[i].second;
+      }
+      os << '}';
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace mrx::obs

@@ -1,0 +1,141 @@
+#ifndef MRX_OBS_TRACE_H_
+#define MRX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mrx::obs {
+
+class TraceRecorder;
+
+/// Nanoseconds on the monotonic clock (std::chrono::steady_clock) — the
+/// time base of every span. Values are only meaningful relative to each
+/// other within one process run.
+uint64_t MonotonicNowNs();
+
+/// One finished span, as exported to the JSONL trace. `parent_id == 0`
+/// marks a root span; all ids are unique within a recorder.
+struct SpanEvent {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  uint64_t start_ns = 0;     ///< MonotonicNowNs() at span start.
+  uint64_t duration_ns = 0;
+  /// Small numeric payload (visit counts, hit flags, sizes).
+  std::vector<std::pair<std::string, uint64_t>> attrs;
+};
+
+/// \brief An RAII timed section. A default-constructed (or unsampled) Span
+/// is *disabled*: every operation on it is a cheap no-op, so call sites
+/// never branch on whether tracing is on. Enabled spans record a SpanEvent
+/// into their recorder when ended (explicitly or by the destructor).
+///
+/// Spans are move-only and single-threaded: a span and its children must be
+/// ended on the thread that started them (the recorder itself is
+/// thread-safe, so concurrent queries each carry their own span tree).
+class Span {
+ public:
+  Span() = default;  ///< Disabled span.
+  ~Span() { End(); }
+
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool enabled() const { return recorder_ != nullptr; }
+
+  /// Starts a child span of this one (disabled if this span is disabled).
+  Span Child(std::string_view name);
+
+  void AddAttr(std::string_view key, uint64_t value);
+
+  /// Records the span with duration = now - start. Idempotent; the
+  /// destructor calls it.
+  void End();
+
+  /// Records the span with an explicit window instead of the RAII timing.
+  /// Used for *phase* spans carved out of an instrumented section after the
+  /// fact (e.g. data validation time accumulated across validator calls —
+  /// see docs/OBSERVABILITY.md on non-contiguous phases).
+  void EndManual(uint64_t start_ns, uint64_t duration_ns);
+
+ private:
+  friend class TraceRecorder;
+  Span(TraceRecorder* recorder, std::string_view name, uint64_t trace_id,
+       uint64_t parent_id);
+
+  TraceRecorder* recorder_ = nullptr;
+  SpanEvent event_;
+};
+
+/// \brief A bounded, sampled collector of span events.
+///
+/// StartTrace() decides per call whether the new trace is sampled (every
+/// `sample_every`-th call; 1 = always). Unsampled traces return disabled
+/// spans whose whole lifecycle costs a couple of branches. Finished spans
+/// are appended under a mutex; once `max_events` are buffered, further
+/// events are counted in dropped() instead of growing without bound.
+struct TraceRecorderOptions {
+  /// Sample every Nth trace; 1 traces everything, 0 disables tracing.
+  size_t sample_every = 64;
+
+  /// Event-buffer bound; spans beyond it are dropped (and counted).
+  size_t max_events = 200000;
+};
+
+class TraceRecorder {
+ public:
+  using Options = TraceRecorderOptions;
+
+  explicit TraceRecorder(Options options = {});
+
+  /// Starts a new (maybe sampled) root span. `always_sample` bypasses the
+  /// sampling decision — used for rare, high-signal traces (refinement
+  /// batches) that must not be lost to a 1-in-N sampler.
+  Span StartTrace(std::string_view name, bool always_sample = false);
+
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t traces_started() const {
+    return traces_.load(std::memory_order_relaxed);
+  }
+
+  /// One JSON object per line:
+  /// {"trace":1,"span":2,"parent":1,"name":"cache_lookup",
+  ///  "start_ns":123,"dur_ns":456,"attrs":{"hit":1}}
+  void WriteJsonl(std::ostream& os) const;
+
+  /// Snapshot of the buffered events (tests; WriteJsonl is the export).
+  std::vector<SpanEvent> Events() const;
+
+ private:
+  friend class Span;
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void Record(SpanEvent event);
+
+  const Options options_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> traces_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+/// Appends `text` to `os` as a double-quoted JSON string with the
+/// characters JSON requires escaped. Shared by the trace and snapshot
+/// exporters (and the harness's bench JSON).
+void AppendJsonString(std::ostream& os, std::string_view text);
+
+}  // namespace mrx::obs
+
+#endif  // MRX_OBS_TRACE_H_

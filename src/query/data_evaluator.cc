@@ -1,8 +1,19 @@
 #include "query/data_evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mrx {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 DataEvaluator::DataEvaluator(const DataGraph& graph)
     : graph_(graph), mark_(graph.num_nodes(), 0) {}
@@ -68,6 +79,15 @@ std::vector<NodeId> DataEvaluator::Evaluate(const PathExpression& path) {
 
 bool DataEvaluator::HasIncomingPath(NodeId node, const PathExpression& path,
                                     uint64_t* visited) {
+  const uint64_t start_ns = timing_enabled_ ? NowNs() : 0;
+  const bool matched = HasIncomingPathImpl(node, path, visited);
+  if (timing_enabled_) validation_ns_ += NowNs() - start_ns;
+  return matched;
+}
+
+bool DataEvaluator::HasIncomingPathImpl(NodeId node,
+                                        const PathExpression& path,
+                                        uint64_t* visited) {
   if (!path.StepMatches(path.num_steps() - 1, graph_.label(node))) {
     return false;
   }

@@ -38,9 +38,26 @@ class DataEvaluator {
   bool HasIncomingPath(NodeId node, const PathExpression& path,
                        uint64_t* visited = nullptr);
 
+  /// Opt-in validation-phase timing for the observability layer: while
+  /// enabled, wall time spent inside HasIncomingPath (the index strategies'
+  /// validation oracle) accumulates into a nanosecond counter. Off by
+  /// default — the clock reads are only paid on traced queries (the server
+  /// enables timing on the sampled ones; see docs/OBSERVABILITY.md).
+  void EnableValidationTiming(bool enabled) { timing_enabled_ = enabled; }
+
+  /// Returns the accumulated validation nanoseconds and resets the counter.
+  uint64_t ConsumeValidationNs() {
+    const uint64_t ns = validation_ns_;
+    validation_ns_ = 0;
+    return ns;
+  }
+
   const DataGraph& graph() const { return graph_; }
 
  private:
+  bool HasIncomingPathImpl(NodeId node, const PathExpression& path,
+                           uint64_t* visited);
+
   /// Marks `n` in the current epoch; returns true if newly marked.
   bool Mark(NodeId n) {
     if (mark_[n] == epoch_) return false;
@@ -54,6 +71,8 @@ class DataEvaluator {
   uint64_t epoch_ = 0;
   std::vector<NodeId> frontier_;
   std::vector<NodeId> next_;
+  bool timing_enabled_ = false;
+  uint64_t validation_ns_ = 0;
 };
 
 }  // namespace mrx

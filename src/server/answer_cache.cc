@@ -5,7 +5,13 @@
 
 namespace mrx::server {
 
-ShardedAnswerCache::ShardedAnswerCache(size_t capacity, size_t num_shards) {
+ShardedAnswerCache::ShardedAnswerCache(size_t capacity, size_t num_shards)
+    : hits_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "mrx_answer_cache_hits_total")),
+      misses_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "mrx_answer_cache_misses_total")),
+      evictions_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "mrx_answer_cache_evictions_total")) {
   const size_t shards = std::bit_ceil(std::max<size_t>(1, num_shards));
   shard_mask_ = shards - 1;
   // Split the budget evenly; round up so the total is never below the
@@ -20,19 +26,33 @@ ShardedAnswerCache::ShardedAnswerCache(size_t capacity, size_t num_shards) {
 
 bool ShardedAnswerCache::Get(const std::string& key, QueryResult* out) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const QueryResult* cached = shard.lru.Get(key);
-  if (cached == nullptr) return false;
-  *out = *cached;
-  return true;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const QueryResult* cached = shard.lru.Get(key);
+    if (cached != nullptr) {
+      ++shard.stats.hits;
+      *out = *cached;
+      hit = true;
+    } else {
+      ++shard.stats.misses;
+    }
+  }
+  (hit ? hits_counter_ : misses_counter_)->Increment();
+  return hit;
 }
 
 void ShardedAnswerCache::Put(const std::string& key, const QueryResult& value,
                              uint64_t epoch) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.epoch != epoch) return;  // Stale: index republished since.
-  shard.lru.Put(key, value);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.epoch != epoch) return;  // Stale: index republished since.
+    evicted = shard.lru.Put(key, value);
+    if (evicted) ++shard.stats.evictions;
+  }
+  if (evicted) evictions_counter_->Increment();
 }
 
 void ShardedAnswerCache::Invalidate(uint64_t new_epoch) {
@@ -41,6 +61,17 @@ void ShardedAnswerCache::Invalidate(uint64_t new_epoch) {
     shard->lru.Clear();
     shard->epoch = new_epoch;
   }
+}
+
+std::vector<ShardedAnswerCache::ShardStats> ShardedAnswerCache::PerShardStats()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->stats);
+  }
+  return out;
 }
 
 size_t ShardedAnswerCache::size() const {

@@ -2,12 +2,14 @@
 #define MRX_SERVER_ANSWER_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "index/evaluator.h"
+#include "obs/metrics.h"
 #include "util/lru_cache.h"
 
 namespace mrx::server {
@@ -49,11 +51,25 @@ class ShardedAnswerCache {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Per-shard telemetry counters, accumulated since construction
+  /// (Invalidate clears entries, not counters).
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// One ShardStats per shard, in shard order. The aggregate is also
+  /// mirrored into the process-global metrics registry
+  /// (mrx_answer_cache_{hits,misses,evictions}_total).
+  std::vector<ShardStats> PerShardStats() const;
+
  private:
   struct Shard {
     std::mutex mu;
     LruCache<std::string, QueryResult> lru;
     uint64_t epoch = 0;
+    ShardStats stats;
 
     explicit Shard(size_t capacity) : lru(capacity) {}
   };
@@ -64,6 +80,11 @@ class ShardedAnswerCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_mask_;
+
+  // Global-registry mirrors of the aggregate counters; resolved once.
+  obs::Counter* hits_counter_;
+  obs::Counter* misses_counter_;
+  obs::Counter* evictions_counter_;
 };
 
 }  // namespace mrx::server

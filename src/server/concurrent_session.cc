@@ -31,6 +31,28 @@ class ConcurrentSession::EvaluatorLease {
   std::unique_ptr<DataEvaluator> evaluator_;
 };
 
+ConcurrentSession::SessionMetrics::SessionMetrics() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  queries_total = registry.GetCounter("mrx_queries_total");
+  cache_lookup_ns =
+      registry.GetHistogram("mrx_query_phase_cache_lookup_ns");
+  eval_ns = registry.GetHistogram("mrx_query_phase_eval_ns");
+  index_probe_ns = registry.GetHistogram("mrx_query_phase_index_probe_ns");
+  validation_ns =
+      registry.GetHistogram("mrx_query_phase_data_validation_ns");
+  fup_promotions = registry.GetCounter("mrx_refine_fup_promotions_total");
+  partition_splits =
+      registry.GetCounter("mrx_refine_partition_splits_total");
+  observations_dropped =
+      registry.GetCounter("mrx_refine_observations_dropped_total");
+  publish_ns = registry.GetHistogram("mrx_refine_publish_ns");
+  index_epoch = registry.GetGauge("mrx_index_epoch");
+  index_components = registry.GetGauge("mrx_index_components");
+  index_physical_nodes = registry.GetGauge("mrx_index_physical_nodes");
+  index_physical_edges = registry.GetGauge("mrx_index_physical_edges");
+  inbox_backlog = registry.GetGauge("mrx_refine_inbox_backlog");
+}
+
 ConcurrentSession::ConcurrentSession(const DataGraph& graph,
                                      ConcurrentSessionOptions options)
     : graph_(graph),
@@ -71,6 +93,15 @@ QueryResult ConcurrentSession::EvaluateLocked(const PathExpression& query,
 }
 
 QueryResult ConcurrentSession::Query(const PathExpression& query) {
+  // Per-query trace root; disabled (all no-ops) when there is no tracer or
+  // the sampler skips this query. Phase *histograms* are recorded for
+  // every query regardless — only the span events and the index-probe /
+  // data-validation split are sampled (the split needs validator timing,
+  // which costs two clock reads per validation call).
+  obs::Span root = options_.tracer != nullptr
+                       ? options_.tracer->StartTrace("query")
+                       : obs::Span();
+
   // The observation is recorded only *after* the cache lookup: if it went
   // to the inbox first, the refiner could promote this very query and
   // invalidate the cache between the observation and the lookup, making
@@ -79,10 +110,21 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
   if (options_.cache_results) {
     key = query.ToString(graph_.symbols());
     QueryResult hit;
-    if (cache_.Get(key, &hit)) {
+    const uint64_t lookup_start = obs::MonotonicNowNs();
+    const bool found = cache_.Get(key, &hit);
+    const uint64_t lookup_ns = obs::MonotonicNowNs() - lookup_start;
+    metrics_.cache_lookup_ns->Record(lookup_ns);
+    if (root.enabled()) {
+      obs::Span lookup = root.Child("cache_lookup");
+      lookup.AddAttr("hit", found ? 1 : 0);
+      lookup.EndManual(lookup_start, lookup_ns);
+    }
+    if (found) {
       RecordObservation(query);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       queries_answered_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queries_total->Increment();
+      root.AddAttr("cache_hit", 1);
       hit.stats = QueryStats{};  // A cache hit visits no nodes.
       return hit;
     }
@@ -95,13 +137,44 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
 
   QueryResult result;
   uint64_t epoch;
+  uint64_t validation_ns = 0;
+  const uint64_t eval_start = obs::MonotonicNowNs();
   {
     EvaluatorLease lease(this);
+    DataEvaluator* validator = lease.get();
+    if (root.enabled()) {
+      validator->ConsumeValidationNs();  // Clear any stale accumulation.
+      validator->EnableValidationTiming(true);
+    }
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     epoch = epoch_;
-    result = EvaluateLocked(query, lease.get());
+    result = EvaluateLocked(query, validator);
+    if (root.enabled()) {
+      validation_ns = validator->ConsumeValidationNs();
+      validator->EnableValidationTiming(false);  // Returned to pool off.
+    }
+  }
+  const uint64_t eval_ns = obs::MonotonicNowNs() - eval_start;
+  metrics_.eval_ns->Record(eval_ns);
+  if (root.enabled()) {
+    // data_validation is accumulated across validator calls interleaved
+    // with the probe, so both phase spans share the evaluation window's
+    // start; their durations partition eval_ns (see docs/OBSERVABILITY.md).
+    const uint64_t probe_ns =
+        eval_ns >= validation_ns ? eval_ns - validation_ns : 0;
+    metrics_.index_probe_ns->Record(probe_ns);
+    metrics_.validation_ns->Record(validation_ns);
+    obs::Span probe = root.Child("index_probe");
+    probe.AddAttr("index_nodes_visited", result.stats.index_nodes_visited);
+    probe.EndManual(eval_start, probe_ns);
+    obs::Span validation = root.Child("data_validation");
+    validation.AddAttr("data_nodes_validated",
+                       result.stats.data_nodes_validated);
+    validation.EndManual(eval_start, validation_ns);
+    root.AddAttr("answer_size", result.answer.size());
   }
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queries_total->Increment();
   stat_index_nodes_.fetch_add(result.stats.index_nodes_visited,
                               std::memory_order_relaxed);
   stat_data_nodes_.fetch_add(result.stats.data_nodes_validated,
@@ -124,9 +197,13 @@ void ConcurrentSession::RecordObservation(const PathExpression& query) {
     // Never block the read path on the refiner: a full inbox sheds the
     // observation. Frequency signals are statistical — a genuinely hot
     // query will come around again.
-    if (inbox_.size() >= options_.inbox_capacity) return;
+    if (inbox_.size() >= options_.inbox_capacity) {
+      metrics_.observations_dropped->Increment();
+      return;
+    }
     inbox_.push_back(query);
     ++submitted_;
+    metrics_.inbox_backlog->Set(static_cast<int64_t>(inbox_.size()));
   }
   inbox_cv_.notify_one();
 }
@@ -143,19 +220,50 @@ void ConcurrentSession::RefineLoop() {
       }
       batch.clear();
       batch.swap(inbox_);
+      metrics_.inbox_backlog->Set(0);
     }
 
     // FUP extraction and refinement run entirely on this thread, against
     // the private master copy — no locks held, readers undisturbed.
-    bool refined = false;
+    const uint64_t batch_start = obs::MonotonicNowNs();
+    const uint64_t splits_before = master_.TotalRefinementStats().splits;
+    uint64_t promotions = 0;
     for (const PathExpression& q : batch) {
       if (fups_.Observe(q)) {
         master_.Refine(q);
         refinements_applied_.fetch_add(1, std::memory_order_relaxed);
-        refined = true;
+        metrics_.fup_promotions->Increment();
+        ++promotions;
       }
     }
-    if (refined) Publish();
+    const uint64_t splits =
+        master_.TotalRefinementStats().splits - splits_before;
+    metrics_.partition_splits->Increment(splits);
+
+    uint64_t publish_start = 0;
+    uint64_t publish_ns = 0;
+    if (promotions > 0) {
+      publish_start = obs::MonotonicNowNs();
+      Publish();
+      publish_ns = obs::MonotonicNowNs() - publish_start;
+      metrics_.publish_ns->Record(publish_ns);
+    }
+
+    // Refinement batches are rare and high-signal, so they bypass the
+    // per-query sampler — every promoted batch shows up in the trace.
+    if (promotions > 0 && options_.tracer != nullptr) {
+      obs::Span span = options_.tracer->StartTrace("refine_batch",
+                                                   /*always_sample=*/true);
+      if (span.enabled()) {
+        obs::Span publish = span.Child("publish");
+        publish.EndManual(publish_start, publish_ns);
+        span.AddAttr("batch_observations", batch.size());
+        span.AddAttr("fup_promotions", promotions);
+        span.AddAttr("partition_splits", splits);
+        span.AddAttr("index_physical_nodes", master_.PhysicalNodeCount());
+        span.EndManual(batch_start, obs::MonotonicNowNs() - batch_start);
+      }
+    }
 
     {
       std::lock_guard<std::mutex> lock(inbox_mu_);
@@ -178,6 +286,18 @@ void ConcurrentSession::Publish() {
     cache_.Invalidate(epoch_);
   }
   publications_.fetch_add(1, std::memory_order_relaxed);
+
+  // Refresh the index-size gauges from the refiner's master copy (equal to
+  // the published clone by construction). PhysicalNodeCount walks the
+  // hierarchy, but Publish just deep-cloned it, so the walk is noise here.
+  metrics_.index_epoch->Set(
+      static_cast<int64_t>(publications_.load(std::memory_order_relaxed)));
+  metrics_.index_components->Set(
+      static_cast<int64_t>(master_.num_components()));
+  metrics_.index_physical_nodes->Set(
+      static_cast<int64_t>(master_.PhysicalNodeCount()));
+  metrics_.index_physical_edges->Set(
+      static_cast<int64_t>(master_.PhysicalEdgeCount()));
 }
 
 void ConcurrentSession::DrainRefinements() {

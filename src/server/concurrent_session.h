@@ -13,6 +13,8 @@
 
 #include "core/session.h"
 #include "index/strategy_chooser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/answer_cache.h"
 #include "workload/fup_extractor.h"
 
@@ -42,6 +44,12 @@ struct ConcurrentSessionOptions {
   /// refiner: observations beyond this backlog are dropped (they are
   /// statistics, not work items — a hot query will be observed again).
   size_t inbox_capacity = 1 << 16;
+
+  /// Span tracer for per-query phase spans (cache lookup → index probe →
+  /// data validation) and refinement telemetry. nullptr disables tracing;
+  /// metrics (the process-global registry) are always on. The recorder
+  /// must outlive the session. See docs/OBSERVABILITY.md.
+  obs::TraceRecorder* tracer = nullptr;
 };
 
 /// \brief The paper's Figure 5 closed loop as a *concurrent* service: the
@@ -117,6 +125,28 @@ class ConcurrentSession {
  private:
   class EvaluatorLease;
 
+  /// Handles into the process-global MetricsRegistry, resolved once at
+  /// construction (metric names: docs/OBSERVABILITY.md). Recording through
+  /// them is wait-free (counters/gauges) or stripe-local (histograms).
+  struct SessionMetrics {
+    obs::Counter* queries_total;
+    obs::Histogram* cache_lookup_ns;
+    obs::Histogram* eval_ns;
+    obs::Histogram* index_probe_ns;
+    obs::Histogram* validation_ns;
+    obs::Counter* fup_promotions;
+    obs::Counter* partition_splits;
+    obs::Counter* observations_dropped;
+    obs::Histogram* publish_ns;
+    obs::Gauge* index_epoch;
+    obs::Gauge* index_components;
+    obs::Gauge* index_physical_nodes;
+    obs::Gauge* index_physical_edges;
+    obs::Gauge* inbox_backlog;
+
+    SessionMetrics();
+  };
+
   QueryResult EvaluateLocked(const PathExpression& query,
                              DataEvaluator* validator) const;
   void RecordObservation(const PathExpression& query);
@@ -162,6 +192,8 @@ class ConcurrentSession {
 
   std::atomic<uint64_t> refinements_applied_{0};
   std::atomic<uint64_t> publications_{0};
+
+  SessionMetrics metrics_;
 
   std::thread refiner_;
 };

@@ -4,7 +4,31 @@
 #include <future>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mrx::server {
+namespace {
+
+/// Process-global server gauges/counters, shared by every QueryServer in
+/// the process (in practice one; concurrent bench servers would
+/// last-writer-win on the gauges, which telemetry tolerates).
+struct ServerMetrics {
+  obs::Gauge* queue_depth = obs::MetricsRegistry::Global().GetGauge(
+      "mrx_server_queue_depth");
+  obs::Gauge* workers =
+      obs::MetricsRegistry::Global().GetGauge("mrx_server_workers");
+  obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_server_rejected_total");
+  obs::Counter* busy_ns = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_server_worker_busy_ns_total");
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* const metrics = new ServerMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 QueryServer::QueryServer(const DataGraph& graph, QueryServerOptions options)
     : options_(options),
@@ -26,6 +50,7 @@ Status QueryServer::Submit(PathExpression query, Callback done) {
   Request request{std::move(query), std::move(done), Clock::now()};
   if (!queue_.TryPush(request)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().rejected->Increment();
     return Status::Unavailable(queue_.closed()
                                    ? "server is shutting down"
                                    : "request queue full; retry later");
@@ -49,16 +74,24 @@ void QueryServer::WorkerLoop(WorkerStats* stats) {
   for (;;) {
     std::optional<Request> request = queue_.Pop();
     if (!request.has_value()) return;  // Closed and drained.
+    const auto processing_start = Clock::now();
     QueryResult result = session_.Query(request->query);
-    const auto elapsed = Clock::now() - request->enqueued_at;
+    if (request->done) request->done(result);
+    const auto now = Clock::now();
+    const uint64_t busy_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - processing_start)
+            .count());
+    const auto elapsed = now - request->enqueued_at;
     {
       std::lock_guard<std::mutex> lock(stats->mu);
       ++stats->queries;
+      stats->busy_ns += busy_ns;
       stats->latency_ns.Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
               .count()));
     }
-    if (request->done) request->done(result);
+    Metrics().busy_ns->Increment(busy_ns);
   }
 }
 
@@ -75,10 +108,18 @@ ServerStats QueryServer::Snapshot() const {
   stats.num_workers = workers_.size();
   stats.queue_depth = queue_.size();
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_at_).count();
+  stats.worker_busy_ns.reserve(worker_stats_.size());
   for (const auto& ws : worker_stats_) {
     std::lock_guard<std::mutex> lock(ws->mu);
     stats.latency.Merge(ws->latency_ns);
+    stats.worker_busy_ns.push_back(ws->busy_ns);
   }
+  // The pull-style gauges refresh whenever someone looks (snapshots are
+  // how this server is scraped; there is no background ticker thread).
+  Metrics().queue_depth->Set(static_cast<int64_t>(stats.queue_depth));
+  Metrics().workers->Set(static_cast<int64_t>(stats.num_workers));
   stats.queries_answered = session_.queries_answered();
   stats.cache_hits = session_.cache_hits();
   stats.cumulative_cost = session_.cumulative_stats();

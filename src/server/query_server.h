@@ -78,10 +78,12 @@ class QueryServer {
 
   /// One worker's counters. Guarded by its own (uncontended) mutex so
   /// Snapshot can read while the worker runs; latency covers submit to
-  /// completion, so queueing delay shows up in the percentiles.
+  /// completion, so queueing delay shows up in the percentiles. busy_ns
+  /// covers dequeue to completion only — the utilization numerator.
   struct WorkerStats {
     mutable std::mutex mu;
     uint64_t queries = 0;
+    uint64_t busy_ns = 0;
     LatencyHistogram latency_ns;
   };
 
@@ -90,6 +92,7 @@ class QueryServer {
   const QueryServerOptions options_;
   ConcurrentSession session_;
   BoundedQueue<Request> queue_;
+  const Clock::time_point started_at_ = Clock::now();
   std::atomic<uint64_t> rejected_{0};
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;

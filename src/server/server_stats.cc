@@ -3,9 +3,9 @@
 namespace mrx::server {
 
 std::vector<std::string> ServerStatsHeaders() {
-  return {"config",          "workers",     "queries",    "qps",
-          "p50_us",          "p95_us",      "p99_us",     "cache_hit_rate",
-          "avg_query_cost",  "refinements", "rejected"};
+  return {"config",          "workers",     "queries",  "qps",
+          "p50_us",          "p95_us",      "p99_us",   "cache_hit_rate",
+          "avg_query_cost",  "refinements", "rejected", "utilization"};
 }
 
 void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
@@ -18,7 +18,8 @@ void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
   table->AddRowValues(label, stats.num_workers, stats.queries_answered, qps,
                       stats.LatencyUs(50), stats.LatencyUs(95),
                       stats.LatencyUs(99), stats.CacheHitRate(), avg_cost,
-                      stats.refinements_applied, stats.rejected);
+                      stats.refinements_applied, stats.rejected,
+                      stats.AvgWorkerUtilization());
 }
 
 }  // namespace mrx::server

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "query/stats.h"
 #include "util/latency_histogram.h"
@@ -32,6 +33,21 @@ struct ServerStats {
   size_t queue_depth = 0;  ///< Requests waiting in the MPMC queue.
   size_t num_workers = 0;
   size_t cache_entries = 0;
+
+  /// Per-worker nanoseconds spent processing requests (dequeue to
+  /// completion callback), in worker order, and the server's age when the
+  /// snapshot was taken — together they give per-worker utilization.
+  std::vector<uint64_t> worker_busy_ns;
+  double uptime_seconds = 0;
+
+  /// Mean fraction of wall time the workers spent processing requests
+  /// since the server started, in [0, 1].
+  double AvgWorkerUtilization() const {
+    if (worker_busy_ns.empty() || uptime_seconds <= 0) return 0.0;
+    double busy_seconds = 0;
+    for (uint64_t ns : worker_busy_ns) busy_seconds += ns * 1e-9;
+    return busy_seconds / (uptime_seconds * worker_busy_ns.size());
+  }
 
   double CacheHitRate() const {
     return queries_answered == 0

@@ -1,11 +1,16 @@
 #include "tools/cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "datagen/nasa.h"
 #include "datagen/xmark.h"
 #include "graph/statistics.h"
+#include "harness/report.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "index/m_star_index.h"
 #include "index/strategy_chooser.h"
 #include "index/twig_eval.h"
@@ -28,7 +33,9 @@ namespace {
 constexpr const char* kUsage = R"(usage: mrx <command> [args]
 
 commands:
-  stats <graph>                         graph shape statistics
+  stats <graph> [--metrics prom|json]   graph shape statistics; --metrics
+                                        appends the process metrics
+                                        exposition (docs/OBSERVABILITY.md)
   convert <in> <out>                    convert between .xml and .mrxg
   index build <graph> <out.mrxs> --fup <expr> [--fup <expr> ...]
   index info <graph> <index.mrxs>
@@ -37,8 +44,12 @@ commands:
   workload <graph> [--count N] [--max-length L] [--seed N]
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
+              [--metrics-out DIR] [--trace-sample N]
 
 graphs are detected by suffix: .xml (parsed) or .mrxg (binary).
+--metrics-out writes metrics.prom, metrics.jsonl, trace.jsonl and
+BENCH_server.json into DIR; --trace-sample N samples every Nth query's
+span tree into the trace (default 16).
 )";
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -112,12 +123,36 @@ int Fail(std::ostream& err, const Status& status) {
 
 int CmdStats(const Options& options, std::ostream& out, std::ostream& err) {
   if (options.positional.size() != 1) {
-    err << "usage: mrx stats <graph>\n";
+    err << "usage: mrx stats <graph> [--metrics prom|json]\n";
     return 2;
   }
   Result<DataGraph> g = LoadGraph(options.positional[0]);
   if (!g.ok()) return Fail(err, g.status());
   PrintStatistics(out, ComputeStatistics(*g));
+
+  const std::string metrics_format = options.Flag("metrics");
+  if (!metrics_format.empty()) {
+    // Surface the loaded graph in the registry so the exposition is
+    // meaningful even for this one-shot command.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("mrx_graph_nodes")->Set(
+        static_cast<int64_t>(g->num_nodes()));
+    registry.GetGauge("mrx_graph_edges")->Set(
+        static_cast<int64_t>(g->num_edges()));
+    registry.GetGauge("mrx_graph_labels")->Set(
+        static_cast<int64_t>(g->symbols().size()));
+    const obs::MetricsSnapshot snapshot = registry.Snapshot();
+    out << "\n";
+    if (metrics_format == "prom") {
+      obs::WritePrometheusText(snapshot, out);
+    } else if (metrics_format == "json") {
+      obs::WriteJsonlSnapshot(snapshot, out);
+    } else {
+      err << "unknown metrics format: " << metrics_format
+          << " (expected prom or json)\n";
+      return 2;
+    }
+  }
   return 0;
 }
 
@@ -330,7 +365,7 @@ int CmdServeBench(const Options& options, std::ostream& out,
   if (options.positional.size() != 1) {
     err << "usage: mrx serve-bench <graph> [--workers N] [--clients N] "
            "[--queries N] [--count N] [--max-length L] [--seed N] "
-           "[--csv out.csv]\n";
+           "[--csv out.csv] [--metrics-out DIR] [--trace-sample N]\n";
     return 2;
   }
   Result<DataGraph> g = LoadGraph(options.positional[0]);
@@ -359,6 +394,24 @@ int CmdServeBench(const Options& options, std::ostream& out,
       static_cast<size_t>(std::atoll(options.Flag("clients", "0").c_str()));
   lo.total_queries =
       static_cast<size_t>(std::atoll(options.Flag("queries", "10000").c_str()));
+
+  // Observability: with --metrics-out, the run's session samples span
+  // trees into `tracer` and the exposition files are written below.
+  const std::string metrics_dir = options.Flag("metrics-out");
+  obs::TraceRecorder::Options to;
+  to.sample_every = static_cast<size_t>(
+      std::atoll(options.Flag("trace-sample", "16").c_str()));
+  obs::TraceRecorder tracer(to);
+  if (!metrics_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(metrics_dir, ec);
+    if (ec) {
+      return Fail(err, Status::Internal("cannot create " + metrics_dir +
+                                        ": " + ec.message()));
+    }
+    lo.session.tracer = &tracer;
+  }
+
   server::LoadReport report = server::RunLoadDriver(*g, workload, lo);
 
   TableWriter table(server::ServerStatsHeaders());
@@ -373,6 +426,61 @@ int CmdServeBench(const Options& options, std::ostream& out,
     if (!csv) return Fail(err, Status::NotFound("cannot open: " + csv_path));
     table.RenderCsv(csv);
     out << "wrote " << csv_path << "\n";
+  }
+
+  if (!metrics_dir.empty()) {
+    const std::filesystem::path dir(metrics_dir);
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    {
+      std::ofstream prom(dir / "metrics.prom", std::ios::trunc);
+      obs::WritePrometheusText(snapshot, prom);
+      if (!prom) {
+        return Fail(err, Status::Internal("write failed: metrics.prom"));
+      }
+    }
+    {
+      std::ofstream jsonl(dir / "metrics.jsonl", std::ios::trunc);
+      obs::WriteJsonlSnapshot(snapshot, jsonl);
+      if (!jsonl) {
+        return Fail(err, Status::Internal("write failed: metrics.jsonl"));
+      }
+    }
+    {
+      std::ofstream trace(dir / "trace.jsonl", std::ios::trunc);
+      tracer.WriteJsonl(trace);
+      if (!trace) {
+        return Fail(err, Status::Internal("write failed: trace.jsonl"));
+      }
+    }
+    {
+      const server::ServerStats& stats = report.stats;
+      std::ofstream bench(dir / "BENCH_server.json", std::ios::trunc);
+      harness::WriteBenchJson(
+          bench, "serve-bench",
+          {{"workers", static_cast<double>(lo.num_workers)},
+           {"queries", static_cast<double>(report.timed_queries)},
+           {"qps", report.Qps()},
+           {"p50_us", stats.LatencyUs(50)},
+           {"p95_us", stats.LatencyUs(95)},
+           {"p99_us", stats.LatencyUs(99)},
+           {"cache_hit_rate", stats.CacheHitRate()},
+           {"utilization", stats.AvgWorkerUtilization()},
+           {"refinements", static_cast<double>(stats.refinements_applied)},
+           {"publications", static_cast<double>(stats.index_publications)},
+           {"rejected", static_cast<double>(stats.rejected)},
+           {"index_physical_nodes",
+            static_cast<double>(
+                snapshot.GaugeValue("mrx_index_physical_nodes"))},
+           {"trace_spans", static_cast<double>(tracer.size())}});
+      if (!bench) {
+        return Fail(err, Status::Internal("write failed: BENCH_server.json"));
+      }
+    }
+    out << "wrote " << (dir / "metrics.prom").string() << ", "
+        << (dir / "metrics.jsonl").string() << ", "
+        << (dir / "trace.jsonl").string() << ", "
+        << (dir / "BENCH_server.json").string() << "\n";
   }
   return 0;
 }

@@ -10,7 +10,9 @@ namespace mrx::tools {
 /// \brief The `mrx` command-line tool, as a testable library function.
 ///
 /// Subcommands:
-///   stats <file.xml|file.mrxg>             graph shape statistics
+///   stats <file.xml|file.mrxg> [--metrics prom|json]
+///                                           graph shape statistics, plus
+///                                           the process metrics exposition
 ///   convert <in.xml|in.mrxg> <out.xml|out.mrxg>
 ///                                           XML ⇄ binary graph conversion
 ///   index build <graph> <out.mrxs> --fup <expr> [--fup <expr> ...]
@@ -23,8 +25,13 @@ namespace mrx::tools {
 ///                                           print a synthetic workload
 ///   serve-bench <graph> [--workers N] [--clients N] [--queries N]
 ///               [--count N] [--max-length L] [--seed N] [--csv out.csv]
+///               [--metrics-out DIR] [--trace-sample N]
 ///                                           closed-loop load test against
-///                                           the concurrent query server
+///                                           the concurrent query server;
+///                                           --metrics-out writes the
+///                                           Prometheus/JSONL expositions,
+///                                           the span trace, and
+///                                           BENCH_server.json into DIR
 ///
 /// Returns a process exit code; all human output goes to `out`, errors to
 /// `err`. File formats are detected by suffix (.xml / .mrxg / .mrxs).

@@ -33,7 +33,10 @@ void LatencyHistogram::Record(uint64_t value) {
 
 uint64_t LatencyHistogram::ValueAtPercentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  // Clamp out-of-range p; the negated comparison also routes NaN to 0
+  // (std::clamp passes NaN through, and a NaN rank would be UB to cast).
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   // Rank of the sample we are after, 1-based, rounded up.
   const uint64_t rank =
       std::max<uint64_t>(1, static_cast<uint64_t>(p / 100.0 * count_ + 0.5));

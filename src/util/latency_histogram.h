@@ -27,9 +27,19 @@ class LatencyHistogram {
 
   void Record(uint64_t value);
 
-  /// The value below which `p` (in [0, 100]) percent of recorded samples
-  /// fall, approximated by the upper bound of the containing bucket.
+  /// The value below which `p` percent of recorded samples fall.
   /// Returns 0 when empty.
+  ///
+  /// `p` outside [0, 100] is clamped to the nearest bound; a NaN `p` is
+  /// treated as 0 (the minimum recorded bucket) rather than producing an
+  /// unspecified rank.
+  ///
+  /// Bias: the result is the *upper bound* of the bucket containing the
+  /// rank-`p` sample (capped at max()), so quantiles systematically
+  /// over-estimate by up to one bucket width — a relative error bounded by
+  /// 1/kSubBuckets (~6%) for values >= kSubBuckets, and exact below that
+  /// (magnitude-0 buckets have width 1). The bias is one-sided: reported
+  /// quantiles never under-estimate.
   uint64_t ValueAtPercentile(double p) const;
 
   /// Adds all of `other`'s samples to this histogram.

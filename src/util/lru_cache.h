@@ -31,21 +31,26 @@ class LruCache {
   }
 
   /// Inserts or overwrites `key`, marking it most recently used; evicts the
-  /// least recently used entry if the cache was full.
-  void Put(K key, V value) {
-    if (capacity_ == 0) return;
+  /// least recently used entry if the cache was full. Returns true iff an
+  /// entry was evicted to make room (callers use this for eviction
+  /// telemetry; overwrites and no-op Puts return false).
+  bool Put(K key, V value) {
+    if (capacity_ == 0) return false;
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return false;
     }
+    bool evicted = false;
     if (map_.size() >= capacity_) {
       map_.erase(order_.back().first);
       order_.pop_back();
+      evicted = true;
     }
     order_.emplace_front(std::move(key), std::move(value));
     map_.emplace(order_.front().first, order_.begin());
+    return evicted;
   }
 
   void Clear() {

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "tests/json_check.h"
 #include "tools/cli.h"
 
 namespace mrx::tools {
@@ -174,6 +176,128 @@ TEST(CliTest, ServeBenchReportsAndWritesCsv) {
   EXPECT_TRUE(static_cast<bool>(std::getline(csv, row)));
   std::remove(path.c_str());
   std::remove(csv_path.c_str());
+}
+
+TEST(CliTest, StatsMetricsExposition) {
+  std::string path = TempPath("mrx_cli_stats_metrics.xml");
+  WriteTempXml(path);
+
+  CliRun prom = RunTool({"stats", path, "--metrics", "prom"});
+  ASSERT_EQ(prom.code, 0) << prom.err;
+  EXPECT_NE(prom.out.find("# TYPE mrx_graph_nodes gauge"), std::string::npos);
+  EXPECT_NE(prom.out.find("mrx_graph_nodes 5"), std::string::npos);
+
+  CliRun json = RunTool({"stats", path, "--metrics", "json"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  // The exposition block is the trailing JSONL lines of the output.
+  std::istringstream lines(json.out);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    auto doc = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_NE(doc->Find("kind"), nullptr);
+    EXPECT_NE(doc->Find("name"), nullptr);
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0);
+
+  EXPECT_EQ(RunTool({"stats", path, "--metrics", "xml"}).code, 2);
+  std::remove(path.c_str());
+}
+
+// The CI observability smoke check: serve-bench --metrics-out must produce
+// all four artifacts, each of which must survive a strict parse, and the
+// trace must contain the three per-query phases plus refinement metrics.
+TEST(CliTest, ServeBenchMetricsOutArtifactsParse) {
+  std::string path = TempPath("mrx_cli_serve_obs.xml");
+  std::string out_dir = TempPath("mrx_cli_serve_obs_out");
+  WriteTempXml(path);
+  CliRun r = RunTool({"serve-bench", path, "--workers", "2", "--queries",
+                      "300", "--count", "8", "--max-length", "3",
+                      "--metrics-out", out_dir, "--trace-sample", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  namespace fs = std::filesystem;
+
+  // metrics.prom: Prometheus text, every sample line named mrx_*.
+  std::ifstream prom(fs::path(out_dir) / "metrics.prom");
+  ASSERT_TRUE(prom.good());
+  std::string prom_text((std::istreambuf_iterator<char>(prom)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(prom_text.find("mrx_queries_total"), std::string::npos);
+  EXPECT_NE(prom_text.find("# TYPE mrx_query_phase_cache_lookup_ns summary"),
+            std::string::npos);
+  {
+    std::istringstream lines(prom_text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      EXPECT_EQ(line.rfind("mrx_", 0), 0u) << line;
+    }
+  }
+
+  // metrics.jsonl: every line parses; the phase histograms and refinement
+  // metrics are present (registered even when the run was too small to
+  // refine).
+  std::ifstream jsonl(fs::path(out_dir) / "metrics.jsonl");
+  ASSERT_TRUE(jsonl.good());
+  std::set<std::string> metric_names;
+  std::string line;
+  while (std::getline(jsonl, line)) {
+    auto doc = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const auto* name = doc->Find("name");
+    ASSERT_NE(name, nullptr);
+    metric_names.insert(name->string_value);
+  }
+  for (const char* required :
+       {"mrx_queries_total", "mrx_query_phase_cache_lookup_ns",
+        "mrx_query_phase_index_probe_ns", "mrx_query_phase_data_validation_ns",
+        "mrx_refine_fup_promotions_total", "mrx_refine_partition_splits_total",
+        "mrx_refine_publish_ns", "mrx_answer_cache_hits_total",
+        "mrx_server_queue_depth"}) {
+    EXPECT_TRUE(metric_names.count(required)) << required;
+  }
+
+  // trace.jsonl: every line parses; all three query phases were traced.
+  std::ifstream trace(fs::path(out_dir) / "trace.jsonl");
+  ASSERT_TRUE(trace.good());
+  std::set<std::string> span_names;
+  while (std::getline(trace, line)) {
+    auto doc = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const auto* name = doc->Find("name");
+    ASSERT_NE(name, nullptr);
+    span_names.insert(name->string_value);
+  }
+  for (const char* phase :
+       {"query", "cache_lookup", "index_probe", "data_validation"}) {
+    EXPECT_TRUE(span_names.count(phase)) << phase;
+  }
+
+  // BENCH_server.json: the machine-readable trajectory record.
+  std::ifstream bench(fs::path(out_dir) / "BENCH_server.json");
+  ASSERT_TRUE(bench.good());
+  std::string bench_text((std::istreambuf_iterator<char>(bench)),
+                         std::istreambuf_iterator<char>());
+  auto doc = mrx::testing::ParseJson(bench_text);
+  ASSERT_TRUE(doc.has_value()) << bench_text;
+  const auto* bench_name = doc->Find("bench");
+  ASSERT_NE(bench_name, nullptr);
+  EXPECT_EQ(bench_name->string_value, "serve-bench");
+  const auto* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* key : {"workers", "queries", "qps", "p99_us",
+                          "cache_hit_rate", "utilization", "trace_spans"}) {
+    const auto* field = metrics->Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_TRUE(field->is_number());
+  }
+  EXPECT_EQ(metrics->Find("queries")->number_value, 300);
+
+  std::remove(path.c_str());
+  fs::remove_all(out_dir);
 }
 
 TEST(CliTest, ServeBenchRejectsMissingGraph) {

@@ -1,0 +1,175 @@
+// End-to-end checks that the observability layer actually observes: a
+// traced ConcurrentSession replay must emit the three per-query phase spans
+// (cache_lookup -> index_probe -> data_validation), refinement-batch spans,
+// and the refinement/cache/index metrics in the process-global registry.
+// The registry is process-global, so every assertion is on a before/after
+// delta rather than an absolute value.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mrx.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/concurrent_session.h"
+#include "tests/test_util.h"
+
+namespace mrx::server {
+namespace {
+
+using mrx::testing::MakeFigure1Graph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+const obs::SpanEvent* FindSpan(const std::vector<obs::SpanEvent>& events,
+                               std::string_view name) {
+  for (const obs::SpanEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool HasAttr(const obs::SpanEvent& e, std::string_view key) {
+  for (const auto& [k, v] : e.attrs) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(ObsIntegrationTest, TracedQueryEmitsAllThreePhaseSpans) {
+  DataGraph g = MakeFigure1Graph();
+  obs::TraceRecorder tracer({.sample_every = 1});
+  ConcurrentSessionOptions options;
+  options.refine_after = 100;  // No refinement noise in this test.
+  options.tracer = &tracer;
+  ConcurrentSession session(g, options);
+  PathExpression p = Q(g, "//site/people/person");
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  session.Query(p);  // Cold: cache miss, full evaluation.
+  session.Query(p);  // Warm: served from the answer cache.
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+  std::vector<obs::SpanEvent> events = tracer.Events();
+  // Two roots; the miss contributes index_probe + data_validation children.
+  const obs::SpanEvent* probe = FindSpan(events, "index_probe");
+  const obs::SpanEvent* validation = FindSpan(events, "data_validation");
+  ASSERT_NE(probe, nullptr);
+  ASSERT_NE(validation, nullptr);
+  EXPECT_TRUE(HasAttr(*probe, "index_nodes_visited"));
+  EXPECT_TRUE(HasAttr(*validation, "data_nodes_validated"));
+  // The two phases are carved out of the same evaluation window.
+  EXPECT_EQ(probe->start_ns, validation->start_ns);
+  EXPECT_EQ(probe->parent_id, validation->parent_id);
+
+  size_t lookups = 0, roots = 0;
+  for (const obs::SpanEvent& e : events) {
+    if (e.name == "cache_lookup") {
+      ++lookups;
+      EXPECT_TRUE(HasAttr(e, "hit"));
+      EXPECT_NE(e.parent_id, 0u);
+    }
+    if (e.name == "query") {
+      ++roots;
+      EXPECT_EQ(e.parent_id, 0u);
+      // The miss root carries answer_size; the hit root carries cache_hit.
+      EXPECT_TRUE(HasAttr(e, "answer_size") || HasAttr(e, "cache_hit"));
+    }
+  }
+  EXPECT_EQ(lookups, 2u);
+  EXPECT_EQ(roots, 2u);
+
+  // Metrics deltas: two queries, one hit, one miss, phase histograms fed.
+  auto counter_delta = [&](std::string_view name) {
+    return after.CounterValue(name) - before.CounterValue(name);
+  };
+  EXPECT_EQ(counter_delta("mrx_queries_total"), 2u);
+  EXPECT_EQ(counter_delta("mrx_answer_cache_hits_total"), 1u);
+  EXPECT_EQ(counter_delta("mrx_answer_cache_misses_total"), 1u);
+  auto hist_count = [](const obs::MetricsSnapshot& snap,
+                       std::string_view name) -> uint64_t {
+    const LatencyHistogram* h = snap.FindHistogram(name);
+    return h == nullptr ? 0 : h->count();
+  };
+  EXPECT_EQ(hist_count(after, "mrx_query_phase_cache_lookup_ns") -
+                hist_count(before, "mrx_query_phase_cache_lookup_ns"),
+            2u);
+  EXPECT_EQ(hist_count(after, "mrx_query_phase_eval_ns") -
+                hist_count(before, "mrx_query_phase_eval_ns"),
+            1u);  // Only the miss evaluates.
+}
+
+TEST(ObsIntegrationTest, RefinementEmitsTelemetryAndForcedSpans) {
+  DataGraph g = MakeFigure1Graph();
+  // sample_every huge: only always-sampled refine_batch traces make it
+  // through, which is exactly what this test wants to see.
+  obs::TraceRecorder tracer({.sample_every = 1000000});
+  ConcurrentSessionOptions options;
+  options.refine_after = 2;
+  options.tracer = &tracer;
+  ConcurrentSession session(g, options);
+  PathExpression p = Q(g, "//site/people/person");
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  session.Query(p);
+  session.Query(p);  // Second observation promotes p to a FUP.
+  session.DrainRefinements();
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(session.refinements_applied(), 1u);
+
+  EXPECT_GE(after.CounterValue("mrx_refine_fup_promotions_total"),
+            before.CounterValue("mrx_refine_fup_promotions_total") + 1);
+  EXPECT_GE(after.CounterValue("mrx_refine_partition_splits_total"),
+            before.CounterValue("mrx_refine_partition_splits_total"));
+  const LatencyHistogram* publish =
+      after.FindHistogram("mrx_refine_publish_ns");
+  ASSERT_NE(publish, nullptr);
+  EXPECT_GE(publish->count(), 1u);
+
+  // The published-index gauges describe the session's current index.
+  EXPECT_EQ(after.GaugeValue("mrx_index_epoch"),
+            static_cast<int64_t>(session.index_epoch()));
+  EXPECT_GT(after.GaugeValue("mrx_index_physical_nodes"), 0);
+  EXPECT_GT(after.GaugeValue("mrx_index_components"), 0);
+
+  std::vector<obs::SpanEvent> events = tracer.Events();
+  const obs::SpanEvent* batch = FindSpan(events, "refine_batch");
+  ASSERT_NE(batch, nullptr);  // Force-sampled despite sample_every=1000000.
+  EXPECT_TRUE(HasAttr(*batch, "fup_promotions"));
+  EXPECT_TRUE(HasAttr(*batch, "partition_splits"));
+  const obs::SpanEvent* publish_span = FindSpan(events, "publish");
+  ASSERT_NE(publish_span, nullptr);
+  EXPECT_EQ(publish_span->parent_id, batch->span_id);
+  // The sampler always takes trace #0, so at most the very first query got
+  // a span; the rest stayed unsampled.
+  size_t query_roots = 0;
+  for (const obs::SpanEvent& e : events) {
+    if (e.name == "query") ++query_roots;
+  }
+  EXPECT_LE(query_roots, 1u);
+}
+
+TEST(ObsIntegrationTest, UntracedSessionStillFeedsMetrics) {
+  DataGraph g = MakeFigure1Graph();
+  ConcurrentSessionOptions options;
+  options.refine_after = 100;
+  ConcurrentSession session(g, options);  // No tracer at all.
+  PathExpression p = Q(g, "//item");
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  session.Query(p);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.CounterValue("mrx_queries_total") -
+                before.CounterValue("mrx_queries_total"),
+            1u);
+}
+
+}  // namespace
+}  // namespace mrx::server

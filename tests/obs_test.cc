@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/json_check.h"
+
+namespace mrx::obs {
+namespace {
+
+using mrx::testing::JsonValue;
+using mrx::testing::ParseJson;
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("mrx_test_total");
+  Counter* c2 = reg.GetCounter("mrx_test_total");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.GetCounter("mrx_other_total"), c1);
+  EXPECT_EQ(reg.GetGauge("mrx_test_depth"), reg.GetGauge("mrx_test_depth"));
+  EXPECT_EQ(reg.GetHistogram("mrx_test_ns"), reg.GetHistogram("mrx_test_ns"));
+}
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramSemantics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("mrx_test_total");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+
+  Gauge* g = reg.GetGauge("mrx_test_depth");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+  g->Set(-5);
+  EXPECT_EQ(g->Value(), -5);
+
+  Histogram* h = reg.GetHistogram("mrx_test_ns");
+  h->Record(100);
+  h->Record(200);
+  LatencyHistogram merged = h->Merged();
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.sum(), 300u);
+  EXPECT_EQ(merged.max(), 200u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndLookupsWork) {
+  MetricsRegistry reg;
+  reg.GetCounter("mrx_b_total")->Increment(2);
+  reg.GetCounter("mrx_a_total")->Increment(1);
+  reg.GetGauge("mrx_z_gauge")->Set(9);
+  reg.GetHistogram("mrx_h_ns")->Record(50);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "mrx_a_total");  // Sorted by name.
+  EXPECT_EQ(snap.counters[1].name, "mrx_b_total");
+  EXPECT_EQ(snap.CounterValue("mrx_b_total"), 2u);
+  EXPECT_EQ(snap.GaugeValue("mrx_z_gauge"), 9);
+  ASSERT_NE(snap.FindHistogram("mrx_h_ns"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("mrx_h_ns")->count(), 1u);
+
+  // Unregistered names fall back to zero values, not crashes.
+  EXPECT_EQ(snap.CounterValue("mrx_missing"), 0u);
+  EXPECT_EQ(snap.GaugeValue("mrx_missing"), 0);
+  EXPECT_EQ(snap.FindHistogram("mrx_missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesButKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("mrx_test_total");
+  Gauge* g = reg.GetGauge("mrx_test_gauge");
+  Histogram* h = reg.GetHistogram("mrx_test_ns");
+  c->Increment(5);
+  g->Set(5);
+  h->Record(5);
+  reg.ResetForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Merged().count(), 0u);
+  // The same pointers keep recording after the reset.
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("mrx_test_total"), c);
+}
+
+TEST(MetricsRegistryTest, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(MetricsRegistryTest, ThisThreadStripeIsStableAndInRange) {
+  size_t mine = ThisThreadStripe();
+  EXPECT_LT(mine, kMetricStripes);
+  EXPECT_EQ(ThisThreadStripe(), mine);  // Stable within a thread.
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNoUpdates) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("mrx_conc_total");
+  Histogram* h = reg.GetHistogram("mrx_conc_ns");
+  Gauge* g = reg.GetGauge("mrx_conc_gauge");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  // One reader thread snapshots continuously while writers record: snapshots
+  // must stay internally sane (counter monotone, histogram count bounded).
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = reg.Snapshot();
+      uint64_t now = snap.CounterValue("mrx_conc_total");
+      EXPECT_GE(now, last);
+      last = now;
+      const LatencyHistogram* hist = snap.FindHistogram("mrx_conc_ns");
+      ASSERT_NE(hist, nullptr);
+      EXPECT_LE(hist->count(),
+                static_cast<uint64_t>(kThreads) * kPerThread);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i % 1000) + 1);
+        g->Add(t % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->Merged().count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g->Value(), 0);  // Equal +1/-1 writers cancel out.
+}
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TEST(TraceRecorderTest, DisabledSpanOperationsAreNoOps) {
+  Span span;  // Default-constructed: disabled.
+  EXPECT_FALSE(span.enabled());
+  span.AddAttr("k", 1);
+  Span child = span.Child("child");
+  EXPECT_FALSE(child.enabled());
+  span.End();          // No recorder to touch.
+  child.EndManual(0, 0);
+}
+
+TEST(TraceRecorderTest, SamplesEveryNthTrace) {
+  TraceRecorder::Options options;
+  options.sample_every = 4;
+  TraceRecorder recorder(options);
+  int enabled = 0;
+  for (int i = 0; i < 16; ++i) {
+    Span span = recorder.StartTrace("query");
+    if (span.enabled()) ++enabled;
+  }
+  EXPECT_EQ(enabled, 4);
+  EXPECT_EQ(recorder.traces_started(), 16u);
+  EXPECT_EQ(recorder.size(), 4u);  // Destructor recorded each enabled span.
+}
+
+TEST(TraceRecorderTest, SampleEveryZeroDisablesEverything) {
+  TraceRecorder::Options options;
+  options.sample_every = 0;
+  TraceRecorder recorder(options);
+  EXPECT_FALSE(recorder.StartTrace("query").enabled());
+  EXPECT_FALSE(recorder.StartTrace("query", /*always_sample=*/true).enabled());
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceRecorderTest, AlwaysSampleBypassesTheSampler) {
+  TraceRecorder::Options options;
+  options.sample_every = 1000;
+  TraceRecorder recorder(options);
+  { Span s = recorder.StartTrace("rare"); }          // n=0: sampled anyway.
+  { Span s = recorder.StartTrace("unsampled"); }     // n=1: dropped.
+  EXPECT_TRUE(recorder.StartTrace("forced", /*always_sample=*/true).enabled());
+}
+
+TEST(TraceRecorderTest, ChildSpansLinkToTheirParent) {
+  TraceRecorder recorder({.sample_every = 1});
+  {
+    Span root = recorder.StartTrace("query");
+    ASSERT_TRUE(root.enabled());
+    root.AddAttr("answer_size", 3);
+    Span child = root.Child("cache_lookup");
+    child.AddAttr("hit", 1);
+    child.End();
+    Span second = root.Child("index_probe");
+    second.End();
+  }
+  std::vector<SpanEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Children end before the root, so the root is last.
+  const SpanEvent& root = events[2];
+  EXPECT_EQ(root.name, "query");
+  EXPECT_EQ(root.parent_id, 0u);
+  ASSERT_EQ(root.attrs.size(), 1u);
+  EXPECT_EQ(root.attrs[0].first, "answer_size");
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(events[i].parent_id, root.span_id);
+    EXPECT_EQ(events[i].trace_id, root.trace_id);
+    EXPECT_NE(events[i].span_id, root.span_id);
+  }
+}
+
+TEST(TraceRecorderTest, EndManualOverridesTheRaiiWindow) {
+  TraceRecorder recorder({.sample_every = 1});
+  Span span = recorder.StartTrace("phase");
+  span.EndManual(/*start_ns=*/123, /*duration_ns=*/456);
+  span.End();  // Idempotent: already ended.
+  std::vector<SpanEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_ns, 123u);
+  EXPECT_EQ(events[0].duration_ns, 456u);
+}
+
+TEST(TraceRecorderTest, BufferBoundCountsDroppedSpans) {
+  TraceRecorder recorder({.sample_every = 1, .max_events = 2});
+  for (int i = 0; i < 5; ++i) {
+    Span s = recorder.StartTrace("query");
+  }
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+}
+
+TEST(TraceRecorderTest, MovedFromSpanIsDisabled) {
+  TraceRecorder recorder({.sample_every = 1});
+  Span a = recorder.StartTrace("query");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.enabled());  // NOLINT(bugprone-use-after-move): intended.
+  EXPECT_TRUE(b.enabled());
+  b.End();
+  EXPECT_EQ(recorder.size(), 1u);  // Recorded exactly once.
+}
+
+TEST(TraceRecorderTest, JsonlRoundTripsThroughAParser) {
+  TraceRecorder recorder({.sample_every = 1});
+  {
+    Span root = recorder.StartTrace("query");
+    Span child = root.Child("cache_lookup");
+    child.AddAttr("hit", 0);
+    child.End();
+    root.AddAttr("answer_size", 7);
+  }
+  std::ostringstream os;
+  recorder.WriteJsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::map<std::string, const char*> expected_attr = {
+      {"cache_lookup", "hit"}, {"query", "answer_size"}};
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    ASSERT_TRUE(doc->is_object());
+    const JsonValue* name = doc->Find("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_TRUE(name->is_string());
+    for (const char* key : {"trace", "span", "parent", "start_ns", "dur_ns"}) {
+      const JsonValue* field = doc->Find(key);
+      ASSERT_NE(field, nullptr) << key;
+      EXPECT_TRUE(field->is_number());
+    }
+    const JsonValue* attrs = doc->Find("attrs");
+    ASSERT_NE(attrs, nullptr);
+    EXPECT_NE(attrs->Find(expected_attr.at(name->string_value)), nullptr);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+// --- Exposition ------------------------------------------------------------
+
+MetricsSnapshot MakeSampleSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("mrx_queries_total")->Increment(42);
+  reg.GetGauge("mrx_server_queue_depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("mrx_query_phase_eval_ns");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v * 10);
+  return reg.Snapshot();
+}
+
+TEST(ExpositionTest, PrometheusTextHasTypedSamples) {
+  std::ostringstream os;
+  WritePrometheusText(MakeSampleSnapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE mrx_queries_total counter"), std::string::npos);
+  EXPECT_NE(text.find("mrx_queries_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mrx_server_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrx_server_queue_depth -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mrx_query_phase_eval_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrx_query_phase_eval_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrx_query_phase_eval_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrx_query_phase_eval_ns_count 100"), std::string::npos);
+  EXPECT_NE(text.find("mrx_query_phase_eval_ns_sum 50500"), std::string::npos);
+  // Every non-comment line is `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("mrx_", 0), 0u) << line;
+  }
+}
+
+TEST(ExpositionTest, JsonlSnapshotRoundTripsThroughAParser) {
+  std::ostringstream os;
+  WriteJsonlSnapshot(MakeSampleSnapshot(), os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::set<std::string> kinds;
+  while (std::getline(lines, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    ASSERT_TRUE(doc->is_object());
+    const JsonValue* kind = doc->Find("kind");
+    ASSERT_NE(kind, nullptr);
+    kinds.insert(kind->string_value);
+    ASSERT_NE(doc->Find("name"), nullptr);
+    if (kind->string_value == "histogram") {
+      for (const char* key : {"count", "sum", "max", "p50", "p95", "p99",
+                              "mean"}) {
+        const JsonValue* field = doc->Find(key);
+        ASSERT_NE(field, nullptr) << key;
+        EXPECT_TRUE(field->is_number());
+      }
+      EXPECT_EQ(doc->Find("count")->number_value, 100);
+    } else {
+      ASSERT_NE(doc->Find("value"), nullptr);
+    }
+  }
+  EXPECT_EQ(kinds, (std::set<std::string>{"counter", "gauge", "histogram"}));
+}
+
+TEST(ExpositionTest, AppendJsonStringEscapes) {
+  std::ostringstream os;
+  AppendJsonString(os, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+  auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_string());
+}
+
+// --- Bench trajectory record ----------------------------------------------
+
+TEST(BenchJsonTest, WriteBenchJsonRoundTrips) {
+  std::ostringstream os;
+  harness::WriteBenchJson(
+      os, "server_throughput",
+      {{"xmark_4w_qps", 12345.5},
+       {"xmark_4w_p99_us", 67.25},
+       {"bad_value", std::numeric_limits<double>::quiet_NaN()}});
+  auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* bench = doc->Find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->string_value, "server_throughput");
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  EXPECT_DOUBLE_EQ(metrics->Find("xmark_4w_qps")->number_value, 12345.5);
+  EXPECT_DOUBLE_EQ(metrics->Find("xmark_4w_p99_us")->number_value, 67.25);
+  // Non-finite values must serialize as 0, keeping the record parseable.
+  EXPECT_DOUBLE_EQ(metrics->Find("bad_value")->number_value, 0);
+}
+
+}  // namespace
+}  // namespace mrx::obs

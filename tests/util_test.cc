@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -246,6 +247,17 @@ TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(LruCacheTest, PutReportsWhetherAnEntryWasEvicted) {
+  LruCache<std::string, int> cache(2);
+  EXPECT_FALSE(cache.Put("a", 1));  // Room available.
+  EXPECT_FALSE(cache.Put("b", 2));
+  EXPECT_FALSE(cache.Put("a", 10));  // Overwrite: no eviction.
+  EXPECT_TRUE(cache.Put("c", 3));    // Full: "b" is dropped.
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  LruCache<std::string, int> disabled(0);
+  EXPECT_FALSE(disabled.Put("a", 1));  // No-op Put is not an eviction.
+}
+
 TEST(LruCacheTest, ClearEmptiesButKeepsCapacity) {
   LruCache<int, int> cache(3);
   for (int i = 0; i < 3; ++i) cache.Put(i, i);
@@ -297,6 +309,59 @@ TEST(LatencyHistogramTest, MergeAndResetCombineSamples) {
   a.Reset();
   EXPECT_EQ(a.count(), 0u);
   EXPECT_EQ(a.ValueAtPercentile(50), 0u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReturnsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtPercentile(0), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsOutOfRangeAndNaN) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.ValueAtPercentile(-50), h.ValueAtPercentile(0));
+  EXPECT_EQ(h.ValueAtPercentile(250), h.ValueAtPercentile(100));
+  // NaN comparisons are all false, so a NaN rank must route to the minimum
+  // bucket, not to an unspecified one.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.ValueAtPercentile(nan), h.ValueAtPercentile(0));
+}
+
+TEST(LatencyHistogramTest, ValuesNearUint64MaxDoNotOverflowBucketing) {
+  LatencyHistogram h;
+  const uint64_t huge = std::numeric_limits<uint64_t>::max();
+  h.Record(huge);
+  h.Record(huge - 1);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), huge);
+  // The top bucket's upper bound is capped at max() rather than wrapping.
+  EXPECT_EQ(h.ValueAtPercentile(100), huge);
+  EXPECT_GE(h.ValueAtPercentile(99), huge / 2);
+  EXPECT_EQ(h.ValueAtPercentile(0), 1u);
+}
+
+TEST(LatencyHistogramTest, MergePreservesQuantilesAcrossMagnitudes) {
+  // Merge must be bucket-wise identical to recording the union directly.
+  LatencyHistogram merged, direct, part;
+  for (uint64_t v = 1; v <= 500; ++v) merged.Record(v);
+  for (uint64_t v = 501; v <= 1000; ++v) part.Record(v);
+  merged.Merge(part);
+  for (uint64_t v = 1; v <= 1000; ++v) direct.Record(v);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.sum(), direct.sum());
+  EXPECT_EQ(merged.max(), direct.max());
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(merged.ValueAtPercentile(p), direct.ValueAtPercentile(p)) << p;
+  }
 }
 
 }  // namespace
