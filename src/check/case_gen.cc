@@ -1,0 +1,264 @@
+#include "check/case_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+#include "xml/graph_builder.h"
+
+namespace mrx::check {
+namespace {
+
+// A deliberately nasty little schema: recursive content (`val` under
+// `val`), reused element names across contexts, and ID/IDREF links so
+// instances come out of the parser with reference edges (and cycles).
+constexpr const char* kCheckDtd = R"(
+<!ELEMENT db (rec+)>
+<!ELEMENT rec (name, val*, link*)>
+<!ATTLIST rec id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT val (name?, val*, link?)>
+<!ELEMENT link EMPTY>
+<!ATTLIST link ref IDREF #REQUIRED>
+)";
+
+std::string SmallLabel(Rng& rng, size_t alphabet) {
+  return std::string(1, static_cast<char>('a' + rng.Below(alphabet)));
+}
+
+GraphSpec RandomTreeShape(Rng& rng, size_t max_nodes) {
+  GraphSpec spec;
+  const size_t n = 2 + rng.Below(max_nodes - 1);
+  const size_t alphabet = 1 + rng.Below(6);
+  for (size_t i = 0; i < n; ++i) spec.AddNode(SmallLabel(rng, alphabet));
+  for (uint32_t v = 1; v < n; ++v) {
+    spec.AddEdge(static_cast<uint32_t>(rng.Below(v)), v);
+  }
+  const size_t extra = rng.Below(n / 2 + 1);
+  for (size_t e = 0; e < extra; ++e) {
+    spec.AddEdge(static_cast<uint32_t>(rng.Below(n)),
+                 static_cast<uint32_t>(rng.Below(n)), rng.Chance(0.5));
+  }
+  return spec;
+}
+
+GraphSpec DeepChainShape(Rng& rng, size_t max_nodes) {
+  GraphSpec spec;
+  const size_t depth = std::min(max_nodes - 1, 6 + rng.Below(10));
+  const size_t alphabet = 1 + rng.Below(3);
+  spec.AddNode("r");
+  uint32_t tip = 0;
+  for (size_t d = 0; d < depth; ++d) {
+    uint32_t next = spec.AddNode(SmallLabel(rng, alphabet));
+    spec.AddEdge(tip, next);
+    tip = next;
+  }
+  // A few side branches reusing the chain's labels, so prefixes of the
+  // chain stop being structurally unique.
+  const size_t branches = rng.Below(4);
+  for (size_t b = 0; b < branches && spec.num_nodes() < max_nodes; ++b) {
+    uint32_t at = static_cast<uint32_t>(rng.Below(spec.num_nodes()));
+    uint32_t leaf = spec.AddNode(SmallLabel(rng, alphabet));
+    spec.AddEdge(at, leaf);
+  }
+  if (rng.Chance(0.4)) spec.AddEdge(tip, 0, /*reference=*/true);
+  return spec;
+}
+
+GraphSpec DiamondShape(Rng& rng, size_t max_nodes) {
+  GraphSpec spec;
+  spec.AddNode("r");
+  std::vector<uint32_t> prev = {0};
+  const size_t num_layers = 3 + rng.Below(4);
+  for (size_t layer = 0; layer < num_layers; ++layer) {
+    const size_t width = 1 + rng.Below(4);
+    const bool uniform = rng.Chance(0.5);
+    std::vector<uint32_t> current;
+    for (size_t i = 0; i < width && spec.num_nodes() < max_nodes; ++i) {
+      const std::string label =
+          uniform ? "L" + std::to_string(layer)
+                  : std::string(1, static_cast<char>('a' + (i & 1)));
+      current.push_back(spec.AddNode(label));
+    }
+    if (current.empty()) break;
+    // Every new node gets 1..|prev| parents: the diamond convergence that
+    // makes bisimulation blocks merge and split nontrivially.
+    for (uint32_t v : current) {
+      const size_t num_parents = 1 + rng.Below(prev.size());
+      for (size_t p = 0; p < num_parents; ++p) {
+        spec.AddEdge(prev[rng.Below(prev.size())], v);
+      }
+    }
+    prev = std::move(current);
+  }
+  return spec;
+}
+
+GraphSpec RefCycleShape(Rng& rng, size_t max_nodes) {
+  GraphSpec spec;
+  const size_t n = 3 + rng.Below(std::max<size_t>(max_nodes - 2, 1));
+  const size_t alphabet = 1 + rng.Below(4);
+  std::vector<uint32_t> parent(n, 0);
+  spec.AddNode("r");
+  for (uint32_t v = 1; v < n; ++v) {
+    spec.AddNode(SmallLabel(rng, alphabet));
+    parent[v] = static_cast<uint32_t>(rng.Below(v));
+    spec.AddEdge(parent[v], v);
+  }
+  // Reference back-edges to ancestors close cycles of varying length.
+  const size_t cycles = 1 + rng.Below(3);
+  for (size_t c = 0; c < cycles; ++c) {
+    uint32_t v = static_cast<uint32_t>(rng.Below(n));
+    uint32_t ancestor = v;
+    const size_t hops = 1 + rng.Below(4);
+    for (size_t h = 0; h < hops && ancestor != 0; ++h) {
+      ancestor = parent[ancestor];
+    }
+    spec.AddEdge(v, ancestor, /*reference=*/true);
+  }
+  if (rng.Chance(0.3)) {
+    uint32_t v = static_cast<uint32_t>(rng.Below(n));
+    spec.AddEdge(v, v, /*reference=*/true);  // IDREF self-loop.
+  }
+  return spec;
+}
+
+GraphSpec SparseFanoutShape(Rng& rng, size_t max_nodes) {
+  GraphSpec spec;
+  spec.AddNode("r");
+  const size_t fanout = 2 + rng.Below(std::max<size_t>(max_nodes / 2, 2));
+  for (size_t i = 0; i < fanout && spec.num_nodes() < max_nodes; ++i) {
+    uint32_t child = spec.AddNode(SmallLabel(rng, 2));
+    spec.AddEdge(0, child);
+    if (rng.Chance(0.4) && spec.num_nodes() < max_nodes) {
+      uint32_t grandchild = spec.AddNode("g");
+      spec.AddEdge(child, grandchild);
+    }
+  }
+  return spec;
+}
+
+GraphSpec TinyShape(Rng& rng) {
+  GraphSpec spec;
+  spec.AddNode("r");
+  switch (rng.Below(3)) {
+    case 0:  // Root-only graph.
+      break;
+    case 1:  // Root with one child.
+      spec.AddNode("a");
+      spec.AddEdge(0, 1);
+      break;
+    default:  // Root with an IDREF self-loop.
+      spec.AddEdge(0, 0, /*reference=*/true);
+      break;
+  }
+  return spec;
+}
+
+GraphSpec DtdShape(Rng& rng, size_t max_nodes, std::string* shape) {
+  auto dtd = datagen::Dtd::Parse(kCheckDtd);
+  if (!dtd.ok()) return TinyShape(rng);  // Unreachable; the DTD is static.
+  datagen::DtdGeneratorOptions options;
+  options.seed = rng.Next();
+  options.max_elements = max_nodes * 2;
+  options.star_mean = 1.5;
+  options.max_depth = 12;
+  auto doc = datagen::GenerateDocument(*dtd, options);
+  if (!doc.ok()) return TinyShape(rng);
+  auto graph = xml::BuildGraphFromXml(*doc);
+  if (!graph.ok()) return TinyShape(rng);
+  *shape = "dtd";
+  return GraphSpec::FromDataGraph(*graph);
+}
+
+/// A random downward label walk through the built graph.
+QuerySpec RandomWalkQuery(Rng& rng, const DataGraph& g) {
+  QuerySpec q;
+  q.anchored = rng.Chance(0.2);
+  NodeId at = q.anchored
+                  ? g.root()
+                  : static_cast<NodeId>(rng.Below(g.num_nodes()));
+  q.steps.push_back(g.label_name(at));
+  q.descendant.push_back(0);
+  // Lengths biased short: the refinement boundaries for the oracle's k
+  // values (0..3) live at 1..4 edges.
+  const size_t target_len = 1 + rng.Below(rng.Chance(0.8) ? 4 : 6);
+  for (size_t i = 0; i < target_len; ++i) {
+    auto children = g.children(at);
+    if (children.empty()) break;
+    at = children[rng.Below(children.size())];
+    q.steps.push_back(g.label_name(at));
+    q.descendant.push_back(0);
+  }
+  return q;
+}
+
+void MutateQuery(Rng& rng, const DataGraph& g, QuerySpec* q) {
+  if (rng.Chance(0.15)) {
+    q->steps[rng.Below(q->steps.size())] = "*";
+  }
+  if (q->num_steps() > 1 && rng.Chance(0.15)) {
+    q->descendant[1 + rng.Below(q->num_steps() - 1)] = 1;
+  }
+  if (rng.Chance(0.1)) {
+    q->steps[rng.Below(q->steps.size())] = "zzq";  // Matches nothing.
+  }
+  if (rng.Chance(0.1)) {
+    // Teleport one step to a random label of the graph: likely breaks the
+    // walk, probing (near-)empty target sets.
+    const LabelId l = static_cast<LabelId>(rng.Below(g.symbols().size()));
+    q->steps[rng.Below(q->steps.size())] = g.symbols().Name(l);
+  }
+}
+
+}  // namespace
+
+GeneratedCase GenerateCase(Rng& rng, const CaseGenOptions& options) {
+  GeneratedCase out;
+  const size_t max_nodes = std::max<size_t>(options.max_nodes, 4);
+  const uint64_t roll = rng.Below(100);
+  if (roll < 5) {
+    out.shape = "tiny";
+    out.graph = TinyShape(rng);
+  } else if (roll < 17 && options.allow_dtd) {
+    out.shape = "dtd-fallback";
+    out.graph = DtdShape(rng, max_nodes, &out.shape);
+  } else if (roll < 32) {
+    out.shape = "deep-chain";
+    out.graph = DeepChainShape(rng, max_nodes);
+  } else if (roll < 47) {
+    out.shape = "diamond";
+    out.graph = DiamondShape(rng, max_nodes);
+  } else if (roll < 65) {
+    out.shape = "ref-cycle";
+    out.graph = RefCycleShape(rng, max_nodes);
+  } else if (roll < 75) {
+    out.shape = "sparse-fanout";
+    out.graph = SparseFanoutShape(rng, max_nodes);
+  } else {
+    out.shape = "random-tree";
+    out.graph = RandomTreeShape(rng, max_nodes);
+  }
+
+  auto built = out.graph.Build();
+  if (!built.ok()) {
+    // Generator bug guard: fall back to a trivially valid case rather than
+    // crashing the run (the checker still audits whatever we return).
+    out.shape = "tiny";
+    out.graph = TinyShape(rng);
+    built = out.graph.Build();
+  }
+  const DataGraph& g = *built;
+
+  out.queries.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    QuerySpec q = RandomWalkQuery(rng, g);
+    MutateQuery(rng, g, &q);
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace mrx::check

@@ -1,0 +1,52 @@
+#ifndef MRX_CHECK_CASE_GEN_H_
+#define MRX_CHECK_CASE_GEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/graph_spec.h"
+#include "util/rng.h"
+
+namespace mrx::check {
+
+/// Knobs for one generated case.
+struct CaseGenOptions {
+  /// Upper bound on generated graph size (DTD-driven cases may exceed it
+  /// slightly; the generator's shapes respect it).
+  size_t max_nodes = 48;
+
+  /// Queries generated per case.
+  size_t num_queries = 6;
+
+  /// Allow DTD-driven instances (slower per case; exercised on a fraction
+  /// of cases when enabled).
+  bool allow_dtd = true;
+};
+
+/// One generated test case: a graph plus a query workload biased toward
+/// index-refinement boundaries.
+struct GeneratedCase {
+  GraphSpec graph;
+  std::vector<QuerySpec> queries;
+  std::string shape;  ///< Generator shape name, for logging.
+};
+
+/// \brief Draws an adversarial case from `rng`, deterministically.
+///
+/// Shapes rotate through the structures the indexes historically find
+/// hard: random trees with extra (reference) edges, deep label-repeating
+/// chains, diamond DAGs (multi-parent convergence), reference-edge cycles
+/// and self-loops, label-sparse fan-outs, degenerate one-node graphs, and
+/// DTD-driven instances generated through src/datagen/ and parsed through
+/// src/xml/ (so the whole ingestion path is under test too).
+///
+/// Queries are random downward label walks of the generated graph,
+/// mutated with wildcards, descendant-axis steps, anchors, and unknown
+/// labels; lengths are biased to 1..4 — the refinement boundaries for the
+/// k values the oracle checks.
+GeneratedCase GenerateCase(Rng& rng, const CaseGenOptions& options);
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_CASE_GEN_H_

@@ -1,0 +1,205 @@
+#include "check/checker.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "index/evaluator.h"
+#include "util/rng.h"
+
+namespace mrx::check {
+namespace {
+
+/// Restores mrx::fault::inject_extent_drop on scope exit, so a faulted
+/// check run (or a thrown-together test) cannot leak the flag into later
+/// work in the same process.
+class FaultGuard {
+ public:
+  explicit FaultGuard(bool want)
+      : previous_(fault::inject_extent_drop.exchange(want)) {}
+  ~FaultGuard() { fault::inject_extent_drop.store(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// FUPs must be plain floating child-axis label paths over known labels:
+/// that is what the refinement operators are defined on (§4), and it keeps
+/// shrink replays meaningful after labels vanish from the graph.
+bool UsableAsFup(const QuerySpec& spec, const PathExpression& compiled) {
+  if (spec.anchored) return false;
+  if (compiled.HasDescendantAxis() || compiled.HasWildcard()) return false;
+  for (LabelId l : compiled.labels()) {
+    if (l == kUnknownLabel) return false;
+  }
+  return true;
+}
+
+std::string WriteRepro(const CheckOptions& options, const ReproCase& repro,
+                       std::ostream* log) {
+  if (options.out_dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  if (ec) {
+    if (log) *log << "check: cannot create " << options.out_dir << ": "
+                  << ec.message() << "\n";
+    return "";
+  }
+  const std::filesystem::path path =
+      std::filesystem::path(options.out_dir) /
+      ("case-" + std::to_string(repro.seed) + "-" +
+       std::to_string(repro.case_index) + ".mrxcase");
+  std::ofstream out(path, std::ios::trunc);
+  out << SerializeCase(repro);
+  out.flush();
+  if (!out) {
+    if (log) *log << "check: write failed: " << path.string() << "\n";
+    return "";
+  }
+  return path.string();
+}
+
+}  // namespace
+
+CheckSummary RunCheck(const CheckOptions& options) {
+  FaultGuard fault_guard(options.inject_extent_drop);
+  CheckSummary summary;
+  std::ostream* log = options.log;
+
+  for (uint64_t i = 0; i < options.num_cases; ++i) {
+    if (summary.failures.size() >= options.max_failures) {
+      if (log) *log << "check: stopping early after "
+                    << summary.failures.size() << " failures\n";
+      break;
+    }
+    Rng rng(CaseSeed(options.seed, i));
+    GeneratedCase c = GenerateCase(rng, options.gen);
+    Result<DataGraph> built = c.graph.Build();
+    if (!built.ok()) continue;  // GenerateCase guarantees buildable specs.
+    const DataGraph& g = *built;
+
+    std::vector<PathExpression> queries;
+    std::vector<PathExpression> fups;
+    std::vector<QuerySpec> fup_specs;
+    for (const QuerySpec& qs : c.queries) {
+      Result<PathExpression> q = qs.Compile(g.symbols());
+      if (!q.ok()) continue;
+      if (fups.size() < options.oracle.max_fups && UsableAsFup(qs, *q)) {
+        fups.push_back(*q);
+        fup_specs.push_back(qs);
+      }
+      queries.push_back(*std::move(q));
+    }
+
+    const CaseResult r = RunDifferentialCase(g, queries, fups,
+                                             options.oracle);
+    ++summary.cases;
+    summary.queries += queries.size();
+    summary.checks += r.checks;
+    summary.discrepancies += r.discrepancies.size();
+    summary.violations += r.violations.size();
+    if (r.discrepancies.empty() && r.violations.empty()) continue;
+
+    CheckFailure failure;
+    failure.case_index = i;
+    failure.repro.seed = options.seed;
+    failure.repro.case_index = i;
+    failure.repro.fups = fup_specs;
+
+    if (!r.discrepancies.empty()) {
+      const Discrepancy& d = r.discrepancies.front();
+      failure.index_class = d.index_class;
+      failure.note = "shape=" + c.shape + " query=" +
+                     c.queries[d.query_index].ToText() + " expected " +
+                     std::to_string(d.expected.size()) + " nodes, got " +
+                     std::to_string(d.actual.size());
+
+      // Shrink against the exact replay path that failed.
+      const std::string index_class = d.index_class;
+      const std::vector<QuerySpec> fixed_fups = fup_specs;
+      ReproPredicate repro = [&index_class, &fixed_fups](
+                                 const GraphSpec& gs, const QuerySpec& q) {
+        Result<DataGraph> candidate = gs.Build();
+        if (!candidate.ok()) return false;
+        Result<PathExpression> cq = q.Compile(candidate->symbols());
+        if (!cq.ok()) return false;
+        std::vector<PathExpression> cf;
+        for (const QuerySpec& f : fixed_fups) {
+          Result<PathExpression> e = f.Compile(candidate->symbols());
+          if (!e.ok()) return false;
+          cf.push_back(*std::move(e));
+        }
+        Result<std::vector<NodeId>> actual =
+            EvaluateClass(*candidate, index_class, *cq, cf);
+        if (!actual.ok()) return false;
+        return *actual != GroundTruth(*candidate, *cq);
+      };
+      if (repro(c.graph, c.queries[d.query_index])) {
+        ShrinkOutcome shrunk = ShrinkCase(c.graph, c.queries[d.query_index],
+                                          repro, options.shrink);
+        failure.repro.graph = std::move(shrunk.graph);
+        failure.repro.query = std::move(shrunk.query);
+        failure.note += " (shrunk in " +
+                        std::to_string(shrunk.evaluations) + " evals)";
+      } else {
+        // Oracle path and replay path disagree about the failure itself —
+        // that is a harness bug; keep the unshrunk case as evidence.
+        failure.repro.graph = c.graph;
+        failure.repro.query = c.queries[d.query_index];
+        failure.note += " (not replayable; kept unshrunk)";
+      }
+      failure.repro.index_class = d.index_class;
+    } else {
+      failure.index_class = "invariant";
+      failure.repro.index_class = "invariant";
+      failure.note = "shape=" + c.shape + " " + r.violations.front();
+      failure.repro.graph = c.graph;
+      failure.repro.query =
+          c.queries.empty() ? QuerySpec{{"*"}, {0}, false} : c.queries[0];
+    }
+
+    failure.repro.note = failure.note;
+    failure.shrunk_nodes = failure.repro.graph.num_nodes();
+    failure.file = WriteRepro(options, failure.repro, log);
+    if (log) {
+      *log << "check: FAIL case " << i << " [" << failure.index_class
+           << "] " << failure.note;
+      if (!failure.file.empty()) *log << " -> " << failure.file;
+      *log << "\n";
+    }
+    summary.failures.push_back(std::move(failure));
+  }
+  return summary;
+}
+
+Result<ReplayReport> ReplayCase(const ReproCase& repro) {
+  MRX_ASSIGN_OR_RETURN(DataGraph g, repro.graph.Build());
+  MRX_ASSIGN_OR_RETURN(PathExpression query, repro.query.Compile(g.symbols()));
+  std::vector<PathExpression> fups;
+  for (const QuerySpec& f : repro.fups) {
+    MRX_ASSIGN_OR_RETURN(PathExpression e, f.Compile(g.symbols()));
+    fups.push_back(std::move(e));
+  }
+
+  ReplayReport report;
+  report.expected = GroundTruth(g, query);
+  if (repro.index_class.empty() || repro.index_class == "invariant") {
+    const CaseResult r =
+        RunDifferentialCase(g, {query}, fups, OracleOptions{});
+    report.reproduced = !r.discrepancies.empty() || !r.violations.empty();
+    if (!r.violations.empty()) {
+      report.detail = r.violations.front();
+    } else if (!r.discrepancies.empty()) {
+      const Discrepancy& d = r.discrepancies.front();
+      report.detail = d.index_class;
+      report.actual = d.actual;
+    }
+    return report;
+  }
+  MRX_ASSIGN_OR_RETURN(report.actual,
+                       EvaluateClass(g, repro.index_class, query, fups));
+  report.reproduced = report.actual != report.expected;
+  return report;
+}
+
+}  // namespace mrx::check

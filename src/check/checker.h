@@ -1,0 +1,92 @@
+#ifndef MRX_CHECK_CHECKER_H_
+#define MRX_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/case_gen.h"
+#include "check/mrxcase.h"
+#include "check/oracle.h"
+#include "check/shrinker.h"
+#include "util/result.h"
+
+namespace mrx::check {
+
+/// Knobs for one `mrx check` run.
+struct CheckOptions {
+  uint64_t seed = 1;
+  size_t num_cases = 100;
+
+  CaseGenOptions gen;
+  OracleOptions oracle;
+  ShrinkOptions shrink;
+
+  /// Directory shrunk `.mrxcase` repros are written into (created on
+  /// demand); empty disables writing.
+  std::string out_dir;
+
+  /// Stop the run after this many recorded failures (each failing case
+  /// records one failure — its first discrepancy or violation).
+  size_t max_failures = 8;
+
+  /// Flip mrx::fault::inject_extent_drop for the whole run (including
+  /// shrinking), restoring it on return. The acceptance path: the oracle
+  /// must catch the planted extent bug and the shrinker must minimize it.
+  bool inject_extent_drop = false;
+
+  /// Progress/failure log; nullptr is silent.
+  std::ostream* log = nullptr;
+};
+
+/// One recorded failure: the case that failed, its shrunk repro, and where
+/// it was written.
+struct CheckFailure {
+  uint64_t case_index = 0;
+  std::string index_class;  ///< Oracle class id, or "invariant".
+  std::string note;
+  std::string file;         ///< .mrxcase path, empty if not written.
+  size_t shrunk_nodes = 0;  ///< Graph size after shrinking.
+  ReproCase repro;
+};
+
+struct CheckSummary {
+  size_t cases = 0;
+  size_t queries = 0;
+  size_t checks = 0;         ///< (class, query) oracle comparisons.
+  size_t discrepancies = 0;  ///< Extent mismatches across all cases.
+  size_t violations = 0;     ///< Invariant audit violations.
+  std::vector<CheckFailure> failures;
+
+  bool ok() const { return discrepancies == 0 && violations == 0; }
+};
+
+/// Per-case seed derivation: prefix-stable, so `--cases 2000` replays the
+/// first 2000 cases of `--cases 20000` bit for bit.
+inline uint64_t CaseSeed(uint64_t run_seed, uint64_t case_index) {
+  return run_seed * 1000003ull + case_index;
+}
+
+/// \brief Runs the differential harness: `num_cases` generated cases, each
+/// cross-checked by the oracle; failing cases are shrunk and written as
+/// `.mrxcase` files.
+CheckSummary RunCheck(const CheckOptions& options);
+
+/// Outcome of replaying one `.mrxcase`.
+struct ReplayReport {
+  std::vector<NodeId> expected;  ///< Ground truth on the repro graph.
+  std::vector<NodeId> actual;    ///< The named class's answer.
+  bool reproduced = false;       ///< True iff the failure still fires.
+  std::string detail;            ///< Violation text for invariant repros.
+};
+
+/// \brief Replays a parsed repro: rebuilds the graph, re-evaluates the
+/// failing class (or, for "invariant" repros, re-runs the full
+/// differential case) and reports whether the failure reproduces.
+Result<ReplayReport> ReplayCase(const ReproCase& repro);
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_CHECKER_H_

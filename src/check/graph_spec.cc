@@ -1,0 +1,98 @@
+#include "check/graph_spec.h"
+
+#include <utility>
+
+namespace mrx::check {
+
+Result<DataGraph> GraphSpec::Build() const {
+  DataGraphBuilder builder;
+  for (const std::string& label : labels) builder.AddNode(label);
+  for (const Edge& e : edges) {
+    builder.AddEdge(e.from, e.to,
+                    e.reference ? EdgeKind::kReference : EdgeKind::kRegular);
+  }
+  builder.SetRoot(root);
+  return std::move(builder).Build();
+}
+
+GraphSpec GraphSpec::FromDataGraph(const DataGraph& g) {
+  GraphSpec spec;
+  spec.labels.reserve(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    spec.labels.push_back(g.label_name(n));
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    auto children = g.children(n);
+    auto kinds = g.child_kinds(n);
+    for (size_t i = 0; i < children.size(); ++i) {
+      spec.edges.push_back(
+          {n, children[i], kinds[i] == EdgeKind::kReference});
+    }
+  }
+  spec.root = g.root();
+  return spec;
+}
+
+GraphSpec GraphSpec::WithoutNode(uint32_t victim) const {
+  GraphSpec out;
+  out.labels.reserve(labels.size() - 1);
+  for (uint32_t n = 0; n < labels.size(); ++n) {
+    if (n != victim) out.labels.push_back(labels[n]);
+  }
+  auto remap = [victim](uint32_t n) { return n > victim ? n - 1 : n; };
+  for (const Edge& e : edges) {
+    if (e.from == victim || e.to == victim) continue;
+    out.edges.push_back({remap(e.from), remap(e.to), e.reference});
+  }
+  out.root = remap(root);
+  return out;
+}
+
+GraphSpec GraphSpec::WithoutEdge(size_t index) const {
+  GraphSpec out = *this;
+  out.edges.erase(out.edges.begin() + static_cast<ptrdiff_t>(index));
+  return out;
+}
+
+std::string QuerySpec::ToText() const {
+  std::string text = anchored ? "/" : "//";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) text += (i < descendant.size() && descendant[i]) ? "//" : "/";
+    text += steps[i];
+  }
+  return text;
+}
+
+Result<PathExpression> QuerySpec::Compile(const SymbolTable& symbols) const {
+  if (steps.empty()) {
+    return Status::InvalidArgument("query spec has no steps");
+  }
+  if (!descendant.empty() && descendant[0] != 0) {
+    return Status::InvalidArgument("descendant flag on step 0");
+  }
+  std::vector<LabelId> labels;
+  labels.reserve(steps.size());
+  for (const std::string& step : steps) {
+    if (step == "*") {
+      labels.push_back(kWildcardLabel);
+    } else if (auto id = symbols.Lookup(step)) {
+      labels.push_back(*id);
+    } else {
+      labels.push_back(kUnknownLabel);
+    }
+  }
+  std::vector<uint8_t> desc = descendant;
+  desc.resize(steps.size(), 0);
+  return PathExpression(std::move(labels), std::move(desc), anchored);
+}
+
+QuerySpec QuerySpec::WithoutStep(size_t i) const {
+  QuerySpec out = *this;
+  out.descendant.resize(out.steps.size(), 0);
+  out.steps.erase(out.steps.begin() + static_cast<ptrdiff_t>(i));
+  out.descendant.erase(out.descendant.begin() + static_cast<ptrdiff_t>(i));
+  if (!out.descendant.empty()) out.descendant[0] = 0;
+  return out;
+}
+
+}  // namespace mrx::check

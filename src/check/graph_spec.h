@@ -1,0 +1,95 @@
+#ifndef MRX_CHECK_GRAPH_SPEC_H_
+#define MRX_CHECK_GRAPH_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "query/path_expression.h"
+#include "util/result.h"
+
+namespace mrx::check {
+
+/// \brief A mutable, serializable description of a data graph.
+///
+/// DataGraph is frozen CSR — good for querying, useless for shrinking. The
+/// checker generates, mutates, serializes, and minimizes GraphSpecs, and
+/// only freezes one into a DataGraph when an index has to be built. Node
+/// ids are positions in `labels`; edges may mention any node.
+struct GraphSpec {
+  struct Edge {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    bool reference = false;
+
+    friend bool operator==(const Edge& a, const Edge& b) {
+      return a.from == b.from && a.to == b.to && a.reference == b.reference;
+    }
+  };
+
+  std::vector<std::string> labels;
+  std::vector<Edge> edges;
+  uint32_t root = 0;
+
+  size_t num_nodes() const { return labels.size(); }
+
+  uint32_t AddNode(std::string label) {
+    labels.push_back(std::move(label));
+    return static_cast<uint32_t>(labels.size() - 1);
+  }
+  void AddEdge(uint32_t from, uint32_t to, bool reference = false) {
+    edges.push_back({from, to, reference});
+  }
+
+  /// Freezes into a DataGraph (fails on an empty spec or dangling edge,
+  /// same as DataGraphBuilder::Build).
+  Result<DataGraph> Build() const;
+
+  /// Extracts the spec of an existing graph (used to pull DTD-generated
+  /// instances into the shrinkable representation).
+  static GraphSpec FromDataGraph(const DataGraph& g);
+
+  /// Copy with node `victim` removed: incident edges are dropped and ids
+  /// above `victim` shift down by one. `victim` must not be the root.
+  GraphSpec WithoutNode(uint32_t victim) const;
+
+  /// Copy with edge `index` removed.
+  GraphSpec WithoutEdge(size_t index) const;
+};
+
+/// \brief A path query in label-name form, independent of any graph's
+/// interned label ids — it survives graph mutation during shrinking.
+///
+/// `steps` are label names ("*" is the wildcard); `descendant[i]` nonzero
+/// means step i is reached through the descendant axis (descendant[0] must
+/// be 0, as in PathExpression).
+struct QuerySpec {
+  std::vector<std::string> steps;
+  std::vector<uint8_t> descendant;
+  bool anchored = false;
+
+  size_t num_steps() const { return steps.size(); }
+
+  /// Renders as PathExpression text: "/a//b", "//a/b", ...
+  std::string ToText() const;
+
+  /// Binds the steps to `symbols`: "*" becomes the wildcard, names missing
+  /// from the table become kUnknownLabel (matching nothing — exactly what
+  /// a query for a shrunk-away label should do). Fails on empty steps or a
+  /// nonzero descendant[0].
+  Result<PathExpression> Compile(const SymbolTable& symbols) const;
+
+  /// Copy with step `i` removed (a shrinking move). The resulting first
+  /// step's descendant flag is cleared. Must keep at least one step.
+  QuerySpec WithoutStep(size_t i) const;
+
+  friend bool operator==(const QuerySpec& a, const QuerySpec& b) {
+    return a.anchored == b.anchored && a.steps == b.steps &&
+           a.descendant == b.descendant;
+  }
+};
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_GRAPH_SPEC_H_

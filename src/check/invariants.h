@@ -1,0 +1,71 @@
+#ifndef MRX_CHECK_INVARIANTS_H_
+#define MRX_CHECK_INVARIANTS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+#include "index/m_star_index.h"
+
+namespace mrx::check {
+
+/// The structural audits of the differential checker. Each returns a list
+/// of human-readable violation messages (empty = clean), prefixed with a
+/// stable audit id so failures can be bucketed and shrunk:
+///
+///   csr:    DataGraph CSR adjacency well-formedness
+///   cover:  index extents partition the data nodes (+ Property 2 edges)
+///   bisim:  k-bisimulation soundness of each index node's extent
+///   mstar:  M*(k) hierarchy invariants (caps, monotonicity, supernode
+///           containment)
+///
+/// Audits are *independent implementations* — they check against
+/// Definition 2 directly (pairwise oracle) rather than re-running the
+/// builders they are auditing, so a bug shared by builder and audit cannot
+/// hide itself.
+
+/// `csr`: children/parents mirror each other edge-for-edge, label buckets
+/// cover exactly the nodes carrying each label in ascending order, and the
+/// root is in range.
+std::vector<std::string> AuditDataGraphCsr(const DataGraph& g);
+
+/// `cover` + `bisim` for one index graph. `pair_cap` bounds the number of
+/// extent members compared against the representative per node (audits on
+/// generated cases are exhaustive in practice; the cap keeps pathological
+/// extents from going quadratic). `k_cap` bounds the bisimilarity depth
+/// actually verified (kInfiniteSimilarity nodes are checked to k_cap).
+std::vector<std::string> AuditIndexGraph(const IndexGraph& ig,
+                                         size_t pair_cap = 64,
+                                         int32_t k_cap = 8);
+
+/// `mstar` + per-component `cover`/`bisim`: CheckProperties, component
+/// sizes never shrink with resolution, every node's k is capped by its
+/// component number, and each node's extent is contained in its
+/// supernode's extent one component up.
+std::vector<std::string> AuditMStarIndex(const MStarIndex& index,
+                                         size_t pair_cap = 64);
+
+/// \brief Memoized pairwise k-bisimilarity oracle, straight from the
+/// paper's Definition 2 (coinductive on cycles). Exponential-ish in the
+/// worst case — meant for the checker's small generated graphs.
+class PairwiseBisimilarity {
+ public:
+  explicit PairwiseBisimilarity(const DataGraph& g) : g_(g) {}
+
+  bool Bisimilar(NodeId u, NodeId v, int k);
+
+ private:
+  bool MatchParents(NodeId u, NodeId v, int k);
+
+  const DataGraph& g_;
+  // Keyed by (min, max, k).
+  std::map<std::tuple<NodeId, NodeId, int>, bool> memo_;
+};
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_INVARIANTS_H_

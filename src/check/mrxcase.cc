@@ -1,0 +1,128 @@
+#include "check/mrxcase.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mrx::check {
+namespace {
+
+void AppendQuery(std::ostringstream& out, std::string_view keyword,
+                 const QuerySpec& q) {
+  out << keyword << " anchored " << (q.anchored ? 1 : 0) << "\n";
+  for (size_t i = 0; i < q.steps.size(); ++i) {
+    const int desc = i < q.descendant.size() && q.descendant[i] ? 1 : 0;
+    out << "step " << q.steps[i] << " " << desc << "\n";
+  }
+}
+
+Result<uint64_t> ParseUint(std::string_view token, std::string_view what) {
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("mrxcase: bad " + std::string(what) + ": " +
+                              std::string(token));
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string SerializeCase(const ReproCase& repro) {
+  std::ostringstream out;
+  out << "mrxcase 1\n";
+  out << "seed " << repro.seed << "\n";
+  out << "case " << repro.case_index << "\n";
+  if (!repro.index_class.empty()) out << "class " << repro.index_class << "\n";
+  if (!repro.note.empty()) out << "note " << repro.note << "\n";
+  out << "root " << repro.graph.root << "\n";
+  for (const std::string& label : repro.graph.labels) {
+    out << "n " << label << "\n";
+  }
+  for (const GraphSpec::Edge& e : repro.graph.edges) {
+    out << "e " << e.from << " " << e.to << (e.reference ? " ref" : " reg")
+        << "\n";
+  }
+  for (const QuerySpec& fup : repro.fups) AppendQuery(out, "fup", fup);
+  AppendQuery(out, "query", repro.query);
+  return out.str();
+}
+
+Result<ReproCase> ParseCase(std::string_view text) {
+  ReproCase repro;
+  QuerySpec* open_query = nullptr;  // Last "query"/"fup" line, receiving steps.
+  bool saw_header = false;
+  bool saw_query = false;
+
+  for (std::string_view raw : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> tokens = SplitSkipEmpty(line, ' ');
+    const std::string_view kind = tokens[0];
+
+    if (kind == "mrxcase") {
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return Status::ParseError("mrxcase: missing header");
+
+    if (kind == "seed" && tokens.size() == 2) {
+      MRX_ASSIGN_OR_RETURN(repro.seed, ParseUint(tokens[1], "seed"));
+    } else if (kind == "case" && tokens.size() == 2) {
+      MRX_ASSIGN_OR_RETURN(repro.case_index, ParseUint(tokens[1], "case"));
+    } else if (kind == "class") {
+      repro.index_class = std::string(line.substr(kind.size() + 1));
+    } else if (kind == "note") {
+      repro.note = std::string(line.substr(kind.size() + 1));
+    } else if (kind == "root" && tokens.size() == 2) {
+      MRX_ASSIGN_OR_RETURN(uint64_t root, ParseUint(tokens[1], "root"));
+      repro.graph.root = static_cast<uint32_t>(root);
+    } else if (kind == "n" && tokens.size() == 2) {
+      repro.graph.labels.emplace_back(tokens[1]);
+    } else if (kind == "e" && tokens.size() == 4) {
+      MRX_ASSIGN_OR_RETURN(uint64_t from, ParseUint(tokens[1], "edge from"));
+      MRX_ASSIGN_OR_RETURN(uint64_t to, ParseUint(tokens[2], "edge to"));
+      if (tokens[3] != "ref" && tokens[3] != "reg") {
+        return Status::ParseError("mrxcase: bad edge kind: " +
+                                  std::string(tokens[3]));
+      }
+      repro.graph.edges.push_back({static_cast<uint32_t>(from),
+                                   static_cast<uint32_t>(to),
+                                   tokens[3] == "ref"});
+    } else if ((kind == "query" || kind == "fup") && tokens.size() == 3 &&
+               tokens[1] == "anchored") {
+      MRX_ASSIGN_OR_RETURN(uint64_t anchored,
+                           ParseUint(tokens[2], "anchored"));
+      if (kind == "query") {
+        open_query = &repro.query;
+        saw_query = true;
+      } else {
+        repro.fups.emplace_back();
+        open_query = &repro.fups.back();
+      }
+      open_query->anchored = anchored != 0;
+    } else if (kind == "step" && tokens.size() == 3) {
+      if (open_query == nullptr) {
+        return Status::ParseError("mrxcase: step before query/fup");
+      }
+      MRX_ASSIGN_OR_RETURN(uint64_t desc, ParseUint(tokens[2], "descendant"));
+      open_query->steps.emplace_back(tokens[1]);
+      open_query->descendant.push_back(desc != 0 ? 1 : 0);
+    } else {
+      return Status::ParseError("mrxcase: unrecognized line: " +
+                                std::string(line));
+    }
+  }
+
+  if (repro.graph.labels.empty()) {
+    return Status::ParseError("mrxcase: no nodes");
+  }
+  if (!saw_query || repro.query.steps.empty()) {
+    return Status::ParseError("mrxcase: no query");
+  }
+  return repro;
+}
+
+}  // namespace mrx::check

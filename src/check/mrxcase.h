@@ -1,0 +1,43 @@
+#ifndef MRX_CHECK_MRXCASE_H_
+#define MRX_CHECK_MRXCASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/graph_spec.h"
+#include "util/result.h"
+
+namespace mrx::check {
+
+/// \brief A replayable repro of one checker failure: the (shrunk) graph,
+/// the query that disagreed, the index class that produced the wrong
+/// answer, and the FUP sequence that put the adaptive indexes into the
+/// failing state. Serializes to the line-based `.mrxcase` text format
+/// (docs/TESTING.md) so a failure found by CI can be replayed locally with
+/// `mrx check --replay file.mrxcase`.
+struct ReproCase {
+  uint64_t seed = 0;        ///< Checker seed that produced the case.
+  uint64_t case_index = 0;  ///< Case number within that run.
+  /// Index class identifier as reported by the oracle, e.g. "A(2)",
+  /// "M*:topdown@1", "invariant" for audit failures.
+  std::string index_class;
+  std::string note;  ///< One-line human summary of the failure.
+  GraphSpec graph;
+  QuerySpec query;
+  /// FUPs applied (in order) before evaluating `query`; only the first
+  /// `@s` of them for snapshot classes.
+  std::vector<QuerySpec> fups;
+};
+
+/// Renders `repro` in the .mrxcase text format.
+std::string SerializeCase(const ReproCase& repro);
+
+/// Parses the .mrxcase text format; tolerant of blank lines and `#`
+/// comments.
+Result<ReproCase> ParseCase(std::string_view text);
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_MRXCASE_H_

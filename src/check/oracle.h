@@ -1,0 +1,93 @@
+#ifndef MRX_CHECK_ORACLE_H_
+#define MRX_CHECK_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "query/path_expression.h"
+#include "util/result.h"
+
+namespace mrx::check {
+
+/// Which index classes the oracle cross-checks, and how hard.
+struct OracleOptions {
+  /// k values for the A(k)-index sweep.
+  std::vector<int> ak_ks = {0, 1, 2, 3};
+
+  /// Parameters for the UD(k,l)-index.
+  int ud_k = 1;
+  int ud_l = 1;
+
+  /// How many FUPs (drawn from the case's queries) drive the adaptive
+  /// indexes; each applied FUP is a snapshot at which every query is
+  /// re-checked.
+  size_t max_fups = 2;
+
+  bool check_ak = true;
+  bool check_one_index = true;
+  bool check_dk = true;
+  bool check_udkl = true;
+  bool check_mk = true;
+  bool check_mstar = true;
+
+  /// Run the structural invariant audits (src/check/invariants.h) on every
+  /// index the oracle builds.
+  bool audit_invariants = true;
+  size_t audit_pair_cap = 64;
+};
+
+/// One extent mismatch: an index class answered `query_index` differently
+/// from the data-graph ground truth.
+struct Discrepancy {
+  std::string index_class;  ///< e.g. "A(2)", "M*:topdown@1" — see oracle.cc.
+  size_t query_index = 0;
+  std::vector<NodeId> expected;
+  std::vector<NodeId> actual;
+};
+
+struct CaseResult {
+  std::vector<Discrepancy> discrepancies;
+  std::vector<std::string> violations;  ///< Invariant audit messages.
+  size_t checks = 0;  ///< (class, query) comparisons performed.
+};
+
+/// \brief Cross-checks every enabled index class against query::DataEvaluator
+/// ground truth on `g`, over all `queries`, at every FUP snapshot.
+///
+/// Class identifiers (stable; EvaluateClass replays them):
+///   A(<k>)                 the A(k)-index
+///   1-index                the full bisimulation quotient
+///   D(k)-construct         D(k) built for the FUP set
+///   D(k)-promote@<s>       D(k)-promote after the first s FUPs
+///   UD(<k>,<l>)            the UD(k,l)-index
+///   M(k)@<s>               M(k) after the first s FUPs
+///   M*:<strategy>@<s>      M*(k) via naive|topdown|bottomup|hybrid after
+///                          the first s FUPs (each Refine is a snapshot of
+///                          the hierarchy mid-refinement-sequence)
+///
+/// `fups` must be plain floating child-axis expressions (the checker
+/// filters them); they are applied in order.
+CaseResult RunDifferentialCase(const DataGraph& g,
+                               const std::vector<PathExpression>& queries,
+                               const std::vector<PathExpression>& fups,
+                               const OracleOptions& options);
+
+/// \brief Replays a single class identifier: rebuilds the named index over
+/// `g` (applying the first `s` of `fups` for snapshot classes; `@<s>`
+/// greater than fups.size() applies them all) and evaluates `query`.
+/// This is what the shrinker's reproduction predicate and `--replay` use,
+/// so a shrunk .mrxcase exercises the exact code path that failed.
+Result<std::vector<NodeId>> EvaluateClass(const DataGraph& g,
+                                          const std::string& index_class,
+                                          const PathExpression& query,
+                                          const std::vector<PathExpression>& fups);
+
+/// Ground truth: the target set of `query` on the data graph.
+std::vector<NodeId> GroundTruth(const DataGraph& g,
+                                const PathExpression& query);
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_ORACLE_H_

@@ -1,0 +1,89 @@
+#include "check/shrinker.h"
+
+#include <algorithm>
+
+namespace mrx::check {
+namespace {
+
+/// Removes nodes [begin, end) except the root, highest id first (so lower
+/// ids stay stable while iterating).
+GraphSpec WithoutNodeRange(const GraphSpec& spec, uint32_t begin,
+                           uint32_t end) {
+  GraphSpec out = spec;
+  for (uint32_t n = end; n > begin; --n) {
+    const uint32_t victim = n - 1;
+    if (victim == out.root) continue;
+    out = out.WithoutNode(victim);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkCase(GraphSpec graph, QuerySpec query,
+                         const ReproPredicate& repro,
+                         const ShrinkOptions& options) {
+  ShrinkOutcome out;
+  out.graph = std::move(graph);
+  out.query = std::move(query);
+
+  auto budget_left = [&] { return out.evaluations < options.max_evaluations; };
+  auto reproduces = [&](const GraphSpec& g, const QuerySpec& q) {
+    ++out.evaluations;
+    return repro(g, q);
+  };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+
+    // 1. Query steps: drop one at a time; on success retry the same
+    // position (the next step shifted into it).
+    for (size_t i = 0; out.query.num_steps() > 1 &&
+                       i < out.query.num_steps() && budget_left();) {
+      QuerySpec candidate = out.query.WithoutStep(i);
+      if (reproduces(out.graph, candidate)) {
+        out.query = std::move(candidate);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // 2. Nodes: binary contraction — big windows first, then singles.
+    for (size_t chunk = std::max<size_t>(out.graph.num_nodes() / 2, 1);
+         chunk >= 1 && budget_left(); chunk /= 2) {
+      bool removed = true;
+      while (removed && out.graph.num_nodes() > 1 && budget_left()) {
+        removed = false;
+        const uint32_t n = static_cast<uint32_t>(out.graph.num_nodes());
+        for (uint32_t end = n; end > 0 && budget_left();) {
+          const uint32_t begin =
+              end > chunk ? end - static_cast<uint32_t>(chunk) : 0;
+          GraphSpec candidate = WithoutNodeRange(out.graph, begin, end);
+          if (candidate.num_nodes() < out.graph.num_nodes() &&
+              reproduces(candidate, out.query)) {
+            out.graph = std::move(candidate);
+            progress = true;
+            removed = true;
+            break;  // Ids shifted; rescan at this chunk size.
+          }
+          end = begin;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // 3. Edges, one at a time, highest index first (stable positions).
+    for (size_t e = out.graph.edges.size(); e > 0 && budget_left(); --e) {
+      GraphSpec candidate = out.graph.WithoutEdge(e - 1);
+      if (reproduces(candidate, out.query)) {
+        out.graph = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrx::check

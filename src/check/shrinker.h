@@ -1,0 +1,45 @@
+#ifndef MRX_CHECK_SHRINKER_H_
+#define MRX_CHECK_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "check/graph_spec.h"
+
+namespace mrx::check {
+
+/// Re-runs the failing check on a candidate (graph, query) pair; returns
+/// true iff the original failure still reproduces. The predicate owns
+/// everything else about the failure (index class, FUPs, fault flags).
+using ReproPredicate =
+    std::function<bool(const GraphSpec& graph, const QuerySpec& query)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations (the budget; shrinking stops
+  /// early when it runs out).
+  size_t max_evaluations = 4000;
+};
+
+struct ShrinkOutcome {
+  GraphSpec graph;
+  QuerySpec query;
+  size_t evaluations = 0;  ///< Predicate calls spent.
+};
+
+/// \brief Greedy delta-debugging minimizer for a failing case.
+///
+/// Alternates three families of moves until none applies (or the budget
+/// runs out), re-validating with `repro` after every candidate:
+///  1. drop query steps (shortest failing expression first),
+///  2. drop graph nodes — chunks first (binary contraction), then one by
+///     one — with incident edges and id remapping,
+///  3. drop individual edges.
+/// The root node is never dropped (specs keep a valid root). `repro` must
+/// hold for the input pair; the returned pair also satisfies it.
+ShrinkOutcome ShrinkCase(GraphSpec graph, QuerySpec query,
+                         const ReproPredicate& repro,
+                         const ShrinkOptions& options = {});
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_SHRINKER_H_

@@ -1,0 +1,111 @@
+#include "check/stress.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/case_gen.h"
+#include "query/data_evaluator.h"
+#include "server/concurrent_session.h"
+#include "util/rng.h"
+
+namespace mrx::check {
+
+StressReport RunStressCheck(const StressOptions& options) {
+  StressReport report;
+
+  Rng rng(options.seed);
+  CaseGenOptions gen;
+  gen.max_nodes = std::max<size_t>(options.max_nodes, 8);
+  gen.num_queries = std::max<size_t>(options.num_queries, 1);
+  GeneratedCase c = GenerateCase(rng, gen);
+  report.shape = c.shape;
+  Result<DataGraph> built = c.graph.Build();
+  if (!built.ok()) {
+    ++report.mismatches;  // Generator contract broken; surface as failure.
+    return report;
+  }
+  const DataGraph& g = *built;
+
+  std::vector<PathExpression> queries;
+  for (const QuerySpec& qs : c.queries) {
+    Result<PathExpression> q = qs.Compile(g.symbols());
+    if (q.ok()) queries.push_back(*std::move(q));
+  }
+  if (queries.empty()) {
+    ++report.mismatches;
+    return report;
+  }
+
+  // Serial ground truth, fixed before any concurrency starts: the data
+  // graph is immutable, so these stay correct across every index epoch.
+  DataEvaluator truth(g);
+  std::vector<std::vector<NodeId>> expected;
+  expected.reserve(queries.size());
+  for (const PathExpression& q : queries) {
+    expected.push_back(truth.Evaluate(q));
+  }
+
+  server::ConcurrentSessionOptions so;
+  so.refine_after = options.refine_after;
+  so.tracer = options.tracer;
+  server::ConcurrentSession session(g, so);
+
+  std::atomic<uint64_t> queries_run{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> epoch_regressions{0};
+
+  auto reader = [&](size_t t) {
+    Rng trng(options.seed + 0x9E3779B97F4A7C15ull * (t + 1));
+    uint64_t last_epoch = 0;
+    for (size_t r = 0; r < options.rounds; ++r) {
+      const size_t qi = trng.Below(queries.size());
+      const QueryResult qr = session.Query(queries[qi]);
+      queries_run.fetch_add(1, std::memory_order_relaxed);
+      if (qr.answer != expected[qi]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      const uint64_t epoch = session.index_epoch();
+      if (epoch < last_epoch) {
+        epoch_regressions.fetch_add(1, std::memory_order_relaxed);
+      }
+      last_epoch = epoch;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(options.threads);
+  for (size_t t = 0; t < options.threads; ++t) pool.emplace_back(reader, t);
+
+  // Mid-flight checkpoint: the drain protocol must coexist with active
+  // readers (it blocks only on the refiner, never on them).
+  session.DrainRefinements();
+
+  for (std::thread& t : pool) t.join();
+  session.DrainRefinements();
+
+  // Post-drain sweep: the settled index must agree with ground truth on
+  // both the observing and the non-observing read path.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (session.Query(queries[i]).answer != expected[i]) {
+      ++report.final_mismatches;
+    }
+    if (session.Peek(queries[i]).answer != expected[i]) {
+      ++report.final_mismatches;
+    }
+  }
+
+  report.queries_run = queries_run.load();
+  report.mismatches = mismatches.load();
+  report.epoch_regressions = epoch_regressions.load();
+  report.publications = session.index_publications();
+  report.refinements = session.refinements_applied();
+  for (const auto& shard : session.cache_shard_stats()) {
+    report.stale_put_drops += shard.stale_drops;
+  }
+  return report;
+}
+
+}  // namespace mrx::check

@@ -1,0 +1,64 @@
+#ifndef MRX_CHECK_STRESS_H_
+#define MRX_CHECK_STRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace mrx::check {
+
+/// Knobs for `mrx check --mode stress`.
+struct StressOptions {
+  uint64_t seed = 1;
+  size_t threads = 4;
+
+  /// Queries issued per reader thread.
+  size_t rounds = 400;
+
+  /// Distinct expressions in the workload (drawn by the case generator, so
+  /// the same adversarial shapes and query mutations apply).
+  size_t num_queries = 32;
+
+  /// Graph size bound for the generated case.
+  size_t max_nodes = 96;
+
+  /// Observations before a query becomes a FUP (kept low so refinement and
+  /// publication actually race with the readers).
+  size_t refine_after = 2;
+
+  /// Optional span tracer threaded into the session (TSan-visible, and
+  /// proves the obs path is exercised under contention).
+  obs::TraceRecorder* tracer = nullptr;
+};
+
+/// Outcome of one stress run. Everything here is checked against the
+/// serial ground truth computed before the session starts: answers are
+/// exact at every refinement state, so any mismatch is a bug.
+struct StressReport {
+  std::string shape;  ///< Generator shape of the stressed graph.
+  uint64_t queries_run = 0;
+  uint64_t mismatches = 0;         ///< Query() answers != ground truth.
+  uint64_t epoch_regressions = 0;  ///< index_epoch() observed decreasing.
+  uint64_t final_mismatches = 0;   ///< Post-drain Query/Peek disagreements.
+  uint64_t publications = 0;
+  uint64_t refinements = 0;
+  uint64_t stale_put_drops = 0;  ///< Cache inserts rejected by epoch guard.
+
+  bool ok() const {
+    return mismatches == 0 && epoch_regressions == 0 &&
+           final_mismatches == 0;
+  }
+};
+
+/// \brief Hammers a ConcurrentSession from `threads` readers while its
+/// background refiner splits and republishes the index, cross-checking
+/// every answer against DataEvaluator ground truth. A mid-flight
+/// DrainRefinements() checkpoint races the drain protocol against the
+/// readers. Designed to run under -DMRX_SANITIZE=thread.
+StressReport RunStressCheck(const StressOptions& options);
+
+}  // namespace mrx::check
+
+#endif  // MRX_CHECK_STRESS_H_

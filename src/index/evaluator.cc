@@ -92,6 +92,10 @@ QueryResult AnswerOnIndex(const IndexGraph& ig, const PathExpression& path,
     }
   }
   std::sort(result.answer.begin(), result.answer.end());
+  if (fault::inject_extent_drop.load(std::memory_order_relaxed) &&
+      !result.answer.empty()) {
+    result.answer.pop_back();
+  }
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MRX_INDEX_EVALUATOR_H_
 #define MRX_INDEX_EVALUATOR_H_
 
+#include <atomic>
 #include <vector>
 
 #include "index/index_graph.h"
@@ -9,6 +10,18 @@
 #include "query/stats.h"
 
 namespace mrx {
+
+namespace fault {
+
+/// Test-only fault injection for the differential checker (src/check/):
+/// while true, AnswerOnIndex silently drops the highest data node from
+/// every non-empty answer — a deliberate extent bug in the production
+/// answer path. The checker's acceptance test flips this flag to prove
+/// the oracle catches wrong answers and the shrinker minimizes them.
+/// Never set outside tests.
+inline std::atomic<bool> inject_extent_drop{false};
+
+}  // namespace fault
 
 /// \brief The answer to a path expression evaluated through an index.
 struct QueryResult {

@@ -48,7 +48,10 @@ void ShardedAnswerCache::Put(const std::string& key, const QueryResult& value,
   bool evicted = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.epoch != epoch) return;  // Stale: index republished since.
+    if (shard.epoch != epoch) {  // Stale: index republished since.
+      ++shard.stats.stale_drops;
+      return;
+    }
     evicted = shard.lru.Put(key, value);
     if (evicted) ++shard.stats.evictions;
   }

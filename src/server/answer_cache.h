@@ -57,6 +57,10 @@ class ShardedAnswerCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Puts rejected because the index epoch moved between computing the
+    /// answer and inserting it (the stale-entry guard the differential
+    /// stress checker asserts on).
+    uint64_t stale_drops = 0;
   };
 
   /// One ShardStats per shard, in shard order. The aggregate is also

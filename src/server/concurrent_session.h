@@ -113,6 +113,13 @@ class ConcurrentSession {
 
   size_t cache_entries() const { return cache_.size(); }
 
+  /// Per-shard answer-cache telemetry (hits/misses/evictions/stale drops);
+  /// the check_stress harness sums stale_drops to prove the epoch guard
+  /// fired rather than silently admitting stale entries.
+  std::vector<ShardedAnswerCache::ShardStats> cache_shard_stats() const {
+    return cache_.PerShardStats();
+  }
+
   /// Epoch of the currently published index (starts at 0, bumped per
   /// publication).
   uint64_t index_epoch() const;

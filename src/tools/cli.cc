@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/checker.h"
+#include "check/mrxcase.h"
+#include "check/stress.h"
 #include "datagen/nasa.h"
 #include "datagen/xmark.h"
 #include "graph/statistics.h"
@@ -45,6 +48,12 @@ commands:
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
               [--metrics-out DIR] [--trace-sample N]
+  check [--mode diff|stress] [--seed N] [--cases M] [--queries N]
+        [--max-nodes N] [--out DIR] [--max-failures N] [--fault on]
+        [--threads N] [--rounds N] [--replay file.mrxcase]
+                                        differential correctness harness
+                                        (docs/TESTING.md); exit 1 on any
+                                        discrepancy or invariant violation
 
 graphs are detected by suffix: .xml (parsed) or .mrxg (binary).
 --metrics-out writes metrics.prom, metrics.jsonl, trace.jsonl and
@@ -485,6 +494,86 @@ int CmdServeBench(const Options& options, std::ostream& out,
   return 0;
 }
 
+int CmdCheck(const Options& options, std::ostream& out, std::ostream& err) {
+  const bool fault = options.Flag("fault") == "on" ||
+                     options.Flag("fault") == "1" ||
+                     options.Flag("fault") == "true";
+
+  const std::string replay_path = options.Flag("replay");
+  if (!replay_path.empty()) {
+    Result<std::string> text = ReadFile(replay_path);
+    if (!text.ok()) return Fail(err, text.status());
+    Result<check::ReproCase> repro = check::ParseCase(*text);
+    if (!repro.ok()) return Fail(err, repro.status());
+    const bool previous = fault::inject_extent_drop.exchange(fault);
+    Result<check::ReplayReport> report = check::ReplayCase(*repro);
+    fault::inject_extent_drop.store(previous);
+    if (!report.ok()) return Fail(err, report.status());
+    out << "replay " << replay_path << " [" << repro->index_class << "]"
+        << (repro->note.empty() ? "" : " " + repro->note) << "\n"
+        << "  expected " << report->expected.size() << " nodes, got "
+        << report->actual.size() << "\n";
+    if (!report->detail.empty()) out << "  detail: " << report->detail << "\n";
+    out << (report->reproduced ? "REPRODUCED\n" : "did not reproduce\n");
+    return report->reproduced ? 1 : 0;
+  }
+
+  const std::string mode = options.Flag("mode", "diff");
+  if (mode == "stress") {
+    check::StressOptions so;
+    so.seed =
+        static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+    so.threads = static_cast<size_t>(
+        std::atoll(options.Flag("threads", "4").c_str()));
+    so.rounds = static_cast<size_t>(
+        std::atoll(options.Flag("rounds", "400").c_str()));
+    so.num_queries = static_cast<size_t>(
+        std::atoll(options.Flag("queries", "32").c_str()));
+    so.max_nodes = static_cast<size_t>(
+        std::atoll(options.Flag("max-nodes", "96").c_str()));
+    obs::TraceRecorder tracer;
+    so.tracer = &tracer;
+    const check::StressReport report = check::RunStressCheck(so);
+    out << "stress: shape=" << report.shape << " queries="
+        << report.queries_run << " mismatches=" << report.mismatches
+        << " epoch_regressions=" << report.epoch_regressions
+        << " final_mismatches=" << report.final_mismatches << "\n"
+        << "stress: publications=" << report.publications
+        << " refinements=" << report.refinements << " stale_put_drops="
+        << report.stale_put_drops << " trace_spans=" << tracer.size()
+        << "\n";
+    out << (report.ok() ? "OK\n" : "FAILED\n");
+    return report.ok() ? 0 : 1;
+  }
+  if (mode != "diff") {
+    err << "unknown check mode: " << mode << " (expected diff or stress)\n";
+    return 2;
+  }
+
+  check::CheckOptions co;
+  co.seed =
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+  co.num_cases = static_cast<size_t>(
+      std::atoll(options.Flag("cases", "100").c_str()));
+  co.gen.num_queries = static_cast<size_t>(
+      std::atoll(options.Flag("queries", "6").c_str()));
+  co.gen.max_nodes = static_cast<size_t>(
+      std::atoll(options.Flag("max-nodes", "48").c_str()));
+  co.out_dir = options.Flag("out");
+  co.max_failures = static_cast<size_t>(
+      std::atoll(options.Flag("max-failures", "8").c_str()));
+  co.inject_extent_drop = fault;
+  co.log = &out;
+  const check::CheckSummary summary = check::RunCheck(co);
+  out << "check: " << summary.cases << " cases, " << summary.queries
+      << " queries, " << summary.checks << " oracle checks\n"
+      << "check: " << summary.discrepancies << " discrepancies, "
+      << summary.violations << " invariant violations, "
+      << summary.failures.size() << " recorded failures\n";
+  out << (summary.ok() ? "OK\n" : "FAILED\n");
+  return summary.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -520,6 +609,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "generate") return CmdGenerate(*options, out, err);
   if (command == "workload") return CmdWorkload(*options, out, err);
   if (command == "serve-bench") return CmdServeBench(*options, out, err);
+  if (command == "check") return CmdCheck(*options, out, err);
 
   err << "unknown command: " << command << "\n" << kUsage;
   return 2;

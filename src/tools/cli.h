@@ -32,6 +32,14 @@ namespace mrx::tools {
 ///                                           Prometheus/JSONL expositions,
 ///                                           the span trace, and
 ///                                           BENCH_server.json into DIR
+///   check [--mode diff|stress] [--seed N] [--cases M] [--out DIR]
+///         [--fault on] [--threads N] [--rounds N] [--replay f.mrxcase]
+///                                           differential correctness
+///                                           harness (docs/TESTING.md):
+///                                           randomized oracle cross-checks
+///                                           + invariant audits (diff) or a
+///                                           concurrent-session hammer
+///                                           (stress); exit 1 on failure
 ///
 /// Returns a process exit code; all human output goes to `out`, errors to
 /// `err`. File formats are detected by suffix (.xml / .mrxg / .mrxs).

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/answer_cache.h"
+#include "server/concurrent_session.h"
+#include "tests/test_util.h"
+
+namespace mrx::server {
+namespace {
+
+using mrx::testing::MakeFigure3Graph;
+
+QueryResult MakeResult(std::vector<NodeId> answer) {
+  QueryResult r;
+  r.answer = std::move(answer);
+  return r;
+}
+
+uint64_t TotalStaleDrops(const ShardedAnswerCache& cache) {
+  uint64_t total = 0;
+  for (const auto& shard : cache.PerShardStats()) {
+    total += shard.stale_drops;
+  }
+  return total;
+}
+
+/// The invariant under test: an answer computed under epoch E is never
+/// served once epoch E+1 has been published. Both halves matter — entries
+/// cached before the publish are cleared, and racing inserts tagged with
+/// the old epoch are rejected instead of repopulating the fresh cache.
+
+TEST(AnswerCacheEpochTest, InvalidateClearsCachedAnswers) {
+  ShardedAnswerCache cache(64, 4);
+  cache.Put("q1", MakeResult({1, 2}), /*epoch=*/0);
+  QueryResult out;
+  ASSERT_TRUE(cache.Get("q1", &out));
+  EXPECT_EQ(out.answer, (std::vector<NodeId>{1, 2}));
+
+  cache.Invalidate(/*new_epoch=*/1);
+  EXPECT_FALSE(cache.Get("q1", &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnswerCacheEpochTest, StalePutAfterInvalidateIsDropped) {
+  ShardedAnswerCache cache(64, 4);
+  // The race: a reader computes under epoch 0, the refiner publishes
+  // (epoch 1), then the reader's insert lands.
+  cache.Invalidate(/*new_epoch=*/1);
+  EXPECT_EQ(TotalStaleDrops(cache), 0u);
+  cache.Put("q1", MakeResult({1}), /*epoch=*/0);
+  QueryResult out;
+  EXPECT_FALSE(cache.Get("q1", &out));
+  EXPECT_EQ(TotalStaleDrops(cache), 1u);
+
+  // A current-epoch insert for the same key is admitted.
+  cache.Put("q1", MakeResult({2}), /*epoch=*/1);
+  ASSERT_TRUE(cache.Get("q1", &out));
+  EXPECT_EQ(out.answer, (std::vector<NodeId>{2}));
+  EXPECT_EQ(TotalStaleDrops(cache), 1u);
+}
+
+TEST(AnswerCacheEpochTest, EveryEpochTransitionRejectsTheOldTag) {
+  ShardedAnswerCache cache(64, 1);  // One shard: deterministic stats.
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    cache.Invalidate(epoch);
+    cache.Put("k" + std::to_string(epoch), MakeResult({1}), epoch - 1);
+  }
+  EXPECT_EQ(TotalStaleDrops(cache), 5u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnswerCacheEpochTest, SessionNeverServesStaleAnswersAcrossPublishes) {
+  const DataGraph g = MakeFigure3Graph();
+  ConcurrentSessionOptions options;
+  options.refine_after = 2;
+  ConcurrentSession session(g, options);
+
+  Result<PathExpression> q = PathExpression::Parse("//a/b", g.symbols());
+  ASSERT_TRUE(q.ok());
+  const std::vector<NodeId> expected = session.Peek(*q).answer;
+
+  // Drive the query hot so it becomes a FUP, forcing refinements and
+  // publications (epoch bumps) between repeated cached lookups.
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_EQ(session.Query(*q).answer, expected) << "round " << round;
+    session.DrainRefinements();
+  }
+  EXPECT_GT(session.index_publications(), 0u);
+  // After the final publish the cache was invalidated; the next Query
+  // recomputes on the refined index and must still agree.
+  EXPECT_EQ(session.Query(*q).answer, expected);
+}
+
+}  // namespace
+}  // namespace mrx::server

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/invariants.h"
+#include "index/a_k_index.h"
+#include "index/d_k_index.h"
+#include "index/ud_kl_index.h"
+#include "query/data_evaluator.h"
+#include "tests/test_util.h"
+
+namespace mrx {
+namespace {
+
+/// Degenerate and cyclic graphs the differential checker generates, pinned
+/// here as deterministic regressions: k=0 indexes, IDREF self-loops,
+/// reference-edge cycles, root-only graphs, and unknown-label queries must
+/// all answer exactly like the data-graph oracle.
+
+DataGraph RootOnlyGraph() {
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.SetRoot(0);
+  return std::move(std::move(b).Build()).value();
+}
+
+DataGraph SelfLoopGraph() {
+  // r -> a, and a holds an IDREF to itself.
+  DataGraphBuilder b;
+  b.AddNode("r");
+  b.AddNode("a");
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1, EdgeKind::kReference);
+  b.SetRoot(0);
+  return std::move(std::move(b).Build()).value();
+}
+
+DataGraph RefCycleGraph() {
+  // r -> a -> b -> c, with c referencing a (a 3-cycle through references)
+  // and a second a/b limb outside the cycle.
+  DataGraphBuilder b;
+  for (const char* l : {"r", "a", "b", "c", "a", "b"}) b.AddNode(l);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 1, EdgeKind::kReference);
+  b.AddEdge(0, 4);
+  b.AddEdge(4, 5);
+  b.SetRoot(0);
+  return std::move(std::move(b).Build()).value();
+}
+
+std::vector<const char*> ProbeExpressions() {
+  return {"//a",    "/r",     "/r/a",   "//a/b",   "//b/c",  "//c/a",
+          "//a/b/c", "/r/a/b", "//zzz", "/zzz",    "//*",    "/r/*",
+          "//a//c",  "//c//b"};
+}
+
+void ExpectAllIndexesExact(const DataGraph& g, const char* tag) {
+  DataEvaluator truth(g);
+  for (const char* text : ProbeExpressions()) {
+    Result<PathExpression> q = PathExpression::Parse(text, g.symbols());
+    ASSERT_TRUE(q.ok()) << tag << " " << text;
+    const std::vector<NodeId> expected = truth.Evaluate(*q);
+
+    for (int k : {0, 1, 2}) {
+      AkIndex ak(g, k);
+      EXPECT_EQ(ak.Query(*q).answer, expected)
+          << tag << " A(" << k << ") " << text;
+    }
+    {
+      DkIndex dk(g);  // All-zero D(k): the k=0 baseline.
+      EXPECT_EQ(dk.Query(*q).answer, expected) << tag << " D(k)@0 " << text;
+      if (!q->HasDescendantAxis() && !q->HasWildcard() && !q->anchored()) {
+        dk.Promote(*q);
+        EXPECT_EQ(dk.Query(*q).answer, expected)
+            << tag << " D(k)-promoted " << text;
+      }
+    }
+    const std::vector<std::pair<int, int>> kl_settings = {
+        {0, 0}, {1, 1}, {2, 1}};
+    for (auto [k, l] : kl_settings) {
+      UdklIndex ud(g, k, l);
+      EXPECT_EQ(ud.Query(*q).answer, expected)
+          << tag << " UD(" << k << "," << l << ") " << text;
+    }
+  }
+}
+
+TEST(IndexEdgeCasesTest, RootOnlyGraph) {
+  const DataGraph g = RootOnlyGraph();
+  ExpectAllIndexesExact(g, "root-only");
+  // k=0 on a single node: one index node whose extent is the root.
+  AkIndex ak(g, 0);
+  EXPECT_TRUE(check::AuditIndexGraph(ak.graph()).empty());
+}
+
+TEST(IndexEdgeCasesTest, IdrefSelfLoop) {
+  const DataGraph g = SelfLoopGraph();
+  ExpectAllIndexesExact(g, "self-loop");
+  // The self-loop makes a its own parent: //a/a must yield a itself.
+  Result<PathExpression> q = PathExpression::Parse("//a/a", g.symbols());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(DataEvaluator(g).Evaluate(*q), (std::vector<NodeId>{1}));
+  UdklIndex ud(g, 1, 1);
+  EXPECT_EQ(ud.Query(*q).answer, (std::vector<NodeId>{1}));
+}
+
+TEST(IndexEdgeCasesTest, ReferenceCycle) {
+  const DataGraph g = RefCycleGraph();
+  ExpectAllIndexesExact(g, "ref-cycle");
+  // Around the cycle: c's reference child is a, so //c/a is node 1 only
+  // (node 4's parent is r, not c).
+  Result<PathExpression> q = PathExpression::Parse("//c/a", g.symbols());
+  ASSERT_TRUE(q.ok());
+  for (int k : {0, 1, 3}) {
+    AkIndex ak(g, k);
+    EXPECT_EQ(ak.Query(*q).answer, (std::vector<NodeId>{1})) << "k=" << k;
+  }
+}
+
+TEST(IndexEdgeCasesTest, UnknownLabelPathsAreEmptyEverywhere) {
+  std::vector<DataGraph> graphs;
+  graphs.push_back(RootOnlyGraph());
+  graphs.push_back(SelfLoopGraph());
+  graphs.push_back(RefCycleGraph());
+  for (const DataGraph& g : graphs) {
+    Result<PathExpression> q =
+        PathExpression::Parse("//nope/nothing", g.symbols());
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(DataEvaluator(g).Evaluate(*q).empty());
+    EXPECT_TRUE(AkIndex(g, 0).Query(*q).answer.empty());
+    EXPECT_TRUE(DkIndex(g).Query(*q).answer.empty());
+    EXPECT_TRUE(UdklIndex(g, 1, 1).Query(*q).answer.empty());
+  }
+}
+
+TEST(IndexEdgeCasesTest, KZeroPartitionIsLabelPartition) {
+  const DataGraph g = RefCycleGraph();
+  AkIndex ak(g, 0);
+  // A(0) = label partition: a block per distinct label, extents covering V.
+  EXPECT_TRUE(check::AuditIndexGraph(ak.graph()).empty());
+  size_t alive = 0;
+  size_t extent_total = 0;
+  for (IndexNodeId i = 0; i < ak.graph().num_nodes(); ++i) {
+    if (!ak.graph().node(i).alive) continue;
+    ++alive;
+    extent_total += ak.graph().node(i).extent.size();
+  }
+  EXPECT_EQ(alive, g.symbols().size());
+  EXPECT_EQ(extent_total, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace mrx

@@ -159,5 +159,62 @@ TEST(WorkloadTest, HistogramOfEmptyWorkloadIsZero) {
   for (double f : hist) EXPECT_EQ(f, 0.0);
 }
 
+// Golden-seed pin: the generator draws exclusively from the in-repo
+// Xoshiro256** Rng (no std::shuffle / std::uniform_int_distribution, whose
+// outputs are implementation-defined), so a fixed (graph, seed) must yield
+// these exact queries on every platform and standard library. If this test
+// breaks, the workload is no longer byte-identical across toolchains —
+// which silently changes every seeded benchmark and differential-check
+// run. Do not regenerate the list casually.
+TEST(WorkloadTest, GoldenSeedFirst32QueriesArePinned) {
+  DataGraph g = MakeFigure1Graph();
+  LabelPathEnumerationOptions eo;
+  eo.max_length = 6;
+  LabelPathSet paths = EnumerateLabelPaths(g, eo);
+  WorkloadOptions wo;
+  wo.num_queries = 32;
+  wo.max_query_length = 6;
+  wo.seed = 7;
+  std::vector<PathExpression> workload = GenerateWorkload(paths, wo);
+  const std::vector<std::string> kGolden = {
+      "//site/auctions/auction/item",
+      "//person",
+      "//root",
+      "//site/regions",
+      "//person",
+      "//site/regions",
+      "//root",
+      "//auction",
+      "//root",
+      "//root/site/regions",
+      "//root/site",
+      "//person",
+      "//regions/asia",
+      "//person",
+      "//root/site/regions/africa",
+      "//root",
+      "//auction/bidder",
+      "//site/auctions/auction/item/item",
+      "//item",
+      "//auction",
+      "//site",
+      "//site/auctions/auction/bidder",
+      "//site/auctions",
+      "//root/site/auctions/auction",
+      "//site/auctions",
+      "//auction/item",
+      "//site",
+      "//root",
+      "//site/auctions/auction",
+      "//root",
+      "//root",
+      "//regions/africa/item",
+  };
+  ASSERT_EQ(workload.size(), kGolden.size());
+  for (size_t i = 0; i < kGolden.size(); ++i) {
+    EXPECT_EQ(workload[i].ToString(g.symbols()), kGolden[i]) << "query " << i;
+  }
+}
+
 }  // namespace
 }  // namespace mrx

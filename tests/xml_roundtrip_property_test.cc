@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "check/graph_spec.h"
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+#include "xml/graph_builder.h"
+#include "xml/writer.h"
+
+namespace mrx {
+namespace {
+
+// The checker's adversarial schema shape: recursion, reused names, and
+// ID/IDREF links so generated instances carry reference edges.
+constexpr const char* kDtd = R"(
+<!ELEMENT db (rec+)>
+<!ELEMENT rec (name, val*, link*)>
+<!ATTLIST rec id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT val (name?, val*, link?)>
+<!ELEMENT link EMPTY>
+<!ATTLIST link ref IDREF #REQUIRED>
+)";
+
+using EdgeTuple = std::tuple<uint32_t, uint32_t, bool>;
+
+std::vector<EdgeTuple> SortedEdges(const check::GraphSpec& spec) {
+  std::vector<EdgeTuple> edges;
+  edges.reserve(spec.edges.size());
+  for (const check::GraphSpec::Edge& e : spec.edges) {
+    edges.emplace_back(e.from, e.to, e.reference);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Node-id-preserving isomorphism: the writer emits nodes in id order and
+/// the builder assigns ids in document order, so a faithful round trip
+/// reproduces the graph *exactly* — same ids, labels, root, and edge
+/// multiset (edge order within a node may differ between parses).
+void ExpectIsomorphic(const DataGraph& a, const DataGraph& b,
+                      uint64_t seed) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << "seed " << seed;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << "seed " << seed;
+  EXPECT_EQ(a.root(), b.root()) << "seed " << seed;
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    ASSERT_EQ(a.label_name(n), b.label_name(n))
+        << "seed " << seed << " node " << n;
+  }
+  check::GraphSpec sa = check::GraphSpec::FromDataGraph(a);
+  check::GraphSpec sb = check::GraphSpec::FromDataGraph(b);
+  EXPECT_EQ(SortedEdges(sa), SortedEdges(sb)) << "seed " << seed;
+}
+
+TEST(XmlRoundTripPropertyTest, TwoHundredSeededDtdDocuments) {
+  Result<datagen::Dtd> dtd = datagen::Dtd::Parse(kDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+
+  size_t with_references = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    datagen::DtdGeneratorOptions options;
+    options.seed = seed;
+    options.max_elements = 120;
+    options.star_mean = 1.5;
+    options.max_depth = 10;
+    Result<std::string> doc = datagen::GenerateDocument(*dtd, options);
+    ASSERT_TRUE(doc.ok()) << "seed " << seed << ": " << doc.status();
+
+    Result<DataGraph> first = xml::BuildGraphFromXml(*doc);
+    ASSERT_TRUE(first.ok()) << "seed " << seed << ": " << first.status();
+    if (first->num_reference_edges() > 0) ++with_references;
+
+    Result<std::string> rewritten = xml::WriteGraphAsXml(*first);
+    ASSERT_TRUE(rewritten.ok()) << "seed " << seed << ": "
+                                << rewritten.status();
+    Result<DataGraph> second = xml::BuildGraphFromXml(*rewritten);
+    ASSERT_TRUE(second.ok()) << "seed " << seed << ": " << second.status();
+    ExpectIsomorphic(*first, *second, seed);
+
+    // And the rewritten form is a fixpoint: writing again is stable.
+    Result<std::string> third = xml::WriteGraphAsXml(*second);
+    ASSERT_TRUE(third.ok());
+    EXPECT_EQ(*rewritten, *third) << "seed " << seed;
+  }
+  // The property is only interesting if reference edges actually occur.
+  EXPECT_GT(with_references, 50u);
+}
+
+}  // namespace
+}  // namespace mrx
