@@ -12,6 +12,7 @@
 #include "index/m_k_index.h"
 #include "index/m_star_index.h"
 #include "query/data_evaluator.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 #include "workload/label_paths.h"
 #include "xml/graph_builder.h"
@@ -62,6 +63,20 @@ void BM_KBisimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KBisimulation)->Arg(1)->Arg(3)->Arg(5)->Arg(-1);
+
+// Pins the sharded signature-grouping round (per-shard arena tables plus
+// the deterministic merge): the Arg is the pool's thread count, so Arg(1)
+// vs BM_KBisimulation/3 isolates the table rewrite and higher Args the
+// scaling. Partition ids are identical across all Args by contract.
+void BM_KBisimulationPooled(benchmark::State& state) {
+  const DataGraph& g = SharedGraph();
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto part = ComputeKBisimulation(g, 3, &pool);
+    benchmark::DoNotOptimize(part.num_blocks);
+  }
+}
+BENCHMARK(BM_KBisimulationPooled)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_AkConstruction(benchmark::State& state) {
   const DataGraph& g = SharedGraph();
@@ -118,6 +133,20 @@ void BM_MStarRefineWorkload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MStarRefineWorkload);
+
+// The batch-refinement path: identical final index to per-query Refine
+// (BM_MStarRefineWorkload), but target evaluation is hoisted out of the
+// refinement loop and the cascade regrouping runs the sort-based kernel.
+// The delta between the two benchmarks pins the grouping throughput.
+void BM_MStarRefineBatchWorkload(benchmark::State& state) {
+  const DataGraph& g = SharedGraph();
+  for (auto _ : state) {
+    MStarIndex index(g);
+    index.RefineBatch(SharedWorkload());
+    benchmark::DoNotOptimize(index.PhysicalNodeCount());
+  }
+}
+BENCHMARK(BM_MStarRefineBatchWorkload);
 
 void BM_MStarTopDownQueries(benchmark::State& state) {
   const DataGraph& g = SharedGraph();

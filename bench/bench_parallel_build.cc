@@ -1,0 +1,174 @@
+// Parallel index construction: wall-clock for the full static-hierarchy
+// build (and the underlying fixpoint bisimulation) at 1/2/4/8 pool
+// threads, on an XMark-like document graph and a DTD-random reference-rich
+// graph. Every pooled run's partition is checked byte-identical to the
+// serial run before its timing is reported — the speedup numbers are only
+// meaningful under the determinism contract (docs/PERFORMANCE.md).
+//
+// Emits BENCH_parallel_build.json (harness::WriteBenchJson) so CI can diff
+// the scaling trajectory across PRs. Honors MRX_SCALE.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+#include "index/bisimulation.h"
+#include "index/m_star_index.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+#include "xml/graph_builder.h"
+
+namespace {
+
+using namespace mrx;
+
+// A compact recursive DTD in the spirit of src/check/case_gen.cc: nested
+// repetition plus ID/IDREF attributes, so the generated graph has the
+// multi-parent, cyclic shape that stresses signature grouping.
+constexpr const char* kBenchDtd = R"(
+<!ELEMENT catalog (section+)>
+<!ELEMENT section (section*, item*, note?)>
+<!ELEMENT item (name, ref*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST item id ID #REQUIRED>
+<!ATTLIST ref target IDREF #REQUIRED>
+)";
+
+DataGraph BuildDtdRandomGraph(size_t target_elements) {
+  auto dtd = datagen::Dtd::Parse(kBenchDtd);
+  if (!dtd.ok()) {
+    std::cerr << "DTD parse failed: " << dtd.status().message() << "\n";
+    std::exit(1);
+  }
+  datagen::DtdGeneratorOptions options;
+  options.seed = 4242;
+  options.min_elements = target_elements;
+  options.max_elements = target_elements * 2;
+  options.star_mean = 2.0;
+  options.max_depth = 14;
+  auto doc = datagen::GenerateDocument(*dtd, options);
+  if (!doc.ok()) {
+    std::cerr << "DTD generation failed: " << doc.status().message() << "\n";
+    std::exit(1);
+  }
+  auto graph = xml::BuildGraphFromXml(*doc);
+  if (!graph.ok()) {
+    std::cerr << "graph build failed: " << graph.status().message() << "\n";
+    std::exit(1);
+  }
+  return *std::move(graph);
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Best-of-`reps` wall clock, in milliseconds.
+double BestOf(int reps, const std::function<void()>& fn) {
+  double best = TimeMs(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, TimeMs(fn));
+  return best;
+}
+
+struct DatasetResult {
+  std::string name;
+  size_t nodes = 0;
+  double serial_ms = 0;
+  std::vector<std::pair<size_t, double>> pooled_ms;  // (threads, ms)
+};
+
+DatasetResult RunDataset(const std::string& name, const DataGraph& g,
+                         int k_max, int reps) {
+  DatasetResult result;
+  result.name = name;
+  result.nodes = g.num_nodes();
+
+  const BisimulationPartition serial_part = ComputeKBisimulation(g, k_max);
+  result.serial_ms = BestOf(reps, [&] {
+    MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max);
+    if (index.num_components() == 0) std::exit(1);
+  });
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    // Determinism gate: the pooled partition must be byte-identical to
+    // the serial one, or the timing below is comparing different work.
+    const BisimulationPartition pooled =
+        ComputeKBisimulation(g, k_max, &pool);
+    if (pooled.block_of != serial_part.block_of ||
+        pooled.num_blocks != serial_part.num_blocks) {
+      std::cerr << "FATAL: " << name << " partition diverges at "
+                << threads << " threads\n";
+      std::exit(1);
+    }
+    const double ms = BestOf(reps, [&] {
+      MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max, &pool);
+      if (index.num_components() == 0) std::exit(1);
+    });
+    result.pooled_ms.emplace_back(threads, ms);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = harness::BenchScaleFromEnv(0.5);
+  const int k_max = 8;
+  const int reps = 3;
+
+  auto xmark = harness::BuildXMarkGraph(scale);
+  if (!xmark.ok()) {
+    std::cerr << "xmark build failed: " << xmark.status().message() << "\n";
+    return 1;
+  }
+  DataGraph dtd_graph =
+      BuildDtdRandomGraph(static_cast<size_t>(60000 * scale));
+
+  std::vector<DatasetResult> results;
+  results.push_back(RunDataset("xmark", *xmark, k_max, reps));
+  results.push_back(RunDataset("dtd_random", dtd_graph, k_max, reps));
+
+  TableWriter table({"dataset", "nodes", "serial_ms", "t2_ms", "t4_ms",
+                     "t8_ms", "t4_speedup"});
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const DatasetResult& r : results) {
+    double t2 = 0, t4 = 0, t8 = 0;
+    for (auto [threads, ms] : r.pooled_ms) {
+      if (threads == 2) t2 = ms;
+      if (threads == 4) t4 = ms;
+      if (threads == 8) t8 = ms;
+    }
+    const double speedup4 = t4 > 0 ? r.serial_ms / t4 : 0;
+    table.AddRowValues(r.name, r.nodes, r.serial_ms, t2, t4, t8, speedup4);
+    metrics.emplace_back(r.name + "_serial_ms", r.serial_ms);
+    metrics.emplace_back(r.name + "_t2_ms", t2);
+    metrics.emplace_back(r.name + "_t4_ms", t4);
+    metrics.emplace_back(r.name + "_t8_ms", t8);
+    metrics.emplace_back(r.name + "_t4_speedup", speedup4);
+  }
+
+  std::cout << "== Parallel static-hierarchy build (k_max=" << k_max
+            << ", scale=" << scale
+            << "; pooled partitions verified identical to serial) ==\n";
+  table.RenderText(std::cout);
+
+  std::ofstream bench("BENCH_parallel_build.json", std::ios::trunc);
+  mrx::harness::WriteBenchJson(bench, "parallel_build", metrics);
+  std::cout << "wrote BENCH_parallel_build.json\n";
+  return 0;
+}

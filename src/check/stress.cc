@@ -50,6 +50,7 @@ StressReport RunStressCheck(const StressOptions& options) {
 
   server::ConcurrentSessionOptions so;
   so.refine_after = options.refine_after;
+  so.refine_threads = options.refine_threads;
   so.tracer = options.tracer;
   server::ConcurrentSession session(g, so);
 

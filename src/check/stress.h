@@ -28,6 +28,11 @@ struct StressOptions {
   /// publication actually race with the readers).
   size_t refine_after = 2;
 
+  /// Thread-pool size for the session's background refiner (>1 exercises
+  /// the pooled refinement path under the same reader contention; answers
+  /// are identical either way).
+  size_t refine_threads = 1;
+
   /// Optional span tracer threaded into the session (TSan-visible, and
   /// proves the obs path is exercised under contention).
   obs::TraceRecorder* tracer = nullptr;

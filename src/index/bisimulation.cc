@@ -1,23 +1,221 @@
 #include "index/bisimulation.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace mrx {
 namespace {
 
-/// Hash for a refinement signature: (own previous block, sorted unique
-/// previous blocks of parents). FNV-1a over the words.
-struct SignatureHash {
-  size_t operator()(const std::vector<uint32_t>& sig) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (uint32_t w : sig) {
-      h ^= w;
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
+/// Tag word prefixing the signature of a frozen node. Distinct from every
+/// block id (block ids are < num_nodes < 2^32 - 1), so frozen blocks can
+/// never merge with active ones.
+constexpr uint32_t kFrozenTag = static_cast<uint32_t>(-1);
+
+/// FNV-1a over the signature words.
+uint64_t HashWords(const uint32_t* data, uint32_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
   }
+  return h;
+}
+
+size_t NextPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Interning store for refinement signatures. The unique signatures live
+/// flattened in one arena (no per-signature vector, no hash-map key
+/// copies); an open-addressing table over (hash, id) indexes them. Ids are
+/// assigned in insertion order, which is what the deterministic shard
+/// merge below relies on.
+class SignatureTable {
+ public:
+  explicit SignatureTable(size_t expected_sigs) {
+    slots_.assign(NextPow2(expected_sigs * 2 + 16), Slot{});
+    mask_ = slots_.size() - 1;
+  }
+
+  /// Interns the signature, returning its id (existing or freshly
+  /// assigned as the next integer).
+  uint32_t Intern(const uint32_t* sig, uint32_t len, uint64_t hash) {
+    if ((size() + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t i = static_cast<size_t>(hash) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.id == kEmptySlot) {
+        const uint32_t id = static_cast<uint32_t>(offsets_.size());
+        s.hash = hash;
+        s.id = id;
+        offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+        lens_.push_back(len);
+        hashes_.push_back(hash);
+        arena_.insert(arena_.end(), sig, sig + len);
+        return id;
+      }
+      if (s.hash == hash && lens_[s.id] == len &&
+          std::memcmp(arena_.data() + offsets_[s.id], sig,
+                      len * sizeof(uint32_t)) == 0) {
+        return s.id;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(offsets_.size()); }
+  const uint32_t* data(uint32_t id) const {
+    return arena_.data() + offsets_[id];
+  }
+  uint32_t len(uint32_t id) const { return lens_[id]; }
+  uint64_t hash(uint32_t id) const { return hashes_[id]; }
+
+ private:
+  static constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = kEmptySlot;
+  };
+
+  void Grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.id == kEmptySlot) continue;
+      size_t i = static_cast<size_t>(s.hash) & mask_;
+      while (slots_[i].id != kEmptySlot) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::vector<uint32_t> arena_;    ///< All unique signatures, flattened.
+  std::vector<uint32_t> offsets_;  ///< Arena offset per id.
+  std::vector<uint32_t> lens_;     ///< Word count per id.
+  std::vector<uint64_t> hashes_;   ///< Cached hash per id (for Grow/merge).
 };
+
+/// Appends node n's signature words to `sig` (cleared first):
+/// active  -> [own block, sorted unique parent blocks],
+/// frozen  -> [kFrozenTag, own block].
+template <typename ActivePredicate>
+void BuildSignature(const DataGraph& g, const std::vector<uint32_t>& block_of,
+                    const ActivePredicate& active, NodeId n,
+                    std::vector<uint32_t>* sig) {
+  sig->clear();
+  if (active(n)) {
+    sig->push_back(block_of[n]);
+    for (NodeId p : g.parents(n)) sig->push_back(block_of[p]);
+    std::sort(sig->begin() + 1, sig->end());
+    sig->erase(std::unique(sig->begin() + 1, sig->end()), sig->end());
+  } else {
+    // Frozen nodes keep their identity; the tag separates their signature
+    // space from the active one (frozen blocks must not merge with active).
+    sig->push_back(kFrozenTag);
+    sig->push_back(block_of[n]);
+  }
+}
+
+/// One refinement round. `active(n)` says whether node n still refines.
+/// Returns the new block count; fills `next_block_of`.
+///
+/// Parallel structure (determinism contract, docs/PERFORMANCE.md): nodes
+/// are cut into contiguous ascending shards. Each shard interns its
+/// signatures into a private table (ids in ascending first-occurrence
+/// order within the shard). The serial merge then walks shards in order,
+/// re-interning each shard's unique signatures into the global table — so
+/// a global id is assigned exactly when its signature is first seen in
+/// ascending node order, which is precisely the numbering the serial scan
+/// produces. The result is byte-identical for every shard/thread count.
+template <typename ActivePredicate>
+uint32_t RefineRound(const DataGraph& g, const std::vector<uint32_t>& block_of,
+                     const ActivePredicate& active,
+                     std::vector<uint32_t>* next_block_of, ThreadPool* pool) {
+  const size_t n = g.num_nodes();
+  next_block_of->resize(n);
+
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->num_threads() > 1 && n >= 2048) {
+    // Over-decompose a little so uneven shards (hubs, label clusters)
+    // still balance; shard count never affects the resulting ids.
+    num_shards = std::min(pool->num_threads() * 4, n / 1024);
+  }
+  const size_t shard_size = (n + num_shards - 1) / num_shards;
+
+  struct Shard {
+    SignatureTable table{0};
+    std::vector<uint32_t> local_of;  ///< Local signature id per node.
+    size_t begin = 0, end = 0;
+  };
+  std::vector<Shard> shards(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards[s].begin = s * shard_size;
+    shards[s].end = std::min(n, (s + 1) * shard_size);
+  }
+
+  // Phase 1 (parallel): per-shard signature interning.
+  auto intern_shards = [&](size_t lo, size_t hi) {
+    std::vector<uint32_t> sig;
+    for (size_t s = lo; s < hi; ++s) {
+      Shard& shard = shards[s];
+      const size_t count = shard.end - shard.begin;
+      shard.table = SignatureTable(count / 4 + 16);
+      shard.local_of.resize(count);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        BuildSignature(g, block_of, active, static_cast<NodeId>(i), &sig);
+        const uint64_t h =
+            HashWords(sig.data(), static_cast<uint32_t>(sig.size()));
+        shard.local_of[i - shard.begin] = shard.table.Intern(
+            sig.data(), static_cast<uint32_t>(sig.size()), h);
+      }
+    }
+  };
+  if (num_shards > 1) {
+    pool->ParallelFor(0, num_shards, 1, intern_shards);
+  } else {
+    intern_shards(0, 1);
+  }
+
+  // Phase 2 (serial): merge shard tables in shard order. Each shard's
+  // uniques are re-interned ascending, establishing the canonical global
+  // numbering; `remap` translates local ids.
+  size_t total_uniques = 0;
+  for (const Shard& shard : shards) total_uniques += shard.table.size();
+  SignatureTable global(total_uniques);
+  std::vector<std::vector<uint32_t>> remap(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const SignatureTable& t = shards[s].table;
+    remap[s].resize(t.size());
+    for (uint32_t u = 0; u < t.size(); ++u) {
+      remap[s][u] = global.Intern(t.data(u), t.len(u), t.hash(u));
+    }
+  }
+
+  // Phase 3 (parallel): write the renumbered blocks back.
+  auto write_shards = [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      const Shard& shard = shards[s];
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        (*next_block_of)[i] = remap[s][shard.local_of[i - shard.begin]];
+      }
+    }
+  };
+  if (num_shards > 1) {
+    pool->ParallelFor(0, num_shards, 1, write_shards);
+  } else {
+    write_shards(0, 1);
+  }
+  return global.size();
+}
 
 /// Initial (round-0) partition: one block per label in use.
 uint32_t LabelBlocks(const DataGraph& g, std::vector<uint32_t>* block_of) {
@@ -34,48 +232,36 @@ uint32_t LabelBlocks(const DataGraph& g, std::vector<uint32_t>* block_of) {
   return num_blocks;
 }
 
-/// One refinement round. `active(n)` says whether node n still refines.
-/// Returns the new block count; fills `next_block_of`.
-template <typename ActivePredicate>
-uint32_t RefineRound(const DataGraph& g,
-                     const std::vector<uint32_t>& block_of,
-                     ActivePredicate active,
-                     std::vector<uint32_t>* next_block_of) {
-  std::unordered_map<std::vector<uint32_t>, uint32_t, SignatureHash> ids;
-  ids.reserve(g.num_nodes() / 4 + 16);
-  next_block_of->resize(g.num_nodes());
-  std::vector<uint32_t> sig;
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    sig.clear();
-    if (active(n)) {
-      sig.push_back(block_of[n]);
-      for (NodeId p : g.parents(n)) sig.push_back(block_of[p]);
-      std::sort(sig.begin() + 1, sig.end());
-      sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
-    } else {
-      // Frozen nodes keep their identity; tag distinguishes the signature
-      // space from active ones (frozen blocks must not merge with active).
-      sig.push_back(static_cast<uint32_t>(-1));
-      sig.push_back(block_of[n]);
-    }
-    auto [it, inserted] =
-        ids.emplace(sig, static_cast<uint32_t>(ids.size()));
-    (*next_block_of)[n] = it->second;
-  }
-  return static_cast<uint32_t>(ids.size());
+/// Build-phase observability: every refinement round records its wall
+/// time, wherever it runs (static build, M*(k) growth, D(k) construct).
+void RecordRound(uint64_t start_ns) {
+  static obs::Counter* rounds = obs::MetricsRegistry::Global().GetCounter(
+      "mrx_build_refine_rounds_total");
+  static obs::Histogram* round_ns = obs::MetricsRegistry::Global().GetHistogram(
+      "mrx_build_refine_round_ns");
+  rounds->Increment();
+  round_ns->Record(
+      static_cast<double>(obs::MonotonicNowNs() - start_ns));
 }
 
 }  // namespace
 
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k) {
+  return ComputeKBisimulation(g, k, nullptr);
+}
+
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
+                                           ThreadPool* pool) {
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
 
   std::vector<uint32_t> next;
   int round = 0;
   while (k < 0 || round < k) {
+    const uint64_t start_ns = obs::MonotonicNowNs();
     uint32_t new_blocks = RefineRound(
-        g, part.block_of, [](NodeId) { return true; }, &next);
+        g, part.block_of, [](NodeId) { return true; }, &next, pool);
+    RecordRound(start_ns);
     ++round;
     if (new_blocks == part.num_blocks) {
       // Refinement is monotone and the new partition refines the old one,
@@ -91,8 +277,32 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k) {
   return part;
 }
 
+bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
+                             ThreadPool* pool) {
+  if (part->reached_fixpoint) return false;
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  std::vector<uint32_t> next;
+  uint32_t new_blocks = RefineRound(
+      g, part->block_of, [](NodeId) { return true; }, &next, pool);
+  RecordRound(start_ns);
+  if (new_blocks == part->num_blocks) {
+    part->reached_fixpoint = true;
+    return false;
+  }
+  part->block_of.swap(next);
+  part->num_blocks = new_blocks;
+  ++part->rounds;
+  return true;
+}
+
 BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label) {
+  return ComputeDkConstructPartition(g, kreq_by_label, nullptr);
+}
+
+BisimulationPartition ComputeDkConstructPartition(
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
+    ThreadPool* pool) {
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
 
@@ -102,9 +312,12 @@ BisimulationPartition ComputeDkConstructPartition(
   std::vector<uint32_t> next;
   int round = 0;
   for (int32_t i = 1; i <= max_k; ++i) {
+    const uint64_t start_ns = obs::MonotonicNowNs();
     uint32_t new_blocks = RefineRound(
         g, part.block_of,
-        [&](NodeId n) { return kreq_by_label[g.label(n)] >= i; }, &next);
+        [&](NodeId n) { return kreq_by_label[g.label(n)] >= i; }, &next,
+        pool);
+    RecordRound(start_ns);
     ++round;
     if (new_blocks == part.num_blocks) {
       part.reached_fixpoint = true;

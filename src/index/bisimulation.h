@@ -9,6 +9,8 @@
 
 namespace mrx {
 
+class ThreadPool;
+
 /// Local similarity value recorded for blocks of a full (fixpoint)
 /// bisimulation: bisimilar nodes are k-bisimilar for every k.
 inline constexpr int32_t kInfiniteSimilarity =
@@ -30,7 +32,26 @@ struct BisimulationPartition {
 /// the parents' blocks of the previous round. Stops early at the fixpoint.
 /// Pass k < 0 to refine all the way to the fixpoint — the full bisimulation
 /// underlying the 1-index (Definition 1).
+///
+/// With a non-null `pool`, each round shards its signature grouping over
+/// contiguous node ranges and merges the per-shard tables with a
+/// deterministic renumbering pass. Block ids are **byte-identical for any
+/// thread count** — including the pool-less serial path — because the
+/// merge assigns ids in ascending first-occurrence order, exactly the
+/// order the serial scan produces (see docs/PERFORMANCE.md for the
+/// contract; tests/parallel_build_test.cc pins it).
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k);
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
+                                           ThreadPool* pool);
+
+/// \brief One all-active refinement round applied in place: advances the
+/// A(i) partition in `part` to A(i+1). Returns false — leaving `part`
+/// untouched except for `reached_fixpoint` — when the partition is already
+/// the fixpoint. Callers that need every level A(0..k) (the static M*(k)
+/// hierarchy, growth benches) use this to pay one round per level instead
+/// of rebuilding each level from scratch.
+bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
+                             ThreadPool* pool = nullptr);
 
 /// \brief The D(k)-construct partition (Chen et al., SIGMOD'03), used by
 /// DkIndex::Construct.
@@ -43,6 +64,9 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k);
 /// same-label node is refined alike) but never violate Property 3.
 BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label);
+BisimulationPartition ComputeDkConstructPartition(
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
+    ThreadPool* pool);
 
 }  // namespace mrx
 

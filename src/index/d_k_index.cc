@@ -4,29 +4,9 @@
 #include <unordered_set>
 
 #include "index/bisimulation.h"
+#include "index/extent_ops.h"
 
 namespace mrx {
-namespace {
-
-/// Sorted-vector intersection.
-std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
-                              const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-/// Sorted-vector difference a - b.
-std::vector<NodeId> Difference(const std::vector<NodeId>& a,
-                               const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
-}
-
-}  // namespace
 
 std::vector<int32_t> ComputeDkLabelRequirements(
     const DataGraph& g, const std::vector<PathExpression>& fups) {

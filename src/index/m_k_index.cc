@@ -2,31 +2,9 @@
 
 #include <algorithm>
 
+#include "index/extent_ops.h"
+
 namespace mrx {
-namespace {
-
-std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
-                              const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-std::vector<NodeId> Difference(const std::vector<NodeId>& a,
-                               const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
-}
-
-void SortUnique(std::vector<NodeId>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
-}
-
-}  // namespace
 
 MkIndex::MkIndex(const DataGraph& g)
     : graph_(IndexGraph::LabelPartition(g)), evaluator_(g) {}

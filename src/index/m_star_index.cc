@@ -2,38 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <utility>
 
 #include "index/bisimulation.h"
+#include "index/extent_ops.h"
+#include "util/thread_pool.h"
 
 namespace mrx {
 namespace {
 
-std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
-                              const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-std::vector<NodeId> Difference(const std::vector<NodeId>& a,
-                               const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
-}
-
-void SortUnique(std::vector<NodeId>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
-}
-
-void SortUniqueIndex(std::vector<IndexNodeId>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
-}
+/// Minimum number of touched nodes before CascadeInto fans its regrouping
+/// precompute out over the pool — below this the dispatch overhead wins.
+constexpr size_t kParallelCascadeMinNodes = 32;
 
 }  // namespace
 
@@ -92,12 +72,18 @@ Result<MStarIndex> MStarIndex::FromComponents(
   return index;
 }
 
-MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g,
-                                            int k_max) {
+MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g, int k_max,
+                                            ThreadPool* pool) {
   std::vector<MStarComponentSpec> specs;
   std::vector<uint32_t> prev_block_of;
+  // Level i is A(i) = one refinement round on A(i-1) — the partition is
+  // carried across levels instead of recomputed from scratch (k_max rounds
+  // total rather than k_max^2/2). At the fixpoint, RefineBisimulationRound
+  // is a no-op and the remaining levels repeat the fixpoint partition,
+  // exactly as per-level ComputeKBisimulation(g, i) would.
+  BisimulationPartition part = ComputeKBisimulation(g, 0, pool);
   for (int i = 0; i <= k_max; ++i) {
-    BisimulationPartition part = ComputeKBisimulation(g, i);
+    if (i > 0) RefineBisimulationRound(g, &part, pool);
     MStarComponentSpec spec;
     spec.extents.resize(part.num_blocks);
     for (NodeId n = 0; n < g.num_nodes(); ++n) {
@@ -136,11 +122,49 @@ void MStarIndex::Refine(const PathExpression& fup) {
   // certifies them, so there is nothing to refine toward (queries remain
   // exact through validation).
   if (fup.HasDescendantAxis()) return;
+  RefineWithTarget(fup, evaluator_.Evaluate(fup));
+}
+
+void MStarIndex::RefineBatch(const std::vector<PathExpression>& fups) {
+  // Keep only the expressions Refine would act on, in order.
+  std::vector<const PathExpression*> eligible;
+  for (const PathExpression& fup : fups) {
+    if (fup.length() == 0 || fup.HasDescendantAxis()) continue;
+    eligible.push_back(&fup);
+  }
+  if (eligible.empty()) return;
+
+  // Target sets depend only on the immutable data graph, never on index
+  // state, so they can all be evaluated before any refinement — and in
+  // parallel. Each chunk gets its own evaluator (graph-sized scratch).
+  std::vector<std::vector<NodeId>> targets(eligible.size());
+  if (pool_ != nullptr && pool_->num_threads() > 1 && eligible.size() > 1) {
+    pool_->ParallelFor(0, eligible.size(), 1, [&](size_t lo, size_t hi) {
+      DataEvaluator evaluator(data_);
+      for (size_t i = lo; i < hi; ++i) {
+        targets[i] = evaluator.Evaluate(*eligible[i]);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < eligible.size(); ++i) {
+      targets[i] = evaluator_.Evaluate(*eligible[i]);
+    }
+  }
+
+  // The refinement itself stays serial: splits mutate the shared
+  // hierarchy, and the deterministic result is Refine applied in order.
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    RefineWithTarget(*eligible[i], targets[i]);
+  }
+}
+
+void MStarIndex::RefineWithTarget(const PathExpression& fup,
+                                  const std::vector<NodeId>& target) {
+  const int32_t len = static_cast<int32_t>(fup.length());
   while (components_.size() <= static_cast<size_t>(len)) {
     AppendComponentCopy();
   }
 
-  std::vector<NodeId> target = evaluator_.Evaluate(fup);
   if (!target.empty()) RefineNodeStar(len, target);
 
   // REFINE* lines 7-8: break false instances created by refinement.
@@ -169,7 +193,7 @@ void MStarIndex::RefineNodeStar(int k, const std::vector<NodeId>& relevant) {
   auto under_refined_covers = [&]() {
     std::vector<IndexNodeId> covers;
     for (NodeId o : relevant) covers.push_back(comp.index_of(o));
-    SortUniqueIndex(&covers);
+    SortUnique(&covers);
     std::erase_if(covers, [&](IndexNodeId v) {
       return comp.node(v).k >= k;
     });
@@ -309,18 +333,41 @@ void MStarIndex::CascadeInto(int ci, const std::vector<NodeId>& affected) {
 
   std::vector<IndexNodeId> touched;
   for (NodeId o : affected) touched.push_back(comp.graph.index_of(o));
-  SortUniqueIndex(&touched);
+  SortUnique(&touched);
+
+  // Group each touched extent by the (new) partition of the previous
+  // component. Sorting (supernode, member) pairs reproduces the old
+  // std::map grouping exactly — supernodes ascending, each group's members
+  // ascending (extents are sorted and each member has one supernode) —
+  // without a tree node per member. The regroupings read only disjoint
+  // extents and the already-final previous component, so they are
+  // precomputed up front and fan out over the pool when large enough; the
+  // splits below stay serial.
+  std::vector<std::vector<std::pair<IndexNodeId, NodeId>>> owners(
+      touched.size());
+  auto regroup = [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      const auto& extent = comp.graph.node(touched[t]).extent;
+      auto& pairs = owners[t];
+      pairs.reserve(extent.size());
+      for (NodeId o : extent) pairs.emplace_back(prev.index_of(o), o);
+      std::sort(pairs.begin(), pairs.end());
+    }
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      touched.size() >= kParallelCascadeMinNodes) {
+    pool_->ParallelFor(0, touched.size(), 1, regroup);
+  } else {
+    regroup(0, touched.size());
+  }
 
   bool any_split = false;
   std::vector<NodeId> deeper;
-  for (IndexNodeId q : touched) {
-    // Group q's extent by the (new) partition of the previous component.
-    std::map<IndexNodeId, std::vector<NodeId>> groups;
-    for (NodeId o : comp.graph.node(q).extent) {
-      groups[prev.index_of(o)].push_back(o);
-    }
-    if (groups.size() == 1) {
-      IndexNodeId sup = groups.begin()->first;
+  for (size_t t = 0; t < touched.size(); ++t) {
+    const IndexNodeId q = touched[t];
+    const auto& pairs = owners[t];
+    if (pairs.front().first == pairs.back().first) {
+      IndexNodeId sup = pairs.front().first;
       comp.supernode[q] = sup;
       // Property 4: a subnode is at least as refined as its supernode. Its
       // extent is a subset of the supernode's, so inheriting the larger k
@@ -342,9 +389,14 @@ void MStarIndex::CascadeInto(int ci, const std::vector<NodeId>& affected) {
     const int32_t qk = comp.graph.node(q).k;
     std::vector<IndexGraph::Part> parts;
     std::vector<IndexNodeId> sups;
-    for (auto& [sup_id, group] : groups) {
-      parts.push_back(IndexGraph::Part{
-          std::move(group), std::max(qk, prev.node(sup_id).k)});
+    for (size_t i = 0; i < pairs.size();) {
+      const IndexNodeId sup_id = pairs[i].first;
+      std::vector<NodeId> group;
+      for (; i < pairs.size() && pairs[i].first == sup_id; ++i) {
+        group.push_back(pairs[i].second);
+      }
+      parts.push_back(IndexGraph::Part{std::move(group),
+                                       std::max(qk, prev.node(sup_id).k)});
       sups.push_back(sup_id);
     }
     std::vector<IndexNodeId> ids =
@@ -378,7 +430,7 @@ bool MStarIndex::PromoteStar(int k, const std::vector<NodeId>& extent,
   auto under_refined_covers = [&]() {
     std::vector<IndexNodeId> covers;
     for (NodeId o : extent) covers.push_back(comp.index_of(o));
-    SortUniqueIndex(&covers);
+    SortUnique(&covers);
     std::erase_if(covers, [&](IndexNodeId v) {
       return comp.node(v).k >= k;
     });
@@ -495,7 +547,7 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
           s.push_back(comp.index_of(o));
         }
       }
-      SortUniqueIndex(&s);
+      SortUnique(&s);
       result.stats.index_nodes_visited += s.size();
       current_component = ci;
     } else {
@@ -518,7 +570,7 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
   }
 
   // Lines 5-12: collect extents, validating under-refined nodes.
-  SortUniqueIndex(&q);
+  SortUnique(&q);
   result.target = q;
   const IndexGraph& comp = components_[current_component].graph;
   const int32_t needed = static_cast<int32_t>(path.length());
@@ -614,7 +666,7 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
     frontier = std::move(next);
   }
 
-  SortUniqueIndex(&frontier);
+  SortUnique(&frontier);
   result.target = frontier;
   const int32_t needed = static_cast<int32_t>(path.length());
   for (IndexNodeId v : frontier) {

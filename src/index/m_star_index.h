@@ -12,6 +12,8 @@
 
 namespace mrx {
 
+class ThreadPool;
+
 /// \brief The M*(k)-index (paper §4): a *multiresolution* structural index.
 ///
 /// Logically it is a sequence of component indexes I0, I1, ..., organized
@@ -59,14 +61,32 @@ class MStarIndex {
   /// node is refined to the cap everywhere. Precise for every simple path
   /// expression of length ≤ k_max, at the size cost the paper's adaptive
   /// refinement exists to avoid (the static-vs-adaptive ablation bench
-  /// quantifies the gap).
-  static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max);
+  /// quantifies the gap). Each level is one refinement round on top of the
+  /// previous level's partition (not a from-scratch rebuild), sharded over
+  /// `pool` when one is given — ids are byte-identical for any thread
+  /// count (see docs/PERFORMANCE.md).
+  static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max,
+                                         ThreadPool* pool = nullptr);
 
   /// REFINE* (§4.2): creates components up to I_length(fup) (by copying)
   /// if needed, then refines the hierarchy so `fup` evaluates precisely in
   /// the finest required component, and finally breaks any surviving false
   /// instance with PROMOTE*.
   void Refine(const PathExpression& fup);
+
+  /// Refines for a whole batch of FUPs, equivalent to calling Refine on
+  /// each in order. The target sets of all eligible expressions are
+  /// evaluated up front — they depend only on the immutable data graph,
+  /// not on index state — and fan out over the thread pool when one is
+  /// attached; the refinement itself stays serial (and deterministic).
+  void RefineBatch(const std::vector<PathExpression>& fups);
+
+  /// Attaches a thread pool used to parallelize batch target evaluation
+  /// and cascade regrouping. May be null (serial). The pool must outlive
+  /// the index; clones do NOT inherit it (published read-only copies have
+  /// no refinement to parallelize).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// §4.1 "Naive evaluation": evaluates in component I_min(length, finest)
   /// with the M(k) query algorithm.
@@ -163,6 +183,11 @@ class MStarIndex {
   /// Appends a copy of the finest component; supernode links are identity.
   void AppendComponentCopy();
 
+  /// Refine's body after target evaluation: shared by Refine (which
+  /// evaluates inline) and RefineBatch (which pre-evaluates in parallel).
+  void RefineWithTarget(const PathExpression& fup,
+                        const std::vector<NodeId>& target);
+
   /// REFINENODE*, reformulated over data-node sets: ensures every index
   /// node of component k containing a node of `relevant` has similarity
   /// ≥ k, recursing on predecessors in component k-1 first and then
@@ -222,6 +247,7 @@ class MStarIndex {
   const DataGraph& data_;
   DataEvaluator evaluator_;
   std::vector<Component> components_;
+  ThreadPool* pool_ = nullptr;  ///< Optional; not owned, not cloned.
 };
 
 }  // namespace mrx

@@ -6,23 +6,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "index/extent_ops.h"
 #include "index/m_star_index.h"
 
 namespace mrx {
-namespace {
-
-void SortUniqueIndex(std::vector<IndexNodeId>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
-}
-
-}  // namespace
 
 void MStarIndex::CollectAnswer(const PathExpression& path, size_t ci,
                                std::vector<IndexNodeId> target,
                                DataEvaluator* validator,
                                QueryResult* result) const {
-  SortUniqueIndex(&target);
+  SortUnique(&target);
   result->target = std::move(target);
   const IndexGraph& comp = components_[ci].graph;
   const int32_t needed = static_cast<int32_t>(path.length());

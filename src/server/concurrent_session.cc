@@ -51,6 +51,9 @@ ConcurrentSession::SessionMetrics::SessionMetrics() {
   index_physical_nodes = registry.GetGauge("mrx_index_physical_nodes");
   index_physical_edges = registry.GetGauge("mrx_index_physical_edges");
   inbox_backlog = registry.GetGauge("mrx_refine_inbox_backlog");
+  pool_threads = registry.GetGauge("mrx_refine_pool_threads");
+  pool_jobs = registry.GetGauge("mrx_refine_pool_jobs_total");
+  pool_busy_ns = registry.GetGauge("mrx_refine_pool_busy_ns_total");
 }
 
 ConcurrentSession::ConcurrentSession(const DataGraph& graph,
@@ -61,6 +64,12 @@ ConcurrentSession::ConcurrentSession(const DataGraph& graph,
              options.cache_shards == 0 ? 16 : options.cache_shards),
       fups_(FupExtractor::Options{options.refine_after, 0}),
       master_(graph) {
+  if (options.refine_threads > 1) {
+    refine_pool_ = std::make_unique<ThreadPool>(options.refine_threads);
+    master_.set_thread_pool(refine_pool_.get());
+  }
+  metrics_.pool_threads->Set(static_cast<int64_t>(
+      refine_pool_ != nullptr ? refine_pool_->num_threads() : 1));
   published_ = std::make_unique<const MStarIndex>(master_.Clone());
   chooser_ = std::make_unique<const StrategyChooser>(*published_);
   refiner_ = std::thread([this] { RefineLoop(); });
@@ -227,15 +236,21 @@ void ConcurrentSession::RefineLoop() {
     // the private master copy — no locks held, readers undisturbed.
     const uint64_t batch_start = obs::MonotonicNowNs();
     const uint64_t splits_before = master_.TotalRefinementStats().splits;
-    uint64_t promotions = 0;
+    std::vector<PathExpression> promoted;
     for (const PathExpression& q : batch) {
-      if (fups_.Observe(q)) {
-        master_.Refine(q);
-        refinements_applied_.fetch_add(1, std::memory_order_relaxed);
-        metrics_.fup_promotions->Increment();
-        ++promotions;
-      }
+      if (fups_.Observe(q)) promoted.push_back(q);
     }
+    // One RefineBatch call per drained inbox: target evaluation for the
+    // whole promoted set fans out over the refine pool (when configured),
+    // and the serial refinement that follows is identical to per-query
+    // Refine calls in order.
+    if (!promoted.empty()) {
+      master_.RefineBatch(promoted);
+      refinements_applied_.fetch_add(promoted.size(),
+                                     std::memory_order_relaxed);
+      metrics_.fup_promotions->Increment(promoted.size());
+    }
+    const uint64_t promotions = promoted.size();
     const uint64_t splits =
         master_.TotalRefinementStats().splits - splits_before;
     metrics_.partition_splits->Increment(splits);
@@ -298,6 +313,11 @@ void ConcurrentSession::Publish() {
       static_cast<int64_t>(master_.PhysicalNodeCount()));
   metrics_.index_physical_edges->Set(
       static_cast<int64_t>(master_.PhysicalEdgeCount()));
+  if (refine_pool_ != nullptr) {
+    const ThreadPool::Stats stats = refine_pool_->stats();
+    metrics_.pool_jobs->Set(static_cast<int64_t>(stats.jobs));
+    metrics_.pool_busy_ns->Set(static_cast<int64_t>(stats.busy_ns));
+  }
 }
 
 void ConcurrentSession::DrainRefinements() {

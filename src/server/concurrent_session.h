@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/answer_cache.h"
+#include "util/thread_pool.h"
 #include "workload/fup_extractor.h"
 
 namespace mrx::server {
@@ -44,6 +45,12 @@ struct ConcurrentSessionOptions {
   /// refiner: observations beyond this backlog are dropped (they are
   /// statistics, not work items — a hot query will be observed again).
   size_t inbox_capacity = 1 << 16;
+
+  /// Worker threads for the refiner's parallelizable stages (batch target
+  /// evaluation and cascade regrouping; see docs/PERFORMANCE.md). 0 or 1
+  /// keeps the refiner fully serial. The refined index is byte-identical
+  /// for every value — parallelism changes publish latency, not results.
+  size_t refine_threads = 1;
 
   /// Span tracer for per-query phase spans (cache lookup → index probe →
   /// data validation) and refinement telemetry. nullptr disables tracing;
@@ -150,6 +157,9 @@ class ConcurrentSession {
     obs::Gauge* index_physical_nodes;
     obs::Gauge* index_physical_edges;
     obs::Gauge* inbox_backlog;
+    obs::Gauge* pool_threads;
+    obs::Gauge* pool_jobs;
+    obs::Gauge* pool_busy_ns;
 
     SessionMetrics();
   };
@@ -192,9 +202,12 @@ class ConcurrentSession {
   uint64_t processed_ = 0;  ///< Observations fully handled (post-publish).
   bool stop_ = false;
 
-  /// Refiner-thread-private state: the FUP extractor and the master index
+  /// Refiner-thread-private state: the FUP extractor, the pool the
+  /// refiner's parallel stages run on (null when refine_threads ≤ 1;
+  /// declared before the master so it outlives it), and the master index
   /// the worker refines before cloning it into published_.
   FupExtractor fups_;
+  std::unique_ptr<ThreadPool> refine_pool_;
   MStarIndex master_;
 
   std::atomic<uint64_t> refinements_applied_{0};

@@ -76,7 +76,6 @@ void QueryServer::WorkerLoop(WorkerStats* stats) {
     if (!request.has_value()) return;  // Closed and drained.
     const auto processing_start = Clock::now();
     QueryResult result = session_.Query(request->query);
-    if (request->done) request->done(result);
     const auto now = Clock::now();
     const uint64_t busy_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -92,6 +91,10 @@ void QueryServer::WorkerLoop(WorkerStats* stats) {
               .count()));
     }
     Metrics().busy_ns->Increment(busy_ns);
+    // Completion is signalled only after the stats are recorded: a caller
+    // unblocked by done() may Snapshot() immediately and must see this
+    // query in the latency histogram.
+    if (request->done) request->done(result);
   }
 }
 

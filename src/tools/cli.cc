@@ -25,6 +25,7 @@
 #include "storage/index_io.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 #include "workload/label_paths.h"
 #include "xml/graph_builder.h"
@@ -41,16 +42,23 @@ commands:
                                         exposition (docs/OBSERVABILITY.md)
   convert <in> <out>                    convert between .xml and .mrxg
   index build <graph> <out.mrxs> --fup <expr> [--fup <expr> ...]
+              [--threads N]           N>1 fans refinement target evaluation
+                                      out over a thread pool; results are
+                                      byte-identical for every N
+                                      (docs/PERFORMANCE.md)
   index info <graph> <index.mrxs>
   query <graph> [index.mrxs] <expr> [--strategy auto|topdown|naive|bottomup|hybrid]
   generate <xmark|nasa> <out.xml> [--scale S] [--seed N]
   workload <graph> [--count N] [--max-length L] [--seed N]
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
-              [--metrics-out DIR] [--trace-sample N]
+              [--metrics-out DIR] [--trace-sample N] [--threads N]
+                                      --threads N gives the background
+                                      refiner an N-thread pool
   check [--mode diff|stress] [--seed N] [--cases M] [--queries N]
         [--max-nodes N] [--out DIR] [--max-failures N] [--fault on]
-        [--threads N] [--rounds N] [--replay file.mrxcase]
+        [--threads N] [--rounds N] [--refine-threads N]
+        [--replay file.mrxcase]
                                         differential correctness harness
                                         (docs/TESTING.md); exit 1 on any
                                         discrepancy or invariant violation
@@ -197,12 +205,21 @@ int CmdIndexBuild(const Options& options, std::ostream& out,
   Result<DataGraph> g = LoadGraph(options.positional[0]);
   if (!g.ok()) return Fail(err, g.status());
   MStarIndex index(*g);
+  const size_t threads =
+      static_cast<size_t>(std::atoll(options.Flag("threads", "1").c_str()));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    index.set_thread_pool(pool.get());
+  }
+  std::vector<PathExpression> fups;
   for (const std::string& text : options.AllFlags("fup")) {
     auto fup = PathExpression::Parse(text, g->symbols());
     if (!fup.ok()) return Fail(err, fup.status());
-    index.Refine(*fup);
-    out << "refined for " << text << "\n";
+    fups.push_back(*std::move(fup));
+    out << "refining for " << text << "\n";
   }
+  index.RefineBatch(fups);
   Status s = storage::SaveMStarIndexToFile(index, options.positional[1]);
   if (!s.ok()) return Fail(err, s);
   out << "wrote " << options.positional[1] << ": "
@@ -403,6 +420,8 @@ int CmdServeBench(const Options& options, std::ostream& out,
       static_cast<size_t>(std::atoll(options.Flag("clients", "0").c_str()));
   lo.total_queries =
       static_cast<size_t>(std::atoll(options.Flag("queries", "10000").c_str()));
+  lo.session.refine_threads =
+      static_cast<size_t>(std::atoll(options.Flag("threads", "1").c_str()));
 
   // Observability: with --metrics-out, the run's session samples span
   // trees into `tracer` and the exposition files are written below.
@@ -531,6 +550,8 @@ int CmdCheck(const Options& options, std::ostream& out, std::ostream& err) {
         std::atoll(options.Flag("queries", "32").c_str()));
     so.max_nodes = static_cast<size_t>(
         std::atoll(options.Flag("max-nodes", "96").c_str()));
+    so.refine_threads = static_cast<size_t>(
+        std::atoll(options.Flag("refine-threads", "1").c_str()));
     obs::TraceRecorder tracer;
     so.tracer = &tracer;
     const check::StressReport report = check::RunStressCheck(so);

@@ -22,7 +22,9 @@ class LatencyHistogram {
  public:
   static constexpr size_t kSubBucketBits = 4;
   static constexpr size_t kSubBuckets = 1u << kSubBucketBits;  // 16
-  static constexpr size_t kMagnitudes = 64 - kSubBucketBits;
+  // Magnitudes run 0..(64 - kSubBucketBits) inclusive: a 64-bit value has
+  // bit_width 64 and lands in magnitude 64 - kSubBucketBits.
+  static constexpr size_t kMagnitudes = 64 - kSubBucketBits + 1;
   static constexpr size_t kNumBuckets = kMagnitudes * kSubBuckets;
 
   void Record(uint64_t value);

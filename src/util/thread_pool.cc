@@ -1,0 +1,136 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+
+namespace mrx {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Fixed dispatch fan-out: chunk boundaries target this many chunks per
+/// job regardless of the pool size, so the partition (and everything
+/// derived from chunk indices, e.g. ParallelReduce partials) is identical
+/// at every thread count. 32 chunks keep an 8-lane pool load-balanced
+/// (4 claims per lane) without making chunks so small that the claim
+/// atomics show up.
+constexpr size_t kTargetChunks = 32;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::ChunkSize(size_t begin, size_t end,
+                             size_t min_grain) const {
+  const size_t n = end - begin;
+  if (min_grain == 0) min_grain = 1;
+  const size_t by_fanout = (n + kTargetChunks - 1) / kTargetChunks;
+  return by_fanout > min_grain ? by_fanout : min_grain;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (workers_.empty()) {
+    // Inline path: one "chunk", no synchronization.
+    const uint64_t start = NowNs();
+    body(begin, end);
+    stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+    stat_chunks_.fetch_add(1, std::memory_order_relaxed);
+    stat_busy_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->begin = begin;
+  job->end = end;
+  job->chunk = ChunkSize(begin, end, min_grain);
+  job->total_chunks = (end - begin + job->chunk - 1) / job->chunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  RunChunks(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) ==
+             job->total_chunks;
+    });
+    // Drop the pool's reference; laggard workers may still hold theirs,
+    // but every chunk has run, so they only observe an exhausted cursor.
+    if (job_ == job) job_.reset();
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    const size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.total_chunks) return;
+    const size_t lo = job.begin + c * job.chunk;
+    size_t hi = lo + job.chunk;
+    if (hi > job.end) hi = job.end;
+    const uint64_t start = NowNs();
+    job.body(lo, hi);
+    stat_busy_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    stat_chunks_.fetch_add(1, std::memory_order_relaxed);
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.total_chunks) {
+      // Last chunk: wake the dispatcher. Taking mu_ orders the notify
+      // after the dispatcher's wait registration.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;  // May be null if the job already completed; loop.
+    }
+    if (job != nullptr) RunChunks(*job);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.jobs = stat_jobs_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.busy_ns = stat_busy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mrx

@@ -1,0 +1,139 @@
+#ifndef MRX_UTIL_THREAD_POOL_H_
+#define MRX_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrx {
+
+/// \brief A fixed-size worker pool for data-parallel index construction
+/// and refinement (docs/PERFORMANCE.md).
+///
+/// Design constraints, in order:
+///  - *Determinism first.* The pool only decides *where* work runs, never
+///    what it computes. ParallelFor partitions a range into chunks whose
+///    boundaries depend on the range and grain alone — not on the thread
+///    count or on scheduling — and ParallelReduce combines per-chunk
+///    partials in ascending chunk order on the calling thread, so any
+///    reduction (even a non-commutative one) yields the same result at
+///    every thread count, including the inline num_threads() == 1 path.
+///  - *No exceptions.* Bodies must not throw (the codebase is
+///    status-based); a throw escaping a worker terminates, as anywhere
+///    else in the process.
+///  - *Caller participates.* ParallelFor runs chunks on the calling thread
+///    too, so a pool of n serves n-way parallelism with n-1 workers and
+///    degrades to plain serial execution (zero synchronization beyond one
+///    allocation) when n <= 1.
+///
+/// One job runs at a time per pool (dispatch is serialized internally);
+/// concurrent ParallelFor calls from different threads are safe but
+/// queue behind each other. Workers never dispatch jobs themselves, so
+/// nesting a ParallelFor inside a pool body deadlocks — don't.
+///
+/// The pool keeps cumulative Stats (jobs, chunks, busy nanoseconds) that
+/// the obs layer exports as gauges (mrx_refine_pool_*, see
+/// docs/OBSERVABILITY.md); recording is relaxed-atomic and effectively
+/// free next to any chunk worth dispatching.
+class ThreadPool {
+ public:
+  /// Cumulative pool activity since construction. Totals are maintained
+  /// with relaxed atomics; a snapshot may miss in-flight chunks, which is
+  /// fine for telemetry.
+  struct Stats {
+    uint64_t jobs = 0;      ///< ParallelFor/ParallelReduce dispatches.
+    uint64_t chunks = 0;    ///< Chunk executions across all threads.
+    uint64_t busy_ns = 0;   ///< Sum of per-chunk execution wall time.
+  };
+
+  /// A pool presenting `num_threads` lanes of parallelism: `num_threads-1`
+  /// background workers plus the calling thread. 0 and 1 both mean "no
+  /// workers, run inline".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes of parallelism (workers + caller); at least 1.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) into chunks of at least `min_grain` elements, on the
+  /// workers and the calling thread. Returns when every chunk has
+  /// finished. Chunk boundaries are a pure function of (begin, end,
+  /// min_grain); distinct chunks never overlap, so bodies may write to
+  /// disjoint per-index slots without synchronization.
+  void ParallelFor(size_t begin, size_t end, size_t min_grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Deterministic map-reduce: computes `map(chunk_begin, chunk_end)` per
+  /// chunk in parallel, then folds the partials into `init` with
+  /// `reduce(accumulator, partial)` in ascending chunk order on the
+  /// calling thread. Identical results at any thread count.
+  template <typename T, typename Map, typename Reduce>
+  T ParallelReduce(size_t begin, size_t end, size_t min_grain, T init,
+                   const Map& map, const Reduce& reduce) {
+    if (end <= begin) return init;
+    const size_t chunk = ChunkSize(begin, end, min_grain);
+    const size_t num_chunks = (end - begin + chunk - 1) / chunk;
+    std::vector<T> partials(num_chunks);
+    ParallelFor(0, num_chunks, 1, [&](size_t cb, size_t ce) {
+      for (size_t c = cb; c < ce; ++c) {
+        const size_t lo = begin + c * chunk;
+        const size_t hi = lo + chunk < end ? lo + chunk : end;
+        partials[c] = map(lo, hi);
+      }
+    });
+    T acc = std::move(init);
+    for (T& partial : partials) acc = reduce(std::move(acc), std::move(partial));
+    return acc;
+  }
+
+  Stats stats() const;
+
+ private:
+  /// Immutable per-dispatch state. Workers hold a shared_ptr while they
+  /// execute, so a laggard waking after the job completed only observes an
+  /// exhausted cursor — never a recycled body or range.
+  struct Job {
+    std::function<void(size_t, size_t)> body;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t chunk = 1;
+    size_t total_chunks = 0;
+    std::atomic<size_t> next{0};       ///< Next chunk index to claim.
+    std::atomic<size_t> completed{0};  ///< Chunks fully executed.
+  };
+
+  /// Deterministic chunking: aims for enough chunks to balance the pool
+  /// without depending on the pool (fixed fan-out), floored at min_grain.
+  size_t ChunkSize(size_t begin, size_t end, size_t min_grain) const;
+
+  void WorkerLoop();
+  void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                   ///< Guards job_/stop_ and both CVs.
+  std::condition_variable work_cv_;  ///< Wakes workers on a new job.
+  std::condition_variable done_cv_;  ///< Wakes the dispatcher on completion.
+  std::shared_ptr<Job> job_;         ///< Current job; null when idle.
+  uint64_t job_seq_ = 0;             ///< Bumped per dispatch.
+  bool stop_ = false;
+
+  std::mutex dispatch_mu_;  ///< Serializes ParallelFor callers.
+
+  std::atomic<uint64_t> stat_jobs_{0};
+  std::atomic<uint64_t> stat_chunks_{0};
+  std::atomic<uint64_t> stat_busy_ns_{0};
+};
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,110 @@
+#include "index/extent_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/index_graph.h"
+#include "util/rng.h"
+
+namespace mrx {
+namespace {
+
+std::vector<NodeId> OracleIntersect(const std::vector<NodeId>& a,
+                                    const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> OracleDifference(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// A sorted duplicate-free random set of `size` ids drawn from
+/// [0, universe).
+std::vector<NodeId> RandomSet(Rng* rng, size_t size, size_t universe) {
+  std::vector<NodeId> v;
+  for (size_t i = 0; i < size; ++i) {
+    v.push_back(static_cast<NodeId>(rng->Below(universe)));
+  }
+  SortUnique(&v);
+  return v;
+}
+
+TEST(ExtentOpsTest, EdgeCases) {
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> some = {1, 5, 9};
+  EXPECT_TRUE(Intersect(empty, some).empty());
+  EXPECT_TRUE(Intersect(some, empty).empty());
+  EXPECT_EQ(Intersect(some, some), some);
+  EXPECT_TRUE(Difference(empty, some).empty());
+  EXPECT_EQ(Difference(some, empty), some);
+  EXPECT_TRUE(Difference(some, some).empty());
+}
+
+TEST(ExtentOpsTest, DisjointSets) {
+  const std::vector<NodeId> a = {1, 3, 5};
+  const std::vector<NodeId> b = {2, 4, 6};
+  EXPECT_TRUE(Intersect(a, b).empty());
+  EXPECT_EQ(Difference(a, b), a);
+}
+
+TEST(ExtentOpsTest, MatchesOracleAcrossSkews) {
+  // Size pairs straddling the galloping crossover in both directions,
+  // including a tiny set against a huge one (the split relevance-filter
+  // shape) and near-balanced inputs (the merge path).
+  const std::pair<size_t, size_t> shapes[] = {
+      {0, 100},  {1, 1},    {3, 2000}, {2000, 3},  {5, 50},
+      {50, 5},   {100, 90}, {1, 5000}, {4000, 17}, {256, 256},
+  };
+  Rng rng(99);
+  for (auto [na, nb] : shapes) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const std::vector<NodeId> a = RandomSet(&rng, na, 8000);
+      const std::vector<NodeId> b = RandomSet(&rng, nb, 8000);
+      ASSERT_EQ(Intersect(a, b), OracleIntersect(a, b))
+          << "|a|=" << a.size() << " |b|=" << b.size();
+      ASSERT_EQ(Difference(a, b), OracleDifference(a, b))
+          << "|a|=" << a.size() << " |b|=" << b.size();
+    }
+  }
+}
+
+TEST(ExtentOpsTest, GallopTailIsCopied) {
+  // a extends past b's last element: DifferenceGallop's bulk tail copy
+  // and IntersectGallop's early exit both trigger.
+  std::vector<NodeId> a = {10, 20, 9000, 9001, 9002};
+  std::vector<NodeId> b;
+  for (NodeId i = 0; i < 200; ++i) b.push_back(i * 3);
+  EXPECT_EQ(Intersect(a, b), OracleIntersect(a, b));
+  EXPECT_EQ(Difference(a, b), OracleDifference(a, b));
+}
+
+TEST(ExtentOpsTest, SubsetContainment) {
+  Rng rng(7);
+  const std::vector<NodeId> big = RandomSet(&rng, 5000, 100000);
+  std::vector<NodeId> small;
+  for (size_t i = 0; i < big.size(); i += 97) small.push_back(big[i]);
+  EXPECT_EQ(Intersect(small, big), small);
+  EXPECT_TRUE(Difference(small, big).empty());
+}
+
+TEST(ExtentOpsTest, SortUniqueNormalizes) {
+  std::vector<NodeId> v = {5, 1, 5, 3, 1, 1, 9};
+  SortUnique(&v);
+  EXPECT_EQ(v, (std::vector<NodeId>{1, 3, 5, 9}));
+
+  std::vector<IndexNodeId> ids = {2, 2, 0};
+  SortUnique(&ids);
+  EXPECT_EQ(ids, (std::vector<IndexNodeId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace mrx

@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrx {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsEveryElementOnce) {
+  for (size_t threads : {0u, 1u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), 1u);
+    std::vector<int> hits(100, 0);
+    pool.ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, WorkersCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  // Disjoint-slot writes need no synchronization per the ParallelFor
+  // contract; a dropped or double-run chunk shows up as hits != 1.
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndOffsetRanges) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::vector<int> hits(50, 0);
+  pool.ParallelFor(10, 40, 4, [&](size_t lo, size_t hi) {
+    ASSERT_GE(lo, 10u);
+    ASSERT_LE(hi, 40u);
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 10 && i < 40 ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReduceIsDeterministicAcrossThreadCounts) {
+  // A non-commutative, non-associative-under-reordering fold: string
+  // concatenation of chunk summaries. Identical at every thread count
+  // because partials fold in ascending chunk order on the caller.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    return pool.ParallelReduce(
+        0, 1000, 7, std::string(),
+        [](size_t lo, size_t hi) {
+          return std::to_string(lo) + "-" + std::to_string(hi) + ";";
+        },
+        [](std::string acc, std::string part) { return acc + part; });
+  };
+  const std::string serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(5), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPoolTest, ReduceComputesTheSum) {
+  ThreadPool pool(4);
+  std::vector<uint64_t> values(4096);
+  std::iota(values.begin(), values.end(), 1);
+  const uint64_t sum = pool.ParallelReduce(
+      0, values.size(), 1, uint64_t{0},
+      [&](size_t lo, size_t hi) {
+        uint64_t s = 0;
+        for (size_t i = lo; i < hi; ++i) s += values[i];
+        return s;
+      },
+      [](uint64_t acc, uint64_t part) { return acc + part; });
+  EXPECT_EQ(sum, uint64_t{4096} * 4097 / 2);
+}
+
+TEST(ThreadPoolTest, ManySmallDispatchesComplete) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, 10, 1, [&](size_t lo, size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, ConcurrentDispatchersQueueSafely) {
+  // Dispatch is serialized internally: two threads sharing a pool must
+  // both complete with every element covered exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8192);
+  auto dispatch = [&](size_t offset) {
+    for (int round = 0; round < 8; ++round) {
+      pool.ParallelFor(offset, offset + 4096, 16, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  };
+  std::thread a(dispatch, 0);
+  std::thread b(dispatch, 4096);
+  a.join();
+  b.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 8);
+}
+
+TEST(ThreadPoolTest, StatsCountJobsAndChunks) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 1000, 1, [](size_t, size_t) {});
+  pool.ParallelFor(0, 1000, 1, [](size_t, size_t) {});
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_GE(stats.chunks, 2u);
+}
+
+}  // namespace
+}  // namespace mrx
