@@ -54,17 +54,32 @@ Result<DataGraph> DataGraphBuilder::Build() && {
 
   // Deduplicate parallel edges. When a (u,v) pair appears both as a regular
   // and as a reference edge, keep the regular kind (containment dominates
-  // for reporting purposes; the indexes ignore the kind entirely).
-  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
-    if (a.from != b.from) return a.from < b.from;
-    if (a.to != b.to) return a.to < b.to;
-    return a.kind < b.kind;
-  });
-  edges_.erase(std::unique(edges_.begin(), edges_.end(),
-                           [](const Edge& a, const Edge& b) {
-                             return a.from == b.from && a.to == b.to;
-                           }),
-               edges_.end());
+  // for reporting purposes; the indexes ignore the kind entirely). Callers
+  // that promised sorted-unique input (MarkEdgesSortedUnique) skip the
+  // sort after an O(E) verification of the promise.
+  const bool presorted =
+      edges_presorted_ &&
+      std::is_sorted(edges_.begin(), edges_.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.from != b.from ? a.from < b.from
+                                               : a.to < b.to;
+                     }) &&
+      std::adjacent_find(edges_.begin(), edges_.end(),
+                         [](const Edge& a, const Edge& b) {
+                           return a.from == b.from && a.to == b.to;
+                         }) == edges_.end();
+  if (!presorted) {
+    std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+      if (a.from != b.from) return a.from < b.from;
+      if (a.to != b.to) return a.to < b.to;
+      return a.kind < b.kind;
+    });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [](const Edge& a, const Edge& b) {
+                               return a.from == b.from && a.to == b.to;
+                             }),
+                 edges_.end());
+  }
 
   DataGraph g;
   g.symbols_ = std::move(symbols_);
@@ -83,33 +98,114 @@ Result<DataGraph> DataGraphBuilder::Build() && {
     if (e.kind == EdgeKind::kReference) ++g.num_reference_edges_;
   }
 
-  // Parents CSR.
-  g.parent_offsets_.assign(n + 1, 0);
-  for (const Edge& e : edges_) ++g.parent_offsets_[e.to + 1];
+  DeriveInverseStructures(&g);
+  return g;
+}
+
+/// Shared tail of both build paths: derives the parent CSR and label
+/// buckets from the frozen children CSR.
+void DataGraphBuilder::DeriveInverseStructures(DataGraph* g) {
+  const size_t n = g->labels_.size();
+  const size_t e = g->child_targets_.size();
+
+  g->parent_offsets_.assign(n + 1, 0);
+  for (NodeId t : g->child_targets_) ++g->parent_offsets_[t + 1];
   for (size_t i = 1; i <= n; ++i) {
-    g.parent_offsets_[i] += g.parent_offsets_[i - 1];
+    g->parent_offsets_[i] += g->parent_offsets_[i - 1];
   }
-  g.parent_targets_.resize(edges_.size());
+  g->parent_targets_.resize(e);
   {
-    std::vector<uint32_t> cursor(g.parent_offsets_.begin(),
-                                 g.parent_offsets_.end() - 1);
-    for (const Edge& e : edges_) g.parent_targets_[cursor[e.to]++] = e.from;
+    std::vector<uint32_t> cursor(g->parent_offsets_.begin(),
+                                 g->parent_offsets_.end() - 1);
+    for (NodeId from = 0; from < n; ++from) {
+      const uint32_t end = g->child_offsets_[from + 1];
+      for (uint32_t i = g->child_offsets_[from]; i < end; ++i) {
+        g->parent_targets_[cursor[g->child_targets_[i]]++] = from;
+      }
+    }
   }
 
-  // Label buckets.
-  const size_t num_labels = g.symbols_.size();
-  g.label_offsets_.assign(num_labels + 1, 0);
-  for (LabelId l : g.labels_) ++g.label_offsets_[l + 1];
+  const size_t num_labels = g->symbols_.size();
+  g->label_offsets_.assign(num_labels + 1, 0);
+  for (LabelId l : g->labels_) ++g->label_offsets_[l + 1];
   for (size_t i = 1; i <= num_labels; ++i) {
-    g.label_offsets_[i] += g.label_offsets_[i - 1];
+    g->label_offsets_[i] += g->label_offsets_[i - 1];
   }
-  g.label_nodes_.resize(n);
+  g->label_nodes_.resize(n);
   {
-    std::vector<uint32_t> cursor(g.label_offsets_.begin(),
-                                 g.label_offsets_.end() - 1);
-    for (NodeId v = 0; v < n; ++v) g.label_nodes_[cursor[g.labels_[v]]++] = v;
+    std::vector<uint32_t> cursor(g->label_offsets_.begin(),
+                                 g->label_offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) g->label_nodes_[cursor[g->labels_[v]]++] = v;
+  }
+}
+
+Result<DataGraph> DataGraphBuilder::FromChildCsr(
+    SymbolTable symbols, std::vector<LabelId> labels, NodeId root,
+    std::vector<uint32_t> child_offsets, std::vector<NodeId> child_targets,
+    std::vector<EdgeKind> child_kinds,
+    std::optional<InverseStructures> inverse) {
+  const size_t n = labels.size();
+  if (n == 0) {
+    return Status::FailedPrecondition("cannot build an empty data graph");
+  }
+  if (root >= n) {
+    return Status::FailedPrecondition("root node id out of range");
+  }
+  if (child_offsets.size() != n + 1 || child_offsets.front() != 0 ||
+      child_offsets.back() != child_targets.size() ||
+      child_kinds.size() != child_targets.size()) {
+    return Status::FailedPrecondition("malformed children CSR");
+  }
+  // A caller that patched the inverse structures forward necessarily froze
+  // the adjacency itself, so the per-edge validation sweeps are skipped on
+  // that (hot, per-mutation-batch) path; the mutation check harness pins
+  // the contents against from-scratch materialization instead.
+  size_t num_refs = 0;
+  if (inverse.has_value()) {
+    num_refs = inverse->num_reference_edges;
+    if (num_refs > child_targets.size()) {
+      return Status::FailedPrecondition("malformed inverse structures");
+    }
+  } else {
+    if (!std::is_sorted(child_offsets.begin(), child_offsets.end())) {
+      return Status::FailedPrecondition("malformed children CSR");
+    }
+    for (NodeId t : child_targets) {
+      if (t >= n) {
+        return Status::FailedPrecondition("edge endpoint out of range");
+      }
+    }
+    for (EdgeKind k : child_kinds) {
+      if (k == EdgeKind::kReference) ++num_refs;
+    }
   }
 
+  DataGraph g;
+  g.symbols_ = std::move(symbols);
+  g.labels_ = std::move(labels);
+  g.root_ = root;
+  g.child_offsets_ = std::move(child_offsets);
+  g.child_targets_ = std::move(child_targets);
+  g.child_kinds_ = std::move(child_kinds);
+  g.num_reference_edges_ = num_refs;
+  if (inverse.has_value()) {
+    if (inverse->parent_offsets.size() != n + 1 ||
+        inverse->parent_offsets.front() != 0 ||
+        inverse->parent_offsets.back() != g.child_targets_.size() ||
+        inverse->parent_targets.size() != g.child_targets_.size() ||
+        inverse->label_offsets.size() != g.symbols_.size() + 1 ||
+        inverse->label_offsets.front() != 0 ||
+        inverse->label_offsets.back() != n ||
+        inverse->label_nodes.size() != n) {
+      return Status::FailedPrecondition("malformed inverse structures");
+    }
+    g.parent_offsets_ = std::move(inverse->parent_offsets);
+    g.parent_targets_ = std::move(inverse->parent_targets);
+    g.label_offsets_ = std::move(inverse->label_offsets);
+    g.label_nodes_ = std::move(inverse->label_nodes);
+  } else {
+    DeriveInverseStructures(&g);
+  }
   return g;
 }
 

@@ -2,6 +2,7 @@
 #define MRX_GRAPH_DATA_GRAPH_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,6 +81,25 @@ class DataGraph {
             label_offsets_[l + 1] - label_offsets_[l]};
   }
 
+  /// Raw children-CSR arrays (row n spans [child_row_offsets()[n],
+  /// child_row_offsets()[n+1]) of the target/kind arrays) and the dense
+  /// per-node label array — for bulk row streaming in the live-update delta
+  /// materializer, which copies runs of unchanged rows wholesale.
+  std::span<const uint32_t> child_row_offsets() const { return child_offsets_; }
+  std::span<const NodeId> child_row_targets() const { return child_targets_; }
+  std::span<const EdgeKind> child_row_kinds() const { return child_kinds_; }
+  std::span<const LabelId> node_labels() const { return labels_; }
+  std::span<const uint32_t> parent_row_offsets() const {
+    return parent_offsets_;
+  }
+  std::span<const NodeId> parent_row_targets() const {
+    return parent_targets_;
+  }
+  std::span<const uint32_t> label_bucket_offsets() const {
+    return label_offsets_;
+  }
+  std::span<const NodeId> label_bucket_nodes() const { return label_nodes_; }
+
   /// The label alphabet Σ.
   const SymbolTable& symbols() const { return symbols_; }
 
@@ -129,8 +149,23 @@ class DataGraphBuilder {
   /// Adds a directed edge; both endpoints must exist by Build() time.
   void AddEdge(NodeId from, NodeId to, EdgeKind kind = EdgeKind::kRegular);
 
+  /// Pre-sizes the node and edge arrays (bulk assembly paths — the XML
+  /// parser and the live-update materializer — know their counts up front).
+  void Reserve(size_t nodes, size_t edges) {
+    labels_.reserve(nodes);
+    edges_.reserve(edges);
+  }
+
   /// Declares the root. Defaults to node 0 if never called.
   void SetRoot(NodeId root) { root_ = root; }
+
+  /// Promises that edges were added in strictly ascending (from, to) order
+  /// with no duplicate (from, to) pair, letting Build() skip its O(E log E)
+  /// sort — the live-update materializer emits from adjacency lists that
+  /// already hold this invariant, and pays this on every mutation batch.
+  /// Build() verifies the promise in O(E) and quietly falls back to
+  /// sorting if it does not hold.
+  void MarkEdgesSortedUnique() { edges_presorted_ = true; }
 
   /// Access to the label table (so callers can pre-intern labels).
   SymbolTable& symbols() { return symbols_; }
@@ -141,7 +176,39 @@ class DataGraphBuilder {
   /// range, or any edge endpoint is out of range. Consumes the builder.
   Result<DataGraph> Build() &&;
 
+  /// Caller-precomputed inverse structures for FromChildCsr. The delta
+  /// materializer patches these over from the previous version instead of
+  /// paying the from-scratch derivation (two O(E) scatter passes). Shapes
+  /// are validated; contents must equal what the derivation would produce —
+  /// the mutation check harness replays traces against from-scratch
+  /// materialization to pin exactly that.
+  struct InverseStructures {
+    std::vector<uint32_t> parent_offsets;  ///< size num_nodes()+1
+    std::vector<NodeId> parent_targets;
+    std::vector<uint32_t> label_offsets;   ///< size num_labels()+1
+    std::vector<NodeId> label_nodes;
+    /// Reference-edge count, carried forward alongside the inverse arrays
+    /// (prev count ± the refs in rewritten rows) so FromChildCsr can skip
+    /// its O(E) kind scan on the trusted path.
+    size_t num_reference_edges = 0;
+  };
+
+  /// Assembles a DataGraph straight from a children-CSR, for callers that
+  /// already hold the adjacency frozen (the live-update delta materializer
+  /// pays this on every batch). Rows must be sorted ascending by target
+  /// with no duplicate (from, to) pair — the invariant children(n) exposes.
+  /// Validates shape and endpoint bounds, then derives the parent CSR and
+  /// label buckets exactly as Build() would — or adopts `inverse` (shape-
+  /// checked) when the caller patched them forward itself.
+  static Result<DataGraph> FromChildCsr(
+      SymbolTable symbols, std::vector<LabelId> labels, NodeId root,
+      std::vector<uint32_t> child_offsets, std::vector<NodeId> child_targets,
+      std::vector<EdgeKind> child_kinds,
+      std::optional<InverseStructures> inverse = std::nullopt);
+
  private:
+  static void DeriveInverseStructures(DataGraph* g);
+
   struct Edge {
     NodeId from;
     NodeId to;
@@ -149,6 +216,7 @@ class DataGraphBuilder {
   };
 
   SymbolTable symbols_;
+  bool edges_presorted_ = false;
   std::vector<LabelId> labels_;
   std::vector<Edge> edges_;
   NodeId root_ = 0;

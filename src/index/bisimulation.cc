@@ -309,26 +309,34 @@ BisimulationPartition ComputeDkConstructPartition(
   int32_t max_k = 0;
   for (int32_t k : kreq_by_label) max_k = std::max(max_k, k);
 
-  std::vector<uint32_t> next;
-  int round = 0;
   for (int32_t i = 1; i <= max_k; ++i) {
-    const uint64_t start_ns = obs::MonotonicNowNs();
-    uint32_t new_blocks = RefineRound(
-        g, part.block_of,
-        [&](NodeId n) { return kreq_by_label[g.label(n)] >= i; }, &next,
-        pool);
-    RecordRound(start_ns);
-    ++round;
-    if (new_blocks == part.num_blocks) {
-      part.reached_fixpoint = true;
-      --round;
-      break;
-    }
-    part.block_of.swap(next);
-    part.num_blocks = new_blocks;
+    if (!RefineDkConstructRound(g, &part, kreq_by_label, i, pool)) break;
   }
-  part.rounds = round;
   return part;
+}
+
+bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
+                            const std::vector<int32_t>& kreq_by_label,
+                            int32_t round, ThreadPool* pool) {
+  if (part->reached_fixpoint) return false;
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  std::vector<uint32_t> next;
+  uint32_t new_blocks = RefineRound(
+      g, part->block_of,
+      [&](NodeId n) { return kreq_by_label[g.label(n)] >= round; }, &next,
+      pool);
+  RecordRound(start_ns);
+  if (new_blocks == part->num_blocks) {
+    // Unchanged partition: the active set only shrinks as the round number
+    // grows and blocks are label-uniform (every block freezes as a whole),
+    // so no later round can change it either.
+    part->reached_fixpoint = true;
+    return false;
+  }
+  part->block_of.swap(next);
+  part->num_blocks = new_blocks;
+  ++part->rounds;
+  return true;
 }
 
 }  // namespace mrx

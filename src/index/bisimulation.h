@@ -68,6 +68,19 @@ BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
     ThreadPool* pool);
 
+/// \brief One D(k)-construct refinement round applied in place: advances
+/// the round-(`round`−1) partition in `part` to round `round` under the
+/// freeze schedule `kreq_by_label` (nodes whose label requirement is
+/// < `round` are frozen). Returns false — setting `reached_fixpoint` —
+/// when the round leaves the partition unchanged; because the active set
+/// only shrinks with the round number and blocks are label-uniform, no
+/// later round can change it either, so callers may stop. The live-update
+/// maintainer uses this to rebuild a single D(k) level after a mutation
+/// cascade exceeds its incremental threshold.
+bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
+                            const std::vector<int32_t>& kreq_by_label,
+                            int32_t round, ThreadPool* pool = nullptr);
+
 }  // namespace mrx
 
 #endif  // MRX_INDEX_BISIMULATION_H_

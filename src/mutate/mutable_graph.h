@@ -1,0 +1,146 @@
+#ifndef MRX_MUTATE_MUTABLE_GRAPH_H_
+#define MRX_MUTATE_MUTABLE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "mutate/mutation.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mrx::mutate {
+
+/// \brief The live, updatable twin of DataGraph.
+///
+/// DataGraph is frozen CSR — ideal for querying, useless for updates. A
+/// MutableDataGraph holds the same graph in adjacency-list form under
+/// *stable* node ids: ids are assigned once and never reused, so deletions
+/// leave holes instead of shifting everyone else. Materialize() compacts
+/// the alive nodes back into a fresh DataGraph plus the id maps the
+/// incremental maintainer needs to carry partitions across versions.
+///
+/// Invariants mirrored from DataGraphBuilder::Build: at most one edge per
+/// (from, to) pair (the builder deduplicates parallel edges), child lists
+/// sorted ascending by target, parent lists sorted unique. Because stable
+/// ids grow monotonically and compaction preserves ascending order, the
+/// materialized CSR is byte-identical to what DataGraphBuilder would
+/// produce from the same node/edge set (same symbol interning order).
+class MutableDataGraph {
+ public:
+  struct AdjEntry {
+    uint32_t to = 0;
+    EdgeKind kind = EdgeKind::kRegular;
+  };
+
+  /// Seeds the live graph from `g`; stable id i is g's node i.
+  explicit MutableDataGraph(const DataGraph& g);
+
+  size_t num_alive() const { return num_alive_; }
+  size_t num_stable_ids() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  bool alive(uint32_t s) const { return alive_[s] != 0; }
+  LabelId label(uint32_t s) const { return labels_[s]; }
+  uint32_t root() const { return root_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  const std::vector<AdjEntry>& children(uint32_t s) const {
+    return children_[s];
+  }
+  const std::vector<uint32_t>& parents(uint32_t s) const {
+    return parents_[s];
+  }
+
+  /// What one applied batch touched, in stable ids — the seed of the
+  /// maintainer's dirty set.
+  struct BatchTouch {
+    std::vector<uint32_t> new_nodes;  ///< Appended, in op/spec order.
+    /// Surviving nodes whose parent *set* changed (ref-edge endpoints and
+    /// nodes stranded by a deletion), sorted unique.
+    std::vector<uint32_t> parent_set_changed;
+    /// Surviving nodes whose *child list* changed (append parents, ref-edge
+    /// tails, parents severed from a deleted subtree), sorted unique —
+    /// MaterializeAfter() streams every other node's CSR row straight from
+    /// the previous version.
+    std::vector<uint32_t> children_changed;
+    bool any_deletion = false;
+    size_t nodes_deleted = 0;
+    size_t ref_edges_added = 0;
+    size_t ref_edges_removed = 0;
+  };
+
+  /// Applies `batch` atomically: ops validate and apply in order; the
+  /// first failure rolls back everything already applied and returns the
+  /// failing op's error (annotated with its index). `compact_to_stable`
+  /// translates the batch's node ids (the id space of the version the
+  /// client read — see Mutation) into stable ids; pass the map from the
+  /// last Materialize, or the identity for a never-materialized graph.
+  Result<BatchTouch> ApplyBatch(const MutationBatch& batch,
+                                const std::vector<uint32_t>& compact_to_stable);
+
+  // --- Individual ops (stable ids; each validates, then applies) --------
+
+  /// Returns the stable ids of the appended nodes, in spec order.
+  Result<std::vector<uint32_t>> AppendSubtree(uint32_t parent,
+                                              const SubtreeSpec& spec);
+
+  struct DeleteReport {
+    std::vector<uint32_t> removed;       ///< The doomed set, sorted.
+    std::vector<uint32_t> ref_orphaned;  ///< Survivors that lost a ref
+                                         ///< parent, sorted unique.
+    /// Survivor-side adjacency entries the detach erased, recorded so a
+    /// failing batch can roll the delete back exactly: children_[p] lost
+    /// (s, kind); parents_[c] lost s.
+    std::vector<std::tuple<uint32_t, uint32_t, EdgeKind>> severed_children;
+    std::vector<std::pair<uint32_t, uint32_t>> severed_parents;
+    size_t edges_removed = 0;
+  };
+
+  /// Removes `victim` and every node regular-reachable from it. Reference
+  /// edges crossing into the doomed set are dropped (their sources keep
+  /// dangling-free lists; their surviving targets are reported as
+  /// stranded). Deleting the root is rejected.
+  Result<DeleteReport> DeleteSubtree(uint32_t victim);
+
+  Status AddRefEdge(uint32_t from, uint32_t to);
+  Status RemoveRefEdge(uint32_t from, uint32_t to);
+
+  /// The frozen-CSR view of the current version plus both id maps.
+  struct Materialized {
+    DataGraph graph;
+    std::vector<uint32_t> stable_of;  ///< compact NodeId → stable id.
+    std::vector<NodeId> compact_of;   ///< stable id → compact (kInvalidNode
+                                      ///< for dead ids).
+  };
+
+  Result<Materialized> Materialize() const;
+
+  /// Materialize(), but patching from the previous version instead of
+  /// walking every adjacency list. When `touch` (the receipt of the one
+  /// batch applied since `prev` was materialized) contains no deletion,
+  /// every pre-existing node keeps its compact id, so unchanged CSR rows
+  /// are streamed straight out of `prev` — turning the dominant cost of a
+  /// small batch's materialization from O(V) scattered list walks into a
+  /// sequential copy. Falls back to Materialize() whenever the
+  /// preconditions do not hold.
+  Result<Materialized> MaterializeAfter(const DataGraph& prev,
+                                        const std::vector<uint32_t>& prev_stable_of,
+                                        const BatchTouch& touch) const;
+
+ private:
+  struct UndoRecord;
+
+  Status CheckNode(uint32_t s) const;
+
+  SymbolTable symbols_;
+  std::vector<LabelId> labels_;            // per stable id
+  std::vector<uint8_t> alive_;             // per stable id
+  std::vector<std::vector<AdjEntry>> children_;
+  std::vector<std::vector<uint32_t>> parents_;
+  uint32_t root_ = 0;
+  size_t num_alive_ = 0;
+  size_t num_edges_ = 0;  ///< Edges between alive nodes.
+};
+
+}  // namespace mrx::mutate
+
+#endif  // MRX_MUTATE_MUTABLE_GRAPH_H_

@@ -1,0 +1,97 @@
+#ifndef MRX_MUTATE_MUTATION_H_
+#define MRX_MUTATE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace mrx::mutate {
+
+/// \brief A subtree to be appended: local node 0 is the subtree root that
+/// gets attached to the target parent by a regular edge. Internal edges
+/// reference local positions in `labels` and may form any shape (including
+/// local reference cycles) — the paper's data model is a graph, not a tree.
+struct SubtreeSpec {
+  struct Edge {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    EdgeKind kind = EdgeKind::kRegular;
+  };
+
+  std::vector<std::string> labels;
+  std::vector<Edge> edges;
+
+  size_t num_nodes() const { return labels.size(); }
+};
+
+/// \brief One update to the data graph (§2 model: regular containment
+/// edges plus ID/IDREF reference edges).
+///
+/// Node ids (`target`, `ref_target`) always refer to the graph *version
+/// current when the batch is applied* — the compact NodeId space of the
+/// snapshot a client last read. Ids never shift mid-batch: the mutable
+/// graph resolves them to stable ids up front, so a batch like
+/// [Delete(5), AddRef(7, 3)] means exactly what the client saw.
+struct Mutation {
+  enum class Kind : uint8_t {
+    kAppendSubtree,   ///< Attach `subtree` under `target` (regular edge).
+    kDeleteSubtree,   ///< Remove `target` and everything regular-reachable
+                      ///< from it; IDREF edges into the doomed set from
+                      ///< outside are dropped (stranded references).
+    kAddRefEdge,      ///< Add a reference edge `target` → `ref_target`.
+    kRemoveRefEdge,   ///< Remove the reference edge `target` → `ref_target`.
+  };
+
+  Kind kind = Kind::kAppendSubtree;
+  NodeId target = 0;
+  NodeId ref_target = 0;   ///< Edge head for the reference-edge ops.
+  SubtreeSpec subtree;     ///< Payload for kAppendSubtree.
+
+  static Mutation Append(NodeId parent, SubtreeSpec spec) {
+    Mutation m;
+    m.kind = Kind::kAppendSubtree;
+    m.target = parent;
+    m.subtree = std::move(spec);
+    return m;
+  }
+
+  static Mutation AppendLeaf(NodeId parent, std::string label) {
+    SubtreeSpec spec;
+    spec.labels.push_back(std::move(label));
+    return Append(parent, std::move(spec));
+  }
+
+  static Mutation Delete(NodeId victim) {
+    Mutation m;
+    m.kind = Kind::kDeleteSubtree;
+    m.target = victim;
+    return m;
+  }
+
+  static Mutation AddRef(NodeId from, NodeId to) {
+    Mutation m;
+    m.kind = Kind::kAddRefEdge;
+    m.target = from;
+    m.ref_target = to;
+    return m;
+  }
+
+  static Mutation RemoveRef(NodeId from, NodeId to) {
+    Mutation m;
+    m.kind = Kind::kRemoveRefEdge;
+    m.target = from;
+    m.ref_target = to;
+    return m;
+  }
+};
+
+/// A batch of mutations applied atomically (all ops validate and apply, or
+/// none do) and published as one new graph version.
+using MutationBatch = std::vector<Mutation>;
+
+}  // namespace mrx::mutate
+
+#endif  // MRX_MUTATE_MUTATION_H_

@@ -1,0 +1,145 @@
+#include "mutate/random_batch.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrx::mutate {
+namespace {
+
+/// Size of the regular-reachable set from `victim`, capped at `limit + 1`
+/// (the caller only cares whether it exceeds `limit`).
+size_t CappedSubtreeSize(const DataGraph& g, NodeId victim, size_t limit) {
+  std::vector<NodeId> stack{victim};
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  seen[victim] = 1;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (++count > limit) return count;
+    const auto kids = g.children(n);
+    const auto kinds = g.child_kinds(n);
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (kinds[i] != EdgeKind::kRegular) continue;
+      if (!seen[kids[i]]) {
+        seen[kids[i]] = 1;
+        stack.push_back(kids[i]);
+      }
+    }
+  }
+  return count;
+}
+
+std::string SampleLabel(Rng& rng, const DataGraph& g,
+                        const RandomBatchOptions& options) {
+  if (rng.Chance(options.fresh_label_chance)) {
+    return "mut" + std::to_string(rng.Below(1u << 30));
+  }
+  const LabelId l = static_cast<LabelId>(rng.Below(g.symbols().size()));
+  return g.symbols().Name(l);
+}
+
+Mutation RandomAppend(Rng& rng, const DataGraph& g,
+                      const RandomBatchOptions& options) {
+  const NodeId parent = static_cast<NodeId>(rng.Below(g.num_nodes()));
+  SubtreeSpec spec;
+  const size_t n =
+      1 + rng.Below(options.max_subtree_nodes > 0 ? options.max_subtree_nodes
+                                                  : 1);
+  spec.labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    spec.labels.push_back(SampleLabel(rng, g, options));
+    if (i > 0) {
+      spec.edges.push_back({static_cast<uint32_t>(rng.Below(i)),
+                            static_cast<uint32_t>(i), EdgeKind::kRegular});
+    }
+  }
+  // Occasional intra-subtree reference edges (the data model is a graph;
+  // appended content can carry its own ID/IDREF links, including cycles).
+  if (n > 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!rng.Chance(options.subtree_ref_chance)) continue;
+      const uint32_t from = static_cast<uint32_t>(rng.Below(n));
+      const uint32_t to = static_cast<uint32_t>(rng.Below(n));
+      spec.edges.push_back({from, to, EdgeKind::kReference});
+    }
+    // The spec validator rejects duplicate (from, to) pairs; drop them.
+    std::vector<SubtreeSpec::Edge> dedup;
+    for (const SubtreeSpec::Edge& e : spec.edges) {
+      bool dup = false;
+      for (const SubtreeSpec::Edge& d : dedup) {
+        dup = dup || (d.from == e.from && d.to == e.to);
+      }
+      if (!dup) dedup.push_back(e);
+    }
+    spec.edges = std::move(dedup);
+  }
+  return Mutation::Append(parent, std::move(spec));
+}
+
+}  // namespace
+
+MutationBatch GenerateRandomBatch(Rng& rng, const DataGraph& g,
+                                  const RandomBatchOptions& options) {
+  // Reference edges present in g, for RemoveRef sampling.
+  std::vector<std::pair<NodeId, NodeId>> ref_edges;
+  if (options.remove_ref_weight > 0 && g.num_reference_edges() > 0) {
+    ref_edges.reserve(g.num_reference_edges());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      const auto kids = g.children(n);
+      const auto kinds = g.child_kinds(n);
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (kinds[i] == EdgeKind::kReference) ref_edges.push_back({n, kids[i]});
+      }
+    }
+  }
+
+  const double total = options.append_weight + options.delete_weight +
+                       options.add_ref_weight + options.remove_ref_weight;
+  MutationBatch batch;
+  batch.reserve(options.num_ops);
+  for (size_t op = 0; op < options.num_ops; ++op) {
+    double roll = rng.NextDouble() * (total > 0 ? total : 1.0);
+    if (roll < options.append_weight || total <= 0) {
+      batch.push_back(RandomAppend(rng, g, options));
+      continue;
+    }
+    roll -= options.append_weight;
+    if (roll < options.delete_weight) {
+      // Sample a victim with a small enough subtree; degrade to an append
+      // when the graph offers none within a few tries.
+      bool placed = false;
+      if (options.max_delete_size > 0 && g.num_nodes() > 1) {
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const NodeId victim =
+              static_cast<NodeId>(1 + rng.Below(g.num_nodes() - 1));
+          if (victim == g.root()) continue;
+          if (CappedSubtreeSize(g, victim, options.max_delete_size) <=
+              options.max_delete_size) {
+            batch.push_back(Mutation::Delete(victim));
+            placed = true;
+          }
+        }
+      }
+      if (!placed) batch.push_back(RandomAppend(rng, g, options));
+      continue;
+    }
+    roll -= options.delete_weight;
+    if (roll < options.add_ref_weight) {
+      const NodeId from = static_cast<NodeId>(rng.Below(g.num_nodes()));
+      const NodeId to = static_cast<NodeId>(rng.Below(g.num_nodes()));
+      batch.push_back(Mutation::AddRef(from, to));
+      continue;
+    }
+    if (!ref_edges.empty()) {
+      const auto& e = ref_edges[rng.Below(ref_edges.size())];
+      batch.push_back(Mutation::RemoveRef(e.first, e.second));
+    } else {
+      batch.push_back(RandomAppend(rng, g, options));
+    }
+  }
+  return batch;
+}
+
+}  // namespace mrx::mutate

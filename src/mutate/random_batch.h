@@ -1,0 +1,44 @@
+#ifndef MRX_MUTATE_RANDOM_BATCH_H_
+#define MRX_MUTATE_RANDOM_BATCH_H_
+
+#include <cstddef>
+
+#include "graph/data_graph.h"
+#include "mutate/mutation.h"
+#include "util/rng.h"
+
+namespace mrx::mutate {
+
+/// Knobs for GenerateRandomBatch. The weights need not sum to 1; they are
+/// normalized. Ops whose preconditions cannot be met on `g` (no reference
+/// edge to remove, no deletable subtree small enough) degrade to appends.
+struct RandomBatchOptions {
+  size_t num_ops = 4;
+  double append_weight = 0.55;
+  double delete_weight = 0.20;
+  double add_ref_weight = 0.15;
+  double remove_ref_weight = 0.10;
+  /// Appended subtrees have 1..max_subtree_nodes nodes.
+  size_t max_subtree_nodes = 5;
+  /// Chance of an extra intra-subtree reference edge per appended node.
+  double subtree_ref_chance = 0.2;
+  /// Delete victims are sampled until one's regular-reachable set is at
+  /// most this large (bounded so a random delete doesn't take out half the
+  /// document); 0 disables deletes.
+  size_t max_delete_size = 8;
+  /// Chance an appended node gets a label the graph has never seen.
+  double fresh_label_chance = 0.1;
+};
+
+/// Seeded random mutation batch against the *current* version `g` (batch
+/// ids are g's compact NodeIds). Ops are generated independently against
+/// `g`, so a batch can still fail validation when its ops interact (an
+/// append under a subtree an earlier op deleted); callers that replay
+/// traces treat a rejected batch as a no-op, which mutable-graph rollback
+/// guarantees it is.
+MutationBatch GenerateRandomBatch(Rng& rng, const DataGraph& g,
+                                  const RandomBatchOptions& options = {});
+
+}  // namespace mrx::mutate
+
+#endif  // MRX_MUTATE_RANDOM_BATCH_H_

@@ -1,0 +1,145 @@
+#ifndef MRX_MUTATE_VERSIONED_HANDLE_H_
+#define MRX_MUTATE_VERSIONED_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/m_star_index.h"
+#include "index/strategy_chooser.h"
+#include "query/data_evaluator.h"
+
+namespace mrx::mutate {
+
+/// \brief One published version: the graph, the index built over *that*
+/// graph, the strategy chooser built over *that* index, and a pool of
+/// graph-sized validators — everything a reader needs, kept alive as one
+/// unit.
+///
+/// This generalizes the server refiner's clone-and-publish: with a single
+/// immutable graph only the index needed swapping; once mutations create
+/// new graph versions, a reader must never pair index N with graph N+1, so
+/// the whole tuple travels together. A reader that acquired snapshot N
+/// keeps evaluating against N — exact answers for the version it read —
+/// while N+1 publishes; the shared_ptr keeps N alive until its last reader
+/// returns.
+class VersionSnapshot {
+ public:
+  VersionSnapshot(std::shared_ptr<const DataGraph> graph,
+                  std::shared_ptr<const MStarIndex> index,
+                  std::shared_ptr<const StrategyChooser> chooser,
+                  uint64_t epoch, uint64_t version)
+      : graph_(std::move(graph)),
+        index_(std::move(index)),
+        chooser_(std::move(chooser)),
+        epoch_(epoch),
+        version_(version) {}
+
+  VersionSnapshot(const VersionSnapshot&) = delete;
+  VersionSnapshot& operator=(const VersionSnapshot&) = delete;
+
+  const DataGraph& graph() const { return *graph_; }
+  std::shared_ptr<const DataGraph> graph_ptr() const { return graph_; }
+  const MStarIndex& index() const { return *index_; }
+  const StrategyChooser& chooser() const { return *chooser_; }
+
+  /// Answer-cache epoch this snapshot was published under (monotonic
+  /// across every publication source: refinement and mutation).
+  uint64_t epoch() const { return epoch_; }
+
+  /// Graph version (number of mutation batches applied before this
+  /// snapshot).
+  uint64_t version() const { return version_; }
+
+  /// RAII lease of a pooled DataEvaluator bound to this snapshot's graph.
+  /// Validators hold graph-sized scratch, so they are pooled — but per
+  /// snapshot: a validator must not outlive its graph version.
+  class EvaluatorLease {
+   public:
+    explicit EvaluatorLease(VersionSnapshot* snapshot) : snapshot_(snapshot) {
+      {
+        std::lock_guard<std::mutex> lock(snapshot_->pool_mu_);
+        if (!snapshot_->pool_.empty()) {
+          evaluator_ = std::move(snapshot_->pool_.back());
+          snapshot_->pool_.pop_back();
+        }
+      }
+      if (evaluator_ == nullptr) {
+        evaluator_ = std::make_unique<DataEvaluator>(snapshot_->graph());
+      }
+    }
+
+    ~EvaluatorLease() {
+      std::lock_guard<std::mutex> lock(snapshot_->pool_mu_);
+      snapshot_->pool_.push_back(std::move(evaluator_));
+    }
+
+    EvaluatorLease(const EvaluatorLease&) = delete;
+    EvaluatorLease& operator=(const EvaluatorLease&) = delete;
+
+    DataEvaluator* get() { return evaluator_.get(); }
+
+   private:
+    VersionSnapshot* snapshot_;
+    std::unique_ptr<DataEvaluator> evaluator_;
+  };
+
+ private:
+  std::shared_ptr<const DataGraph> graph_;
+  std::shared_ptr<const MStarIndex> index_;
+  std::shared_ptr<const StrategyChooser> chooser_;
+  uint64_t epoch_ = 0;
+  uint64_t version_ = 0;
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<DataEvaluator>> pool_;
+};
+
+/// \brief The publication point: holds the current VersionSnapshot and
+/// assigns epochs. Acquire is a shared-lock pointer copy (readers never
+/// wait on a publish in progress longer than the two pointer swaps);
+/// Publish stamps the next epoch and swaps. Writers (refiner thread,
+/// mutation appliers) must serialize among themselves externally — the
+/// handle orders publications but does not merge concurrent index builds.
+class VersionedIndexHandle {
+ public:
+  VersionedIndexHandle() = default;
+
+  std::shared_ptr<VersionSnapshot> Acquire() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Publishes a new version; returns the snapshot with its assigned epoch
+  /// (0 for the first publication, then monotonically increasing — the
+  /// answer-cache epoch contract).
+  std::shared_ptr<VersionSnapshot> Publish(
+      std::shared_ptr<const DataGraph> graph,
+      std::shared_ptr<const MStarIndex> index,
+      std::shared_ptr<const StrategyChooser> chooser, uint64_t version) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto snapshot = std::make_shared<VersionSnapshot>(
+        std::move(graph), std::move(index), std::move(chooser), next_epoch_++,
+        version);
+    current_ = snapshot;
+    return snapshot;
+  }
+
+  uint64_t epoch() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return current_ != nullptr ? current_->epoch() : 0;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<VersionSnapshot> current_;
+  uint64_t next_epoch_ = 0;
+};
+
+}  // namespace mrx::mutate
+
+#endif  // MRX_MUTATE_VERSIONED_HANDLE_H_

@@ -4,33 +4,6 @@
 
 namespace mrx::server {
 
-/// RAII lease of a pooled DataEvaluator: pops one (or builds the first for
-/// this concurrency level) on construction, returns it on destruction.
-class ConcurrentSession::EvaluatorLease {
- public:
-  explicit EvaluatorLease(ConcurrentSession* session) : session_(session) {
-    std::lock_guard<std::mutex> lock(session_->pool_mu_);
-    if (!session_->evaluator_pool_.empty()) {
-      evaluator_ = std::move(session_->evaluator_pool_.back());
-      session_->evaluator_pool_.pop_back();
-    }
-    if (evaluator_ == nullptr) {
-      evaluator_ = std::make_unique<DataEvaluator>(session_->graph_);
-    }
-  }
-
-  ~EvaluatorLease() {
-    std::lock_guard<std::mutex> lock(session_->pool_mu_);
-    session_->evaluator_pool_.push_back(std::move(evaluator_));
-  }
-
-  DataEvaluator* get() { return evaluator_.get(); }
-
- private:
-  ConcurrentSession* session_;
-  std::unique_ptr<DataEvaluator> evaluator_;
-};
-
 ConcurrentSession::SessionMetrics::SessionMetrics() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   queries_total = registry.GetCounter("mrx_queries_total");
@@ -63,15 +36,24 @@ ConcurrentSession::ConcurrentSession(const DataGraph& graph,
       cache_(options.cache_results ? options.cache_capacity : 0,
              options.cache_shards == 0 ? 16 : options.cache_shards),
       fups_(FupExtractor::Options{options.refine_after, 0}),
-      master_(graph) {
+      // The seed graph stays caller-owned (the pre-mutation contract); the
+      // aliasing pointer lets it ride in snapshots next to maintainer-owned
+      // successors.
+      master_graph_(&graph, [](const DataGraph*) {}),
+      master_(std::make_unique<MStarIndex>(graph)) {
   if (options.refine_threads > 1) {
     refine_pool_ = std::make_unique<ThreadPool>(options.refine_threads);
-    master_.set_thread_pool(refine_pool_.get());
+    master_->set_thread_pool(refine_pool_.get());
   }
   metrics_.pool_threads->Set(static_cast<int64_t>(
       refine_pool_ != nullptr ? refine_pool_->num_threads() : 1));
-  published_ = std::make_unique<const MStarIndex>(master_.Clone());
-  chooser_ = std::make_unique<const StrategyChooser>(*published_);
+  // Seed publication: epoch 0, graph version 0. publications_ counts only
+  // post-seed publications, so index_epoch() == index_publications() holds
+  // for mutation-free sessions.
+  auto fresh = std::make_shared<const MStarIndex>(master_->Clone());
+  auto chooser = std::make_shared<const StrategyChooser>(*fresh);
+  handle_.Publish(master_graph_, std::move(fresh), std::move(chooser),
+                  /*version=*/0);
   refiner_ = std::thread([this] { RefineLoop(); });
 }
 
@@ -84,24 +66,36 @@ ConcurrentSession::~ConcurrentSession() {
   refiner_.join();
 }
 
-QueryResult ConcurrentSession::EvaluateLocked(const PathExpression& query,
-                                              DataEvaluator* validator) const {
+QueryResult ConcurrentSession::EvaluateOn(
+    const mutate::VersionSnapshot& snapshot, const PathExpression& query,
+    DataEvaluator* validator) const {
+  const MStarIndex& index = snapshot.index();
   switch (options_.strategy) {
     case SessionOptions::Strategy::kNaive:
-      return published_->QueryNaive(query, validator);
+      return index.QueryNaive(query, validator);
     case SessionOptions::Strategy::kBottomUp:
-      return published_->QueryBottomUp(query, validator);
+      return index.QueryBottomUp(query, validator);
     case SessionOptions::Strategy::kHybrid:
-      return published_->QueryHybrid(query, validator);
+      return index.QueryHybrid(query, validator);
     case SessionOptions::Strategy::kAuto:
-      return chooser_->Evaluate(*published_, query, validator);
+      return snapshot.chooser().Evaluate(index, query, validator);
     case SessionOptions::Strategy::kTopDown:
       break;
   }
-  return published_->QueryTopDown(query, validator);
+  return index.QueryTopDown(query, validator);
 }
 
 QueryResult ConcurrentSession::Query(const PathExpression& query) {
+  return QueryInternal(query).result;
+}
+
+ConcurrentSession::VersionedAnswer ConcurrentSession::QueryVersioned(
+    const PathExpression& query) {
+  return QueryInternal(query);
+}
+
+ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
+    const PathExpression& query) {
   // Per-query trace root; disabled (all no-ops) when there is no tracer or
   // the sampler skips this query. Phase *histograms* are recorded for
   // every query regardless — only the span events and the index-probe /
@@ -111,13 +105,24 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
                        ? options_.tracer->StartTrace("query")
                        : obs::Span();
 
+  // The whole query runs against one acquired snapshot: graph, index,
+  // chooser, and validator all belong to the same version, even if a
+  // refinement or mutation publishes mid-flight.
+  std::shared_ptr<mutate::VersionSnapshot> snapshot = handle_.Acquire();
+  VersionedAnswer answer;
+  answer.epoch = snapshot->epoch();
+  answer.graph_version = snapshot->version();
+
   // The observation is recorded only *after* the cache lookup: if it went
   // to the inbox first, the refiner could promote this very query and
   // invalidate the cache between the observation and the lookup, making
   // even a single-threaded repeat nondeterministically miss.
   std::string key;
   if (options_.cache_results) {
-    key = query.ToString(graph_.symbols());
+    // The snapshot's symbol table is a superset of every version's (label
+    // ids are stable across mutations), so the key is printable whatever
+    // version the query was parsed against.
+    key = query.ToString(snapshot->graph().symbols());
     QueryResult hit;
     const uint64_t lookup_start = obs::MonotonicNowNs();
     const bool found = cache_.Get(key, &hit);
@@ -135,7 +140,8 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
       metrics_.queries_total->Increment();
       root.AddAttr("cache_hit", 1);
       hit.stats = QueryStats{};  // A cache hit visits no nodes.
-      return hit;
+      answer.result = std::move(hit);
+      return answer;
     }
   }
 
@@ -145,19 +151,16 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
   RecordObservation(query);
 
   QueryResult result;
-  uint64_t epoch;
   uint64_t validation_ns = 0;
   const uint64_t eval_start = obs::MonotonicNowNs();
   {
-    EvaluatorLease lease(this);
+    mutate::VersionSnapshot::EvaluatorLease lease(snapshot.get());
     DataEvaluator* validator = lease.get();
     if (root.enabled()) {
       validator->ConsumeValidationNs();  // Clear any stale accumulation.
       validator->EnableValidationTiming(true);
     }
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
-    epoch = epoch_;
-    result = EvaluateLocked(query, validator);
+    result = EvaluateOn(*snapshot, query, validator);
     if (root.enabled()) {
       validation_ns = validator->ConsumeValidationNs();
       validator->EnableValidationTiming(false);  // Returned to pool off.
@@ -189,15 +192,47 @@ QueryResult ConcurrentSession::Query(const PathExpression& query) {
   stat_data_nodes_.fetch_add(result.stats.data_nodes_validated,
                              std::memory_order_relaxed);
   if (options_.cache_results) {
-    cache_.Put(key, result, epoch);
+    cache_.Put(key, result, answer.epoch);
   }
-  return result;
+  answer.result = std::move(result);
+  return answer;
 }
 
 QueryResult ConcurrentSession::Peek(const PathExpression& query) {
-  EvaluatorLease lease(this);
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
-  return EvaluateLocked(query, lease.get());
+  std::shared_ptr<mutate::VersionSnapshot> snapshot = handle_.Acquire();
+  mutate::VersionSnapshot::EvaluatorLease lease(snapshot.get());
+  return EvaluateOn(*snapshot, query, lease.get());
+}
+
+Result<ConcurrentSession::MutationReceipt> ConcurrentSession::ApplyMutations(
+    const mutate::MutationBatch& batch) {
+  std::lock_guard<std::mutex> lock(refine_mu_);
+  if (maintainer_ == nullptr) {
+    mutate::MaintainerOptions mo = options_.mutation;
+    if (mo.pool == nullptr) mo.pool = refine_pool_.get();
+    maintainer_ =
+        std::make_unique<mutate::IncrementalMaintainer>(*master_graph_, mo);
+  }
+  MRX_ASSIGN_OR_RETURN(mutate::BatchReceipt receipt,
+                       maintainer_->Apply(batch));
+
+  // Rebuild the adaptive master over the new version and replay every FUP
+  // promoted so far: the result is exactly what a fresh session on the new
+  // graph would serve after promoting the same FUPs.
+  master_graph_ = maintainer_->graph_ptr();
+  master_ = std::make_unique<MStarIndex>(*master_graph_);
+  if (refine_pool_ != nullptr) master_->set_thread_pool(refine_pool_.get());
+  if (!applied_fups_.empty()) master_->RefineBatch(applied_fups_);
+  graph_version_.store(receipt.version, std::memory_order_relaxed);
+
+  const uint64_t publish_start = obs::MonotonicNowNs();
+  PublishLocked();
+  metrics_.publish_ns->Record(obs::MonotonicNowNs() - publish_start);
+
+  MutationReceipt out;
+  out.batch = std::move(receipt);
+  out.epoch = handle_.epoch();
+  return out;
 }
 
 void ConcurrentSession::RecordObservation(const PathExpression& query) {
@@ -232,10 +267,12 @@ void ConcurrentSession::RefineLoop() {
       metrics_.inbox_backlog->Set(0);
     }
 
-    // FUP extraction and refinement run entirely on this thread, against
-    // the private master copy — no locks held, readers undisturbed.
+    // FUP extraction and refinement run against the private master under
+    // the writer mutex (serializing with ApplyMutations) — readers are
+    // undisturbed until the publish swaps the snapshot pointer.
+    std::lock_guard<std::mutex> writer_lock(refine_mu_);
     const uint64_t batch_start = obs::MonotonicNowNs();
-    const uint64_t splits_before = master_.TotalRefinementStats().splits;
+    const uint64_t splits_before = master_->TotalRefinementStats().splits;
     std::vector<PathExpression> promoted;
     for (const PathExpression& q : batch) {
       if (fups_.Observe(q)) promoted.push_back(q);
@@ -245,21 +282,29 @@ void ConcurrentSession::RefineLoop() {
     // and the serial refinement that follows is identical to per-query
     // Refine calls in order.
     if (!promoted.empty()) {
-      master_.RefineBatch(promoted);
+      master_->RefineBatch(promoted);
+      for (const PathExpression& q : promoted) {
+        // Remember the promotion for post-mutation replays (dedup on the
+        // printed form; label ids are stable across versions).
+        if (applied_fup_keys_.insert(q.ToString(master_graph_->symbols()))
+                .second) {
+          applied_fups_.push_back(q);
+        }
+      }
       refinements_applied_.fetch_add(promoted.size(),
                                      std::memory_order_relaxed);
       metrics_.fup_promotions->Increment(promoted.size());
     }
     const uint64_t promotions = promoted.size();
     const uint64_t splits =
-        master_.TotalRefinementStats().splits - splits_before;
+        master_->TotalRefinementStats().splits - splits_before;
     metrics_.partition_splits->Increment(splits);
 
     uint64_t publish_start = 0;
     uint64_t publish_ns = 0;
     if (promotions > 0) {
       publish_start = obs::MonotonicNowNs();
-      Publish();
+      PublishLocked();
       publish_ns = obs::MonotonicNowNs() - publish_start;
       metrics_.publish_ns->Record(publish_ns);
     }
@@ -275,7 +320,7 @@ void ConcurrentSession::RefineLoop() {
         span.AddAttr("batch_observations", batch.size());
         span.AddAttr("fup_promotions", promotions);
         span.AddAttr("partition_splits", splits);
-        span.AddAttr("index_physical_nodes", master_.PhysicalNodeCount());
+        span.AddAttr("index_physical_nodes", master_->PhysicalNodeCount());
         span.EndManual(batch_start, obs::MonotonicNowNs() - batch_start);
       }
     }
@@ -288,31 +333,32 @@ void ConcurrentSession::RefineLoop() {
   }
 }
 
-void ConcurrentSession::Publish() {
-  // Clone and build the chooser *before* taking the write lock: readers
-  // only ever wait for two pointer swaps and the cache wipe.
-  auto fresh = std::make_unique<const MStarIndex>(master_.Clone());
-  auto chooser = std::make_unique<const StrategyChooser>(*fresh);
-  {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
-    published_ = std::move(fresh);
-    chooser_ = std::move(chooser);
-    ++epoch_;
-    cache_.Invalidate(epoch_);
-  }
+void ConcurrentSession::PublishLocked() {
+  // Clone and build the chooser before the handle swap: readers only ever
+  // wait for the snapshot-pointer swap itself.
+  auto fresh = std::make_shared<const MStarIndex>(master_->Clone());
+  auto chooser = std::make_shared<const StrategyChooser>(*fresh);
+  std::shared_ptr<mutate::VersionSnapshot> snapshot = handle_.Publish(
+      master_graph_, std::move(fresh), std::move(chooser),
+      graph_version_.load(std::memory_order_relaxed));
+  // Invalidate after the swap: entries admitted before this are wiped, and
+  // a racing Put tagged with an older epoch is dropped by the epoch guard —
+  // so once a publication is visible, no pre-publication answer survives in
+  // the cache (the mutation-staleness contract).
+  cache_.Invalidate(snapshot->epoch());
   publications_.fetch_add(1, std::memory_order_relaxed);
 
-  // Refresh the index-size gauges from the refiner's master copy (equal to
+  // Refresh the index-size gauges from the writer's master copy (equal to
   // the published clone by construction). PhysicalNodeCount walks the
-  // hierarchy, but Publish just deep-cloned it, so the walk is noise here.
-  metrics_.index_epoch->Set(
-      static_cast<int64_t>(publications_.load(std::memory_order_relaxed)));
+  // hierarchy, but the publish just deep-cloned it, so the walk is noise
+  // here.
+  metrics_.index_epoch->Set(static_cast<int64_t>(snapshot->epoch()));
   metrics_.index_components->Set(
-      static_cast<int64_t>(master_.num_components()));
+      static_cast<int64_t>(master_->num_components()));
   metrics_.index_physical_nodes->Set(
-      static_cast<int64_t>(master_.PhysicalNodeCount()));
+      static_cast<int64_t>(master_->PhysicalNodeCount()));
   metrics_.index_physical_edges->Set(
-      static_cast<int64_t>(master_.PhysicalEdgeCount()));
+      static_cast<int64_t>(master_->PhysicalEdgeCount()));
   if (refine_pool_ != nullptr) {
     const ThreadPool::Stats stats = refine_pool_->stats();
     metrics_.pool_jobs->Set(static_cast<int64_t>(stats.jobs));
@@ -339,14 +385,10 @@ QueryStats ConcurrentSession::cumulative_stats() const {
   return stats;
 }
 
-uint64_t ConcurrentSession::index_epoch() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
-  return epoch_;
-}
+uint64_t ConcurrentSession::index_epoch() const { return handle_.epoch(); }
 
 size_t ConcurrentSession::published_components() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
-  return published_->num_components();
+  return handle_.Acquire()->index().num_components();
 }
 
 }  // namespace mrx::server

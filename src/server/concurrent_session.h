@@ -6,13 +6,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/session.h"
 #include "index/strategy_chooser.h"
+#include "mutate/incremental_maintainer.h"
+#include "mutate/mutation.h"
+#include "mutate/versioned_handle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/answer_cache.h"
@@ -57,29 +60,66 @@ struct ConcurrentSessionOptions {
   /// metrics (the process-global registry) are always on. The recorder
   /// must outlive the session. See docs/OBSERVABILITY.md.
   obs::TraceRecorder* tracer = nullptr;
+
+  /// Options for the incremental maintainer behind ApplyMutations (cascade
+  /// fallback threshold and A-chain depth; see docs/UPDATES.md). The
+  /// maintainer is created lazily on the first mutation, so sessions that
+  /// never mutate pay nothing.
+  mutate::MaintainerOptions mutation;
 };
 
 /// \brief The paper's Figure 5 closed loop as a *concurrent* service: the
 /// thread-safe counterpart of AdaptiveIndexSession.
 ///
 /// Threading model (see docs/SERVER.md for the full protocol):
-///  - Any number of reader threads call Query()/Peek() concurrently. The
-///    published index is immutable and guarded by a shared mutex; each
-///    reader validates through a pooled DataEvaluator, so the hot path
-///    takes the lock in shared (non-exclusive) mode only.
+///  - Any number of reader threads call Query()/Peek() concurrently. Each
+///    reader acquires the current VersionSnapshot — the (graph, index,
+///    chooser, validator pool) tuple published as one immutable unit — and
+///    evaluates entirely against it, so a publication never tears a
+///    reader's view: a query that began on version N finishes on version N
+///    with exact answers for N, even while N+1 publishes.
 ///  - Query() records its expression in a bounded inbox (mutex + swap). A
 ///    single background refinement worker drains the inbox, runs the FUP
 ///    extractor, refines a *private* master copy of the M*(k)-index, and
-///    publishes a clone under the write lock. Readers therefore never
+///    publishes a clone as a fresh snapshot. Readers therefore never
 ///    observe a half-refined hierarchy, and refinement cost never rides on
 ///    the query path.
-///  - Publishing bumps the index epoch and invalidates the sharded answer
-///    cache; racing inserts tagged with the old epoch are dropped.
+///  - ApplyMutations() feeds a batch through the live-update subsystem
+///    (src/mutate/): the IncrementalMaintainer applies it atomically and
+///    brings its partitions to the new version; the session then rebuilds
+///    its master index over the new graph, replays every previously
+///    promoted FUP, and publishes — so the published index is
+///    indistinguishable from a fresh session on the new graph that
+///    promoted the same FUPs. Mutations serialize with the refiner on one
+///    writer mutex; readers are never blocked beyond the snapshot-pointer
+///    swap.
+///  - Publishing (refinement or mutation) bumps the answer-cache epoch and
+///    invalidates the sharded cache; racing inserts tagged with the old
+///    epoch are dropped. This is what keeps cached answers from surviving
+///    a graph mutation that changed them.
 ///
-/// Answers are always exact (as in the serial session): under-refined
-/// index nodes are validated against the immutable data graph.
+/// Answers are always exact for the snapshot they were computed on (as in
+/// the serial session): under-refined index nodes are validated against
+/// that snapshot's data graph.
 class ConcurrentSession {
  public:
+  /// What one ApplyMutations call did.
+  struct MutationReceipt {
+    /// The maintainer's receipt (new version number, appended compact ids,
+    /// cascade statistics; ids refer to the new version's id space).
+    mutate::BatchReceipt batch;
+    /// Answer-cache epoch of the publication that made the new version
+    /// visible to readers.
+    uint64_t epoch = 0;
+  };
+
+  /// A query answer tagged with the snapshot it was computed on.
+  struct VersionedAnswer {
+    QueryResult result;
+    uint64_t epoch = 0;          ///< Answer-cache epoch of the snapshot.
+    uint64_t graph_version = 0;  ///< Mutation batches behind the snapshot.
+  };
+
   explicit ConcurrentSession(const DataGraph& graph,
                              ConcurrentSessionOptions options = {});
   ~ConcurrentSession();
@@ -87,12 +127,25 @@ class ConcurrentSession {
   ConcurrentSession(const ConcurrentSession&) = delete;
   ConcurrentSession& operator=(const ConcurrentSession&) = delete;
 
-  /// Answers `query` on the currently published index and records the
+  /// Answers `query` on the currently published snapshot and records the
   /// observation for background FUP extraction. Thread-safe.
   QueryResult Query(const PathExpression& query);
 
+  /// Query() plus the epoch/version of the snapshot that answered — the
+  /// handle concurrent mutators and checkers use to reason about which
+  /// graph version an answer is exact for.
+  VersionedAnswer QueryVersioned(const PathExpression& query);
+
   /// Answers without recording the observation or touching the cache.
   QueryResult Peek(const PathExpression& query);
+
+  /// Applies `batch` to the data graph atomically and publishes a new
+  /// snapshot (fresh index over the new graph with every promoted FUP
+  /// replayed). Node ids in `batch` refer to graph_snapshot()'s compact id
+  /// space at version graph_version(). On failure nothing changes and
+  /// readers keep the current snapshot. Thread-safe; mutators serialize
+  /// with each other and the refiner.
+  Result<MutationReceipt> ApplyMutations(const mutate::MutationBatch& batch);
 
   /// Blocks until every observation recorded so far has been processed by
   /// the refinement worker and any resulting index publication is visible.
@@ -112,6 +165,11 @@ class ConcurrentSession {
     return publications_.load(std::memory_order_relaxed);
   }
 
+  /// Mutation batches applied so far (== graph_version()).
+  uint64_t mutation_batches() const {
+    return graph_version_.load(std::memory_order_relaxed);
+  }
+
   /// Observations recorded but not yet processed by the refiner.
   uint64_t observations_pending() const;
 
@@ -127,18 +185,31 @@ class ConcurrentSession {
     return cache_.PerShardStats();
   }
 
-  /// Epoch of the currently published index (starts at 0, bumped per
-  /// publication).
+  /// Epoch of the currently published snapshot (starts at 0, bumped per
+  /// publication — refinement or mutation).
   uint64_t index_epoch() const;
+
+  /// Graph version of the currently published snapshot (mutation batches
+  /// applied; 0 until the first ApplyMutations).
+  uint64_t graph_version() const {
+    return graph_version_.load(std::memory_order_relaxed);
+  }
 
   /// Component count of the currently published index.
   size_t published_components() const;
 
+  /// The *seed* graph this session was constructed over (version 0). Kept
+  /// for symbol-table access and pre-mutation callers; after
+  /// ApplyMutations the current graph is graph_snapshot().
   const DataGraph& graph() const { return graph_; }
 
- private:
-  class EvaluatorLease;
+  /// The currently published graph version, kept alive by the returned
+  /// pointer even across later publications.
+  std::shared_ptr<const DataGraph> graph_snapshot() const {
+    return handle_.Acquire()->graph_ptr();
+  }
 
+ private:
   /// Handles into the process-global MetricsRegistry, resolved once at
   /// construction (metric names: docs/OBSERVABILITY.md). Recording through
   /// them is wait-free (counters/gauges) or stripe-local (histograms).
@@ -164,29 +235,27 @@ class ConcurrentSession {
     SessionMetrics();
   };
 
-  QueryResult EvaluateLocked(const PathExpression& query,
-                             DataEvaluator* validator) const;
+  QueryResult EvaluateOn(const mutate::VersionSnapshot& snapshot,
+                         const PathExpression& query,
+                         DataEvaluator* validator) const;
+  VersionedAnswer QueryInternal(const PathExpression& query);
   void RecordObservation(const PathExpression& query);
   void RefineLoop();
-  void Publish();
+
+  /// Clones the master, publishes it as a fresh snapshot over
+  /// master_graph_, and invalidates the answer cache under the new epoch.
+  /// Caller holds refine_mu_.
+  void PublishLocked();
 
   const DataGraph& graph_;
   const ConcurrentSessionOptions options_;
 
   // --- Read path ---------------------------------------------------------
-  /// Guards published_/chooser_/epoch_. Readers: shared; publisher:
-  /// exclusive.
-  mutable std::shared_mutex index_mu_;
-  std::unique_ptr<const MStarIndex> published_;
-  std::unique_ptr<const StrategyChooser> chooser_;
-  uint64_t epoch_ = 0;
+  /// The publication point. Readers acquire the current snapshot (a
+  /// shared-lock pointer copy) and run entirely against it.
+  mutate::VersionedIndexHandle handle_;
 
   ShardedAnswerCache cache_;
-
-  /// Reusable validation evaluators (each holds graph-sized scratch
-  /// buffers, so they are pooled rather than rebuilt per query).
-  std::mutex pool_mu_;
-  std::vector<std::unique_ptr<DataEvaluator>> evaluator_pool_;
 
   std::atomic<uint64_t> queries_answered_{0};
   std::atomic<uint64_t> cache_hits_{0};
@@ -202,16 +271,33 @@ class ConcurrentSession {
   uint64_t processed_ = 0;  ///< Observations fully handled (post-publish).
   bool stop_ = false;
 
-  /// Refiner-thread-private state: the FUP extractor, the pool the
-  /// refiner's parallel stages run on (null when refine_threads ≤ 1;
-  /// declared before the master so it outlives it), and the master index
-  /// the worker refines before cloning it into published_.
+  // --- Writer state (refiner thread and mutators) ------------------------
+  /// Serializes every master mutation: the refiner's drain-refine-publish
+  /// step and ApplyMutations. Readers never take this lock.
+  std::mutex refine_mu_;
+
+  /// The FUP extractor, the pool the writer's parallel stages run on (null
+  /// when refine_threads ≤ 1; declared before the master so it outlives
+  /// it), the graph version the master is built over, and the master index
+  /// the writers refine before cloning it into the published snapshot. All
+  /// guarded by refine_mu_ after construction.
   FupExtractor fups_;
   std::unique_ptr<ThreadPool> refine_pool_;
-  MStarIndex master_;
+  std::shared_ptr<const DataGraph> master_graph_;
+  std::unique_ptr<MStarIndex> master_;
+
+  /// The live-update subsystem, created on the first ApplyMutations.
+  std::unique_ptr<mutate::IncrementalMaintainer> maintainer_;
+
+  /// Every FUP promoted so far, in promotion order (deduplicated): the
+  /// replay set that makes a post-mutation rebuild land exactly where a
+  /// fresh session on the new graph would after promoting the same FUPs.
+  std::vector<PathExpression> applied_fups_;
+  std::unordered_set<std::string> applied_fup_keys_;
 
   std::atomic<uint64_t> refinements_applied_{0};
   std::atomic<uint64_t> publications_{0};
+  std::atomic<uint64_t> graph_version_{0};
 
   SessionMetrics metrics_;
 

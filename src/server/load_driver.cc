@@ -2,7 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
+
+#include "mutate/random_batch.h"
+#include "util/rng.h"
 
 namespace mrx::server {
 
@@ -41,12 +45,47 @@ LoadReport RunLoadDriver(const DataGraph& graph,
     }
   };
 
+  // The mutator races the clients: one batch per 1000/mutation_rate
+  // stream positions, paced on `next`. Counters are written by the
+  // mutator thread only and read after its join.
+  std::atomic<bool> done{false};
+  size_t mutations_applied = 0;
+  size_t mutations_rejected = 0;
+  std::thread mutator;
+  if (options.mutation_rate > 0) {
+    mutator = std::thread([&] {
+      Rng rng(options.mutation_seed);
+      mutate::RandomBatchOptions gen;
+      gen.num_ops = options.mutation_ops;
+      const double stride = 1000.0 / options.mutation_rate;
+      double next_at = stride;
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto pos =
+            static_cast<double>(next.load(std::memory_order_relaxed));
+        if (pos < next_at) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        next_at += stride;
+        std::shared_ptr<const DataGraph> snapshot =
+            server.session().graph_snapshot();
+        const auto receipt = server.session().ApplyMutations(
+            mutate::GenerateRandomBatch(rng, *snapshot, gen));
+        ++(receipt.ok() ? mutations_applied : mutations_rejected);
+      }
+    });
+  }
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(num_clients);
   for (size_t c = 0; c < num_clients; ++c) clients.emplace_back(client);
   for (std::thread& t : clients) t.join();
   const auto end = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_relaxed);
+  if (mutator.joinable()) mutator.join();
+  report.mutations_applied = mutations_applied;
+  report.mutations_rejected = mutations_rejected;
 
   report.elapsed_seconds =
       std::chrono::duration<double>(end - start).count();

@@ -30,6 +30,14 @@ struct LoadDriverOptions {
   /// paper's FUP loop converges to.
   bool prime_before_timing = true;
 
+  /// Mutation batches per 1000 timed queries (0 disables). A dedicated
+  /// mutator thread paces itself on the shared stream position and applies
+  /// random batches through ConcurrentSession::ApplyMutations, so the
+  /// timed phase measures serving *under live updates*.
+  double mutation_rate = 0;
+  size_t mutation_ops = 2;     ///< Ops per mutation batch.
+  uint64_t mutation_seed = 1;
+
   ConcurrentSessionOptions session;
 };
 
@@ -43,6 +51,11 @@ struct LoadReport {
   /// Timed-phase wall time and the queries driven during it.
   double elapsed_seconds = 0;
   size_t timed_queries = 0;
+
+  /// Mutation batches the mutator thread applied / had rejected during
+  /// the timed phase (zero unless mutation_rate > 0).
+  size_t mutations_applied = 0;
+  size_t mutations_rejected = 0;
 
   double Qps() const {
     return elapsed_seconds > 0 ? timed_queries / elapsed_seconds : 0.0;

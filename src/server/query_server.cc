@@ -130,6 +130,8 @@ ServerStats QueryServer::Snapshot() const {
   stats.index_publications = session_.index_publications();
   stats.observations_pending = session_.observations_pending();
   stats.cache_entries = session_.cache_entries();
+  stats.index_epoch = session_.index_epoch();
+  stats.graph_version = session_.graph_version();
   return stats;
 }
 

@@ -3,9 +3,10 @@
 namespace mrx::server {
 
 std::vector<std::string> ServerStatsHeaders() {
-  return {"config",          "workers",     "queries",  "qps",
-          "p50_us",          "p95_us",      "p99_us",   "cache_hit_rate",
-          "avg_query_cost",  "refinements", "rejected", "utilization"};
+  return {"config",  "workers",        "queries",     "qps",
+          "p50_us",  "p95_us",         "p99_us",      "cache_hit_rate",
+          "avg_query_cost", "refinements", "rejected", "utilization",
+          "epoch",   "graph_version"};
 }
 
 void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
@@ -19,7 +20,8 @@ void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
                       stats.LatencyUs(50), stats.LatencyUs(95),
                       stats.LatencyUs(99), stats.CacheHitRate(), avg_cost,
                       stats.refinements_applied, stats.rejected,
-                      stats.AvgWorkerUtilization());
+                      stats.AvgWorkerUtilization(), stats.index_epoch,
+                      stats.graph_version);
 }
 
 }  // namespace mrx::server

@@ -30,6 +30,12 @@ struct ServerStats {
   uint64_t index_publications = 0;    ///< Refined indexes published.
   uint64_t observations_pending = 0;  ///< Refine-inbox backlog.
 
+  /// Answer-cache epoch of the published snapshot (bumped per publication,
+  /// refinement or mutation) and the graph version it serves (mutation
+  /// batches applied; 0 for a never-mutated session).
+  uint64_t index_epoch = 0;
+  uint64_t graph_version = 0;
+
   size_t queue_depth = 0;  ///< Requests waiting in the MPMC queue.
   size_t num_workers = 0;
   size_t cache_entries = 0;

@@ -6,6 +6,7 @@
 
 #include "check/checker.h"
 #include "check/mrxcase.h"
+#include "check/mutation_trace.h"
 #include "check/stress.h"
 #include "datagen/nasa.h"
 #include "datagen/xmark.h"
@@ -17,6 +18,8 @@
 #include "index/m_star_index.h"
 #include "index/strategy_chooser.h"
 #include "index/twig_eval.h"
+#include "mutate/incremental_maintainer.h"
+#include "mutate/random_batch.h"
 #include "query/data_evaluator.h"
 #include "query/twig.h"
 #include "server/load_driver.h"
@@ -53,15 +56,31 @@ commands:
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
               [--metrics-out DIR] [--trace-sample N] [--threads N]
+              [--mutation-rate R] [--mutation-ops N]
                                       --threads N gives the background
-                                      refiner an N-thread pool
-  check [--mode diff|stress] [--seed N] [--cases M] [--queries N]
-        [--max-nodes N] [--out DIR] [--max-failures N] [--fault on]
-        [--threads N] [--rounds N] [--refine-threads N]
-        [--replay file.mrxcase]
+                                      refiner an N-thread pool;
+                                      --mutation-rate R applies R random
+                                      mutation batches per 1000 timed
+                                      queries from a mutator thread
+  mutate <graph> [--steps N] [--ops N] [--seed N] [--k N] [--verify on]
+         [--out out.mrxg]             apply N seeded random mutation
+                                      batches with incremental A(k)/D(k)/
+                                      M*(k) maintenance (docs/UPDATES.md);
+                                      --verify cross-checks every step
+                                      against from-scratch rebuilds
+  check [--mode diff|stress|mutate|mutate-stress] [--seed N] [--cases M]
+        [--queries N] [--max-nodes N] [--out DIR] [--max-failures N]
+        [--fault on] [--threads N] [--rounds N] [--refine-threads N]
+        [--steps N] [--ops N] [--batches N]
+        [--replay file.mrxcase|file.mrxtrace]
                                         differential correctness harness
                                         (docs/TESTING.md); exit 1 on any
-                                        discrepancy or invariant violation
+                                        discrepancy or invariant violation.
+                                        mutate replays seeded mutation
+                                        traces against from-scratch
+                                        oracles; mutate-stress hammers a
+                                        live session with concurrent
+                                        readers + mutations
 
 graphs are detected by suffix: .xml (parsed) or .mrxg (binary).
 --metrics-out writes metrics.prom, metrics.jsonl, trace.jsonl and
@@ -422,6 +441,10 @@ int CmdServeBench(const Options& options, std::ostream& out,
       static_cast<size_t>(std::atoll(options.Flag("queries", "10000").c_str()));
   lo.session.refine_threads =
       static_cast<size_t>(std::atoll(options.Flag("threads", "1").c_str()));
+  lo.mutation_rate = std::atof(options.Flag("mutation-rate", "0").c_str());
+  lo.mutation_ops = static_cast<size_t>(
+      std::atoll(options.Flag("mutation-ops", "2").c_str()));
+  lo.mutation_seed = wo.seed;
 
   // Observability: with --metrics-out, the run's session samples span
   // trees into `tracer` and the exposition files are written below.
@@ -447,6 +470,11 @@ int CmdServeBench(const Options& options, std::ostream& out,
       report.stats, std::to_string(lo.num_workers) + " workers",
       report.Qps(), &table);
   table.RenderText(out);
+  if (lo.mutation_rate > 0) {
+    out << "mutations: " << report.mutations_applied << " applied, "
+        << report.mutations_rejected << " rejected (rate "
+        << lo.mutation_rate << "/1000 queries)\n";
+  }
 
   const std::string csv_path = options.Flag("csv");
   if (!csv_path.empty()) {
@@ -497,6 +525,8 @@ int CmdServeBench(const Options& options, std::ostream& out,
            {"refinements", static_cast<double>(stats.refinements_applied)},
            {"publications", static_cast<double>(stats.index_publications)},
            {"rejected", static_cast<double>(stats.rejected)},
+           {"mutations", static_cast<double>(report.mutations_applied)},
+           {"graph_version", static_cast<double>(stats.graph_version)},
            {"index_physical_nodes",
             static_cast<double>(
                 snapshot.GaugeValue("mrx_index_physical_nodes"))},
@@ -513,12 +543,97 @@ int CmdServeBench(const Options& options, std::ostream& out,
   return 0;
 }
 
+int CmdMutate(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: mrx mutate <graph> [--steps N] [--ops N] [--seed N] "
+           "[--k N] [--verify on] [--out out.mrxg]\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+
+  const size_t steps =
+      static_cast<size_t>(std::atoll(options.Flag("steps", "10").c_str()));
+  const bool verify = options.Flag("verify") == "on" ||
+                      options.Flag("verify") == "1" ||
+                      options.Flag("verify") == "true";
+  Rng rng(
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str())));
+  mutate::RandomBatchOptions gen;
+  gen.num_ops =
+      static_cast<size_t>(std::atoll(options.Flag("ops", "3").c_str()));
+  mutate::MaintainerOptions mo;
+  mo.k_max = static_cast<int>(std::atoll(options.Flag("k", "3").c_str()));
+  mutate::IncrementalMaintainer m(*g, mo);
+
+  size_t rejected = 0;
+  for (size_t s = 0; s < steps; ++s) {
+    const mutate::MutationBatch batch =
+        mutate::GenerateRandomBatch(rng, m.graph(), gen);
+    Result<mutate::BatchReceipt> receipt = m.Apply(batch);
+    if (!receipt.ok()) {
+      ++rejected;
+      out << "v" << m.version() << ": batch rejected ("
+          << receipt.status().message() << ")\n";
+      continue;
+    }
+    out << "v" << receipt->version << ": +" << receipt->new_nodes.size()
+        << " -" << receipt->nodes_deleted << " nodes -> " << receipt->nodes
+        << " nodes / " << receipt->edges << " edges, cascade "
+        << receipt->dirty_nodes
+        << (receipt->full_rounds > 0 ? " (rebuild fallback)" : "")
+        << (receipt->dk_rebuilt ? " (D rebuilt)" : "") << "\n";
+    if (verify) {
+      for (int k = 0; k <= mo.k_max; ++k) {
+        const BisimulationPartition oracle =
+            ComputeKBisimulation(m.graph(), k);
+        const BisimulationPartition got = m.AkPartition(k);
+        if (got.num_blocks != oracle.num_blocks ||
+            got.block_of != mutate::CanonicalBlockIds(oracle.block_of,
+                                                      oracle.num_blocks)) {
+          err << "FAILED: A(" << k << ") diverged from from-scratch at v"
+              << receipt->version << "\n";
+          return 1;
+        }
+      }
+    }
+  }
+  const mutate::MaintainerStats& stats = m.stats();
+  out << "applied " << stats.batches << " batches (" << rejected
+      << " rejected): +" << stats.nodes_added << " -" << stats.nodes_deleted
+      << " nodes, " << stats.incremental_rounds << " incremental / "
+      << stats.full_rounds << " full rounds, " << stats.dk_rebuilds
+      << " D rebuilds" << (verify ? ", all steps verified" : "") << "\n";
+
+  const std::string out_path = options.Flag("out");
+  if (!out_path.empty()) {
+    const Status written =
+        WriteFile(out_path, storage::SerializeDataGraph(m.graph()));
+    if (!written.ok()) return Fail(err, written);
+    out << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
 int CmdCheck(const Options& options, std::ostream& out, std::ostream& err) {
   const bool fault = options.Flag("fault") == "on" ||
                      options.Flag("fault") == "1" ||
                      options.Flag("fault") == "true";
 
   const std::string replay_path = options.Flag("replay");
+  if (EndsWith(replay_path, ".mrxtrace")) {
+    Result<std::string> text = ReadFile(replay_path);
+    if (!text.ok()) return Fail(err, text.status());
+    Result<check::MutationTrace> trace = check::ParseTrace(*text);
+    if (!trace.ok()) return Fail(err, trace.status());
+    const check::TraceResult result =
+        check::RunMutationTrace(*trace, check::MutationTraceOptions{});
+    out << "replay " << replay_path << ": " << result.steps_applied
+        << " steps applied, " << result.checks << " oracle checks\n";
+    for (const std::string& v : result.violations) out << "  " << v << "\n";
+    out << (result.ok() ? "did not reproduce\n" : "REPRODUCED\n");
+    return result.ok() ? 0 : 1;
+  }
   if (!replay_path.empty()) {
     Result<std::string> text = ReadFile(replay_path);
     if (!text.ok()) return Fail(err, text.status());
@@ -566,8 +681,66 @@ int CmdCheck(const Options& options, std::ostream& out, std::ostream& err) {
     out << (report.ok() ? "OK\n" : "FAILED\n");
     return report.ok() ? 0 : 1;
   }
+  if (mode == "mutate") {
+    check::MutationCheckOptions mo;
+    mo.seed =
+        static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+    mo.num_traces = static_cast<size_t>(
+        std::atoll(options.Flag("cases", "200").c_str()));
+    mo.trace.num_steps = static_cast<size_t>(
+        std::atoll(options.Flag("steps", "6").c_str()));
+    mo.trace.ops_per_batch =
+        static_cast<size_t>(std::atoll(options.Flag("ops", "3").c_str()));
+    mo.trace.gen.num_queries = static_cast<size_t>(
+        std::atoll(options.Flag("queries", "6").c_str()));
+    mo.trace.gen.max_nodes = static_cast<size_t>(
+        std::atoll(options.Flag("max-nodes", "48").c_str()));
+    mo.out_dir = options.Flag("out");
+    mo.max_failures = static_cast<size_t>(
+        std::atoll(options.Flag("max-failures", "8").c_str()));
+    mo.log = &out;
+    const check::MutationCheckSummary summary =
+        check::RunMutationTraceCheck(mo);
+    out << "mutate: " << summary.traces << " traces, "
+        << summary.steps_applied << " batches applied, " << summary.checks
+        << " oracle checks\n"
+        << "mutate: " << summary.violations << " violations, "
+        << summary.failures.size() << " recorded failures\n";
+    for (const check::MutationCheckFailure& f : summary.failures) {
+      out << "  trace " << f.trace_index << " (" << f.shrunk_steps
+          << " steps shrunk): " << f.note
+          << (f.file.empty() ? "" : " -> " + f.file) << "\n";
+    }
+    out << (summary.ok() ? "OK\n" : "FAILED\n");
+    return summary.ok() ? 0 : 1;
+  }
+  if (mode == "mutate-stress") {
+    check::MutationStressOptions so;
+    so.seed =
+        static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+    so.threads = static_cast<size_t>(
+        std::atoll(options.Flag("threads", "4").c_str()));
+    so.mutation_batches = static_cast<size_t>(
+        std::atoll(options.Flag("batches", "40").c_str()));
+    so.ops_per_batch =
+        static_cast<size_t>(std::atoll(options.Flag("ops", "3").c_str()));
+    so.num_queries = static_cast<size_t>(
+        std::atoll(options.Flag("queries", "16").c_str()));
+    so.max_nodes = static_cast<size_t>(
+        std::atoll(options.Flag("max-nodes", "96").c_str()));
+    const check::MutationStressReport report = check::RunMutationStress(so);
+    out << "mutate-stress: shape=" << report.shape << " queries="
+        << report.queries_run << " mutations=" << report.mutations_applied
+        << " mismatches=" << report.mismatches << " epoch_regressions="
+        << report.epoch_regressions << " final_mismatches="
+        << report.final_mismatches << " stale_put_drops="
+        << report.stale_put_drops << "\n";
+    out << (report.ok() ? "OK\n" : "FAILED\n");
+    return report.ok() ? 0 : 1;
+  }
   if (mode != "diff") {
-    err << "unknown check mode: " << mode << " (expected diff or stress)\n";
+    err << "unknown check mode: " << mode
+        << " (expected diff, stress, mutate, or mutate-stress)\n";
     return 2;
   }
 
@@ -630,6 +803,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "generate") return CmdGenerate(*options, out, err);
   if (command == "workload") return CmdWorkload(*options, out, err);
   if (command == "serve-bench") return CmdServeBench(*options, out, err);
+  if (command == "mutate") return CmdMutate(*options, out, err);
   if (command == "check") return CmdCheck(*options, out, err);
 
   err << "unknown command: " << command << "\n" << kUsage;

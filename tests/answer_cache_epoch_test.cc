@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "mutate/mutation.h"
 #include "server/answer_cache.h"
 #include "server/concurrent_session.h"
 #include "tests/test_util.h"
@@ -91,6 +92,36 @@ TEST(AnswerCacheEpochTest, SessionNeverServesStaleAnswersAcrossPublishes) {
   // After the final publish the cache was invalidated; the next Query
   // recomputes on the refined index and must still agree.
   EXPECT_EQ(session.Query(*q).answer, expected);
+}
+
+/// The mutation half of the invariant (satellite of the live-update
+/// subsystem): a cached answer must not survive a graph mutation that
+/// changed it. Before snapshots carried the epoch through ApplyMutations,
+/// the second Query below would happily serve {4} from the cache.
+TEST(AnswerCacheEpochTest, MutationInvalidatesCachedAnswers) {
+  const DataGraph g = MakeFigure3Graph();
+  ConcurrentSession session(g);
+
+  Result<PathExpression> q = PathExpression::Parse("/r/a/b", g.symbols());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(session.Query(*q).answer, (std::vector<NodeId>{4}));
+  EXPECT_EQ(session.Query(*q).answer, (std::vector<NodeId>{4}));
+  EXPECT_GE(session.cache_hits(), 1u);  // The answer is in the cache.
+
+  const uint64_t epoch_before = session.index_epoch();
+  auto receipt =
+      session.ApplyMutations({mutate::Mutation::AppendLeaf(1, "b")});
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_GT(receipt->epoch, epoch_before);
+  EXPECT_EQ(receipt->batch.version, 1u);
+
+  // The new "b" under the "a" (compact id 10: appends go to the end) must
+  // show up — a stale cache hit would still say {4}.
+  EXPECT_EQ(session.Query(*q).answer, (std::vector<NodeId>{4, 10}));
+  ConcurrentSession::VersionedAnswer versioned = session.QueryVersioned(*q);
+  EXPECT_EQ(versioned.result.answer, (std::vector<NodeId>{4, 10}));
+  EXPECT_EQ(versioned.graph_version, 1u);
+  EXPECT_GE(versioned.epoch, receipt->epoch);
 }
 
 }  // namespace

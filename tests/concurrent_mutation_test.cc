@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mutate/mutation.h"
+#include "mutate/random_batch.h"
+#include "query/data_evaluator.h"
+#include "server/concurrent_session.h"
+#include "server/query_server.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace mrx::server {
+namespace {
+
+using ::mrx::testing::MakeFigure1Graph;
+using ::mrx::testing::MakeFigure3Graph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+TEST(ConcurrentMutationTest, ApplyPublishesNewVersion) {
+  const DataGraph g = MakeFigure3Graph();
+  ConcurrentSession session(g);
+  EXPECT_EQ(session.graph_version(), 0u);
+  EXPECT_EQ(session.graph_snapshot()->num_nodes(), g.num_nodes());
+
+  auto receipt =
+      session.ApplyMutations({mutate::Mutation::AppendLeaf(0, "z")});
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->batch.version, 1u);
+  EXPECT_EQ(receipt->batch.new_nodes.size(), 1u);
+  EXPECT_EQ(session.graph_version(), 1u);
+
+  std::shared_ptr<const DataGraph> snapshot = session.graph_snapshot();
+  EXPECT_EQ(snapshot->num_nodes(), g.num_nodes() + 1);
+  // graph() keeps returning the seed (the pre-mutation contract).
+  EXPECT_EQ(session.graph().num_nodes(), g.num_nodes());
+}
+
+TEST(ConcurrentMutationTest, RejectedBatchChangesNothing) {
+  const DataGraph g = MakeFigure3Graph();
+  ConcurrentSession session(g);
+  const uint64_t epoch = session.index_epoch();
+  // Deleting the root is invalid; the batch must be rejected atomically.
+  auto receipt = session.ApplyMutations(
+      {mutate::Mutation::AppendLeaf(1, "x"), mutate::Mutation::Delete(0)});
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(session.graph_version(), 0u);
+  EXPECT_EQ(session.index_epoch(), epoch);
+  EXPECT_EQ(session.graph_snapshot()->num_nodes(), g.num_nodes());
+}
+
+TEST(ConcurrentMutationTest, AnswersTrackTheMutatedGraph) {
+  const DataGraph g = MakeFigure1Graph();
+  ConcurrentSession session(g);
+  const PathExpression q = Q(g, "//auction/bidder");
+
+  Rng rng(20260808);
+  mutate::RandomBatchOptions gen;
+  gen.num_ops = 3;
+  for (int step = 0; step < 12; ++step) {
+    std::shared_ptr<const DataGraph> before = session.graph_snapshot();
+    auto receipt =
+        session.ApplyMutations(mutate::GenerateRandomBatch(rng, *before, gen));
+    if (!receipt.ok()) continue;  // Ops may interact; a reject is a no-op.
+    std::shared_ptr<const DataGraph> now = session.graph_snapshot();
+    DataEvaluator oracle(*now);
+    EXPECT_EQ(session.Query(q).answer, oracle.Evaluate(q)) << "step " << step;
+  }
+  EXPECT_GT(session.graph_version(), 0u);
+}
+
+TEST(ConcurrentMutationTest, PromotedFupsSurviveMutations) {
+  const DataGraph g = MakeFigure1Graph();
+  ConcurrentSessionOptions options;
+  options.refine_after = 2;
+  ConcurrentSession session(g, options);
+  const PathExpression q = Q(g, "//auction/seller");
+
+  // Drive the query hot enough to be promoted and published.
+  for (int i = 0; i < 4; ++i) session.Query(q);
+  session.DrainRefinements();
+  ASSERT_GE(session.refinements_applied(), 1u);
+  const size_t refined_components = session.published_components();
+
+  auto receipt =
+      session.ApplyMutations({mutate::Mutation::AppendLeaf(0, "auction")});
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+
+  // The rebuilt index replayed the promoted FUP: the published hierarchy
+  // matches a fresh session on the new graph that promoted the same query.
+  std::shared_ptr<const DataGraph> now = session.graph_snapshot();
+  ConcurrentSession oracle(*now, options);
+  for (int i = 0; i < 4; ++i) oracle.Query(q);
+  oracle.DrainRefinements();
+  EXPECT_EQ(session.published_components(), oracle.published_components());
+  EXPECT_GE(session.published_components(), refined_components);
+  DataEvaluator ground_truth(*now);
+  EXPECT_EQ(session.Query(q).answer, ground_truth.Evaluate(q));
+}
+
+TEST(ConcurrentMutationTest, ReadersStayExactDuringMutations) {
+  const DataGraph g = MakeFigure1Graph();
+  ConcurrentSession session(g);
+  const std::vector<PathExpression> queries = {
+      Q(g, "//auction/bidder"), Q(g, "//person"), Q(g, "/site/auction")};
+
+  // Readers check every answer against a ground-truth evaluation on the
+  // *snapshot that answered* — pinned by QueryVersioned's version tag —
+  // while the main thread applies mutation batches. Snapshots keep old
+  // versions alive for in-flight readers, so answers are exact for the
+  // version each reader saw, and epochs never run backwards.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> epoch_regressions{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_epoch = 0;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const PathExpression& q = queries[i++ % queries.size()];
+        ConcurrentSession::VersionedAnswer a = session.QueryVersioned(q);
+        if (a.epoch < last_epoch) epoch_regressions.fetch_add(1);
+        last_epoch = a.epoch;
+        // Re-acquire: only comparable if the version did not move between
+        // the query and the check (it usually does not).
+        std::shared_ptr<const DataGraph> snap = session.graph_snapshot();
+        if (session.graph_version() == a.graph_version) {
+          DataEvaluator oracle(*snap);
+          if (oracle.Evaluate(q) != a.result.answer) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  Rng rng(7);
+  mutate::RandomBatchOptions gen;
+  gen.num_ops = 2;
+  uint64_t applied = 0;
+  for (int step = 0; step < 30; ++step) {
+    std::shared_ptr<const DataGraph> before = session.graph_snapshot();
+    auto receipt =
+        session.ApplyMutations(mutate::GenerateRandomBatch(rng, *before, gen));
+    if (receipt.ok()) ++applied;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(applied, 10u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(epoch_regressions.load(), 0u);
+  EXPECT_EQ(session.graph_version(), applied);
+}
+
+TEST(ConcurrentMutationTest, StatsCarryEpochAndVersion) {
+  const DataGraph g = MakeFigure3Graph();
+  QueryServerOptions options;
+  options.num_workers = 2;
+  QueryServer server(g, options);
+  auto receipt =
+      server.session().ApplyMutations({mutate::Mutation::AppendLeaf(0, "y")});
+  ASSERT_TRUE(receipt.ok());
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.graph_version, 1u);
+  EXPECT_GE(stats.index_epoch, 1u);
+  TableWriter table(ServerStatsHeaders());
+  AppendServerStatsRow(stats, "mutated", /*qps=*/0.0, &table);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mrx::server

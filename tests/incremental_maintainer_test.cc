@@ -1,0 +1,275 @@
+#include "mutate/incremental_maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/bisimulation.h"
+#include "index/d_k_index.h"
+#include "index/m_star_index.h"
+#include "mutate/random_batch.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace mrx::mutate {
+namespace {
+
+using ::mrx::testing::MakeFigure1Graph;
+using ::mrx::testing::MakeFigure3Graph;
+
+PathExpression Q(const DataGraph& g, std::string_view text) {
+  return std::move(PathExpression::Parse(text, g.symbols())).value();
+}
+
+std::vector<uint32_t> Canon(const BisimulationPartition& p) {
+  return CanonicalBlockIds(p.block_of, p.num_blocks);
+}
+
+/// The exact spec sequence MStarIndex::BuildStaticHierarchy derives —
+/// replicated here so the test pins the maintainer's export to the static
+/// build's numbering, byte for byte.
+std::vector<MStarComponentSpec> StaticSpecs(const DataGraph& g, int k_max) {
+  std::vector<MStarComponentSpec> specs;
+  std::vector<uint32_t> prev_block_of;
+  BisimulationPartition part = ComputeKBisimulation(g, 0);
+  for (int i = 0; i <= k_max; ++i) {
+    if (i > 0) RefineBisimulationRound(g, &part);
+    MStarComponentSpec spec;
+    spec.extents.resize(part.num_blocks);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      spec.extents[part.block_of[n]].push_back(n);
+    }
+    spec.ks.assign(part.num_blocks, i);
+    spec.supernodes.assign(part.num_blocks, 0);
+    if (i > 0) {
+      for (uint32_t b = 0; b < part.num_blocks; ++b) {
+        spec.supernodes[b] = prev_block_of[spec.extents[b].front()];
+      }
+    }
+    prev_block_of = part.block_of;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void ExpectSpecsEqual(const std::vector<MStarComponentSpec>& got,
+                      const std::vector<MStarComponentSpec>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].extents, want[i].extents) << "component " << i;
+    EXPECT_EQ(got[i].ks, want[i].ks) << "component " << i;
+    EXPECT_EQ(got[i].supernodes, want[i].supernodes) << "component " << i;
+  }
+}
+
+/// Checks every maintained A level against a from-scratch rebuild and the
+/// static-spec export against BuildStaticHierarchy's numbering.
+void ExpectExact(const IncrementalMaintainer& m) {
+  const DataGraph& g = m.graph();
+  for (int k = 0; k <= m.options().k_max; ++k) {
+    const BisimulationPartition oracle = ComputeKBisimulation(g, k);
+    const BisimulationPartition got = m.AkPartition(k);
+    ASSERT_EQ(got.num_blocks, oracle.num_blocks) << "A(" << k << ")";
+    ASSERT_EQ(got.block_of, Canon(oracle)) << "A(" << k << ")";
+  }
+  ExpectSpecsEqual(m.ExportStaticSpecs(), StaticSpecs(g, m.options().k_max));
+}
+
+void ExpectDkExact(const IncrementalMaintainer& m) {
+  const DataGraph& g = m.graph();
+  const std::vector<int32_t> kreq =
+      ComputeDkLabelRequirements(g, m.options().dk_fups);
+  const BisimulationPartition oracle = ComputeDkConstructPartition(g, kreq);
+  const BisimulationPartition got = m.DkPartition();
+  ASSERT_EQ(got.num_blocks, oracle.num_blocks);
+  ASSERT_EQ(got.block_of, Canon(oracle));
+}
+
+TEST(IncrementalMaintainerTest, SeedMatchesFromScratch) {
+  const DataGraph g = MakeFigure1Graph();
+  IncrementalMaintainer m(g);
+  EXPECT_EQ(m.version(), 0u);
+  ExpectExact(m);
+  auto index = m.BuildMStar();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_components(), 4u);
+}
+
+TEST(IncrementalMaintainerTest, SingleAppendStaysExact) {
+  const DataGraph g = MakeFigure3Graph();
+  IncrementalMaintainer m(g);
+  auto receipt = m.Apply({Mutation::AppendLeaf(2, "b")});
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->version, 1u);
+  ASSERT_EQ(receipt->new_nodes.size(), 1u);
+  EXPECT_EQ(m.graph().label_name(receipt->new_nodes[0]), "b");
+  ExpectExact(m);
+}
+
+TEST(IncrementalMaintainerTest, DeleteStaysExact) {
+  const DataGraph g = MakeFigure1Graph();
+  IncrementalMaintainer m(g);
+  // Node 10 is an auction with seller/bidder/item children.
+  auto receipt = m.Apply({Mutation::Delete(10)});
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_GT(receipt->nodes_deleted, 0u);
+  ExpectExact(m);
+}
+
+TEST(IncrementalMaintainerTest, RefCycleStaysExact) {
+  const DataGraph g = MakeFigure3Graph();
+  IncrementalMaintainer m(g);
+  // A reference cycle between the two c-children, plus a back-reference
+  // closing a cycle through a regular path.
+  auto receipt = m.Apply({Mutation::AddRef(5, 6), Mutation::AddRef(6, 5),
+                          Mutation::AddRef(4, 0)});
+  ASSERT_TRUE(receipt.ok());
+  ExpectExact(m);
+  auto receipt2 = m.Apply({Mutation::RemoveRef(6, 5)});
+  ASSERT_TRUE(receipt2.ok());
+  ExpectExact(m);
+}
+
+TEST(IncrementalMaintainerTest, RandomTraceStaysExact) {
+  const DataGraph g = MakeFigure1Graph();
+  IncrementalMaintainer m(g);
+  Rng rng(20260807);
+  RandomBatchOptions gen;
+  gen.num_ops = 3;
+  size_t applied = 0;
+  for (int step = 0; step < 40; ++step) {
+    const MutationBatch batch = GenerateRandomBatch(rng, m.graph(), gen);
+    auto receipt = m.Apply(batch);
+    if (!receipt.ok()) continue;  // Ops may interact; a reject is a no-op.
+    ++applied;
+    ExpectExact(m);
+  }
+  EXPECT_GT(applied, 20u);
+  EXPECT_GT(m.stats().incremental_rounds, 0u);
+}
+
+TEST(IncrementalMaintainerTest, FallbackPathStaysExact) {
+  const DataGraph g = MakeFigure1Graph();
+  MaintainerOptions options;
+  options.rebuild_threshold = 0.0;  // Every dirty level takes a full round.
+  IncrementalMaintainer m(g, options);
+  Rng rng(7);
+  RandomBatchOptions gen;
+  gen.num_ops = 2;
+  for (int step = 0; step < 15; ++step) {
+    auto receipt = m.Apply(GenerateRandomBatch(rng, m.graph(), gen));
+    if (!receipt.ok()) continue;
+    ExpectExact(m);
+  }
+  EXPECT_GT(m.stats().full_rounds, 0u);
+  EXPECT_EQ(m.stats().incremental_rounds, 0u);
+}
+
+TEST(IncrementalMaintainerTest, NoFallbackAboveUnitThreshold) {
+  const DataGraph g = MakeFigure1Graph();
+  MaintainerOptions options;
+  options.rebuild_threshold = 2.0;  // Dirty can never exceed 2x the nodes.
+  IncrementalMaintainer m(g, options);
+  Rng rng(11);
+  for (int step = 0; step < 15; ++step) {
+    auto receipt = m.Apply(GenerateRandomBatch(rng, m.graph(), {}));
+    if (!receipt.ok()) continue;
+    ExpectExact(m);
+  }
+  EXPECT_EQ(m.stats().full_rounds, 0u);
+  EXPECT_GT(m.stats().incremental_rounds, 0u);
+}
+
+TEST(IncrementalMaintainerTest, DkChainStaysExact) {
+  const DataGraph g = MakeFigure3Graph();
+  MaintainerOptions options;
+  options.maintain_dk = true;
+  options.dk_fups = {Q(g, "/r/a/b")};
+  IncrementalMaintainer m(g, options);
+  ExpectDkExact(m);
+  Rng rng(99);
+  RandomBatchOptions gen;
+  gen.num_ops = 2;
+  gen.fresh_label_chance = 0.3;
+  for (int step = 0; step < 25; ++step) {
+    auto receipt = m.Apply(GenerateRandomBatch(rng, m.graph(), gen));
+    if (!receipt.ok()) continue;
+    ExpectExact(m);
+    ExpectDkExact(m);
+  }
+}
+
+TEST(IncrementalMaintainerTest, DkRebuildsWhenRequirementsMove) {
+  const DataGraph g = MakeFigure3Graph();
+  MaintainerOptions options;
+  options.maintain_dk = true;
+  options.dk_fups = {Q(g, "/r/a/b")};
+  IncrementalMaintainer m(g, options);
+  // Appending an "a" under a "c" adds the label edge c->a, but c's
+  // requirement (1, from the existing c->b edges) already covers it: no
+  // schedule movement, no rebuild.
+  auto receipt = m.Apply({Mutation::AppendLeaf(2, "a")});
+  ASSERT_TRUE(receipt.ok());
+  ExpectDkExact(m);
+  EXPECT_EQ(m.stats().dk_rebuilds, 0u);
+  // Appending a "b" directly under the root adds the label edge r->b, so
+  // kreq[r] must rise from 0 to 1 (parent req >= child req - 1): an
+  // existing label's freeze schedule moves, which must force a D rebuild.
+  auto receipt2 = m.Apply({Mutation::AppendLeaf(0, "b")});
+  ASSERT_TRUE(receipt2.ok());
+  ExpectDkExact(m);
+  EXPECT_GE(m.stats().dk_rebuilds, 1u);
+}
+
+TEST(IncrementalMaintainerTest, RejectedBatchLeavesEverythingUntouched) {
+  const DataGraph g = MakeFigure3Graph();
+  IncrementalMaintainer m(g);
+  const BisimulationPartition before = m.AkPartition(3);
+  auto receipt = m.Apply({Mutation::AppendLeaf(1, "x"), Mutation::Delete(0)});
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(m.version(), 0u);
+  EXPECT_EQ(m.graph().num_nodes(), g.num_nodes());
+  const BisimulationPartition after = m.AkPartition(3);
+  EXPECT_EQ(after.block_of, before.block_of);
+  ExpectExact(m);
+}
+
+TEST(IncrementalMaintainerTest, EmptyBatchIsANoOp) {
+  const DataGraph g = MakeFigure3Graph();
+  IncrementalMaintainer m(g);
+  auto receipt = m.Apply({});
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->version, 0u);
+  EXPECT_EQ(m.version(), 0u);
+}
+
+TEST(IncrementalMaintainerTest, MStarBuildsAfterMutations) {
+  const DataGraph g = MakeFigure1Graph();
+  IncrementalMaintainer m(g);
+  Rng rng(5);
+  for (int step = 0; step < 10; ++step) {
+    auto receipt = m.Apply(GenerateRandomBatch(rng, m.graph(), {}));
+    (void)receipt;
+  }
+  auto index = m.BuildMStar();
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  // FromComponents re-verifies Properties 1-5; equal specs + the same
+  // constructor path make it the static hierarchy of the current version.
+  EXPECT_EQ(index->num_components(), 4u);
+}
+
+TEST(IncrementalMaintainerTest, CascadeIsLocalForLeafAppends) {
+  const DataGraph g = MakeFigure1Graph();
+  IncrementalMaintainer m(g);
+  auto receipt = m.Apply({Mutation::AppendLeaf(5, "item")});
+  ASSERT_TRUE(receipt.ok());
+  // One new node: the dirty set per level stays a small neighborhood, far
+  // below the full node count times levels.
+  EXPECT_LT(receipt->dirty_nodes, 3u * g.num_nodes());
+  EXPECT_EQ(receipt->full_rounds, 0u);
+  ExpectExact(m);
+}
+
+}  // namespace
+}  // namespace mrx::mutate

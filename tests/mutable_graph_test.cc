@@ -1,0 +1,244 @@
+#include "mutate/mutable_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mutate/mutation.h"
+#include "tests/test_util.h"
+
+namespace mrx::mutate {
+namespace {
+
+using ::mrx::testing::MakeFigure3Graph;
+using ::mrx::testing::MakeGraph;
+
+/// Structural fingerprint for whole-graph equality: label names in node
+/// order, the root, and the sorted (from, to, kind) edge list.
+using GraphSig =
+    std::tuple<std::vector<std::string>, NodeId,
+               std::vector<std::tuple<NodeId, NodeId, int>>>;
+
+GraphSig SigOf(const DataGraph& g) {
+  std::vector<std::string> labels;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) labels.push_back(g.label_name(n));
+  std::vector<std::tuple<NodeId, NodeId, int>> edges;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const auto kids = g.children(n);
+    const auto kinds = g.child_kinds(n);
+    for (size_t i = 0; i < kids.size(); ++i) {
+      edges.emplace_back(n, kids[i], static_cast<int>(kinds[i]));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return {std::move(labels), g.root(), std::move(edges)};
+}
+
+std::vector<uint32_t> Identity(size_t n) {
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  return ids;
+}
+
+TEST(MutableGraphTest, SeedMaterializesIdentically) {
+  const DataGraph g = mrx::testing::MakeFigure1Graph();
+  MutableDataGraph live(g);
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(SigOf(mat->graph), SigOf(g));
+  EXPECT_EQ(mat->stable_of, Identity(g.num_nodes()));
+}
+
+TEST(MutableGraphTest, AppendLeafShowsUpInMaterialized) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  auto added = live.AppendSubtree(1, [] {
+    SubtreeSpec s;
+    s.labels = {"x"};
+    return s;
+  }());
+  ASSERT_TRUE(added.ok());
+  ASSERT_EQ(added->size(), 1u);
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  const DataGraph expected = MakeGraph(
+      {"r", "a", "c", "d", "b", "b", "b", "b", "b", "b", "x"},
+      {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 5}, {2, 6}, {3, 7}, {3, 8},
+       {3, 9}, {1, 10}});
+  EXPECT_EQ(SigOf(mat->graph), SigOf(expected));
+}
+
+TEST(MutableGraphTest, AppendSubtreeWithInternalRefCycle) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  SubtreeSpec spec;
+  spec.labels = {"u", "v", "w"};
+  spec.edges = {{0, 1, EdgeKind::kRegular},
+                {0, 2, EdgeKind::kRegular},
+                {1, 2, EdgeKind::kReference},
+                {2, 1, EdgeKind::kReference}};
+  ASSERT_TRUE(live.AppendSubtree(0, spec).ok());
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->graph.num_nodes(), g.num_nodes() + 3);
+  EXPECT_EQ(mat->graph.num_reference_edges(), 2u);
+}
+
+TEST(MutableGraphTest, DeleteSubtreeSeversAndReportsStrandedRefs) {
+  // 0:r -> 1:a -> 2:b -> 3:c ; survivor 4:s with ref 4->2 (into doomed);
+  // doomed 3 has ref 3->4 (out of doomed, strands 4's ref parent).
+  DataGraphBuilder b;
+  for (const char* l : {"r", "a", "b", "c", "s"}) b.AddNode(l);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(4, 2, EdgeKind::kReference);
+  b.AddEdge(3, 4, EdgeKind::kReference);
+  b.SetRoot(0);
+  const DataGraph g = std::move(std::move(b).Build()).value();
+
+  MutableDataGraph live(g);
+  auto report = live.DeleteSubtree(2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->removed, (std::vector<uint32_t>{2, 3}));
+  // Node 4 lost its ref parent 3 (doomed -> survivor edge dropped).
+  EXPECT_EQ(report->ref_orphaned, (std::vector<uint32_t>{4}));
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  const DataGraph expected = MakeGraph({"r", "a", "s"}, {{0, 1}, {0, 2}});
+  EXPECT_EQ(SigOf(mat->graph), SigOf(expected));
+  // The survivor's dangling ref child (4 -> 2) was severed too.
+  EXPECT_EQ(mat->graph.num_reference_edges(), 0u);
+}
+
+TEST(MutableGraphTest, DeleteRootRejected) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  auto report = live.DeleteSubtree(0);
+  EXPECT_FALSE(report.ok());
+  // Also via a batch: the batch must roll back cleanly.
+  auto touch = live.ApplyBatch({Mutation::Delete(0)}, Identity(g.num_nodes()));
+  EXPECT_FALSE(touch.ok());
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(SigOf(mat->graph), SigOf(g));
+}
+
+TEST(MutableGraphTest, AppendUnderJustDeletedParentRollsBackWholeBatch) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  // Delete(1) dooms {1, 4}; the append then targets 4 -> the whole batch
+  // (including the delete) must unwind.
+  MutationBatch batch{Mutation::Delete(1), Mutation::AppendLeaf(4, "x")};
+  auto touch = live.ApplyBatch(batch, Identity(g.num_nodes()));
+  ASSERT_FALSE(touch.ok());
+  EXPECT_NE(touch.status().message().find("mutation 2"), std::string::npos);
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(SigOf(mat->graph), SigOf(g));
+  EXPECT_EQ(live.num_alive(), g.num_nodes());
+  EXPECT_EQ(live.num_edges(), g.num_edges());
+}
+
+TEST(MutableGraphTest, RefEdgeCycleAccepted) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  // 4 -> 1 closes a cycle with the regular path 1 -> 4; then 5 <-> 6.
+  EXPECT_TRUE(live.AddRefEdge(4, 1).ok());
+  EXPECT_TRUE(live.AddRefEdge(5, 6).ok());
+  EXPECT_TRUE(live.AddRefEdge(6, 5).ok());
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->graph.num_reference_edges(), 3u);
+  EXPECT_EQ(mat->graph.num_edges(), g.num_edges() + 3);
+}
+
+TEST(MutableGraphTest, RefEdgeValidation) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  // Duplicate of an existing (from, to) pair: the builder invariant is one
+  // edge per pair, whatever the kind.
+  EXPECT_FALSE(live.AddRefEdge(0, 1).ok());
+  EXPECT_FALSE(live.RemoveRefEdge(0, 1).ok());  // Regular edge, not a ref.
+  EXPECT_FALSE(live.RemoveRefEdge(5, 6).ok());  // No such edge.
+  ASSERT_TRUE(live.AddRefEdge(5, 6).ok());
+  EXPECT_TRUE(live.RemoveRefEdge(5, 6).ok());
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(SigOf(mat->graph), SigOf(g));
+}
+
+TEST(MutableGraphTest, MidBatchFailureRollsBackEarlierOps) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  MutationBatch batch{Mutation::AppendLeaf(2, "y"), Mutation::AddRef(5, 6),
+                      Mutation::AddRef(0, 1)};  // Last op: duplicate pair.
+  auto touch = live.ApplyBatch(batch, Identity(g.num_nodes()));
+  ASSERT_FALSE(touch.ok());
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(SigOf(mat->graph), SigOf(g));
+  EXPECT_EQ(live.num_edges(), g.num_edges());
+  EXPECT_EQ(live.num_alive(), g.num_nodes());
+}
+
+TEST(MutableGraphTest, BatchIdsResolveAgainstPreBatchVersion) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  // Batch 1: delete node 1 (dooming {1, 4}).
+  auto touch1 = live.ApplyBatch({Mutation::Delete(1)}, Identity(g.num_nodes()));
+  ASSERT_TRUE(touch1.ok());
+  auto mat1 = live.Materialize();
+  ASSERT_TRUE(mat1.ok());
+  // In the new version, old node 2 ("c") is now compact id 1.
+  ASSERT_EQ(mat1->graph.label_name(1), "c");
+  // Batch 2 speaks the new id space via mat1->stable_of.
+  auto touch2 = live.ApplyBatch({Mutation::AppendLeaf(1, "z")}, mat1->stable_of);
+  ASSERT_TRUE(touch2.ok());
+  auto mat2 = live.Materialize();
+  ASSERT_TRUE(mat2.ok());
+  const DataGraph& g2 = mat2->graph;
+  // The "z" leaf hangs under the "c" node.
+  const NodeId z = static_cast<NodeId>(g2.num_nodes() - 1);
+  EXPECT_EQ(g2.label_name(z), "z");
+  bool found = false;
+  for (NodeId p : g2.parents(z)) found = found || g2.label_name(p) == "c";
+  EXPECT_TRUE(found);
+}
+
+TEST(MutableGraphTest, TouchReportsParentSetChanges) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  auto touch = live.ApplyBatch(
+      {Mutation::AddRef(5, 6), Mutation::AppendLeaf(3, "w")},
+      Identity(g.num_nodes()));
+  ASSERT_TRUE(touch.ok());
+  // Node 6 gained a parent; the appended node is new, not parent-changed.
+  EXPECT_EQ(touch->parent_set_changed, (std::vector<uint32_t>{6}));
+  ASSERT_EQ(touch->new_nodes.size(), 1u);
+  EXPECT_FALSE(touch->any_deletion);
+  EXPECT_EQ(touch->ref_edges_added, 1u);
+}
+
+TEST(MutableGraphTest, StableIdsNeverReused) {
+  const DataGraph g = MakeFigure3Graph();
+  MutableDataGraph live(g);
+  auto touch1 =
+      live.ApplyBatch({Mutation::AppendLeaf(0, "x")}, Identity(g.num_nodes()));
+  ASSERT_TRUE(touch1.ok());
+  const uint32_t first = touch1->new_nodes[0];
+  auto mat = live.Materialize();
+  ASSERT_TRUE(mat.ok());
+  auto touch2 = live.ApplyBatch(
+      {Mutation::Delete(mat->compact_of[first]), Mutation::AppendLeaf(0, "y")},
+      mat->stable_of);
+  ASSERT_TRUE(touch2.ok());
+  EXPECT_GT(touch2->new_nodes[0], first);  // The dead slot is not recycled.
+  EXPECT_FALSE(live.alive(first));
+}
+
+}  // namespace
+}  // namespace mrx::mutate
