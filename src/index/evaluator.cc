@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/query_cost.h"
+
 namespace mrx {
 
 std::vector<IndexNodeId> IndexTargetSet(const IndexGraph& ig,
@@ -71,6 +73,7 @@ QueryResult AnswerOnIndex(const IndexGraph& ig, const PathExpression& path,
   const bool certifiable = !path.anchored() && !path.HasDescendantAxis();
   for (IndexNodeId v : result.target) {
     const IndexGraph::Node& node = ig.node(v);
+    obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && certifiable) {
       // Precise: the whole extent is part of the answer (§3.1 step 2).
       result.answer.insert(result.answer.end(), node.extent.begin(),

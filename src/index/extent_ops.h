@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/data_graph.h"
+#include "obs/query_cost.h"
 
 namespace mrx {
 
@@ -84,6 +85,9 @@ inline void DifferenceGallop(const std::vector<NodeId>& a,
 /// when the sizes differ by more than kGallopRatio.
 inline std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
                                      const std::vector<NodeId>& b) {
+  // Cost hook (a thread-local load + branch; active only under a
+  // QueryCostScope): one kernel call, both inputs charged as scanned.
+  obs::CountIntersect(a.size() + b.size());
   std::vector<NodeId> out;
   if (a.empty() || b.empty()) return out;
   if (a.size() * kGallopRatio < b.size()) {
@@ -105,6 +109,7 @@ inline std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
 /// merge path.
 inline std::vector<NodeId> Difference(const std::vector<NodeId>& a,
                                       const std::vector<NodeId>& b) {
+  obs::CountDifference(a.size() + b.size());
   std::vector<NodeId> out;
   if (a.empty()) return out;
   if (b.empty()) return a;

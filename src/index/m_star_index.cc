@@ -6,6 +6,7 @@
 
 #include "index/bisimulation.h"
 #include "index/extent_ops.h"
+#include "obs/query_cost.h"
 #include "util/thread_pool.h"
 
 namespace mrx {
@@ -499,6 +500,7 @@ QueryResult MStarIndex::QueryNaive(const PathExpression& path) {
 QueryResult MStarIndex::QueryNaive(const PathExpression& path,
                                    DataEvaluator* validator) const {
   const size_t ci = std::min(path.length(), components_.size() - 1);
+  obs::CountComponentTouched(ci);
   return AnswerOnIndex(components_[ci].graph, path, validator);
 }
 
@@ -532,17 +534,20 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
     }
     result.stats.index_nodes_visited += q.size();
   }
+  obs::CountComponentTouched(0);
 
   size_t current_component = 0;
   for (size_t step = 1; step < path.num_steps() && !q.empty(); ++step) {
     const size_t ci = std::min(step, finest);
     const IndexGraph& comp = components_[ci].graph;
+    obs::CountComponentTouched(ci);
 
     // QUERYTOPDOWN line 3: descend to the subnodes in the next component.
     std::vector<IndexNodeId> s;
     if (ci != current_component) {
       const IndexGraph& prev_comp = components_[current_component].graph;
       for (IndexNodeId u : q) {
+        obs::CountExtentScan(prev_comp.node(u).extent.size());
         for (NodeId o : prev_comp.node(u).extent) {
           s.push_back(comp.index_of(o));
         }
@@ -576,6 +581,7 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
   const int32_t needed = static_cast<int32_t>(path.length());
   for (IndexNodeId v : q) {
     const IndexGraph::Node& node = comp.node(v);
+    obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && !path.anchored()) {
       result.answer.insert(result.answer.end(), node.extent.begin(),
                            node.extent.end());
@@ -608,10 +614,12 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
   const size_t finest = components_.size() - 1;
   const size_t cq = std::min(path.length(), finest);
   const IndexGraph& fine = components_[cq].graph;
+  obs::CountComponentTouched(cq);
 
   // Phase 1: evaluate the subpath in the coarse component of its length.
   PathExpression sub = path.Subpath(sub_begin, sub_end);
   const size_t cs = std::min(sub.length(), finest);
+  obs::CountComponentTouched(cs);
   std::vector<IndexNodeId> coarse_hits =
       IndexTargetSet(components_[cs].graph, sub, &result.stats);
 
@@ -620,6 +628,7 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
   std::vector<char> candidate(fine.capacity(), 0);
   std::vector<IndexNodeId> fine_candidates;
   for (IndexNodeId u : coarse_hits) {
+    obs::CountExtentScan(components_[cs].graph.node(u).extent.size());
     for (NodeId o : components_[cs].graph.node(u).extent) {
       IndexNodeId v = fine.index_of(o);
       if (!candidate[v]) {
@@ -671,6 +680,7 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
   const int32_t needed = static_cast<int32_t>(path.length());
   for (IndexNodeId v : frontier) {
     const IndexGraph::Node& node = fine.node(v);
+    obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && !path.anchored()) {
       result.answer.insert(result.answer.end(), node.extent.begin(),
                            node.extent.end());

@@ -8,6 +8,7 @@
 
 #include "index/extent_ops.h"
 #include "index/m_star_index.h"
+#include "obs/query_cost.h"
 
 namespace mrx {
 
@@ -18,10 +19,12 @@ void MStarIndex::CollectAnswer(const PathExpression& path, size_t ci,
   SortUnique(&target);
   result->target = std::move(target);
   const IndexGraph& comp = components_[ci].graph;
+  obs::CountComponentTouched(ci);
   const int32_t needed = static_cast<int32_t>(path.length());
   const bool certifiable = !path.anchored() && !path.HasDescendantAxis();
   for (IndexNodeId v : result->target) {
     const IndexGraph::Node& node = comp.node(v);
+    obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && certifiable) {
       result->answer.insert(result->answer.end(), node.extent.begin(),
                             node.extent.end());
@@ -67,9 +70,11 @@ std::vector<IndexNodeId> MStarIndex::DescendNodes(
   if (from_ci == to_ci) return nodes;
   const IndexGraph& from = components_[from_ci].graph;
   const IndexGraph& to = components_[to_ci].graph;
+  obs::CountComponentTouched(to_ci);
   std::vector<IndexNodeId> out;
   std::vector<char> seen(to.capacity(), 0);
   for (IndexNodeId u : nodes) {
+    obs::CountExtentScan(from.node(u).extent.size());
     for (NodeId o : from.node(u).extent) {
       IndexNodeId v = to.index_of(o);
       if (!seen[v]) {
@@ -100,6 +105,7 @@ QueryResult MStarIndex::QueryBottomUp(const PathExpression& path,
 
   // Suffix of length 0: every node labeled l_j, in I0.
   size_t current_ci = 0;
+  obs::CountComponentTouched(0);
   std::vector<IndexNodeId> starts;  // Nodes at path position j - s.
   {
     const IndexGraph& c0 = components_[0].graph;
@@ -193,6 +199,8 @@ QueryResult MStarIndex::QueryHybrid(const PathExpression& path, size_t meet,
   const size_t finest = components_.size() - 1;
   const size_t cq = std::min(path.length(), finest);
   const IndexGraph& fine = components_[cq].graph;
+  obs::CountComponentTouched(cq);
+  obs::CountComponentTouched(0);
 
   // Top-down half: prefix frontier at step `meet`, evaluated in the fine
   // component directly (simplified prefix descent; the full staircase is

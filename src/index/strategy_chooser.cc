@@ -44,6 +44,20 @@ constexpr double kDownCheckPenalty = 4.0;
 
 }  // namespace
 
+const char* StrategyName(MStarQueryStrategy strategy) {
+  switch (strategy) {
+    case MStarQueryStrategy::kNaive:
+      return "naive";
+    case MStarQueryStrategy::kTopDown:
+      return "topdown";
+    case MStarQueryStrategy::kBottomUp:
+      return "bottomup";
+    case MStarQueryStrategy::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
 StrategyChooser::StrategyChooser(const MStarIndex& index) {
   const size_t num_labels = index.component(0).data().symbols().size();
   label_rows_.resize(index.num_components());
@@ -142,10 +156,39 @@ MStarQueryStrategy StrategyChooser::Choose(
   return best;
 }
 
+std::vector<StrategyCandidate> StrategyChooser::ExplainChoice(
+    const PathExpression& path) const {
+  const MStarQueryStrategy chosen = Choose(path);
+  std::vector<StrategyCandidate> table;
+  for (MStarQueryStrategy s :
+       {MStarQueryStrategy::kNaive, MStarQueryStrategy::kTopDown,
+        MStarQueryStrategy::kBottomUp, MStarQueryStrategy::kHybrid}) {
+    StrategyCandidate c;
+    c.strategy = s;
+    c.estimated_cost = EstimateCost(path, s);
+    if (path.anchored()) {
+      c.eligible = s == MStarQueryStrategy::kTopDown;
+    } else if (path.HasDescendantAxis()) {
+      c.eligible = s == MStarQueryStrategy::kNaive;
+    }
+    c.chosen = s == chosen;
+    table.push_back(c);
+  }
+  return table;
+}
+
 QueryResult StrategyChooser::Evaluate(const MStarIndex& index,
                                       const PathExpression& path,
                                       DataEvaluator* validator) const {
+  return Evaluate(index, path, validator, nullptr);
+}
+
+QueryResult StrategyChooser::Evaluate(const MStarIndex& index,
+                                      const PathExpression& path,
+                                      DataEvaluator* validator,
+                                      MStarQueryStrategy* chosen_out) const {
   const MStarQueryStrategy chosen = Choose(path);
+  if (chosen_out != nullptr) *chosen_out = chosen;
   CountChoice(chosen);
   switch (chosen) {
     case MStarQueryStrategy::kNaive:

@@ -1,6 +1,8 @@
 #ifndef MRX_INDEX_STRATEGY_CHOOSER_H_
 #define MRX_INDEX_STRATEGY_CHOOSER_H_
 
+#include <vector>
+
 #include "index/m_star_index.h"
 #include "query/path_expression.h"
 
@@ -12,6 +14,20 @@ enum class MStarQueryStrategy {
   kTopDown,
   kBottomUp,
   kHybrid,
+};
+
+/// Stable lowercase name for a strategy ("naive", "topdown", "bottomup",
+/// "hybrid") — the spelling used by the CLI, metrics, and explain records.
+const char* StrategyName(MStarQueryStrategy strategy);
+
+/// One row of an EXPLAIN decision table: a strategy the chooser looked at,
+/// its estimated cost, and whether the path's shape even permits it
+/// (anchored paths force top-down; descendant axes force naive).
+struct StrategyCandidate {
+  MStarQueryStrategy strategy;
+  double estimated_cost = 0;
+  bool eligible = true;
+  bool chosen = false;
 };
 
 /// \brief A cost-based chooser for the §4.1 strategies — the "interesting
@@ -36,6 +52,12 @@ class StrategyChooser {
   /// always pick strategies that support them (top-down / naive).
   MStarQueryStrategy Choose(const PathExpression& path) const;
 
+  /// The full decision table behind Choose: all four strategies with their
+  /// estimated costs, eligibility under the path's shape, and which one
+  /// Choose picks. Rows come back in enum order; exactly one is chosen.
+  std::vector<StrategyCandidate> ExplainChoice(
+      const PathExpression& path) const;
+
   /// The estimated index-node visits used for the decision (exposed for
   /// tests and the ablation bench).
   double EstimateCost(const PathExpression& path,
@@ -52,6 +74,12 @@ class StrategyChooser {
   /// read the row tables, so this is safe to call concurrently.
   QueryResult Evaluate(const MStarIndex& index, const PathExpression& path,
                        DataEvaluator* validator) const;
+
+  /// Same, reporting which strategy ran (for EXPLAIN and slow-query
+  /// records). `chosen_out` may be null.
+  QueryResult Evaluate(const MStarIndex& index, const PathExpression& path,
+                       DataEvaluator* validator,
+                       MStarQueryStrategy* chosen_out) const;
 
  private:
   /// Number of alive index nodes with label `l` in component `ci`

@@ -1,0 +1,43 @@
+#include "obs/slow_query_log.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace mrx::obs {
+
+SlowQueryLog::SlowQueryLog(SlowQueryLogOptions options) : options_(options) {}
+
+void SlowQueryLog::Append(const QueryDiag& diag) {
+  static Counter* const slow_queries =
+      MetricsRegistry::Global().GetCounter("mrx_slow_queries_total");
+  std::ostringstream line;
+  diag.WriteJson(line);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_records > 0 &&
+        records_.size() >= options_.max_records) {
+      records_.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    records_.push_back(std::move(line).str());
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (diag.trace_id != 0) {
+    last_trace_id_.store(diag.trace_id, std::memory_order_relaxed);
+  }
+  slow_queries->Increment();
+}
+
+void SlowQueryLog::WriteJsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& record : records_) os << record << "\n";
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace mrx::obs

@@ -3,7 +3,20 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace mrx::obs {
+namespace {
+
+/// Process-global overwrite counter, shared by every recorder: exposes
+/// dropped() in the Prometheus/JSONL expositions. Resolved once.
+obs::Counter* TraceDroppedCounter() {
+  static obs::Counter* const dropped =
+      obs::MetricsRegistry::Global().GetCounter("mrx_trace_dropped_total");
+  return dropped;
+}
+
+}  // namespace
 
 uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(
@@ -108,11 +121,21 @@ Span TraceRecorder::StartTrace(std::string_view name, bool always_sample) {
 
 void TraceRecorder::Record(SpanEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= options_.max_events) {
+  if (options_.max_events == 0) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    TraceDroppedCounter()->Increment();
     return;
   }
-  events_.push_back(std::move(event));
+  if (events_.size() < options_.max_events) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Ring: overwrite the oldest buffered event and count the overwrite —
+  // the newest spans are the ones a post-incident look needs.
+  events_[ring_head_] = std::move(event);
+  ring_head_ = (ring_head_ + 1) % events_.size();
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  TraceDroppedCounter()->Increment();
 }
 
 size_t TraceRecorder::size() const {
@@ -122,12 +145,20 @@ size_t TraceRecorder::size() const {
 
 std::vector<SpanEvent> TraceRecorder::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<SpanEvent> out;
+  out.reserve(events_.size());
+  // Rotate so the oldest event comes first (ring_head_ is 0 until the
+  // ring wraps, so the un-wrapped case is the identity).
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(ring_head_ + i) % events_.size()]);
+  }
+  return out;
 }
 
 void TraceRecorder::WriteJsonl(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const SpanEvent& e : events_) {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const SpanEvent& e = events_[(ring_head_ + i) % events_.size()];
     os << "{\"trace\":" << e.trace_id << ",\"span\":" << e.span_id
        << ",\"parent\":" << e.parent_id << ",\"name\":";
     AppendJsonString(os, e.name);

@@ -52,6 +52,11 @@ class Span {
 
   bool enabled() const { return recorder_ != nullptr; }
 
+  /// Trace id this span belongs to (0 for a disabled span) — the exemplar
+  /// handle the slow-query log stores so a JSONL record can be joined back
+  /// to its span tree in trace.jsonl.
+  uint64_t trace_id() const { return event_.trace_id; }
+
   /// Starts a child span of this one (disabled if this span is disabled).
   Span Child(std::string_view name);
 
@@ -81,13 +86,17 @@ class Span {
 /// StartTrace() decides per call whether the new trace is sampled (every
 /// `sample_every`-th call; 1 = always). Unsampled traces return disabled
 /// spans whose whole lifecycle costs a couple of branches. Finished spans
-/// are appended under a mutex; once `max_events` are buffered, further
-/// events are counted in dropped() instead of growing without bound.
+/// are appended under a mutex into a true ring: once `max_events` are
+/// buffered, each new event *overwrites the oldest* (the newest evidence
+/// is what a post-incident look cares about). Every overwrite is counted
+/// in dropped() and in the process-global `mrx_trace_dropped_total`
+/// counter, so buffer pressure is visible in the metrics exposition.
 struct TraceRecorderOptions {
   /// Sample every Nth trace; 1 traces everything, 0 disables tracing.
   size_t sample_every = 64;
 
-  /// Event-buffer bound; spans beyond it are dropped (and counted).
+  /// Event-buffer bound; the ring overwrites oldest events beyond it
+  /// (counting each overwrite). 0 drops everything.
   size_t max_events = 200000;
 };
 
@@ -103,6 +112,8 @@ class TraceRecorder {
   Span StartTrace(std::string_view name, bool always_sample = false);
 
   size_t size() const;
+
+  /// Events overwritten (or, with max_events == 0, discarded) so far.
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -110,12 +121,13 @@ class TraceRecorder {
     return traces_.load(std::memory_order_relaxed);
   }
 
-  /// One JSON object per line:
+  /// One JSON object per line, oldest buffered event first:
   /// {"trace":1,"span":2,"parent":1,"name":"cache_lookup",
   ///  "start_ns":123,"dur_ns":456,"attrs":{"hit":1}}
   void WriteJsonl(std::ostream& os) const;
 
-  /// Snapshot of the buffered events (tests; WriteJsonl is the export).
+  /// Snapshot of the buffered events, oldest first (tests; WriteJsonl is
+  /// the export).
   std::vector<SpanEvent> Events() const;
 
  private:
@@ -129,6 +141,9 @@ class TraceRecorder {
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
+  /// Oldest buffered event once the ring has wrapped (events_ is full);
+  /// the next overwrite lands here. Guarded by mu_.
+  size_t ring_head_ = 0;
 };
 
 /// Appends `text` to `os` as a double-quoted JSON string with the

@@ -1,0 +1,110 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mrx::obs {
+
+StallWatchdog::StallWatchdog(StallWatchdogOptions options)
+    : options_(std::move(options)) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+StallWatchdog::Activity* StallWatchdog::RegisterActivity(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  activities_.push_back(std::make_unique<Activity>(std::move(name)));
+  return activities_.back().get();
+}
+
+uint64_t StallWatchdog::RegisterProbe(std::string name,
+                                      std::function<uint64_t()> age_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_probe_id_++;
+  probes_.push_back(Probe{id, std::move(name), std::move(age_ns), 0});
+  return id;
+}
+
+void StallWatchdog::UnregisterProbe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    if (probes_[i].id == id) {
+      probes_.erase(probes_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void StallWatchdog::Run() {
+  const uint64_t deadline_ns = options_.deadline_ms * 1'000'000ull;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                 [&] { return stop_; });
+    if (stop_) return;
+    const uint64_t now = MonotonicNowNs();
+    // Activities: flag once per Begin that overstays the deadline.
+    for (const std::unique_ptr<Activity>& activity : activities_) {
+      const uint64_t since =
+          activity->busy_since_ns_.load(std::memory_order_relaxed);
+      if (since != 0 && now > since && now - since > deadline_ns &&
+          activity->reported_begin_ns_ != since) {
+        activity->reported_begin_ns_ = since;
+        ReportStall(activity->name(), now - since, /*code=*/0);
+      }
+    }
+    // Probes: flag while over-age, at most once per deadline window.
+    for (size_t i = 0; i < probes_.size(); ++i) {
+      Probe& probe = probes_[i];
+      const uint64_t age = probe.age_ns ? probe.age_ns() : 0;
+      if (age > deadline_ns &&
+          (probe.last_report_ns == 0 ||
+           now - probe.last_report_ns > deadline_ns)) {
+        probe.last_report_ns = now;
+        ReportStall(probe.name, age, static_cast<uint16_t>(i + 1));
+      }
+    }
+  }
+}
+
+void StallWatchdog::ReportStall(const std::string& what, uint64_t stalled_ns,
+                                uint16_t code) {
+  static Counter* const stalls_total =
+      MetricsRegistry::Global().GetCounter("mrx_watchdog_stalls_total");
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  stalls_total->Increment();
+  FlightRecorder::Global().Record(FlightEventType::kWatchdogStall,
+                                  stalled_ns, 0, code);
+  const std::string line =
+      "stall: " + what + " busy " +
+      std::to_string(stalled_ns / 1'000'000ull) + "ms (deadline " +
+      std::to_string(options_.deadline_ms) + "ms)";
+  if (options_.on_stall) {
+    options_.on_stall(line);
+    return;
+  }
+  if (!options_.dump_path.empty()) {
+    std::ofstream dump(options_.dump_path, std::ios::trunc);
+    if (dump) {
+      dump << "{\"stall\":true,\"what\":";
+      AppendJsonString(dump, what);
+      dump << ",\"stalled_ns\":" << stalled_ns << "}\n";
+      FlightRecorder::Global().WriteJsonl(dump);
+    }
+  }
+}
+
+}  // namespace mrx::obs

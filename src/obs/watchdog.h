@@ -1,0 +1,136 @@
+#ifndef MRX_OBS_WATCHDOG_H_
+#define MRX_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrx::obs {
+
+struct StallWatchdogOptions {
+  /// An activity busy longer than this (or a probe reporting an age above
+  /// it) is a stall.
+  uint64_t deadline_ms = 5000;
+
+  /// Poll cadence of the watchdog thread.
+  uint64_t poll_interval_ms = 250;
+
+  /// Optional path the flight recorder is dumped to (JSONL, truncate per
+  /// stall) when a stall fires; empty = no dump. The `on_stall` callback,
+  /// when set, runs instead of the dump.
+  std::string dump_path;
+
+  /// Called on each detected stall with a one-line description. Replaces
+  /// the default flight-recorder dump; tests hook this.
+  std::function<void(const std::string&)> on_stall;
+};
+
+/// \brief A deadline monitor for the writer-side progress of the serving
+/// stack: refiner publishes, mutation applies, and request-queue age.
+///
+/// Two kinds of subjects:
+///  - An **Activity** is a begin/end window (one refine-publish, one
+///    mutation apply). Begin stamps a monotonic start; the watchdog thread
+///    flags any activity that has been busy past the deadline, once per
+///    begin.
+///  - A **probe** is a pull-style age callback (e.g. "age of the oldest
+///    queued request in ns"); the watchdog flags it while the age exceeds
+///    the deadline, rate-limited to once per deadline window.
+///
+/// On a stall the watchdog increments `mrx_watchdog_stalls_total`, records
+/// a kWatchdogStall flight event, and dumps the flight recorder (or runs
+/// the on_stall hook). Detection is advisory — nothing is killed or
+/// unblocked; the artifact trail is the point (docs/OBSERVABILITY.md).
+class StallWatchdog {
+ public:
+  /// One monitored begin/end subject. Owned by the watchdog (stable
+  /// address for the lifetime of the watchdog); Begin/End are wait-free.
+  class Activity {
+   public:
+    explicit Activity(std::string name) : name_(std::move(name)) {}
+
+    void Begin(uint64_t now_ns) {
+      busy_since_ns_.store(now_ns, std::memory_order_relaxed);
+    }
+    void End() { busy_since_ns_.store(0, std::memory_order_relaxed); }
+
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class StallWatchdog;
+    const std::string name_;
+    std::atomic<uint64_t> busy_since_ns_{0};
+    uint64_t reported_begin_ns_ = 0;  ///< Watchdog thread only.
+  };
+
+  /// RAII Begin/End around one unit of monitored work.
+  class ScopedActivity {
+   public:
+    ScopedActivity(Activity* activity, uint64_t now_ns)
+        : activity_(activity) {
+      if (activity_ != nullptr) activity_->Begin(now_ns);
+    }
+    ~ScopedActivity() {
+      if (activity_ != nullptr) activity_->End();
+    }
+    ScopedActivity(const ScopedActivity&) = delete;
+    ScopedActivity& operator=(const ScopedActivity&) = delete;
+
+   private:
+    Activity* activity_;
+  };
+
+  explicit StallWatchdog(StallWatchdogOptions options = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Registers a begin/end subject. The returned pointer stays valid for
+  /// the watchdog's lifetime (callers must End() before destroying the
+  /// watchdog's owner relationships, i.e. the watchdog must outlive its
+  /// registered users).
+  Activity* RegisterActivity(std::string name);
+
+  /// Registers a pull-style age probe; `age_ns` is called from the
+  /// watchdog thread. Returns a handle id for UnregisterProbe.
+  uint64_t RegisterProbe(std::string name,
+                         std::function<uint64_t()> age_ns);
+  void UnregisterProbe(uint64_t id);
+
+  uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Probe {
+    uint64_t id;
+    std::string name;
+    std::function<uint64_t()> age_ns;
+    uint64_t last_report_ns = 0;
+  };
+
+  void Run();
+  void ReportStall(const std::string& what, uint64_t stalled_ns,
+                   uint16_t code);
+
+  const StallWatchdogOptions options_;
+  std::atomic<uint64_t> stalls_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<std::unique_ptr<Activity>> activities_;
+  std::vector<Probe> probes_;
+  uint64_t next_probe_id_ = 1;
+
+  std::thread thread_;
+};
+
+}  // namespace mrx::obs
+
+#endif  // MRX_OBS_WATCHDOG_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/query_cost.h"
+
 namespace mrx {
 namespace {
 
@@ -80,6 +82,7 @@ std::vector<NodeId> DataEvaluator::Evaluate(const PathExpression& path) {
 bool DataEvaluator::HasIncomingPath(NodeId node, const PathExpression& path,
                                     uint64_t* visited) {
   const uint64_t start_ns = timing_enabled_ ? NowNs() : 0;
+  obs::CountValidationCheck();
   const bool matched = HasIncomingPathImpl(node, path, visited);
   if (timing_enabled_) validation_ns_ += NowNs() - start_ns;
   return matched;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/query_cost.h"
+
 namespace mrx::server {
 
 ConcurrentSession::SessionMetrics::SessionMetrics() {
@@ -47,6 +50,10 @@ ConcurrentSession::ConcurrentSession(const DataGraph& graph,
   }
   metrics_.pool_threads->Set(static_cast<int64_t>(
       refine_pool_ != nullptr ? refine_pool_->num_threads() : 1));
+  if (options_.watchdog != nullptr) {
+    refine_activity_ = options_.watchdog->RegisterActivity("refine_publish");
+    mutate_activity_ = options_.watchdog->RegisterActivity("mutation_apply");
+  }
   // Seed publication: epoch 0, graph version 0. publications_ counts only
   // post-seed publications, so index_epoch() == index_publications() holds
   // for mutation-free sessions.
@@ -68,34 +75,52 @@ ConcurrentSession::~ConcurrentSession() {
 
 QueryResult ConcurrentSession::EvaluateOn(
     const mutate::VersionSnapshot& snapshot, const PathExpression& query,
-    DataEvaluator* validator) const {
+    DataEvaluator* validator, MStarQueryStrategy* used) const {
   const MStarIndex& index = snapshot.index();
+  MStarQueryStrategy chosen = MStarQueryStrategy::kTopDown;
+  QueryResult result;
   switch (options_.strategy) {
     case SessionOptions::Strategy::kNaive:
-      return index.QueryNaive(query, validator);
+      chosen = MStarQueryStrategy::kNaive;
+      result = index.QueryNaive(query, validator);
+      break;
     case SessionOptions::Strategy::kBottomUp:
-      return index.QueryBottomUp(query, validator);
+      chosen = MStarQueryStrategy::kBottomUp;
+      result = index.QueryBottomUp(query, validator);
+      break;
     case SessionOptions::Strategy::kHybrid:
-      return index.QueryHybrid(query, validator);
+      chosen = MStarQueryStrategy::kHybrid;
+      result = index.QueryHybrid(query, validator);
+      break;
     case SessionOptions::Strategy::kAuto:
-      return snapshot.chooser().Evaluate(index, query, validator);
+      result = snapshot.chooser().Evaluate(index, query, validator, &chosen);
+      break;
     case SessionOptions::Strategy::kTopDown:
+      result = index.QueryTopDown(query, validator);
       break;
   }
-  return index.QueryTopDown(query, validator);
+  if (used != nullptr) *used = chosen;
+  return result;
 }
 
 QueryResult ConcurrentSession::Query(const PathExpression& query) {
-  return QueryInternal(query).result;
+  return QueryInternal(query, nullptr).result;
 }
 
 ConcurrentSession::VersionedAnswer ConcurrentSession::QueryVersioned(
     const PathExpression& query) {
-  return QueryInternal(query);
+  return QueryInternal(query, nullptr);
+}
+
+QueryResult ConcurrentSession::QueryExplained(const PathExpression& query,
+                                              obs::QueryDiag* diag) {
+  return QueryInternal(query, diag).result;
 }
 
 ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
-    const PathExpression& query) {
+    const PathExpression& query, obs::QueryDiag* diag) {
+  const uint64_t begin_ns = obs::MonotonicNowNs();
+  const bool slow_capture = options_.slow_query_ns > 0;
   // Per-query trace root; disabled (all no-ops) when there is no tracer or
   // the sampler skips this query. Phase *histograms* are recorded for
   // every query regardless — only the span events and the index-probe /
@@ -112,6 +137,8 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
   VersionedAnswer answer;
   answer.epoch = snapshot->epoch();
   answer.graph_version = snapshot->version();
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kQueryStart,
+                                       answer.epoch, answer.graph_version);
 
   // The observation is recorded only *after* the cache lookup: if it went
   // to the inbox first, the refiner could promote this very query and
@@ -140,6 +167,22 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
       metrics_.queries_total->Increment();
       root.AddAttr("cache_hit", 1);
       hit.stats = QueryStats{};  // A cache hit visits no nodes.
+      const uint64_t total_ns = obs::MonotonicNowNs() - begin_ns;
+      const bool is_slow = slow_capture && total_ns >= options_.slow_query_ns;
+      if (diag != nullptr || is_slow) {
+        // A cache hit ran no strategy and visited nothing: the record is
+        // the outcome (hit), the snapshot coordinates, and the latency.
+        obs::QueryDiag local;
+        obs::QueryDiag* d = diag != nullptr ? diag : &local;
+        d->query = key;
+        d->epoch = answer.epoch;
+        d->graph_version = answer.graph_version;
+        d->cache_hit = true;
+        d->precise = hit.precise;
+        d->latency_ns = total_ns;
+        d->answer_size = hit.answer.size();
+        if (is_slow) CaptureSlowQuery(d, begin_ns, 0, 0, 0);
+      }
       answer.result = std::move(hit);
       return answer;
     }
@@ -150,30 +193,51 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
   // under-refinement), and at worst the Put below is dropped as stale.
   RecordObservation(query);
 
+  // The split needs validator timing (two clock reads per validation
+  // call), so it stays gated — but EXPLAIN and slow-query capture force it
+  // on even when the sampler skipped the span.
+  const bool want_timing = root.enabled() || diag != nullptr || slow_capture;
+
   QueryResult result;
+  MStarQueryStrategy used = MStarQueryStrategy::kTopDown;
+  obs::QueryCostCounters cost;
   uint64_t validation_ns = 0;
   const uint64_t eval_start = obs::MonotonicNowNs();
   {
+    // Actual-cost collection is always on for evaluated queries: the scope
+    // is two thread-local stores, and its destructor feeds the process
+    // totals (mrx_cost_*_total) the bench reports.
+    obs::QueryCostScope cost_scope(&cost);
     mutate::VersionSnapshot::EvaluatorLease lease(snapshot.get());
     DataEvaluator* validator = lease.get();
-    if (root.enabled()) {
+    if (want_timing) {
       validator->ConsumeValidationNs();  // Clear any stale accumulation.
       validator->EnableValidationTiming(true);
     }
-    result = EvaluateOn(*snapshot, query, validator);
-    if (root.enabled()) {
+    result = EvaluateOn(*snapshot, query, validator, &used);
+    if (want_timing) {
       validation_ns = validator->ConsumeValidationNs();
       validator->EnableValidationTiming(false);  // Returned to pool off.
     }
   }
   const uint64_t eval_ns = obs::MonotonicNowNs() - eval_start;
   metrics_.eval_ns->Record(eval_ns);
+  const double est_cost = snapshot->chooser().EstimateCost(query, used);
+  est_cost_units_.fetch_add(static_cast<uint64_t>(est_cost + 0.5),
+                            std::memory_order_relaxed);
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kStrategyDecision,
+      static_cast<uint64_t>(est_cost + 0.5), 0,
+      static_cast<uint16_t>(used));
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kQueryPhase,
+                                       eval_ns,
+                                       result.stats.index_nodes_visited);
+  // data_validation is accumulated across validator calls interleaved
+  // with the probe, so both phase spans share the evaluation window's
+  // start; their durations partition eval_ns (see docs/OBSERVABILITY.md).
+  const uint64_t probe_ns =
+      eval_ns >= validation_ns ? eval_ns - validation_ns : 0;
   if (root.enabled()) {
-    // data_validation is accumulated across validator calls interleaved
-    // with the probe, so both phase spans share the evaluation window's
-    // start; their durations partition eval_ns (see docs/OBSERVABILITY.md).
-    const uint64_t probe_ns =
-        eval_ns >= validation_ns ? eval_ns - validation_ns : 0;
     metrics_.index_probe_ns->Record(probe_ns);
     metrics_.validation_ns->Record(validation_ns);
     obs::Span probe = root.Child("index_probe");
@@ -194,19 +258,92 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
   if (options_.cache_results) {
     cache_.Put(key, result, answer.epoch);
   }
+
+  const uint64_t total_ns = obs::MonotonicNowNs() - begin_ns;
+  const bool is_slow = slow_capture && total_ns >= options_.slow_query_ns;
+  if (diag != nullptr || is_slow) {
+    obs::QueryDiag local;
+    obs::QueryDiag* d = diag != nullptr ? diag : &local;
+    d->query = options_.cache_results
+                   ? key
+                   : query.ToString(snapshot->graph().symbols());
+    d->epoch = answer.epoch;
+    d->graph_version = answer.graph_version;
+    d->cache_hit = false;
+    d->precise = result.precise;
+    d->strategy = StrategyName(used);
+    d->estimated_cost = est_cost;
+    for (const StrategyCandidate& c :
+         snapshot->chooser().ExplainChoice(query)) {
+      obs::QueryDiag::Candidate row;
+      row.strategy = StrategyName(c.strategy);
+      row.estimated_cost = c.estimated_cost;
+      row.eligible = c.eligible;
+      // Fixed-strategy sessions override the chooser: flag what actually
+      // ran, keeping the chooser's estimates as the comparison column.
+      row.chosen = c.strategy == used;
+      d->considered.push_back(row);
+    }
+    d->index_nodes_visited = result.stats.index_nodes_visited;
+    d->data_nodes_validated = result.stats.data_nodes_validated;
+    d->SetCost(cost);
+    d->eval_ns = eval_ns;
+    d->latency_ns = total_ns;
+    d->answer_size = result.answer.size();
+    if (is_slow) {
+      CaptureSlowQuery(d, begin_ns, eval_start, probe_ns, validation_ns);
+    }
+  }
   answer.result = std::move(result);
   return answer;
+}
+
+void ConcurrentSession::CaptureSlowQuery(obs::QueryDiag* diag,
+                                         uint64_t begin_ns,
+                                         uint64_t eval_start_ns,
+                                         uint64_t probe_ns,
+                                         uint64_t validation_ns) {
+  slow_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.tracer != nullptr) {
+    // Forced trace: slow queries are exactly the ones worth a full span
+    // record, so they bypass the sampler.
+    obs::Span slow =
+        options_.tracer->StartTrace("slow_query", /*always_sample=*/true);
+    if (slow.enabled()) {
+      slow.AddAttr("cache_hit", diag->cache_hit ? 1 : 0);
+      slow.AddAttr("answer_size", diag->answer_size);
+      if (eval_start_ns != 0) {
+        obs::Span probe = slow.Child("index_probe");
+        probe.AddAttr("index_nodes_visited", diag->index_nodes_visited);
+        probe.EndManual(eval_start_ns, probe_ns);
+        obs::Span validation = slow.Child("data_validation");
+        validation.AddAttr("data_nodes_validated",
+                           diag->data_nodes_validated);
+        validation.EndManual(eval_start_ns, validation_ns);
+      }
+      diag->trace_id = slow.trace_id();
+      last_slow_trace_id_.store(diag->trace_id, std::memory_order_relaxed);
+      slow.EndManual(begin_ns, diag->latency_ns);
+    }
+  }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kSlowQuery,
+                                       diag->latency_ns, diag->trace_id);
+  if (options_.slow_query_log != nullptr) {
+    options_.slow_query_log->Append(*diag);
+  }
 }
 
 QueryResult ConcurrentSession::Peek(const PathExpression& query) {
   std::shared_ptr<mutate::VersionSnapshot> snapshot = handle_.Acquire();
   mutate::VersionSnapshot::EvaluatorLease lease(snapshot.get());
-  return EvaluateOn(*snapshot, query, lease.get());
+  return EvaluateOn(*snapshot, query, lease.get(), nullptr);
 }
 
 Result<ConcurrentSession::MutationReceipt> ConcurrentSession::ApplyMutations(
     const mutate::MutationBatch& batch) {
   std::lock_guard<std::mutex> lock(refine_mu_);
+  const uint64_t apply_start = obs::MonotonicNowNs();
+  obs::StallWatchdog::ScopedActivity watch(mutate_activity_, apply_start);
   if (maintainer_ == nullptr) {
     mutate::MaintainerOptions mo = options_.mutation;
     if (mo.pool == nullptr) mo.pool = refine_pool_.get();
@@ -228,6 +365,9 @@ Result<ConcurrentSession::MutationReceipt> ConcurrentSession::ApplyMutations(
   const uint64_t publish_start = obs::MonotonicNowNs();
   PublishLocked();
   metrics_.publish_ns->Record(obs::MonotonicNowNs() - publish_start);
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kMutationApply,
+      obs::MonotonicNowNs() - apply_start, receipt.version);
 
   MutationReceipt out;
   out.batch = std::move(receipt);
@@ -272,6 +412,7 @@ void ConcurrentSession::RefineLoop() {
     // undisturbed until the publish swaps the snapshot pointer.
     std::lock_guard<std::mutex> writer_lock(refine_mu_);
     const uint64_t batch_start = obs::MonotonicNowNs();
+    obs::StallWatchdog::ScopedActivity watch(refine_activity_, batch_start);
     const uint64_t splits_before = master_->TotalRefinementStats().splits;
     std::vector<PathExpression> promoted;
     for (const PathExpression& q : batch) {
@@ -307,6 +448,8 @@ void ConcurrentSession::RefineLoop() {
       PublishLocked();
       publish_ns = obs::MonotonicNowNs() - publish_start;
       metrics_.publish_ns->Record(publish_ns);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kRefinePublish, publish_ns, handle_.epoch());
     }
 
     // Refinement batches are rare and high-signal, so they bypass the
@@ -346,6 +489,8 @@ void ConcurrentSession::PublishLocked() {
   // so once a publication is visible, no pre-publication answer survives in
   // the cache (the mutation-staleness contract).
   cache_.Invalidate(snapshot->epoch());
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kCacheEvictionSweep, snapshot->epoch());
   publications_.fetch_add(1, std::memory_order_relaxed);
 
   // Refresh the index-size gauges from the writer's master copy (equal to

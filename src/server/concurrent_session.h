@@ -17,7 +17,10 @@
 #include "mutate/mutation.h"
 #include "mutate/versioned_handle.h"
 #include "obs/metrics.h"
+#include "obs/query_diag.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/answer_cache.h"
 #include "util/thread_pool.h"
 #include "workload/fup_extractor.h"
@@ -66,6 +69,21 @@ struct ConcurrentSessionOptions {
   /// maintainer is created lazily on the first mutation, so sessions that
   /// never mutate pay nothing.
   mutate::MaintainerOptions mutation;
+
+  /// Slow-query capture threshold in nanoseconds; 0 disables. A query
+  /// whose wall time crosses it gets a forced (sampler-bypassing) trace
+  /// and a full explain record appended to `slow_query_log`. See
+  /// docs/OBSERVABILITY.md "EXPLAIN & diagnostics".
+  uint64_t slow_query_ns = 0;
+
+  /// Sink for slow-query explain records; nullptr keeps capture purely in
+  /// counters. Must outlive the session.
+  obs::SlowQueryLog* slow_query_log = nullptr;
+
+  /// Stall watchdog to register the refiner-publish and mutation-apply
+  /// activities with (plus any caller-side probes). nullptr disables
+  /// monitoring. Must outlive the session.
+  obs::StallWatchdog* watchdog = nullptr;
 };
 
 /// \brief The paper's Figure 5 closed loop as a *concurrent* service: the
@@ -139,6 +157,13 @@ class ConcurrentSession {
   /// Answers without recording the observation or touching the cache.
   QueryResult Peek(const PathExpression& query);
 
+  /// Query() with a full EXPLAIN record: strategy decision table with
+  /// estimated costs, actual §5-style cost counters, resolution levels
+  /// touched, cache outcome, and phase timings. `diag` must be non-null;
+  /// the answer is identical to Query()'s. Thread-safe.
+  QueryResult QueryExplained(const PathExpression& query,
+                             obs::QueryDiag* diag);
+
   /// Applies `batch` to the data graph atomically and publishes a new
   /// snapshot (fresh index over the new graph with every promoted FUP
   /// replayed). Node ids in `batch` refer to graph_snapshot()'s compact id
@@ -168,6 +193,24 @@ class ConcurrentSession {
   /// Mutation batches applied so far (== graph_version()).
   uint64_t mutation_batches() const {
     return graph_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries that crossed options.slow_query_ns (0 when capture is off).
+  uint64_t slow_queries() const {
+    return slow_queries_.load(std::memory_order_relaxed);
+  }
+
+  /// Trace id of the most recent slow-query capture (0 if none, or if the
+  /// session has no tracer). Serves as the exemplar in ServerStats.
+  uint64_t last_slow_trace_id() const {
+    return last_slow_trace_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative chooser-estimated cost (index-node-visit units) across all
+  /// evaluated (non-cache-hit) queries — the denominator-side of the
+  /// est-vs-actual cost ratio the bench reports.
+  uint64_t estimated_cost_units() const {
+    return est_cost_units_.load(std::memory_order_relaxed);
   }
 
   /// Observations recorded but not yet processed by the refiner.
@@ -236,9 +279,18 @@ class ConcurrentSession {
   };
 
   QueryResult EvaluateOn(const mutate::VersionSnapshot& snapshot,
-                         const PathExpression& query,
-                         DataEvaluator* validator) const;
-  VersionedAnswer QueryInternal(const PathExpression& query);
+                         const PathExpression& query, DataEvaluator* validator,
+                         MStarQueryStrategy* used) const;
+  VersionedAnswer QueryInternal(const PathExpression& query,
+                                obs::QueryDiag* diag);
+
+  /// Slow-query bookkeeping: counter bump, forced (sampler-bypassing)
+  /// trace whose id lands in diag->trace_id, kSlowQuery flight event, and
+  /// the slow-log append. `eval_start_ns` == 0 means the query never
+  /// evaluated (cache hit), so no phase children are emitted.
+  void CaptureSlowQuery(obs::QueryDiag* diag, uint64_t begin_ns,
+                        uint64_t eval_start_ns, uint64_t probe_ns,
+                        uint64_t validation_ns);
   void RecordObservation(const PathExpression& query);
   void RefineLoop();
 
@@ -261,6 +313,9 @@ class ConcurrentSession {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> stat_index_nodes_{0};
   std::atomic<uint64_t> stat_data_nodes_{0};
+  std::atomic<uint64_t> slow_queries_{0};
+  std::atomic<uint64_t> last_slow_trace_id_{0};
+  std::atomic<uint64_t> est_cost_units_{0};
 
   // --- Refine path -------------------------------------------------------
   mutable std::mutex inbox_mu_;
@@ -300,6 +355,11 @@ class ConcurrentSession {
   std::atomic<uint64_t> graph_version_{0};
 
   SessionMetrics metrics_;
+
+  /// Watchdog-owned activities (null when options.watchdog is null); the
+  /// watchdog guarantees stable addresses for its lifetime.
+  obs::StallWatchdog::Activity* refine_activity_ = nullptr;
+  obs::StallWatchdog::Activity* mutate_activity_ = nullptr;
 
   std::thread refiner_;
 };

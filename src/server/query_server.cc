@@ -4,7 +4,9 @@
 #include <future>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mrx::server {
 namespace {
@@ -42,6 +44,20 @@ QueryServer::QueryServer(const DataGraph& graph, QueryServerOptions options)
     workers_.emplace_back(
         [this, stats = worker_stats_.back().get()] { WorkerLoop(stats); });
   }
+  if (options_.session.watchdog != nullptr) {
+    // Queue-age probe: time since a worker last dequeued, while requests
+    // are waiting. Catches a wedged worker pool (queue non-empty, nobody
+    // draining) that per-activity monitors cannot see.
+    last_dequeue_ns_.store(obs::MonotonicNowNs(), std::memory_order_relaxed);
+    queue_probe_id_ = options_.session.watchdog->RegisterProbe(
+        "request_queue", [this]() -> uint64_t {
+          if (queue_.size() == 0) return 0;
+          const uint64_t last =
+              last_dequeue_ns_.load(std::memory_order_relaxed);
+          const uint64_t now = obs::MonotonicNowNs();
+          return now > last ? now - last : 0;
+        });
+  }
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
@@ -55,6 +71,8 @@ Status QueryServer::Submit(PathExpression query, Callback done) {
                                    ? "server is shutting down"
                                    : "request queue full; retry later");
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kQueryAdmit,
+                                       queue_.size());
   return Status::Ok();
 }
 
@@ -74,6 +92,7 @@ void QueryServer::WorkerLoop(WorkerStats* stats) {
   for (;;) {
     std::optional<Request> request = queue_.Pop();
     if (!request.has_value()) return;  // Closed and drained.
+    last_dequeue_ns_.store(obs::MonotonicNowNs(), std::memory_order_relaxed);
     const auto processing_start = Clock::now();
     QueryResult result = session_.Query(request->query);
     const auto now = Clock::now();
@@ -101,6 +120,11 @@ void QueryServer::WorkerLoop(WorkerStats* stats) {
 void QueryServer::Shutdown() {
   if (shutdown_.exchange(true)) {
     return;  // Already shut down (workers joined exactly once).
+  }
+  if (queue_probe_id_ != 0 && options_.session.watchdog != nullptr) {
+    // Unregister before the workers stop draining, or an idle shutdown
+    // with queued rejects would read as a stall.
+    options_.session.watchdog->UnregisterProbe(queue_probe_id_);
   }
   queue_.Close();
   for (std::thread& t : workers_) t.join();
@@ -132,6 +156,9 @@ ServerStats QueryServer::Snapshot() const {
   stats.cache_entries = session_.cache_entries();
   stats.index_epoch = session_.index_epoch();
   stats.graph_version = session_.graph_version();
+  stats.slow_queries = session_.slow_queries();
+  stats.last_slow_trace_id = session_.last_slow_trace_id();
+  stats.estimated_cost_units = session_.estimated_cost_units();
   return stats;
 }
 

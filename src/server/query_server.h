@@ -94,6 +94,10 @@ class QueryServer {
   BoundedQueue<Request> queue_;
   const Clock::time_point started_at_ = Clock::now();
   std::atomic<uint64_t> rejected_{0};
+  /// Monotonic time of the last worker dequeue; with a non-empty queue its
+  /// age is the watchdog's queue-stall signal.
+  std::atomic<uint64_t> last_dequeue_ns_{0};
+  uint64_t queue_probe_id_ = 0;  ///< Watchdog probe handle; 0 = none.
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

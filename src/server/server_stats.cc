@@ -6,7 +6,7 @@ std::vector<std::string> ServerStatsHeaders() {
   return {"config",  "workers",        "queries",     "qps",
           "p50_us",  "p95_us",         "p99_us",      "cache_hit_rate",
           "avg_query_cost", "refinements", "rejected", "utilization",
-          "epoch",   "graph_version"};
+          "epoch",   "graph_version",  "slow_q"};
 }
 
 void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
@@ -21,7 +21,7 @@ void AppendServerStatsRow(const ServerStats& stats, const std::string& label,
                       stats.LatencyUs(99), stats.CacheHitRate(), avg_cost,
                       stats.refinements_applied, stats.rejected,
                       stats.AvgWorkerUtilization(), stats.index_epoch,
-                      stats.graph_version);
+                      stats.graph_version, stats.slow_queries);
 }
 
 }  // namespace mrx::server

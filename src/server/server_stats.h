@@ -36,6 +36,17 @@ struct ServerStats {
   uint64_t index_epoch = 0;
   uint64_t graph_version = 0;
 
+  /// Slow-query capture: queries that crossed the configured threshold,
+  /// and the trace id of the most recent capture (the exemplar linking
+  /// these stats to the span trace; 0 = none captured / no tracer).
+  uint64_t slow_queries = 0;
+  uint64_t last_slow_trace_id = 0;
+
+  /// Cumulative chooser-estimated cost (index-node-visit units) across all
+  /// evaluated queries; estimated/actual is the chooser's calibration
+  /// ratio reported by serve-bench.
+  uint64_t estimated_cost_units = 0;
+
   size_t queue_depth = 0;  ///< Requests waiting in the MPMC queue.
   size_t num_workers = 0;
   size_t cache_entries = 0;

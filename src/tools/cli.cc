@@ -13,8 +13,13 @@
 #include "graph/statistics.h"
 #include "harness/report.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_cost.h"
+#include "obs/query_diag.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "index/m_star_index.h"
 #include "index/strategy_chooser.h"
 #include "index/twig_eval.h"
@@ -22,6 +27,7 @@
 #include "mutate/random_batch.h"
 #include "query/data_evaluator.h"
 #include "query/twig.h"
+#include "server/concurrent_session.h"
 #include "server/load_driver.h"
 #include "storage/disk_m_star_index.h"
 #include "storage/graph_io.h"
@@ -51,17 +57,41 @@ commands:
                                       (docs/PERFORMANCE.md)
   index info <graph> <index.mrxs>
   query <graph> [index.mrxs] <expr> [--strategy auto|topdown|naive|bottomup|hybrid]
+        [--explain] [--json]          --explain prints the strategy decision
+                                      table (estimated cost per candidate)
+                                      and the measured cost counters next
+                                      to the answer; --json emits the
+                                      explain record as one JSON line
+  explain <graph> [index.mrxs] <expr> [--json]
+                                      run every eligible strategy and
+                                      report estimated vs actual cost per
+                                      strategy (docs/OBSERVABILITY.md)
+  diag <graph> [--queries N] [--count N] [--seed N] [--slow-query-ms X]
+       [--watchdog-ms N] [--out DIR] [--last N]
+                                      drive a seeded mini-workload through
+                                      a concurrent session and write a
+                                      diagnostics bundle (flight.jsonl,
+                                      slow_queries.jsonl, trace.jsonl,
+                                      metrics.prom/.jsonl, diag.json) to
+                                      DIR; --last N bounds the flight dump
   generate <xmark|nasa> <out.xml> [--scale S] [--seed N]
   workload <graph> [--count N] [--max-length L] [--seed N]
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
               [--metrics-out DIR] [--trace-sample N] [--threads N]
               [--mutation-rate R] [--mutation-ops N]
+              [--slow-query-ms X] [--watchdog-ms N] [--diag on|off]
                                       --threads N gives the background
                                       refiner an N-thread pool;
                                       --mutation-rate R applies R random
                                       mutation batches per 1000 timed
-                                      queries from a mutator thread
+                                      queries from a mutator thread;
+                                      --slow-query-ms X captures queries
+                                      slower than X ms (fractional ok) into
+                                      slow_queries.jsonl with forced
+                                      traces; --diag off disables the
+                                      always-on flight recorder (overhead
+                                      A/B runs)
   mutate <graph> [--steps N] [--ops N] [--seed N] [--k N] [--verify on]
          [--out out.mrxg]             apply N seeded random mutation
                                       batches with incremental A(k)/D(k)/
@@ -135,15 +165,26 @@ struct Options {
   }
 };
 
+/// Flags that take no value ("--explain", not "--explain on"); they parse
+/// to the value "on".
+bool IsBooleanFlag(const std::string& key) {
+  return key == "explain" || key == "json";
+}
+
 Result<Options> ParseOptions(const std::vector<std::string>& args,
                              size_t begin) {
   Options options;
   for (size_t i = begin; i < args.size(); ++i) {
     if (StartsWith(args[i], "--")) {
+      const std::string key = args[i].substr(2);
+      if (IsBooleanFlag(key)) {
+        options.flags.emplace_back(key, "on");
+        continue;
+      }
       if (i + 1 >= args.size()) {
         return Status::InvalidArgument("missing value for " + args[i]);
       }
-      options.flags.emplace_back(args[i].substr(2), args[i + 1]);
+      options.flags.emplace_back(key, args[i + 1]);
       ++i;
     } else {
       options.positional.push_back(args[i]);
@@ -268,9 +309,89 @@ int CmdIndexInfo(const Options& options, std::ostream& out,
   return 0;
 }
 
+/// Runs `query` against `index` with `strategy` ("auto" uses `chooser`),
+/// collecting the actual-cost counters, and fills `diag` with the full
+/// explain record. Returns the query result.
+QueryResult RunExplained(const MStarIndex& index,
+                         const StrategyChooser& chooser, const DataGraph& g,
+                         const PathExpression& query,
+                         MStarQueryStrategy strategy, bool auto_choose,
+                         obs::QueryDiag* diag) {
+  obs::QueryCostCounters cost;
+  MStarQueryStrategy used = strategy;
+  QueryResult result;
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  {
+    obs::QueryCostScope scope(&cost);
+    DataEvaluator validator(g);
+    if (auto_choose) {
+      result = chooser.Evaluate(index, query, &validator, &used);
+    } else {
+      switch (strategy) {
+        case MStarQueryStrategy::kNaive:
+          result = index.QueryNaive(query, &validator);
+          break;
+        case MStarQueryStrategy::kTopDown:
+          result = index.QueryTopDown(query, &validator);
+          break;
+        case MStarQueryStrategy::kBottomUp:
+          result = index.QueryBottomUp(query, &validator);
+          break;
+        case MStarQueryStrategy::kHybrid:
+          result = index.QueryHybrid(query, &validator);
+          break;
+      }
+    }
+  }
+  const uint64_t eval_ns = obs::MonotonicNowNs() - start_ns;
+  diag->query = query.ToString(g.symbols());
+  diag->precise = result.precise;
+  diag->strategy = StrategyName(used);
+  diag->estimated_cost = chooser.EstimateCost(query, used);
+  for (const StrategyCandidate& c : chooser.ExplainChoice(query)) {
+    obs::QueryDiag::Candidate row;
+    row.strategy = StrategyName(c.strategy);
+    row.estimated_cost = c.estimated_cost;
+    row.eligible = c.eligible;
+    row.chosen = c.strategy == used;
+    diag->considered.push_back(row);
+  }
+  diag->index_nodes_visited = result.stats.index_nodes_visited;
+  diag->data_nodes_validated = result.stats.data_nodes_validated;
+  diag->SetCost(cost);
+  diag->eval_ns = eval_ns;
+  diag->latency_ns = eval_ns;
+  diag->answer_size = result.answer.size();
+  return result;
+}
+
+Result<MStarQueryStrategy> ParseStrategy(const std::string& name) {
+  if (name == "topdown") return MStarQueryStrategy::kTopDown;
+  if (name == "naive") return MStarQueryStrategy::kNaive;
+  if (name == "bottomup") return MStarQueryStrategy::kBottomUp;
+  if (name == "hybrid") return MStarQueryStrategy::kHybrid;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+void PrintAnswer(const QueryResult& result, const DataGraph& g,
+                 std::ostream& out) {
+  out << result.answer.size() << " nodes (cost " << result.stats.total()
+      << (result.precise ? ", precise" : ", validated") << "):";
+  size_t shown = 0;
+  for (NodeId n : result.answer) {
+    if (++shown > 20) {
+      out << " ...";
+      break;
+    }
+    out << " " << n << ":" << g.label_name(n);
+  }
+  out << "\n";
+}
+
 int CmdQuery(const Options& options, std::ostream& out, std::ostream& err) {
   if (options.positional.size() < 2 || options.positional.size() > 3) {
-    err << "usage: mrx query <graph> [index.mrxs] <expr> [--strategy ...]\n";
+    err << "usage: mrx query <graph> [index.mrxs] <expr> [--strategy ...] "
+           "[--explain] [--json]\n";
     return 2;
   }
   Result<DataGraph> g = LoadGraph(options.positional[0]);
@@ -312,42 +433,251 @@ int CmdQuery(const Options& options, std::ostream& out, std::ostream& err) {
   auto query = PathExpression::Parse(expr, g->symbols());
   if (!query.ok()) return Fail(err, query.status());
 
+  const bool explain = options.Flag("explain") == "on";
+  const bool as_json = options.Flag("json") == "on";
+  const std::string strategy_name = options.Flag("strategy", "auto");
+  const bool auto_choose = strategy_name == "auto";
+  MStarQueryStrategy strategy = MStarQueryStrategy::kTopDown;
+  if (!auto_choose) {
+    Result<MStarQueryStrategy> parsed = ParseStrategy(strategy_name);
+    if (!parsed.ok()) {
+      err << parsed.status().message() << "\n";
+      return 2;
+    }
+    strategy = *parsed;
+  }
+
+  // The explain path needs a chooser (for the decision table) whether the
+  // index came from disk or is the fresh k=0 hierarchy.
+  if (explain) {
+    std::unique_ptr<MStarIndex> owned;
+    if (has_index) {
+      Result<MStarIndex> loaded =
+          storage::LoadMStarIndexFromFile(*g, options.positional[1]);
+      if (!loaded.ok()) return Fail(err, loaded.status());
+      owned = std::make_unique<MStarIndex>(std::move(*loaded));
+    } else {
+      owned = std::make_unique<MStarIndex>(*g);
+    }
+    const MStarIndex* index = owned.get();
+    StrategyChooser chooser(*index);
+    obs::QueryDiag diag;
+    QueryResult result = RunExplained(*index, chooser, *g, *query, strategy,
+                                      auto_choose, &diag);
+    if (as_json) {
+      diag.WriteJson(out);
+      out << "\n";
+    } else {
+      diag.WriteText(out);
+      PrintAnswer(result, *g, out);
+    }
+    return 0;
+  }
+
   QueryResult result;
   if (has_index) {
     Result<MStarIndex> index =
         storage::LoadMStarIndexFromFile(*g, options.positional[1]);
     if (!index.ok()) return Fail(err, index.status());
-    const std::string strategy = options.Flag("strategy", "auto");
-    if (strategy == "auto") {
+    if (auto_choose) {
       result = StrategyChooser::QueryAuto(*index, *query);
-    } else if (strategy == "topdown") {
-      result = index->QueryTopDown(*query);
-    } else if (strategy == "naive") {
-      result = index->QueryNaive(*query);
-    } else if (strategy == "bottomup") {
-      result = index->QueryBottomUp(*query);
-    } else if (strategy == "hybrid") {
-      result = index->QueryHybrid(*query);
     } else {
-      err << "unknown strategy: " << strategy << "\n";
-      return 2;
+      switch (strategy) {
+        case MStarQueryStrategy::kTopDown:
+          result = index->QueryTopDown(*query);
+          break;
+        case MStarQueryStrategy::kNaive:
+          result = index->QueryNaive(*query);
+          break;
+        case MStarQueryStrategy::kBottomUp:
+          result = index->QueryBottomUp(*query);
+          break;
+        case MStarQueryStrategy::kHybrid:
+          result = index->QueryHybrid(*query);
+          break;
+      }
     }
   } else {
     MStarIndex fresh(*g);
     result = fresh.QueryTopDown(*query);
   }
 
-  out << result.answer.size() << " nodes (cost " << result.stats.total()
-      << (result.precise ? ", precise" : ", validated") << "):";
-  size_t shown = 0;
-  for (NodeId n : result.answer) {
-    if (++shown > 20) {
-      out << " ...";
-      break;
-    }
-    out << " " << n << ":" << g->label_name(n);
+  PrintAnswer(result, *g, out);
+  return 0;
+}
+
+int CmdExplain(const Options& options, std::ostream& out,
+               std::ostream& err) {
+  if (options.positional.size() < 2 || options.positional.size() > 3) {
+    err << "usage: mrx explain <graph> [index.mrxs] <expr> [--json]\n";
+    return 2;
   }
-  out << "\n";
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+  const bool has_index = options.positional.size() == 3;
+  const std::string& expr = options.positional.back();
+  auto query = PathExpression::Parse(expr, g->symbols());
+  if (!query.ok()) return Fail(err, query.status());
+  const bool as_json = options.Flag("json") == "on";
+
+  std::unique_ptr<MStarIndex> owned;
+  if (has_index) {
+    Result<MStarIndex> loaded =
+        storage::LoadMStarIndexFromFile(*g, options.positional[1]);
+    if (!loaded.ok()) return Fail(err, loaded.status());
+    owned = std::make_unique<MStarIndex>(std::move(*loaded));
+  } else {
+    owned = std::make_unique<MStarIndex>(*g);
+  }
+  const MStarIndex* index = owned.get();
+  StrategyChooser chooser(*index);
+
+  // Run every *eligible* strategy so estimated-vs-actual is measured, not
+  // extrapolated; ineligible rows keep their estimate with actuals blank.
+  TableWriter table({"strategy", "eligible", "est_cost", "index_nodes",
+                     "extent_scanned", "validated", "eval_us", "answer",
+                     "chosen"});
+  for (const StrategyCandidate& c : chooser.ExplainChoice(*query)) {
+    if (!c.eligible) {
+      table.AddRowValues(StrategyName(c.strategy), "no", c.estimated_cost,
+                         "-", "-", "-", "-", "-", c.chosen ? "<-" : "");
+      continue;
+    }
+    obs::QueryDiag diag;
+    RunExplained(*index, chooser, *g, *query, c.strategy,
+                 /*auto_choose=*/false, &diag);
+    if (as_json) {
+      diag.WriteJson(out);
+      out << "\n";
+    }
+    table.AddRowValues(StrategyName(c.strategy), "yes", c.estimated_cost,
+                       diag.index_nodes_visited, diag.extent_elems_scanned,
+                       diag.data_nodes_validated, diag.eval_ns / 1000.0,
+                       diag.answer_size, c.chosen ? "<-" : "");
+  }
+  if (!as_json) table.RenderText(out);
+  return 0;
+}
+
+int CmdDiag(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: mrx diag <graph> [--queries N] [--count N] [--seed N] "
+           "[--slow-query-ms X] [--watchdog-ms N] [--out DIR] [--last N]\n";
+    return 2;
+  }
+  Result<DataGraph> g = LoadGraph(options.positional[0]);
+  if (!g.ok()) return Fail(err, g.status());
+
+  const size_t total_queries = static_cast<size_t>(
+      std::atoll(options.Flag("queries", "400").c_str()));
+  const double slow_ms = std::atof(options.Flag("slow-query-ms", "0").c_str());
+  const uint64_t watchdog_ms = static_cast<uint64_t>(
+      std::atoll(options.Flag("watchdog-ms", "5000").c_str()));
+  const size_t last_n =
+      static_cast<size_t>(std::atoll(options.Flag("last", "0").c_str()));
+  const std::string out_dir = options.Flag("out", "mrx-diag");
+
+  LabelPathEnumerationOptions eo;
+  eo.max_length = 9;
+  LabelPathSet paths = EnumerateLabelPaths(*g, eo);
+  WorkloadOptions wo;
+  wo.num_queries =
+      static_cast<size_t>(std::atoll(options.Flag("count", "40").c_str()));
+  wo.max_query_length = 9;
+  wo.seed =
+      static_cast<uint64_t>(std::atoll(options.Flag("seed", "1").c_str()));
+  std::vector<PathExpression> workload = GenerateWorkload(paths, wo);
+  if (workload.empty()) {
+    err << "error: graph yields an empty workload\n";
+    return 1;
+  }
+
+  obs::TraceRecorder tracer;
+  obs::SlowQueryLog slow_log;
+  obs::StallWatchdogOptions wd;
+  wd.deadline_ms = watchdog_ms;
+  obs::StallWatchdog watchdog(wd);
+
+  // The session is declared after (destroyed before) the watchdog and the
+  // log it writes into.
+  server::ConcurrentSessionOptions so;
+  so.strategy = SessionOptions::Strategy::kAuto;
+  so.tracer = &tracer;
+  so.slow_query_log = &slow_log;
+  so.watchdog = &watchdog;
+  so.slow_query_ns = static_cast<uint64_t>(slow_ms * 1e6);
+  server::ConcurrentSession session(*g, so);
+  for (size_t i = 0; i < total_queries; ++i) {
+    session.Query(workload[i % workload.size()]);
+  }
+  session.DrainRefinements();
+
+  const std::filesystem::path dir(out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Fail(err, Status::Internal("cannot create " + out_dir + ": " +
+                                      ec.message()));
+  }
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  {
+    std::ofstream f(dir / "flight.jsonl", std::ios::trunc);
+    flight.WriteJsonl(f, last_n);
+    if (!f) return Fail(err, Status::Internal("write failed: flight.jsonl"));
+  }
+  {
+    std::ofstream f(dir / "slow_queries.jsonl", std::ios::trunc);
+    slow_log.WriteJsonl(f);
+    if (!f) {
+      return Fail(err, Status::Internal("write failed: slow_queries.jsonl"));
+    }
+  }
+  {
+    std::ofstream f(dir / "trace.jsonl", std::ios::trunc);
+    tracer.WriteJsonl(f);
+    if (!f) return Fail(err, Status::Internal("write failed: trace.jsonl"));
+  }
+  {
+    std::ofstream f(dir / "metrics.prom", std::ios::trunc);
+    obs::WritePrometheusText(snapshot, f);
+    if (!f) return Fail(err, Status::Internal("write failed: metrics.prom"));
+  }
+  {
+    std::ofstream f(dir / "metrics.jsonl", std::ios::trunc);
+    obs::WriteJsonlSnapshot(snapshot, f);
+    if (!f) {
+      return Fail(err, Status::Internal("write failed: metrics.jsonl"));
+    }
+  }
+  {
+    // One strict-JSON summary object tying the bundle together.
+    std::ofstream f(dir / "diag.json", std::ios::trunc);
+    f << "{\"queries\":" << session.queries_answered()
+      << ",\"cache_hits\":" << session.cache_hits()
+      << ",\"slow_queries\":" << session.slow_queries()
+      << ",\"last_slow_trace_id\":" << session.last_slow_trace_id()
+      << ",\"refinements\":" << session.refinements_applied()
+      << ",\"publications\":" << session.index_publications()
+      << ",\"index_epoch\":" << session.index_epoch()
+      << ",\"flight_events\":" << flight.total_recorded()
+      << ",\"flight_threads\":" << flight.num_threads()
+      << ",\"watchdog_stalls\":" << watchdog.stalls()
+      << ",\"trace_spans\":" << tracer.size()
+      << ",\"trace_dropped\":" << tracer.dropped() << "}\n";
+    if (!f) return Fail(err, Status::Internal("write failed: diag.json"));
+  }
+  out << "diag: " << session.queries_answered() << " queries, "
+      << session.slow_queries() << " slow, " << flight.total_recorded()
+      << " flight events across " << flight.num_threads() << " threads, "
+      << watchdog.stalls() << " stalls\n";
+  out << "wrote " << (dir / "flight.jsonl").string() << ", "
+      << (dir / "slow_queries.jsonl").string() << ", "
+      << (dir / "trace.jsonl").string() << ", "
+      << (dir / "metrics.prom").string() << ", "
+      << (dir / "metrics.jsonl").string() << ", "
+      << (dir / "diag.json").string() << "\n";
   return 0;
 }
 
@@ -446,6 +776,25 @@ int CmdServeBench(const Options& options, std::ostream& out,
       std::atoll(options.Flag("mutation-ops", "2").c_str()));
   lo.mutation_seed = wo.seed;
 
+  // Diagnostics: the flight recorder is always on unless --diag off (the
+  // overhead A/B switch); --slow-query-ms X captures slow queries into
+  // slow_queries.jsonl; --watchdog-ms N monitors writer progress.
+  obs::FlightRecorder::Global().set_enabled(options.Flag("diag", "on") !=
+                                            "off");
+  const double slow_ms = std::atof(options.Flag("slow-query-ms", "0").c_str());
+  lo.session.slow_query_ns = static_cast<uint64_t>(slow_ms * 1e6);
+  obs::SlowQueryLog slow_log;
+  if (lo.session.slow_query_ns > 0) lo.session.slow_query_log = &slow_log;
+  const uint64_t watchdog_ms = static_cast<uint64_t>(
+      std::atoll(options.Flag("watchdog-ms", "0").c_str()));
+  std::unique_ptr<obs::StallWatchdog> watchdog;
+  if (watchdog_ms > 0) {
+    obs::StallWatchdogOptions wd;
+    wd.deadline_ms = watchdog_ms;
+    watchdog = std::make_unique<obs::StallWatchdog>(wd);
+    lo.session.watchdog = watchdog.get();
+  }
+
   // Observability: with --metrics-out, the run's session samples span
   // trees into `tracer` and the exposition files are written below.
   const std::string metrics_dir = options.Flag("metrics-out");
@@ -453,6 +802,9 @@ int CmdServeBench(const Options& options, std::ostream& out,
   to.sample_every = static_cast<size_t>(
       std::atoll(options.Flag("trace-sample", "16").c_str()));
   obs::TraceRecorder tracer(to);
+  if (!metrics_dir.empty() || lo.session.slow_query_ns > 0) {
+    lo.session.tracer = &tracer;
+  }
   if (!metrics_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(metrics_dir, ec);
@@ -460,7 +812,6 @@ int CmdServeBench(const Options& options, std::ostream& out,
       return Fail(err, Status::Internal("cannot create " + metrics_dir +
                                         ": " + ec.message()));
     }
-    lo.session.tracer = &tracer;
   }
 
   server::LoadReport report = server::RunLoadDriver(*g, workload, lo);
@@ -509,8 +860,22 @@ int CmdServeBench(const Options& options, std::ostream& out,
         return Fail(err, Status::Internal("write failed: trace.jsonl"));
       }
     }
+    if (lo.session.slow_query_ns > 0) {
+      std::ofstream slow(dir / "slow_queries.jsonl", std::ios::trunc);
+      slow_log.WriteJsonl(slow);
+      if (!slow) {
+        return Fail(err,
+                    Status::Internal("write failed: slow_queries.jsonl"));
+      }
+    }
     {
       const server::ServerStats& stats = report.stats;
+      // Estimated-vs-actual cost ratio: chooser units over measured index
+      // node visits — the chooser's calibration across the whole run.
+      const double est_actual_ratio =
+          static_cast<double>(stats.estimated_cost_units) /
+          static_cast<double>(
+              std::max<uint64_t>(1, stats.cumulative_cost.index_nodes_visited));
       std::ofstream bench(dir / "BENCH_server.json", std::ios::trunc);
       harness::WriteBenchJson(
           bench, "serve-bench",
@@ -530,7 +895,25 @@ int CmdServeBench(const Options& options, std::ostream& out,
            {"index_physical_nodes",
             static_cast<double>(
                 snapshot.GaugeValue("mrx_index_physical_nodes"))},
-           {"trace_spans", static_cast<double>(tracer.size())}});
+           {"trace_spans", static_cast<double>(tracer.size())},
+           {"trace_dropped", static_cast<double>(tracer.dropped())},
+           {"cost_index_nodes_visited",
+            static_cast<double>(stats.cumulative_cost.index_nodes_visited)},
+           {"cost_data_nodes_validated",
+            static_cast<double>(stats.cumulative_cost.data_nodes_validated)},
+           {"cost_extent_elems_scanned",
+            static_cast<double>(snapshot.CounterValue(
+                "mrx_cost_extent_elems_scanned_total"))},
+           {"est_cost_units",
+            static_cast<double>(stats.estimated_cost_units)},
+           {"est_actual_cost_ratio", est_actual_ratio},
+           {"slow_queries", static_cast<double>(stats.slow_queries)},
+           {"watchdog_stalls",
+            static_cast<double>(
+                snapshot.CounterValue("mrx_watchdog_stalls_total"))},
+           {"flight_events",
+            static_cast<double>(
+                obs::FlightRecorder::Global().total_recorded())}});
       if (!bench) {
         return Fail(err, Status::Internal("write failed: BENCH_server.json"));
       }
@@ -538,7 +921,11 @@ int CmdServeBench(const Options& options, std::ostream& out,
     out << "wrote " << (dir / "metrics.prom").string() << ", "
         << (dir / "metrics.jsonl").string() << ", "
         << (dir / "trace.jsonl").string() << ", "
-        << (dir / "BENCH_server.json").string() << "\n";
+        << (dir / "BENCH_server.json").string();
+    if (lo.session.slow_query_ns > 0) {
+      out << ", " << (dir / "slow_queries.jsonl").string();
+    }
+    out << "\n";
   }
   return 0;
 }
@@ -800,6 +1187,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     return CmdIndexInfo(*options, out, err);
   }
   if (command == "query") return CmdQuery(*options, out, err);
+  if (command == "explain") return CmdExplain(*options, out, err);
+  if (command == "diag") return CmdDiag(*options, out, err);
   if (command == "generate") return CmdGenerate(*options, out, err);
   if (command == "workload") return CmdWorkload(*options, out, err);
   if (command == "serve-bench") return CmdServeBench(*options, out, err);

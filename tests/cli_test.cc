@@ -319,5 +319,173 @@ TEST(CliTest, MissingFlagValueFails) {
   std::remove(path.c_str());
 }
 
+// --- Query diagnostics verbs (ISSUE 7) -------------------------------------
+
+TEST(CliTest, QueryExplainPrintsEstimateNextToActuals) {
+  std::string path = TempPath("mrx_cli_explain.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"query", path, "//bidder/person", "--explain"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // The acceptance shape: chosen strategy with its estimated cost, the
+  // considered table, and the measured actual-cost counters side by side.
+  EXPECT_NE(r.out.find("strategy:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("estimated cost"), std::string::npos);
+  EXPECT_NE(r.out.find("chosen"), std::string::npos);
+  EXPECT_NE(r.out.find("index_nodes_visited="), std::string::npos);
+  EXPECT_NE(r.out.find("extent_elems_scanned="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, QueryExplainJsonIsOneStrictRecord) {
+  std::string path = TempPath("mrx_cli_explain_json.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"query", path, "//bidder/person", "--explain",
+                      "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::string line = r.out.substr(0, r.out.find('\n'));
+  auto doc = mrx::testing::ParseJson(line);
+  ASSERT_TRUE(doc.has_value()) << r.out;
+  EXPECT_EQ(doc->Find("query")->string_value, "//bidder/person");
+  const auto* considered = doc->Find("considered");
+  ASSERT_NE(considered, nullptr);
+  EXPECT_EQ(considered->array.size(), 4u);  // All four §4.1 strategies.
+  const auto* cost = doc->Find("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_NE(cost->Find("index_nodes_visited"), nullptr);
+  EXPECT_NE(doc->Find("levels_touched"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ExplainVerbComparesAllStrategies) {
+  std::string path = TempPath("mrx_cli_explain_verb.xml");
+  WriteTempXml(path);
+  CliRun r = RunTool({"explain", path, "//bidder/person"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* s : {"naive", "topdown", "bottomup", "hybrid"}) {
+    EXPECT_NE(r.out.find(s), std::string::npos) << s << "\n" << r.out;
+  }
+  EXPECT_NE(r.out.find("est_cost"), std::string::npos);
+  EXPECT_NE(r.out.find("chosen"), std::string::npos);
+
+  CliRun json = RunTool({"explain", path, "//bidder/person", "--json"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  std::istringstream lines(json.out);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    auto doc = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_NE(doc->Find("strategy"), nullptr);
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 1);  // One record per eligible strategy.
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiagBundleWritesArtifactsThatParse) {
+  std::string path = TempPath("mrx_cli_diag.xml");
+  std::string out_dir = TempPath("mrx_cli_diag_out");
+  WriteTempXml(path);
+  CliRun r = RunTool({"diag", path, "--queries", "40", "--count", "8",
+                      "--slow-query-ms", "0.0001", "--out", out_dir});
+  ASSERT_EQ(r.code, 0) << r.err;
+  namespace fs = std::filesystem;
+  for (const char* name : {"flight.jsonl", "slow_queries.jsonl",
+                           "trace.jsonl", "metrics.prom", "metrics.jsonl",
+                           "diag.json"}) {
+    EXPECT_TRUE(fs::exists(fs::path(out_dir) / name)) << name;
+  }
+
+  // diag.json is one strict object with the run summary.
+  std::ifstream summary(fs::path(out_dir) / "diag.json");
+  std::string text((std::istreambuf_iterator<char>(summary)),
+                   std::istreambuf_iterator<char>());
+  auto doc = mrx::testing::ParseJson(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  EXPECT_EQ(doc->Find("queries")->number_value, 40);
+  EXPECT_GT(doc->Find("slow_queries")->number_value, 0);
+  EXPECT_GT(doc->Find("flight_events")->number_value, 0);
+
+  // Slow-query trace ids resolve in the bundle's trace.jsonl.
+  std::set<uint64_t> trace_ids;
+  std::ifstream trace(fs::path(out_dir) / "trace.jsonl");
+  std::string line;
+  while (std::getline(trace, line)) {
+    auto span = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(span.has_value()) << line;
+    trace_ids.insert(static_cast<uint64_t>(span->Find("trace")->number_value));
+  }
+  std::ifstream slow(fs::path(out_dir) / "slow_queries.jsonl");
+  int slow_records = 0;
+  while (std::getline(slow, line)) {
+    auto record = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(record.has_value()) << line;
+    const uint64_t id =
+        static_cast<uint64_t>(record->Find("trace_id")->number_value);
+    EXPECT_TRUE(trace_ids.count(id)) << "unresolved trace id " << id;
+    ++slow_records;
+  }
+  EXPECT_GT(slow_records, 0);
+
+  std::remove(path.c_str());
+  fs::remove_all(out_dir);
+}
+
+TEST(CliTest, ServeBenchSlowQueryCaptureJoinsTraces) {
+  std::string path = TempPath("mrx_cli_serve_slow.xml");
+  std::string out_dir = TempPath("mrx_cli_serve_slow_out");
+  WriteTempXml(path);
+  CliRun r = RunTool({"serve-bench", path, "--workers", "2", "--queries",
+                      "200", "--count", "8", "--max-length", "3",
+                      "--slow-query-ms", "0.0001", "--metrics-out", out_dir});
+  ASSERT_EQ(r.code, 0) << r.err;
+  namespace fs = std::filesystem;
+  std::set<uint64_t> trace_ids;
+  std::ifstream trace(fs::path(out_dir) / "trace.jsonl");
+  ASSERT_TRUE(trace.good());
+  std::string line;
+  while (std::getline(trace, line)) {
+    auto span = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(span.has_value()) << line;
+    trace_ids.insert(static_cast<uint64_t>(span->Find("trace")->number_value));
+  }
+  std::ifstream slow(fs::path(out_dir) / "slow_queries.jsonl");
+  ASSERT_TRUE(slow.good());
+  int slow_records = 0;
+  while (std::getline(slow, line)) {
+    auto record = mrx::testing::ParseJson(line);
+    ASSERT_TRUE(record.has_value()) << line;
+    const uint64_t id =
+        static_cast<uint64_t>(record->Find("trace_id")->number_value);
+    if (id != 0) {
+      EXPECT_TRUE(trace_ids.count(id)) << id;
+    }
+    ++slow_records;
+  }
+  EXPECT_GT(slow_records, 0);  // The tiny threshold catches everything.
+
+  // BENCH_server.json carries the est-vs-actual calibration numbers.
+  std::ifstream bench(fs::path(out_dir) / "BENCH_server.json");
+  std::string bench_text((std::istreambuf_iterator<char>(bench)),
+                         std::istreambuf_iterator<char>());
+  auto doc = mrx::testing::ParseJson(bench_text);
+  ASSERT_TRUE(doc.has_value()) << bench_text;
+  const auto* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* key :
+       {"cost_index_nodes_visited", "cost_extent_elems_scanned",
+        "est_cost_units", "est_actual_cost_ratio", "slow_queries",
+        "flight_events"}) {
+    const auto* field = metrics->Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_TRUE(field->is_number());
+  }
+  EXPECT_GT(metrics->Find("slow_queries")->number_value, 0);
+
+  std::remove(path.c_str());
+  fs::remove_all(out_dir);
+}
+
 }  // namespace
 }  // namespace mrx::tools

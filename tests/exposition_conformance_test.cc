@@ -1,0 +1,190 @@
+// Exposition-conformance tests (ISSUE 7 satellite): the Prometheus text
+// and JSONL emitters must stay consumable by real scrapers — metric names
+// legal and sorted, counters monotone across snapshots, every JSONL line
+// strict JSON — and the new diagnostics outputs (flight recorder, slow
+// query log, explain records) must round-trip through the strict parser.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/query_diag.h"
+#include "obs/slow_query_log.h"
+#include "tests/json_check.h"
+
+namespace mrx::obs {
+namespace {
+
+using mrx::testing::ParseJson;
+
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — the Prometheus metric-name grammar.
+bool IsLegalMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto legal_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!legal_first(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!legal_first(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MetricsRegistry& SeededRegistry() {
+  static MetricsRegistry* const reg = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("mrx_cost_extent_elems_scanned_total")->Increment(130);
+    r->GetCounter("mrx_cost_validation_checks_total")->Increment(4);
+    r->GetCounter("mrx_slow_queries_total")->Increment(2);
+    r->GetCounter("mrx_watchdog_stalls_total")->Increment(1);
+    r->GetCounter("mrx_trace_dropped_total")->Increment(0);
+    r->GetGauge("mrx_server_queue_depth")->Set(3);
+    r->GetHistogram("mrx_query_latency_ns")->Record(1000);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(ExpositionConformanceTest, AllEmittedNamesAreLegalAndSorted) {
+  MetricsSnapshot snap = SeededRegistry().Snapshot();
+  std::vector<std::string> names;
+  for (const auto& c : snap.counters) names.push_back(c.name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& g : snap.gauges) names.push_back(g.name);
+  for (const auto& h : snap.histograms) names.push_back(h.name);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsLegalMetricName(name)) << name;
+    EXPECT_EQ(name.rfind("mrx_", 0), 0u) << name;  // Project prefix.
+  }
+}
+
+TEST(ExpositionConformanceTest, PrometheusLinesMatchTheGrammar) {
+  std::ostringstream os;
+  WritePrometheusText(SeededRegistry().Snapshot(), os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::string last_help_or_type_name;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());  // No blank lines in the exposition.
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" with a known kind.
+      std::istringstream parts(line);
+      std::string hash, keyword, name, kind;
+      parts >> hash >> keyword >> name >> kind;
+      EXPECT_EQ(keyword, "TYPE") << line;
+      EXPECT_TRUE(IsLegalMetricName(name)) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << line;
+      continue;
+    }
+    // Sample line: name[{labels}] value — the value must parse as a number.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_TRUE(ParseJson(value).has_value() &&
+                ParseJson(value)->is_number())
+        << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name = name.substr(0, brace);
+    EXPECT_TRUE(IsLegalMetricName(name)) << line;
+  }
+}
+
+TEST(ExpositionConformanceTest, CountersAreMonotoneAcrossSnapshots) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("mrx_mono_total");
+  uint64_t last = 0;
+  for (int round = 0; round < 5; ++round) {
+    c->Increment(static_cast<uint64_t>(round));
+    MetricsSnapshot snap = reg.Snapshot();
+    const uint64_t now = snap.CounterValue("mrx_mono_total");
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_EQ(last, 0u + 1 + 2 + 3 + 4);
+}
+
+TEST(ExpositionConformanceTest, JsonlSnapshotIsStrictPerLine) {
+  std::ostringstream os;
+  WriteJsonlSnapshot(SeededRegistry().Snapshot(), os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    ASSERT_TRUE(doc->is_object()) << line;
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 7);  // Every seeded instrument appears.
+}
+
+TEST(ExpositionConformanceTest, FlightRecorderJsonlIsStrictPerLine) {
+  FlightRecorder recorder({.events_per_thread = 32});
+  recorder.Record(FlightEventType::kQueryStart, 1, 2);
+  recorder.Record(FlightEventType::kStrategyDecision, 7, 0, 3);
+  recorder.Record(FlightEventType::kSlowQuery, 5000, 42);
+  std::ostringstream os;
+  recorder.WriteJsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    for (const char* key : {"ts_ns", "thread", "code", "a", "b"}) {
+      const auto* field = doc->Find(key);
+      ASSERT_NE(field, nullptr) << key;
+      EXPECT_TRUE(field->is_number()) << key;
+    }
+    const auto* type = doc->Find("type");
+    ASSERT_NE(type, nullptr);
+    EXPECT_TRUE(type->is_string());  // Symbolic names, not raw enums.
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3);
+}
+
+TEST(ExpositionConformanceTest, SlowQueryLogJsonlIsStrictPerLine) {
+  SlowQueryLog log;
+  QueryDiag d;
+  d.query = "//item[\"quoted\\name\"]";  // Needs escaping to stay strict.
+  d.strategy = "hybrid";
+  d.considered = {{"naive", 1, true, false}, {"hybrid", 2, true, true}};
+  d.latency_ns = 99;
+  log.Append(d);
+  std::ostringstream os;
+  log.WriteJsonl(os);
+  auto doc = ParseJson(os.str().substr(0, os.str().find('\n')));
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  EXPECT_EQ(doc->Find("query")->string_value, "//item[\"quoted\\name\"]");
+  EXPECT_EQ(doc->Find("strategy")->string_value, "hybrid");
+  EXPECT_EQ(doc->Find("considered")->array.size(), 2u);
+}
+
+TEST(ExpositionConformanceTest, ExplainJsonAndPrometheusShareNoConflicts) {
+  // The diagnostics counters introduced by the explain layer must appear
+  // in the exposition with their documented names (docs/OBSERVABILITY.md).
+  std::ostringstream os;
+  WritePrometheusText(SeededRegistry().Snapshot(), os);
+  const std::string text = os.str();
+  for (const char* name :
+       {"mrx_cost_extent_elems_scanned_total", "mrx_slow_queries_total",
+        "mrx_watchdog_stalls_total", "mrx_trace_dropped_total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mrx::obs

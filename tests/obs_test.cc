@@ -235,11 +235,31 @@ TEST(TraceRecorderTest, EndManualOverridesTheRaiiWindow) {
 
 TEST(TraceRecorderTest, BufferBoundCountsDroppedSpans) {
   TraceRecorder recorder({.sample_every = 1, .max_events = 2});
+  std::vector<uint64_t> trace_ids;
   for (int i = 0; i < 5; ++i) {
     Span s = recorder.StartTrace("query");
+    trace_ids.push_back(s.trace_id());
   }
   EXPECT_EQ(recorder.size(), 2u);
   EXPECT_EQ(recorder.dropped(), 3u);
+  // A true ring: the overwrites evict the OLDEST spans, so the two newest
+  // traces survive, oldest-first.
+  std::vector<SpanEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, trace_ids[3]);
+  EXPECT_EQ(events[1].trace_id, trace_ids[4]);
+}
+
+TEST(TraceRecorderTest, OverwritesBumpTheGlobalDroppedCounter) {
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "mrx_trace_dropped_total");
+  const uint64_t before = dropped->Value();
+  TraceRecorder recorder({.sample_every = 1, .max_events = 1});
+  for (int i = 0; i < 3; ++i) {
+    Span s = recorder.StartTrace("query");
+  }
+  EXPECT_EQ(recorder.dropped(), 2u);
+  EXPECT_EQ(dropped->Value(), before + 2);
 }
 
 TEST(TraceRecorderTest, MovedFromSpanIsDisabled) {
