@@ -19,52 +19,23 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "datagen/dtd.h"
-#include "datagen/dtd_generator.h"
 #include "index/bisimulation.h"
 #include "index/m_star_index.h"
 #include "util/table_writer.h"
 #include "util/thread_pool.h"
-#include "xml/graph_builder.h"
 
 namespace {
 
 using namespace mrx;
 
-// A compact recursive DTD in the spirit of src/check/case_gen.cc: nested
-// repetition plus ID/IDREF attributes, so the generated graph has the
-// multi-parent, cyclic shape that stresses signature grouping.
-constexpr const char* kBenchDtd = R"(
-<!ELEMENT catalog (section+)>
-<!ELEMENT section (section*, item*, note?)>
-<!ELEMENT item (name, ref*)>
-<!ELEMENT name (#PCDATA)>
-<!ELEMENT note (#PCDATA)>
-<!ELEMENT ref EMPTY>
-<!ATTLIST item id ID #REQUIRED>
-<!ATTLIST ref target IDREF #REQUIRED>
-)";
-
 DataGraph BuildDtdRandomGraph(size_t target_elements) {
-  auto dtd = datagen::Dtd::Parse(kBenchDtd);
-  if (!dtd.ok()) {
-    std::cerr << "DTD parse failed: " << dtd.status().message() << "\n";
-    std::exit(1);
-  }
-  datagen::DtdGeneratorOptions options;
-  options.seed = 4242;
-  options.min_elements = target_elements;
-  options.max_elements = target_elements * 2;
-  options.star_mean = 2.0;
-  options.max_depth = 14;
-  auto doc = datagen::GenerateDocument(*dtd, options);
-  if (!doc.ok()) {
-    std::cerr << "DTD generation failed: " << doc.status().message() << "\n";
-    std::exit(1);
-  }
-  auto graph = xml::BuildGraphFromXml(*doc);
+  // Catalog/section DTD shared with bench_scale_build (harness::
+  // BenchCatalogDtd): ID/IDREF attributes give the multi-parent, cyclic
+  // shape that stresses signature grouping.
+  auto graph = harness::BuildDtdRandomGraph(target_elements);
   if (!graph.ok()) {
-    std::cerr << "graph build failed: " << graph.status().message() << "\n";
+    std::cerr << "dtd_random build failed: " << graph.status().message()
+              << "\n";
     std::exit(1);
   }
   return *std::move(graph);

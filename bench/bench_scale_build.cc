@@ -1,0 +1,260 @@
+// Scale tier: streamed large-graph generation + serial-vs-pooled static
+// hierarchy build and batch refinement, at node targets the string->parse
+// path cannot reach comfortably (100k..10M). For every tier:
+//
+//   - the graph is generated straight into CSR form (DirectGraphSink; the
+//     serialized document never exists),
+//   - the pooled k-bisimulation partition is verified byte-identical to
+//     the serial one BEFORE any pooled timing is reported (the speedups
+//     are only meaningful under the determinism contract,
+//     docs/PERFORMANCE.md),
+//   - serial and 2/4/8-thread BuildStaticHierarchy and RefineBatch are
+//     timed best-of-reps.
+//
+// Emits BENCH_scale_build.json. CI runs `--tiers 500000 --kmax 6 --reps 2`
+// and gates on the 4-thread speedup; locally the default tier sweep honors
+// MRX_SCALE. `hardware_concurrency` is reported so a 1-core container's
+// flat numbers are recognizable as hardware-bound, not regression.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "index/bisimulation.h"
+#include "index/m_star_index.h"
+#include "query/path_expression.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mrx;
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double BestOf(int reps, const std::function<void()>& fn) {
+  double best = TimeMs(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, TimeMs(fn));
+  return best;
+}
+
+/// Label-path expressions actually present in `g` (one per distinct
+/// parent/child label pair, extended to length 2 where possible) — the
+/// FUP batch driving the refinement timing.
+std::vector<PathExpression> SamplePaths(const DataGraph& g, size_t limit) {
+  std::vector<PathExpression> out;
+  std::vector<std::string> seen;
+  for (NodeId u = 0; u < g.num_nodes() && out.size() < limit; ++u) {
+    for (NodeId v : g.children(u)) {
+      std::string text = std::string(g.label_name(u)) + "/" +
+                         std::string(g.label_name(v));
+      for (NodeId w : g.children(v)) {
+        text += "/" + std::string(g.label_name(w));
+        break;
+      }
+      if (std::find(seen.begin(), seen.end(), text) != seen.end()) continue;
+      seen.push_back(text);
+      auto parsed = PathExpression::Parse(text, g.symbols());
+      if (parsed.ok()) out.push_back(*std::move(parsed));
+      if (out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+struct TierResult {
+  std::string dataset;
+  std::string tier;
+  size_t nodes = 0;
+  size_t edges = 0;
+  double gen_ms = 0;
+  double serial_ms = 0;
+  double t2_ms = 0, t4_ms = 0, t8_ms = 0;
+  double refine_serial_ms = 0;
+  double refine_t4_ms = 0;
+};
+
+TierResult RunTier(const std::string& dataset, const std::string& tier,
+                   const std::function<Result<DataGraph>()>& build, int k_max,
+                   int reps) {
+  TierResult result;
+  result.dataset = dataset;
+  result.tier = tier;
+
+  Result<DataGraph> graph(Status::Internal("not built"));
+  result.gen_ms = TimeMs([&] { graph = build(); });
+  if (!graph.ok()) {
+    std::cerr << "FATAL: " << dataset << "/" << tier
+              << " generation failed: " << graph.status().message() << "\n";
+    std::exit(1);
+  }
+  const DataGraph& g = *graph;
+  result.nodes = g.num_nodes();
+  result.edges = g.num_edges();
+
+  const BisimulationPartition serial_part = ComputeKBisimulation(g, k_max);
+  result.serial_ms = BestOf(reps, [&] {
+    MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max);
+    if (index.num_components() == 0) std::exit(1);
+  });
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    // Determinism gate: the pooled partition must be byte-identical to
+    // the serial one, or the timings below compare different work.
+    const BisimulationPartition pooled = ComputeKBisimulation(g, k_max, &pool);
+    if (pooled.block_of != serial_part.block_of ||
+        pooled.num_blocks != serial_part.num_blocks) {
+      std::cerr << "FATAL: " << dataset << "/" << tier
+                << " partition diverges at " << threads << " threads\n";
+      std::exit(1);
+    }
+    const double ms = BestOf(reps, [&] {
+      MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max, &pool);
+      if (index.num_components() == 0) std::exit(1);
+    });
+    if (threads == 2) result.t2_ms = ms;
+    if (threads == 4) result.t4_ms = ms;
+    if (threads == 8) result.t8_ms = ms;
+  }
+
+  // Batch refinement on a fresh A(0) index (Clone keeps the timing to
+  // RefineBatch itself; the clone happens outside the clock).
+  const std::vector<PathExpression> fups = SamplePaths(g, 8);
+  const MStarIndex base(g);
+  auto refine_once = [&](ThreadPool* pool) {
+    MStarIndex index = base.Clone();
+    index.set_thread_pool(pool);
+    return TimeMs([&] { index.RefineBatch(fups); });
+  };
+  result.refine_serial_ms = refine_once(nullptr);
+  for (int r = 1; r < reps; ++r) {
+    result.refine_serial_ms =
+        std::min(result.refine_serial_ms, refine_once(nullptr));
+  }
+  {
+    ThreadPool pool(4);
+    result.refine_t4_ms = refine_once(&pool);
+    for (int r = 1; r < reps; ++r) {
+      result.refine_t4_ms = std::min(result.refine_t4_ms, refine_once(&pool));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int k_max = 6;
+  int reps = 2;
+  std::string out_path = "BENCH_scale_build.json";
+  std::vector<size_t> tier_nodes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kmax") {
+      k_max = std::atoi(next().c_str());
+    } else if (arg == "--reps") {
+      reps = std::atoi(next().c_str());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--tiers") {
+      std::string list = next();
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        tier_nodes.push_back(
+            static_cast<size_t>(std::atoll(list.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    } else {
+      std::cerr << "usage: bench_scale_build [--tiers n1,n2,...] [--kmax K]"
+                   " [--reps R] [--out file]\n";
+      return 2;
+    }
+  }
+
+  std::vector<harness::ScaleTier> tiers;
+  if (tier_nodes.empty()) {
+    tiers = harness::ScaleBenchTiers();
+  } else {
+    for (size_t n : tier_nodes) {
+      tiers.push_back(harness::ScaleTier{harness::ScaleTierName(n), n});
+    }
+  }
+
+  std::vector<TierResult> results;
+  for (const harness::ScaleTier& tier : tiers) {
+    results.push_back(RunTier(
+        "xmark", tier.name,
+        [&] {
+          return harness::BuildXMarkGraphStreamed(
+              harness::XMarkScaleForNodes(tier.nodes));
+        },
+        k_max, reps));
+    results.push_back(RunTier(
+        "dtd_random", tier.name,
+        [&] { return harness::BuildDtdRandomGraphStreamed(tier.nodes); },
+        k_max, reps));
+  }
+
+  TableWriter table({"dataset", "tier", "nodes", "gen_ms", "serial_ms",
+                     "t2_ms", "t4_ms", "t8_ms", "t4_speedup", "t8_speedup",
+                     "refine_t4_speedup"});
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back(
+      "hardware_concurrency",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  for (const TierResult& r : results) {
+    const double s4 = r.t4_ms > 0 ? r.serial_ms / r.t4_ms : 0;
+    const double s8 = r.t8_ms > 0 ? r.serial_ms / r.t8_ms : 0;
+    const double rs4 =
+        r.refine_t4_ms > 0 ? r.refine_serial_ms / r.refine_t4_ms : 0;
+    table.AddRowValues(r.dataset, r.tier, r.nodes, r.gen_ms, r.serial_ms,
+                       r.t2_ms, r.t4_ms, r.t8_ms, s4, s8, rs4);
+    const std::string prefix = r.dataset + "_" + r.tier + "_";
+    metrics.emplace_back(prefix + "nodes", static_cast<double>(r.nodes));
+    metrics.emplace_back(prefix + "edges", static_cast<double>(r.edges));
+    metrics.emplace_back(prefix + "gen_ms", r.gen_ms);
+    metrics.emplace_back(prefix + "serial_ms", r.serial_ms);
+    metrics.emplace_back(prefix + "t2_ms", r.t2_ms);
+    metrics.emplace_back(prefix + "t4_ms", r.t4_ms);
+    metrics.emplace_back(prefix + "t8_ms", r.t8_ms);
+    metrics.emplace_back(prefix + "t4_speedup", s4);
+    metrics.emplace_back(prefix + "t8_speedup", s8);
+    metrics.emplace_back(prefix + "refine_serial_ms", r.refine_serial_ms);
+    metrics.emplace_back(prefix + "refine_t4_ms", r.refine_t4_ms);
+    metrics.emplace_back(prefix + "refine_t4_speedup", rs4);
+  }
+
+  std::cout << "== Scale-tier build (k_max=" << k_max
+            << "; streamed generation, pooled partitions verified identical"
+               " to serial; hardware_concurrency="
+            << std::thread::hardware_concurrency() << ") ==\n";
+  table.RenderText(std::cout);
+
+  std::ofstream bench(out_path, std::ios::trunc);
+  mrx::harness::WriteBenchJson(bench, "scale_build", metrics);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "datagen/document_sink.h"
+
+namespace mrx::datagen {
+
+void XmlTextSink::DeferredRefAttribute(std::string_view name,
+                                       size_t token_count) {
+  out_ += ' ';
+  out_ += name;
+  out_ += "=\"";
+  slots_.emplace_back(out_.size(), token_count);
+  out_ += kPlaceholder;
+  for (size_t i = 1; i < token_count; ++i) {
+    out_ += ' ';
+    out_ += kPlaceholder;
+  }
+  out_ += '"';
+}
+
+std::string XmlTextSink::TakeDocument() {
+  if (slots_.empty()) return std::move(out_);
+  // Patch pass: rewrite the document once, substituting the resolved
+  // tokens for the placeholders in slot order (exactly the historical
+  // PatchIdrefs pass of the DTD generator).
+  std::string patched;
+  patched.reserve(out_.size());
+  size_t prev = 0;
+  size_t next_token = 0;
+  for (const auto& [pos, count] : slots_) {
+    patched.append(out_, prev, pos - prev);
+    const size_t placeholder_len = kPlaceholder.size() * count + (count - 1);
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) patched += ' ';
+      patched += resolved_[next_token++];
+    }
+    prev = pos + placeholder_len;
+  }
+  patched.append(out_, prev, out_.size() - prev);
+  out_ = std::move(patched);
+  slots_.clear();
+  resolved_.clear();
+  return std::move(out_);
+}
+
+}  // namespace mrx::datagen

@@ -1,0 +1,115 @@
+#ifndef MRX_DATAGEN_DOCUMENT_SINK_H_
+#define MRX_DATAGEN_DOCUMENT_SINK_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mrx::datagen {
+
+/// \brief Receiver of a generator's document event stream.
+///
+/// The generators (XMark, DTD-random) drive a sink instead of appending to
+/// a string, so the same single pass — with the same RNG draw sequence —
+/// can either serialize the document (XmlTextSink, byte-identical to the
+/// historical string output) or assemble the data graph directly
+/// (DirectGraphSink, never materializing the document). The event grammar
+/// mirrors XML serialization:
+///
+///   StartTag(name) (Attribute | DeferredRefAttribute)* FinishStartTag(sc)
+///   ... children events / Text ... EndTag(name)        [unless sc]
+///
+/// DeferredRefAttribute reserves `token_count` attribute-value tokens whose
+/// values are only known after the whole document is emitted (the DTD
+/// generator's forward IDREF/IDREFS references). The generator later calls
+/// ResolveDeferredToken once per reserved token, in reservation order —
+/// keeping the RNG draw order identical between sink kinds.
+class DocumentSink {
+ public:
+  virtual ~DocumentSink() = default;
+
+  /// Opens `<name`; attribute events may follow until FinishStartTag.
+  virtual void StartTag(std::string_view name) = 0;
+
+  /// One attribute with a known value: ` name="value"`.
+  virtual void Attribute(std::string_view name, std::string_view value) = 0;
+
+  /// One attribute whose `token_count` whitespace-separated value tokens
+  /// are supplied later through ResolveDeferredToken.
+  virtual void DeferredRefAttribute(std::string_view name,
+                                    size_t token_count) = 0;
+
+  /// Closes the open start tag: `>` — or `/>` when `self_close`, which
+  /// also ends the element (no EndTag follows).
+  virtual void FinishStartTag(bool self_close) = 0;
+
+  /// Emits `</name>`.
+  virtual void EndTag(std::string_view name) = 0;
+
+  /// Character data inside the current element. May be called repeatedly
+  /// for adjacent runs; sinks must treat consecutive calls as one run.
+  virtual void Text(std::string_view text) = 0;
+
+  /// Non-structural document bytes (XML declaration, trailing newline).
+  /// Text sinks copy them verbatim; graph sinks ignore them.
+  virtual void Raw(std::string_view bytes) = 0;
+
+  /// Supplies the value of the next reserved deferred-reference token
+  /// (reservation order: DeferredRefAttribute call order, then token order
+  /// within a call).
+  virtual void ResolveDeferredToken(std::string_view value) = 0;
+};
+
+/// \brief Serializes the event stream into one in-memory XML document —
+/// the historical generator output, byte for byte. The small-scale oracle
+/// the streamed direct-to-graph path is tested against.
+class XmlTextSink final : public DocumentSink {
+ public:
+  void StartTag(std::string_view name) override {
+    out_ += '<';
+    out_ += name;
+  }
+  void Attribute(std::string_view name, std::string_view value) override {
+    out_ += ' ';
+    out_ += name;
+    out_ += "=\"";
+    out_ += value;
+    out_ += '"';
+  }
+  void DeferredRefAttribute(std::string_view name,
+                            size_t token_count) override;
+  void FinishStartTag(bool self_close) override {
+    out_ += self_close ? "/>" : ">";
+  }
+  void EndTag(std::string_view name) override {
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  void Text(std::string_view text) override { out_ += text; }
+  void Raw(std::string_view bytes) override { out_ += bytes; }
+  void ResolveDeferredToken(std::string_view value) override {
+    resolved_.emplace_back(value);
+  }
+
+  /// The serialized document, with every deferred token patched in.
+  /// Consumes the sink's buffer.
+  std::string TakeDocument();
+
+  /// High-water mark of the serialized buffer: O(document) by design —
+  /// the number the memory-bound tests contrast DirectGraphSink against.
+  size_t peak_buffered_bytes() const { return out_.capacity(); }
+
+ private:
+  static constexpr std::string_view kPlaceholder = "@IDREF@";
+
+  std::string out_;
+  std::vector<std::pair<size_t, size_t>> slots_;  ///< (pos, token count).
+  std::vector<std::string> resolved_;             ///< Token values, in order.
+};
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_DOCUMENT_SINK_H_

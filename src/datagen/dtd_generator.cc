@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "datagen/document_sink.h"
+
 namespace mrx::datagen {
 namespace {
 
@@ -99,21 +101,32 @@ class MinCost {
   std::map<std::string, uint32_t, std::less<>> cost_;
 };
 
+/// Emits a random DTD instance as a sink event stream. One pass, one RNG
+/// draw sequence, for both the text and the direct-to-graph sinks (see
+/// DocumentSink). IDREF/IDREFS values are *deferred*: the slots are
+/// reserved during emission and resolved afterwards — in slot order, one
+/// draw per token, once the full id population exists — which is exactly
+/// the draw schedule the historical placeholder-then-patch pass used.
 class Generator {
  public:
-  Generator(const Dtd& dtd, const DtdGeneratorOptions& options)
-      : dtd_(dtd), options_(options), rng_(options.seed), min_cost_(dtd) {}
+  Generator(const Dtd& dtd, const DtdGeneratorOptions& options,
+            DocumentSink* sink)
+      : dtd_(dtd),
+        options_(options),
+        rng_(options.seed),
+        min_cost_(dtd),
+        sink_(sink) {}
 
-  Result<std::string> Run() {
+  Status Run() {
     const DtdElement* root = dtd_.FindElement(dtd_.root_name());
     if (root == nullptr) {
       return Status::Internal("DTD has no root element");
     }
-    out_ += "<?xml version=\"1.0\"?>\n";
+    sink_->Raw("<?xml version=\"1.0\"?>\n");
     MRX_RETURN_IF_ERROR(EmitElement(*root, 0));
-    out_ += "\n";
-    PatchIdrefs();
-    return std::move(out_);
+    sink_->Raw("\n");
+    ResolveDeferredRefs();
+    return Status::Ok();
   }
 
  private:
@@ -142,23 +155,22 @@ class Generator {
 
   Status EmitElement(const DtdElement& element, size_t depth) {
     ++element_count_;
-    out_ += '<';
-    out_ += element.name;
+    sink_->StartTag(element.name);
     MRX_RETURN_IF_ERROR(EmitAttributes(element));
 
     switch (element.content_kind) {
       case ContentKind::kEmpty:
-        out_ += "/>";
+        sink_->FinishStartTag(true);
         return Status::Ok();
       case ContentKind::kAny:
         // ANY: treat as empty-or-text (the generator never fabricates
         // arbitrary children for ANY).
-        out_ += '>';
-        out_ += RandomWords(1 + rng_.Below(3));
+        sink_->FinishStartTag(false);
+        sink_->Text(RandomWords(1 + rng_.Below(3)));
         break;
       case ContentKind::kMixed: {
-        out_ += '>';
-        out_ += RandomWords(1 + rng_.Below(4));
+        sink_->FinishStartTag(false);
+        sink_->Text(RandomWords(1 + rng_.Below(4)));
         if (element.model != nullptr && !element.model->children.empty() &&
             !Shrinking(depth)) {
           size_t repeats = GeometricCount(options_.star_mean);
@@ -166,19 +178,17 @@ class Generator {
             const Particle& alt = *element.model->children[rng_.Below(
                 element.model->children.size())];
             MRX_RETURN_IF_ERROR(EmitChildByName(alt.name, depth + 1));
-            out_ += RandomWords(1 + rng_.Below(3));
+            sink_->Text(RandomWords(1 + rng_.Below(3)));
           }
         }
         break;
       }
       case ContentKind::kChildren:
-        out_ += '>';
+        sink_->FinishStartTag(false);
         MRX_RETURN_IF_ERROR(EmitParticle(*element.model, depth + 1));
         break;
     }
-    out_ += "</";
-    out_ += element.name;
-    out_ += '>';
+    sink_->EndTag(element.name);
     return Status::Ok();
   }
 
@@ -194,7 +204,7 @@ class Generator {
   Status EmitParticleOnce(const Particle& p, size_t depth) {
     switch (p.kind) {
       case ParticleKind::kPcdata:
-        out_ += RandomWords(1 + rng_.Below(4));
+        sink_->Text(RandomWords(1 + rng_.Below(4)));
         return Status::Ok();
       case ParticleKind::kElement:
         return EmitChildByName(p.name, depth);
@@ -275,97 +285,81 @@ class Generator {
           break;
       }
       if (!emit) continue;
-      out_ += ' ';
-      out_ += attr.name;
-      out_ += "=\"";
       switch (attr.type) {
         case AttributeType::kId: {
           std::string id =
               element.name + "_" + std::to_string(next_id_++);
-          ids_.push_back(id);
-          out_ += id;
+          sink_->Attribute(attr.name, id);
+          ids_.push_back(std::move(id));
           break;
         }
         case AttributeType::kIdref:
-          MarkIdrefSlot(1);
+          sink_->DeferredRefAttribute(attr.name, 1);
+          deferred_tokens_ += 1;
           break;
-        case AttributeType::kIdrefs:
-          MarkIdrefSlot(std::max<size_t>(1, options_.idrefs_count));
+        case AttributeType::kIdrefs: {
+          const size_t count = std::max<size_t>(1, options_.idrefs_count);
+          sink_->DeferredRefAttribute(attr.name, count);
+          deferred_tokens_ += count;
           break;
+        }
         case AttributeType::kEnumeration:
-          out_ += attr.enum_values[rng_.Below(attr.enum_values.size())];
+          sink_->Attribute(attr.name,
+                           attr.enum_values[rng_.Below(
+                               attr.enum_values.size())]);
           break;
         case AttributeType::kCdata:
         case AttributeType::kNmtoken:
           if (!attr.default_value.empty()) {
-            out_ += attr.default_value;
+            sink_->Attribute(attr.name, attr.default_value);
           } else {
-            out_ += kWords[rng_.Below(kNumWords)];
+            sink_->Attribute(attr.name, kWords[rng_.Below(kNumWords)]);
           }
           break;
       }
-      out_ += '"';
     }
     return Status::Ok();
   }
 
-  /// Reserves space for `count` id tokens in the output and remembers the
-  /// slot; PatchIdrefs fills them once the full id population is known,
-  /// letting references point forward in the document.
-  void MarkIdrefSlot(size_t count) {
-    idref_slots_.push_back({out_.size(), count});
-    // Reserve: each token is at most "placeholder" width; we rewrite the
-    // document in one pass at the end, so no fixed width is needed — we
-    // only record the insertion point in the *pre-patch* text.
-    out_ += kIdrefPlaceholder;
-    for (size_t i = 1; i < count; ++i) {
-      out_ += ' ';
-      out_ += kIdrefPlaceholder;
-    }
-  }
-
-  void PatchIdrefs() {
-    if (idref_slots_.empty()) return;
-    std::string patched;
-    patched.reserve(out_.size());
-    size_t prev = 0;
-    for (const auto& [pos, count] : idref_slots_) {
-      patched.append(out_, prev, pos - prev);
-      size_t placeholder_len =
-          kIdrefPlaceholder.size() * count + (count - 1);
-      for (size_t i = 0; i < count; ++i) {
-        if (i > 0) patched += ' ';
-        if (ids_.empty()) {
-          patched += "none";
-        } else {
-          patched += ids_[rng_.Below(ids_.size())];
-        }
+  /// Fills every reserved IDREF/IDREFS token, choosing uniformly among all
+  /// ids generated during emission — so references point forward as well
+  /// as backward. One rng draw per token, in reservation order, and no
+  /// draw at all when the document carries no ids: the exact schedule of
+  /// the historical patch pass.
+  void ResolveDeferredRefs() {
+    for (size_t t = 0; t < deferred_tokens_; ++t) {
+      if (ids_.empty()) {
+        sink_->ResolveDeferredToken("none");
+      } else {
+        sink_->ResolveDeferredToken(ids_[rng_.Below(ids_.size())]);
       }
-      prev = pos + placeholder_len;
     }
-    patched.append(out_, prev, out_.size() - prev);
-    out_ = std::move(patched);
   }
-
-  static constexpr std::string_view kIdrefPlaceholder = "@IDREF@";
 
   const Dtd& dtd_;
   const DtdGeneratorOptions& options_;
   Rng rng_;
   MinCost min_cost_;
-  std::string out_;
+  DocumentSink* sink_;
   size_t element_count_ = 0;
   size_t next_id_ = 0;
   std::vector<std::string> ids_;
-  std::vector<std::pair<size_t, size_t>> idref_slots_;  // (pos, token count)
+  size_t deferred_tokens_ = 0;
 };
 
 }  // namespace
 
+Status GenerateDocument(const Dtd& dtd, const DtdGeneratorOptions& options,
+                        DocumentSink* sink) {
+  Generator generator(dtd, options, sink);
+  return generator.Run();
+}
+
 Result<std::string> GenerateDocument(const Dtd& dtd,
                                      const DtdGeneratorOptions& options) {
-  Generator generator(dtd, options);
-  return generator.Run();
+  XmlTextSink sink;
+  MRX_RETURN_IF_ERROR(GenerateDocument(dtd, options, &sink));
+  return sink.TakeDocument();
 }
 
 }  // namespace mrx::datagen

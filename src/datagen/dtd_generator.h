@@ -9,6 +9,8 @@
 
 namespace mrx::datagen {
 
+class DocumentSink;
+
 /// Tuning knobs for the random-instance generator, in the spirit of the
 /// IBM XML Generator the paper used for its NASA dataset.
 struct DtdGeneratorOptions {
@@ -58,6 +60,15 @@ struct DtdGeneratorOptions {
 /// from the root.
 Result<std::string> GenerateDocument(const Dtd& dtd,
                                      const DtdGeneratorOptions& options);
+
+/// Streaming variant: drives `sink` with the document's event stream in a
+/// single pass (IDREF/IDREFS tokens are reserved during emission and
+/// resolved through DocumentSink::ResolveDeferredToken afterwards). With an
+/// XmlTextSink this reproduces the string overload's bytes exactly; with a
+/// DirectGraphSink the data graph assembles without the serialized document
+/// ever existing.
+Status GenerateDocument(const Dtd& dtd, const DtdGeneratorOptions& options,
+                        DocumentSink* sink);
 
 }  // namespace mrx::datagen
 

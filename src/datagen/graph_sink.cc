@@ -1,0 +1,103 @@
+#include "datagen/graph_sink.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mrx::datagen {
+
+void DirectGraphSink::StartTag(std::string_view name) {
+  const NodeId node = csr_.AddNode(name);
+  if (stack_.empty()) {
+    csr_.SetRoot(node);
+  } else {
+    csr_.AddEdge(stack_.back(), node, EdgeKind::kRegular);
+  }
+  stack_.push_back(node);
+  peak_depth_ = std::max(peak_depth_, stack_.size());
+}
+
+void DirectGraphSink::Attribute(std::string_view name,
+                                std::string_view value) {
+  const NodeId node = stack_.back();
+  // GraphBuildOptions::id_attribute default: the attribute literally named
+  // "id" registers its value; everything else is a candidate reference.
+  if (name == "id") {
+    auto [it, inserted] = ids_.emplace(std::string(value), node);
+    if (!inserted && !duplicate_id_) {
+      duplicate_id_ = true;
+      duplicate_id_value_ = std::string(value);
+    }
+    return;
+  }
+  AddPendingRef(node, value);
+}
+
+void DirectGraphSink::DeferredRefAttribute(std::string_view name,
+                                           size_t token_count) {
+  (void)name;
+  // Each reserved token resolves to one single-token value later; record
+  // who owns it. (An id attribute is never deferred — ids are assigned,
+  // not drawn.)
+  deferred_owners_.insert(deferred_owners_.end(), token_count, stack_.back());
+}
+
+void DirectGraphSink::FinishStartTag(bool self_close) {
+  if (self_close) stack_.pop_back();
+}
+
+void DirectGraphSink::EndTag(std::string_view name) {
+  (void)name;  // The generator emits well-nested tags by construction.
+  stack_.pop_back();
+}
+
+void DirectGraphSink::ResolveDeferredToken(std::string_view value) {
+  AddPendingRef(deferred_owners_[next_deferred_++], value);
+}
+
+void DirectGraphSink::AddPendingRef(NodeId from, std::string_view value) {
+  pending_.push_back(PendingRef{from,
+                                static_cast<uint32_t>(ref_values_.size()),
+                                static_cast<uint32_t>(value.size())});
+  ref_values_ += value;
+}
+
+Result<DataGraph> DirectGraphSink::Finish() && {
+  if (duplicate_id_) {
+    return Status::ParseError("duplicate ID value '" + duplicate_id_value_ +
+                              "'");
+  }
+  // Same resolution as GraphBuildingHandler::Finish: the whole value first
+  // (IDREF), then whitespace-separated tokens (IDREFS); values matching no
+  // id are plain data and are ignored.
+  std::string token;
+  for (const PendingRef& ref : pending_) {
+    const std::string_view value(ref_values_.data() + ref.offset, ref.len);
+    token.assign(value);
+    auto it = ids_.find(token);
+    if (it != ids_.end()) {
+      csr_.AddEdge(ref.from, it->second, EdgeKind::kReference);
+      continue;
+    }
+    size_t pos = 0;
+    while (pos < value.size()) {
+      while (pos < value.size() &&
+             std::isspace(static_cast<unsigned char>(value[pos]))) {
+        ++pos;
+      }
+      size_t begin = pos;
+      while (pos < value.size() &&
+             !std::isspace(static_cast<unsigned char>(value[pos]))) {
+        ++pos;
+      }
+      if (begin == pos) break;
+      token.assign(value.substr(begin, pos - begin));
+      auto token_it = ids_.find(token);
+      if (token_it != ids_.end()) {
+        csr_.AddEdge(ref.from, token_it->second, EdgeKind::kReference);
+      }
+    }
+  }
+  return std::move(csr_).Build();
+}
+
+}  // namespace mrx::datagen

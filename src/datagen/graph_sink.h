@@ -1,0 +1,88 @@
+#ifndef MRX_DATAGEN_GRAPH_SINK_H_
+#define MRX_DATAGEN_GRAPH_SINK_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/document_sink.h"
+#include "graph/streaming_csr_builder.h"
+#include "util/result.h"
+
+namespace mrx::datagen {
+
+/// \brief Assembles the data graph directly from a generator's event
+/// stream, without ever materializing the serialized document.
+///
+/// Mirrors xml::GraphBuildingHandler under its default options exactly
+/// (element nodes only; the attribute literally named "id" registers its
+/// value; every other attribute value is a pending reference, resolved at
+/// Finish() — whole value first, then whitespace-split tokens; a duplicate
+/// id value is an error). Combined with StreamingCsrBuilder's
+/// Build()-equivalent dedup, a streamed graph is byte-identical to
+/// generate-string → parse on the same generator options and seed.
+///
+/// Transient emission state is the open-element stack — O(document depth),
+/// not O(document). The pending-reference arena grows with the number of
+/// reference attributes (graph-proportional, like the CSR itself); both
+/// are exposed for the memory-bound tests.
+class DirectGraphSink final : public DocumentSink {
+ public:
+  void StartTag(std::string_view name) override;
+  void Attribute(std::string_view name, std::string_view value) override;
+  void DeferredRefAttribute(std::string_view name,
+                            size_t token_count) override;
+  void FinishStartTag(bool self_close) override;
+  void EndTag(std::string_view name) override;
+  void Text(std::string_view) override {}  // Structural indexes only.
+  void Raw(std::string_view) override {}
+  void ResolveDeferredToken(std::string_view value) override;
+
+  /// Resolves pending references and freezes the graph. Fails on duplicate
+  /// id values (as the parse path does) or an empty document.
+  Result<DataGraph> Finish() &&;
+
+  size_t num_nodes() const { return csr_.num_nodes(); }
+
+  /// High-water mark of the transient emission state (open-element stack),
+  /// in bytes. Stays O(fan-out × depth) at any document size.
+  size_t peak_transient_bytes() const {
+    return peak_depth_ * sizeof(NodeId);
+  }
+
+  /// Bytes of pending-reference values awaiting resolution — linear in the
+  /// number of reference attributes, never in the document text.
+  size_t pending_ref_bytes() const {
+    return ref_values_.size() + pending_.size() * sizeof(PendingRef) +
+           deferred_owners_.size() * sizeof(NodeId);
+  }
+
+ private:
+  struct PendingRef {
+    NodeId from;
+    uint32_t offset;  ///< Into ref_values_.
+    uint32_t len;
+  };
+
+  void AddPendingRef(NodeId from, std::string_view value);
+
+  StreamingCsrBuilder csr_;
+  std::vector<NodeId> stack_;
+  size_t peak_depth_ = 0;
+
+  std::unordered_map<std::string, NodeId> ids_;
+  bool duplicate_id_ = false;
+  std::string duplicate_id_value_;
+
+  std::string ref_values_;  ///< Arena of pending reference values.
+  std::vector<PendingRef> pending_;
+
+  /// Owner node of each reserved deferred token, in reservation order.
+  std::vector<NodeId> deferred_owners_;
+  size_t next_deferred_ = 0;
+};
+
+}  // namespace mrx::datagen
+
+#endif  // MRX_DATAGEN_GRAPH_SINK_H_

@@ -95,8 +95,9 @@ const char* NasaDatasetDtd() {
 )dtd";
 }
 
-Result<std::string> GenerateNasaDocument(double scale, uint64_t seed) {
-  MRX_ASSIGN_OR_RETURN(Dtd dtd, Dtd::Parse(NasaDatasetDtd()));
+namespace {
+
+DtdGeneratorOptions NasaOptions(double scale, uint64_t seed) {
   DtdGeneratorOptions options;
   options.seed = seed;
   options.star_mean = 1.4;
@@ -107,7 +108,19 @@ Result<std::string> GenerateNasaDocument(double scale, uint64_t seed) {
   options.min_elements = target;
   options.max_elements = target + target / 10;
   options.idrefs_count = 3;
-  return GenerateDocument(dtd, options);
+  return options;
+}
+
+}  // namespace
+
+Result<std::string> GenerateNasaDocument(double scale, uint64_t seed) {
+  MRX_ASSIGN_OR_RETURN(Dtd dtd, Dtd::Parse(NasaDatasetDtd()));
+  return GenerateDocument(dtd, NasaOptions(scale, seed));
+}
+
+Status GenerateNasaDocument(double scale, uint64_t seed, DocumentSink* sink) {
+  MRX_ASSIGN_OR_RETURN(Dtd dtd, Dtd::Parse(NasaDatasetDtd()));
+  return GenerateDocument(dtd, NasaOptions(scale, seed), sink);
 }
 
 }  // namespace mrx::datagen

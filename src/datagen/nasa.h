@@ -7,6 +7,8 @@
 
 namespace mrx::datagen {
 
+class DocumentSink;
+
 /// \brief The DTD behind the paper's NASA dataset, embedded.
 ///
 /// The paper's NASA data is *synthetic*: it was produced by the IBM XML
@@ -24,6 +26,11 @@ const char* NasaDatasetDtd();
 /// \brief Generates a NASA-like document. `scale` = 1.0 targets roughly
 /// the paper's ~90,000 element nodes; smaller values shrink proportionally.
 Result<std::string> GenerateNasaDocument(double scale, uint64_t seed);
+
+/// Streaming variant (see GenerateDocument's sink overload): same options,
+/// same bytes through an XmlTextSink, graph-direct through a
+/// DirectGraphSink.
+Status GenerateNasaDocument(double scale, uint64_t seed, DocumentSink* sink);
 
 }  // namespace mrx::datagen
 

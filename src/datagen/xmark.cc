@@ -1,7 +1,9 @@
 #include "datagen/xmark.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "datagen/document_sink.h"
 #include "util/rng.h"
 
 namespace mrx::datagen {
@@ -24,16 +26,18 @@ constexpr const char* kCities[] = {"Lisbon", "Durham", "Kyoto", "Oslo",
 constexpr const char* kCountries[] = {"Portugal", "UnitedStates", "Japan",
                                       "Norway",   "Ecuador",      "Ghana"};
 
-/// Emits the XMark auction-site document.
+/// Emits the XMark auction-site document as a sink event stream. One code
+/// path serves both outputs: with an XmlTextSink the bytes are the
+/// historical document exactly; with a DirectGraphSink the graph assembles
+/// without the document ever existing. All RNG draws happen here, in
+/// emission order, so the two modes consume the identical draw sequence.
 class XMarkWriter {
  public:
-  explicit XMarkWriter(const XMarkOptions& options)
-      : options_(options), rng_(options.seed) {
-    out_.reserve(1 << 20);
-  }
+  XMarkWriter(const XMarkOptions& options, DocumentSink* sink)
+      : options_(options), rng_(options.seed), sink_(sink) {}
 
-  std::string Run() {
-    out_ += "<?xml version=\"1.0\" standalone=\"yes\"?>\n";
+  void Run() {
+    sink_->Raw("<?xml version=\"1.0\" standalone=\"yes\"?>\n");
     Open("site");
     WriteRegions();
     WriteCategories();
@@ -42,46 +46,37 @@ class XMarkWriter {
     WriteOpenAuctions();
     WriteClosedAuctions();
     Close("site");
-    out_ += "\n";
-    return std::move(out_);
+    sink_->Raw("\n");
   }
 
  private:
   // ---- Small emission helpers -------------------------------------------
 
   void Open(std::string_view tag) {
-    out_ += '<';
-    out_ += tag;
-    out_ += '>';
+    sink_->StartTag(tag);
+    sink_->FinishStartTag(false);
+  }
+  std::string_view Ref(std::string_view id_prefix, size_t n) {
+    scratch_.assign(id_prefix);
+    scratch_ += std::to_string(n);
+    return scratch_;
   }
   void OpenWithId(std::string_view tag, std::string_view id_prefix,
                   size_t n) {
-    out_ += '<';
-    out_ += tag;
-    out_ += " id=\"";
-    out_ += id_prefix;
-    out_ += std::to_string(n);
-    out_ += "\">";
+    sink_->StartTag(tag);
+    sink_->Attribute("id", Ref(id_prefix, n));
+    sink_->FinishStartTag(false);
   }
-  void Close(std::string_view tag) {
-    out_ += "</";
-    out_ += tag;
-    out_ += '>';
-  }
+  void Close(std::string_view tag) { sink_->EndTag(tag); }
   void EmptyRef(std::string_view tag, std::string_view attr,
                 std::string_view id_prefix, size_t n) {
-    out_ += '<';
-    out_ += tag;
-    out_ += ' ';
-    out_ += attr;
-    out_ += "=\"";
-    out_ += id_prefix;
-    out_ += std::to_string(n);
-    out_ += "\"/>";
+    sink_->StartTag(tag);
+    sink_->Attribute(attr, Ref(id_prefix, n));
+    sink_->FinishStartTag(true);
   }
   void Leaf(std::string_view tag, std::string_view content) {
     Open(tag);
-    out_ += content;
+    sink_->Text(content);
     Close(tag);
   }
   void LeafWords(std::string_view tag, size_t count) {
@@ -92,8 +87,8 @@ class XMarkWriter {
 
   void Words(size_t count) {
     for (size_t i = 0; i < count; ++i) {
-      if (i > 0) out_ += ' ';
-      out_ += kWords[rng_.Below(kNumWords)];
+      if (i > 0) sink_->Text(" ");
+      sink_->Text(kWords[rng_.Below(kNumWords)]);
     }
   }
 
@@ -209,11 +204,11 @@ class XMarkWriter {
 
   void WriteDate() {
     Open("date");
-    out_ += std::to_string(1 + rng_.Below(12));
-    out_ += '/';
-    out_ += std::to_string(1 + rng_.Below(28));
-    out_ += "/200";
-    out_ += std::to_string(rng_.Below(4));
+    sink_->Text(std::to_string(1 + rng_.Below(12)));
+    sink_->Text("/");
+    sink_->Text(std::to_string(1 + rng_.Below(28)));
+    sink_->Text("/200");
+    sink_->Text(std::to_string(rng_.Below(4)));
     Close("date");
   }
 
@@ -231,11 +226,12 @@ class XMarkWriter {
   void WriteCatgraph() {
     Open("catgraph");
     for (size_t e = 0; e < options_.catgraph_edges; ++e) {
-      out_ += "<edge from=\"category";
-      out_ += std::to_string(rng_.Below(options_.num_categories));
-      out_ += "\" to=\"category";
-      out_ += std::to_string(rng_.Below(options_.num_categories));
-      out_ += "\"/>";
+      sink_->StartTag("edge");
+      sink_->Attribute("from",
+                       Ref("category", rng_.Below(options_.num_categories)));
+      sink_->Attribute("to",
+                       Ref("category", rng_.Below(options_.num_categories)));
+      sink_->FinishStartTag(true);
     }
     Close("catgraph");
   }
@@ -282,9 +278,9 @@ class XMarkWriter {
   }
 
   void WriteProfile() {
-    out_ += "<profile income=\"";
-    out_ += std::to_string(20000 + rng_.Below(80000));
-    out_ += "\">";
+    sink_->StartTag("profile");
+    sink_->Attribute("income", std::to_string(20000 + rng_.Below(80000)));
+    sink_->FinishStartTag(false);
     size_t interests = Geometric(1.2);
     for (size_t i = 0; i < interests; ++i) {
       EmptyRef("interest", "category", "category",
@@ -325,10 +321,10 @@ class XMarkWriter {
       Leaf("type", rng_.Chance(0.5) ? "Regular" : "Featured");
       Open("interval");
       Open("start");
-      out_ += "01/01/2003";
+      sink_->Text("01/01/2003");
       Close("start");
       Open("end");
-      out_ += "12/31/2003";
+      sink_->Text("12/31/2003");
       Close("end");
       Close("interval");
       Close("open_auction");
@@ -363,7 +359,8 @@ class XMarkWriter {
 
   XMarkOptions options_;
   Rng rng_;
-  std::string out_;
+  DocumentSink* sink_;
+  std::string scratch_;  ///< Reused for attribute values; O(1) memory.
 };
 
 }  // namespace
@@ -371,8 +368,18 @@ class XMarkWriter {
 XMarkOptions XMarkOptions::Scaled(double scale, uint64_t seed) {
   XMarkOptions o;
   o.seed = seed;
-  auto scaled = [scale](size_t base) {
-    return std::max<size_t>(1, static_cast<size_t>(base * scale));
+  // Entity counts are clamped into [1, kMaxEntities]: a NaN, negative, or
+  // sub-unity product lands at 1 (rng_.Below(count) needs count >= 1), and
+  // the cap keeps base*scale finite and well inside size_t — and the node
+  // count inside NodeId (uint32) — at any scale a caller can pass.
+  // Casting an out-of-range double to size_t is undefined behavior, so the
+  // comparisons happen in double space before the cast.
+  constexpr double kMaxEntities = 1u << 31;
+  auto scaled = [scale](size_t base) -> size_t {
+    const double v = static_cast<double>(base) * scale;
+    if (!(v >= 1.0)) return 1;  // NaN fails every comparison: lands here.
+    if (v >= kMaxEntities) return static_cast<size_t>(kMaxEntities);
+    return static_cast<size_t>(v);
   };
   o.num_categories = scaled(o.num_categories);
   o.num_items = scaled(o.num_items);
@@ -380,12 +387,27 @@ XMarkOptions XMarkOptions::Scaled(double scale, uint64_t seed) {
   o.num_open_auctions = scaled(o.num_open_auctions);
   o.num_closed_auctions = scaled(o.num_closed_auctions);
   o.catgraph_edges = scaled(o.catgraph_edges);
+  // The mean_* knobs stay at their defaults here, but clamp them anyway so
+  // a caller that scales them externally cannot push the per-entity
+  // geometric draws into pathological territory (negatives disable the
+  // draw; the Geometric helper already caps a single draw at 32).
+  auto clamp_mean = [](double m) { return std::clamp(m, 0.0, 64.0); };
+  o.mean_bidders_per_auction = clamp_mean(o.mean_bidders_per_auction);
+  o.mean_incategory_per_item = clamp_mean(o.mean_incategory_per_item);
+  o.mean_mails_per_item = clamp_mean(o.mean_mails_per_item);
+  o.mean_watches_per_person = clamp_mean(o.mean_watches_per_person);
   return o;
 }
 
+void GenerateXMarkDocument(const XMarkOptions& options, DocumentSink* sink) {
+  XMarkWriter writer(options, sink);
+  writer.Run();
+}
+
 std::string GenerateXMarkDocument(const XMarkOptions& options) {
-  XMarkWriter writer(options);
-  return writer.Run();
+  XmlTextSink sink;
+  GenerateXMarkDocument(options, &sink);
+  return sink.TakeDocument();
 }
 
 }  // namespace mrx::datagen

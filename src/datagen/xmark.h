@@ -6,6 +6,8 @@
 
 namespace mrx::datagen {
 
+class DocumentSink;
+
 /// Size/shape knobs for the XMark-like generator. The defaults at
 /// `scale = 1.0` (see XMarkOptions::Scaled) target the paper's dataset:
 /// roughly 120,000 element nodes.
@@ -24,7 +26,10 @@ struct XMarkOptions {
   double mean_watches_per_person = 1.5;
   size_t catgraph_edges = 250;
 
-  /// Returns the default shape multiplied by `scale` (entity counts only).
+  /// Returns the default shape multiplied by `scale`. Entity counts are
+  /// clamped into [1, 2^31] with the arithmetic done in double space, so
+  /// extreme, NaN, or negative scales stay well-defined; mean_* knobs are
+  /// clamped into [0, 64].
   static XMarkOptions Scaled(double scale, uint64_t seed = 7);
 };
 
@@ -41,6 +46,13 @@ struct XMarkOptions {
 /// structure XMark is known for. Text content is filler — structural
 /// indexes never look at it.
 std::string GenerateXMarkDocument(const XMarkOptions& options = {});
+
+/// Streaming variant: drives `sink` with the document's event stream in a
+/// single pass. With an XmlTextSink this reproduces GenerateXMarkDocument's
+/// bytes exactly; with a DirectGraphSink the data graph assembles without
+/// the serialized document ever existing (the scale tier's path — see
+/// docs/PERFORMANCE.md).
+void GenerateXMarkDocument(const XMarkOptions& options, DocumentSink* sink);
 
 }  // namespace mrx::datagen
 

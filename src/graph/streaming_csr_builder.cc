@@ -1,0 +1,128 @@
+#include "graph/streaming_csr_builder.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mrx {
+
+StreamingCsrBuilder::StreamingCsrBuilder() = default;
+StreamingCsrBuilder::~StreamingCsrBuilder() = default;
+StreamingCsrBuilder::StreamingCsrBuilder(StreamingCsrBuilder&&) noexcept =
+    default;
+StreamingCsrBuilder& StreamingCsrBuilder::operator=(
+    StreamingCsrBuilder&&) noexcept = default;
+
+NodeId StreamingCsrBuilder::AddNode(std::string_view label) {
+  return AddNodeWithLabelId(symbols_.Intern(label));
+}
+
+NodeId StreamingCsrBuilder::AddNodeWithLabelId(LabelId label) {
+  if ((num_nodes_ & kChunkMask) == 0) {
+    label_chunks_.push_back(std::make_unique<LabelId[]>(kChunkSize));
+  }
+  label_chunks_[num_nodes_ >> kChunkShift][num_nodes_ & kChunkMask] = label;
+  return static_cast<NodeId>(num_nodes_++);
+}
+
+void StreamingCsrBuilder::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
+  if ((num_edges_ & kChunkMask) == 0) {
+    edge_chunks_.push_back(std::make_unique<EdgeRec[]>(kChunkSize));
+  }
+  edge_chunks_[num_edges_ >> kChunkShift][num_edges_ & kChunkMask] =
+      EdgeRec{from, to, kind};
+  ++num_edges_;
+}
+
+size_t StreamingCsrBuilder::arena_bytes() const {
+  return label_chunks_.size() * kChunkSize * sizeof(LabelId) +
+         edge_chunks_.size() * kChunkSize * sizeof(EdgeRec);
+}
+
+Result<DataGraph> StreamingCsrBuilder::Build() && {
+  const size_t n = num_nodes_;
+  const size_t e = num_edges_;
+  if (n == 0) {
+    return Status::FailedPrecondition("cannot build an empty data graph");
+  }
+  if (root_ >= n) {
+    return Status::FailedPrecondition("root node id out of range");
+  }
+  if (n > static_cast<size_t>(kInvalidNode)) {
+    return Status::FailedPrecondition("node count exceeds NodeId range");
+  }
+
+  // Flatten the label arena (releasing each chunk as it is copied).
+  std::vector<LabelId> labels(n);
+  for (size_t i = 0; i < n; i += kChunkSize) {
+    const size_t chunk = i >> kChunkShift;
+    const size_t count = std::min(kChunkSize, n - i);
+    std::copy_n(label_chunks_[chunk].get(), count, labels.begin() + i);
+    label_chunks_[chunk].reset();
+  }
+
+  // Counting sort by source: degree pass, prefix sums, scatter.
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < e; ++i) {
+    const EdgeRec& rec = edge_chunks_[i >> kChunkShift][i & kChunkMask];
+    if (rec.from >= n || rec.to >= n) {
+      return Status::FailedPrecondition("edge endpoint out of range");
+    }
+    ++offsets[rec.from + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> targets(e);
+  std::vector<EdgeKind> kinds(e);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < e; ++i) {
+      const size_t chunk = i >> kChunkShift;
+      const EdgeRec& rec = edge_chunks_[chunk][i & kChunkMask];
+      const uint32_t at = cursor[rec.from]++;
+      targets[at] = rec.to;
+      kinds[at] = rec.kind;
+      if ((i & kChunkMask) == kChunkMask) edge_chunks_[chunk].reset();
+    }
+    edge_chunks_.clear();
+  }
+
+  // Per-row sort + dedup, in place (the write cursor never passes the read
+  // cursor because deduplication only shrinks rows). Rows are keyed by
+  // (target, kind) packed into one word; keeping the first key per target
+  // makes the regular kind (0) win over reference (1) — exactly the
+  // DataGraphBuilder::Build() tie-break.
+  std::vector<uint64_t> row;
+  size_t write = 0;
+  uint32_t row_begin_prev = 0;
+  for (size_t u = 0; u < n; ++u) {
+    const uint32_t begin = row_begin_prev;
+    const uint32_t end = offsets[u + 1];
+    row_begin_prev = end;
+    row.clear();
+    for (uint32_t i = begin; i < end; ++i) {
+      row.push_back((static_cast<uint64_t>(targets[i]) << 8) |
+                    static_cast<uint64_t>(kinds[i]));
+    }
+    std::sort(row.begin(), row.end());
+    NodeId prev_to = kInvalidNode;
+    for (uint64_t key : row) {
+      const NodeId to = static_cast<NodeId>(key >> 8);
+      if (to == prev_to) continue;
+      prev_to = to;
+      targets[write] = to;
+      kinds[write] = static_cast<EdgeKind>(key & 0xff);
+      ++write;
+    }
+    offsets[u + 1] = static_cast<uint32_t>(write);
+  }
+  targets.resize(write);
+  kinds.resize(write);
+  targets.shrink_to_fit();
+  kinds.shrink_to_fit();
+
+  return DataGraphBuilder::FromChildCsr(std::move(symbols_), std::move(labels),
+                                        root_, std::move(offsets),
+                                        std::move(targets), std::move(kinds));
+}
+
+}  // namespace mrx

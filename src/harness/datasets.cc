@@ -1,13 +1,33 @@
 #include "harness/datasets.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+#include "datagen/graph_sink.h"
 #include "datagen/nasa.h"
 #include "datagen/xmark.h"
 #include "xml/graph_builder.h"
 
 namespace mrx::harness {
+namespace {
+
+/// Generator knobs for the catalog/section bench dataset; one definition
+/// shared by the oracle and streamed builders so they stay the same graph.
+datagen::DtdGeneratorOptions DtdRandomOptions(size_t target_elements,
+                                              uint64_t seed) {
+  datagen::DtdGeneratorOptions options;
+  options.seed = seed;
+  options.min_elements = target_elements;
+  options.max_elements = target_elements * 2;
+  options.star_mean = 2.0;
+  options.max_depth = 14;
+  return options;
+}
+
+}  // namespace
 
 Result<DataGraph> BuildXMarkGraph(double scale, uint64_t seed) {
   std::string doc =
@@ -19,6 +39,81 @@ Result<DataGraph> BuildNasaGraph(double scale, uint64_t seed) {
   MRX_ASSIGN_OR_RETURN(std::string doc,
                        datagen::GenerateNasaDocument(scale, seed));
   return xml::BuildGraphFromXml(doc);
+}
+
+Result<DataGraph> BuildXMarkGraphStreamed(double scale, uint64_t seed) {
+  datagen::DirectGraphSink sink;
+  datagen::GenerateXMarkDocument(datagen::XMarkOptions::Scaled(scale, seed),
+                                 &sink);
+  return std::move(sink).Finish();
+}
+
+Result<DataGraph> BuildNasaGraphStreamed(double scale, uint64_t seed) {
+  datagen::DirectGraphSink sink;
+  MRX_RETURN_IF_ERROR(datagen::GenerateNasaDocument(scale, seed, &sink));
+  return std::move(sink).Finish();
+}
+
+const char* BenchCatalogDtd() {
+  // A compact recursive DTD in the spirit of src/check/case_gen.cc: nested
+  // repetition plus ID/IDREF attributes, so the generated graph has the
+  // multi-parent, cyclic shape that stresses signature grouping.
+  return R"(
+<!ELEMENT catalog (section+)>
+<!ELEMENT section (section*, item*, note?)>
+<!ELEMENT item (name, ref*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST item id ID #REQUIRED>
+<!ATTLIST ref target IDREF #REQUIRED>
+)";
+}
+
+Result<DataGraph> BuildDtdRandomGraph(size_t target_elements, uint64_t seed) {
+  MRX_ASSIGN_OR_RETURN(datagen::Dtd dtd,
+                       datagen::Dtd::Parse(BenchCatalogDtd()));
+  MRX_ASSIGN_OR_RETURN(
+      std::string doc,
+      datagen::GenerateDocument(dtd, DtdRandomOptions(target_elements, seed)));
+  return xml::BuildGraphFromXml(doc);
+}
+
+Result<DataGraph> BuildDtdRandomGraphStreamed(size_t target_elements,
+                                              uint64_t seed) {
+  MRX_ASSIGN_OR_RETURN(datagen::Dtd dtd,
+                       datagen::Dtd::Parse(BenchCatalogDtd()));
+  datagen::DirectGraphSink sink;
+  MRX_RETURN_IF_ERROR(datagen::GenerateDocument(
+      dtd, DtdRandomOptions(target_elements, seed), &sink));
+  return std::move(sink).Finish();
+}
+
+double XMarkScaleForNodes(size_t nodes) {
+  return static_cast<double>(nodes) / 120000.0;
+}
+
+std::string ScaleTierName(size_t nodes) {
+  char buf[32];
+  if (nodes >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fm",
+                  static_cast<double>(nodes) / 1000000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuk", nodes / 1000);
+  }
+  return buf;
+}
+
+std::vector<ScaleTier> ScaleBenchTiers() {
+  const double scale = BenchScaleFromEnv(1.0);
+  std::vector<ScaleTier> tiers;
+  for (size_t base : {100000u, 500000u, 2000000u}) {
+    const size_t nodes =
+        static_cast<size_t>(static_cast<double>(base) * scale);
+    if (nodes < 1000) continue;  // Sub-1k tiers measure only noise.
+    tiers.push_back(ScaleTier{ScaleTierName(nodes), nodes});
+  }
+  return tiers;
 }
 
 double BenchScaleFromEnv(double default_scale) {

@@ -2,6 +2,8 @@
 #define MRX_HARNESS_DATASETS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "graph/data_graph.h"
 #include "util/result.h"
@@ -16,6 +18,45 @@ Result<DataGraph> BuildXMarkGraph(double scale, uint64_t seed = 7);
 /// \brief Generates a NASA-like document at `scale` and loads it.
 /// scale = 1.0 targets the paper's ~90k-node dataset.
 Result<DataGraph> BuildNasaGraph(double scale, uint64_t seed = 11);
+
+/// \brief Streamed variants: the generator drives a DirectGraphSink, so
+/// the graph assembles without the serialized document ever existing.
+/// Byte-identical to the parse-path builders above at the same scale and
+/// seed (tests/scale_stream_test.cc pins it); the scale tier's only
+/// practical route to multi-million-node graphs (docs/PERFORMANCE.md).
+Result<DataGraph> BuildXMarkGraphStreamed(double scale, uint64_t seed = 7);
+Result<DataGraph> BuildNasaGraphStreamed(double scale, uint64_t seed = 11);
+
+/// \brief The compact recursive catalog/section DTD (ID/IDREF attributes;
+/// multi-parent, cyclic graphs) the parallel/scale benches generate their
+/// reference-rich dataset from.
+const char* BenchCatalogDtd();
+
+/// \brief DTD-random graph over BenchCatalogDtd() targeting at least
+/// `target_elements` element nodes: parse-path oracle and streamed variant
+/// (same bytes, same seed, same graph).
+Result<DataGraph> BuildDtdRandomGraph(size_t target_elements,
+                                      uint64_t seed = 4242);
+Result<DataGraph> BuildDtdRandomGraphStreamed(size_t target_elements,
+                                              uint64_t seed = 4242);
+
+/// \brief XMark scale factor that targets roughly `nodes` element nodes
+/// (scale 1.0 ≈ 120k nodes).
+double XMarkScaleForNodes(size_t nodes);
+
+/// One row of the scale-tier sweep: a human-readable size name ("500k",
+/// "2.0m") and the node target it stands for.
+struct ScaleTier {
+  std::string name;
+  size_t nodes = 0;
+};
+
+/// \brief Renders a node count as a tier name: "100k", "500k", "2.0m".
+std::string ScaleTierName(size_t nodes);
+
+/// \brief Default scale-tier node targets {100k, 500k, 2M}, multiplied by
+/// MRX_SCALE (so MRX_SCALE=0.1 sweeps 10k/50k/200k).
+std::vector<ScaleTier> ScaleBenchTiers();
 
 /// \brief Scale factor for the figure benches: reads the MRX_SCALE
 /// environment variable, defaulting to `default_scale`. The benches accept

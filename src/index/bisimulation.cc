@@ -15,6 +15,16 @@ namespace {
 /// never merge with active ones.
 constexpr uint32_t kFrozenTag = static_cast<uint32_t>(-1);
 
+/// Sharded refinement thresholds (see docs/PERFORMANCE.md, "Scale tier").
+/// Below kParallelRefineMinNodes a round is too small to amortize the
+/// fork/merge overhead; shards are kept to >= kMinNodesPerShard each so
+/// per-shard tables stay dense, and threads get kShardsPerThread shards of
+/// work each so uneven shards (hubs, label clusters) still balance. None
+/// of these affect results — only where the work runs.
+constexpr size_t kParallelRefineMinNodes = 2048;
+constexpr size_t kMinNodesPerShard = 1024;
+constexpr size_t kShardsPerThread = 4;
+
 /// FNV-1a over the signature words.
 uint64_t HashWords(const uint32_t* data, uint32_t len) {
   uint64_t h = 1469598103934665603ULL;
@@ -31,16 +41,32 @@ size_t NextPow2(size_t v) {
   return p;
 }
 
+}  // namespace
+
 /// Interning store for refinement signatures. The unique signatures live
 /// flattened in one arena (no per-signature vector, no hash-map key
 /// copies); an open-addressing table over (hash, id) indexes them. Ids are
 /// assigned in insertion order, which is what the deterministic shard
-/// merge below relies on.
+/// merge below relies on. (mrx scope, not anonymous, so RefineScratchImpl
+/// can hold instances across rounds.)
 class SignatureTable {
  public:
-  explicit SignatureTable(size_t expected_sigs) {
+  explicit SignatureTable(size_t expected_sigs = 0) {
     slots_.assign(NextPow2(expected_sigs * 2 + 16), Slot{});
     mask_ = slots_.size() - 1;
+  }
+
+  /// Empties the table for a new round, keeping every allocation whose
+  /// capacity already suffices. Equivalent to assigning a fresh
+  /// SignatureTable(expected_sigs) — minus the reallocation.
+  void Reset(size_t expected_sigs) {
+    const size_t want = NextPow2(expected_sigs * 2 + 16);
+    slots_.assign(std::max(want, slots_.size()), Slot{});
+    mask_ = slots_.size() - 1;
+    arena_.clear();
+    offsets_.clear();
+    lens_.clear();
+    hashes_.clear();
   }
 
   /// Interns the signature, returning its id (existing or freshly
@@ -104,6 +130,27 @@ class SignatureTable {
   std::vector<uint64_t> hashes_;   ///< Cached hash per id (for Grow/merge).
 };
 
+/// The allocations RefineRound would otherwise make fresh every round.
+/// Everything is Reset at the top of each round; capacities persist.
+struct RefineScratchImpl {
+  struct Shard {
+    SignatureTable table;
+    std::vector<uint32_t> local_of;  ///< Local signature id per node.
+    std::vector<uint32_t> remap;     ///< Local -> global id.
+    size_t begin = 0, end = 0;
+  };
+  std::vector<Shard> shards;
+  SignatureTable global;
+  /// Unique-signature count of the previous round; seeds table sizing so a
+  /// steady-state round never grows its table.
+  uint32_t last_uniques = 0;
+};
+
+RefineScratch::RefineScratch() : impl_(std::make_unique<RefineScratchImpl>()) {}
+RefineScratch::~RefineScratch() = default;
+
+namespace {
+
 /// Appends node n's signature words to `sig` (cleared first):
 /// active  -> [own block, sorted unique parent blocks],
 /// frozen  -> [kFrozenTag, own block].
@@ -126,7 +173,8 @@ void BuildSignature(const DataGraph& g, const std::vector<uint32_t>& block_of,
 }
 
 /// One refinement round. `active(n)` says whether node n still refines.
-/// Returns the new block count; fills `next_block_of`.
+/// Returns the new block count; fills `next_block_of`. `scratch` is never
+/// null (callers without one borrow a function-local RefineScratch).
 ///
 /// Parallel structure (determinism contract, docs/PERFORMANCE.md): nodes
 /// are cut into contiguous ascending shards. Each shard interns its
@@ -135,28 +183,46 @@ void BuildSignature(const DataGraph& g, const std::vector<uint32_t>& block_of,
 /// re-interning each shard's unique signatures into the global table — so
 /// a global id is assigned exactly when its signature is first seen in
 /// ascending node order, which is precisely the numbering the serial scan
-/// produces. The result is byte-identical for every shard/thread count.
+/// produces. The result is byte-identical for every shard/thread count —
+/// including the single-shard path, which interns straight into the global
+/// table (same insertion order, no merge).
 template <typename ActivePredicate>
 uint32_t RefineRound(const DataGraph& g, const std::vector<uint32_t>& block_of,
                      const ActivePredicate& active,
-                     std::vector<uint32_t>* next_block_of, ThreadPool* pool) {
+                     std::vector<uint32_t>* next_block_of, ThreadPool* pool,
+                     RefineScratchImpl* scratch) {
   const size_t n = g.num_nodes();
   next_block_of->resize(n);
 
   size_t num_shards = 1;
-  if (pool != nullptr && pool->num_threads() > 1 && n >= 2048) {
-    // Over-decompose a little so uneven shards (hubs, label clusters)
-    // still balance; shard count never affects the resulting ids.
-    num_shards = std::min(pool->num_threads() * 4, n / 1024);
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      n >= kParallelRefineMinNodes) {
+    num_shards =
+        std::min(pool->num_threads() * kShardsPerThread, n / kMinNodesPerShard);
   }
-  const size_t shard_size = (n + num_shards - 1) / num_shards;
 
-  struct Shard {
-    SignatureTable table{0};
-    std::vector<uint32_t> local_of;  ///< Local signature id per node.
-    size_t begin = 0, end = 0;
-  };
-  std::vector<Shard> shards(num_shards);
+  SignatureTable& global = scratch->global;
+
+  if (num_shards == 1) {
+    // Serial fast path: intern directly into the global table — one intern
+    // per node instead of the shard-then-merge double intern.
+    global.Reset(scratch->last_uniques > 0 ? scratch->last_uniques
+                                           : n / 4 + 16);
+    std::vector<uint32_t> sig;
+    for (size_t i = 0; i < n; ++i) {
+      BuildSignature(g, block_of, active, static_cast<NodeId>(i), &sig);
+      const uint64_t h =
+          HashWords(sig.data(), static_cast<uint32_t>(sig.size()));
+      (*next_block_of)[i] =
+          global.Intern(sig.data(), static_cast<uint32_t>(sig.size()), h);
+    }
+    scratch->last_uniques = global.size();
+    return global.size();
+  }
+
+  const size_t shard_size = (n + num_shards - 1) / num_shards;
+  auto& shards = scratch->shards;
+  shards.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards[s].begin = s * shard_size;
     shards[s].end = std::min(n, (s + 1) * shard_size);
@@ -166,9 +232,9 @@ uint32_t RefineRound(const DataGraph& g, const std::vector<uint32_t>& block_of,
   auto intern_shards = [&](size_t lo, size_t hi) {
     std::vector<uint32_t> sig;
     for (size_t s = lo; s < hi; ++s) {
-      Shard& shard = shards[s];
+      auto& shard = shards[s];
       const size_t count = shard.end - shard.begin;
-      shard.table = SignatureTable(count / 4 + 16);
+      shard.table.Reset(count / 4 + 16);
       shard.local_of.resize(count);
       for (size_t i = shard.begin; i < shard.end; ++i) {
         BuildSignature(g, block_of, active, static_cast<NodeId>(i), &sig);
@@ -179,41 +245,35 @@ uint32_t RefineRound(const DataGraph& g, const std::vector<uint32_t>& block_of,
       }
     }
   };
-  if (num_shards > 1) {
-    pool->ParallelFor(0, num_shards, 1, intern_shards);
-  } else {
-    intern_shards(0, 1);
-  }
+  pool->ParallelFor(0, num_shards, 1, intern_shards);
 
   // Phase 2 (serial): merge shard tables in shard order. Each shard's
   // uniques are re-interned ascending, establishing the canonical global
   // numbering; `remap` translates local ids.
   size_t total_uniques = 0;
-  for (const Shard& shard : shards) total_uniques += shard.table.size();
-  SignatureTable global(total_uniques);
-  std::vector<std::vector<uint32_t>> remap(num_shards);
+  for (const auto& shard : shards) total_uniques += shard.table.size();
+  global.Reset(total_uniques);
   for (size_t s = 0; s < num_shards; ++s) {
-    const SignatureTable& t = shards[s].table;
-    remap[s].resize(t.size());
-    for (uint32_t u = 0; u < t.size(); ++u) {
-      remap[s][u] = global.Intern(t.data(u), t.len(u), t.hash(u));
+    auto& shard = shards[s];
+    shard.remap.resize(shard.table.size());
+    for (uint32_t u = 0; u < shard.table.size(); ++u) {
+      shard.remap[u] =
+          global.Intern(shard.table.data(u), shard.table.len(u),
+                        shard.table.hash(u));
     }
   }
 
   // Phase 3 (parallel): write the renumbered blocks back.
   auto write_shards = [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
-      const Shard& shard = shards[s];
+      const auto& shard = shards[s];
       for (size_t i = shard.begin; i < shard.end; ++i) {
-        (*next_block_of)[i] = remap[s][shard.local_of[i - shard.begin]];
+        (*next_block_of)[i] = shard.remap[shard.local_of[i - shard.begin]];
       }
     }
   };
-  if (num_shards > 1) {
-    pool->ParallelFor(0, num_shards, 1, write_shards);
-  } else {
-    write_shards(0, 1);
-  }
+  pool->ParallelFor(0, num_shards, 1, write_shards);
+  scratch->last_uniques = global.size();
   return global.size();
 }
 
@@ -251,7 +311,11 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k) {
 }
 
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
-                                           ThreadPool* pool) {
+                                           ThreadPool* pool,
+                                           RefineScratch* scratch) {
+  RefineScratch local;
+  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
+
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
 
@@ -260,7 +324,7 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
   while (k < 0 || round < k) {
     const uint64_t start_ns = obs::MonotonicNowNs();
     uint32_t new_blocks = RefineRound(
-        g, part.block_of, [](NodeId) { return true; }, &next, pool);
+        g, part.block_of, [](NodeId) { return true; }, &next, pool, impl);
     RecordRound(start_ns);
     ++round;
     if (new_blocks == part.num_blocks) {
@@ -278,12 +342,14 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
 }
 
 bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, RefineScratch* scratch) {
   if (part->reached_fixpoint) return false;
+  RefineScratch local;
+  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
   const uint64_t start_ns = obs::MonotonicNowNs();
   std::vector<uint32_t> next;
   uint32_t new_blocks = RefineRound(
-      g, part->block_of, [](NodeId) { return true; }, &next, pool);
+      g, part->block_of, [](NodeId) { return true; }, &next, pool, impl);
   RecordRound(start_ns);
   if (new_blocks == part->num_blocks) {
     part->reached_fixpoint = true;
@@ -302,7 +368,10 @@ BisimulationPartition ComputeDkConstructPartition(
 
 BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
-    ThreadPool* pool) {
+    ThreadPool* pool, RefineScratch* scratch) {
+  RefineScratch local;
+  RefineScratch* use = scratch ? scratch : &local;
+
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
 
@@ -310,21 +379,24 @@ BisimulationPartition ComputeDkConstructPartition(
   for (int32_t k : kreq_by_label) max_k = std::max(max_k, k);
 
   for (int32_t i = 1; i <= max_k; ++i) {
-    if (!RefineDkConstructRound(g, &part, kreq_by_label, i, pool)) break;
+    if (!RefineDkConstructRound(g, &part, kreq_by_label, i, pool, use)) break;
   }
   return part;
 }
 
 bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
                             const std::vector<int32_t>& kreq_by_label,
-                            int32_t round, ThreadPool* pool) {
+                            int32_t round, ThreadPool* pool,
+                            RefineScratch* scratch) {
   if (part->reached_fixpoint) return false;
+  RefineScratch local;
+  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
   const uint64_t start_ns = obs::MonotonicNowNs();
   std::vector<uint32_t> next;
   uint32_t new_blocks = RefineRound(
       g, part->block_of,
       [&](NodeId n) { return kreq_by_label[g.label(n)] >= round; }, &next,
-      pool);
+      pool, impl);
   RecordRound(start_ns);
   if (new_blocks == part->num_blocks) {
     // Unchanged partition: the active set only shrinks as the round number

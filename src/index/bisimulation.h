@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "graph/data_graph.h"
@@ -10,6 +11,30 @@
 namespace mrx {
 
 class ThreadPool;
+struct RefineScratchImpl;
+
+/// \brief Reusable working memory for refinement rounds.
+///
+/// A refinement round needs a signature-interning table, per-shard scratch
+/// tables when sharded, and remap buffers. Allocating them fresh every
+/// round is measurable at scale (millions of nodes × k levels); callers
+/// that run many rounds — the static hierarchy build, the scale benches —
+/// pass one RefineScratch through all of them and the arenas/tables are
+/// Reset (capacity kept) instead of reallocated. Purely an allocation
+/// cache: results are byte-identical with or without it, and a null
+/// scratch everywhere keeps the old behavior.
+class RefineScratch {
+ public:
+  RefineScratch();
+  ~RefineScratch();
+  RefineScratch(const RefineScratch&) = delete;
+  RefineScratch& operator=(const RefineScratch&) = delete;
+
+  RefineScratchImpl* impl() { return impl_.get(); }
+
+ private:
+  std::unique_ptr<RefineScratchImpl> impl_;
+};
 
 /// Local similarity value recorded for blocks of a full (fixpoint)
 /// bisimulation: bisimilar nodes are k-bisimilar for every k.
@@ -42,7 +67,8 @@ struct BisimulationPartition {
 /// contract; tests/parallel_build_test.cc pins it).
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k);
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
-                                           ThreadPool* pool);
+                                           ThreadPool* pool,
+                                           RefineScratch* scratch = nullptr);
 
 /// \brief One all-active refinement round applied in place: advances the
 /// A(i) partition in `part` to A(i+1). Returns false — leaving `part`
@@ -51,7 +77,8 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
 /// hierarchy, growth benches) use this to pay one round per level instead
 /// of rebuilding each level from scratch.
 bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             RefineScratch* scratch = nullptr);
 
 /// \brief The D(k)-construct partition (Chen et al., SIGMOD'03), used by
 /// DkIndex::Construct.
@@ -66,7 +93,7 @@ BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label);
 BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
-    ThreadPool* pool);
+    ThreadPool* pool, RefineScratch* scratch = nullptr);
 
 /// \brief One D(k)-construct refinement round applied in place: advances
 /// the round-(`round`−1) partition in `part` to round `round` under the
@@ -79,7 +106,8 @@ BisimulationPartition ComputeDkConstructPartition(
 /// cascade exceeds its incremental threshold.
 bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
                             const std::vector<int32_t>& kreq_by_label,
-                            int32_t round, ThreadPool* pool = nullptr);
+                            int32_t round, ThreadPool* pool = nullptr,
+                            RefineScratch* scratch = nullptr);
 
 }  // namespace mrx
 

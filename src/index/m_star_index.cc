@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 #include "index/bisimulation.h"
@@ -23,6 +24,9 @@ MStarIndex::MStarIndex(const DataGraph& g) : data_(g), evaluator_(g) {
   std::vector<IndexNodeId> sup(g0.capacity(), kInvalidIndexNode);
   components_.push_back(Component{std::move(g0), std::move(sup)});
 }
+
+MStarIndex::MStarIndex(const DataGraph& g, EmptyInit)
+    : data_(g), evaluator_(g) {}
 
 Result<MStarIndex> MStarIndex::FromComponents(
     const DataGraph& g, const std::vector<MStarComponentSpec>& specs) {
@@ -75,35 +79,63 @@ Result<MStarIndex> MStarIndex::FromComponents(
 
 MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g, int k_max,
                                             ThreadPool* pool) {
-  std::vector<MStarComponentSpec> specs;
-  std::vector<uint32_t> prev_block_of;
-  // Level i is A(i) = one refinement round on A(i-1) — the partition is
-  // carried across levels instead of recomputed from scratch (k_max rounds
-  // total rather than k_max^2/2). At the fixpoint, RefineBisimulationRound
+  // Phase A — refinement. Level i is A(i) = one refinement round on A(i-1):
+  // the partition is carried across levels instead of recomputed from
+  // scratch (k_max rounds total rather than k_max^2/2), with one scratch
+  // arena shared by every round. At the fixpoint, RefineBisimulationRound
   // is a no-op and the remaining levels repeat the fixpoint partition,
-  // exactly as per-level ComputeKBisimulation(g, i) would.
-  BisimulationPartition part = ComputeKBisimulation(g, 0, pool);
-  for (int i = 0; i <= k_max; ++i) {
-    if (i > 0) RefineBisimulationRound(g, &part, pool);
-    MStarComponentSpec spec;
-    spec.extents.resize(part.num_blocks);
-    for (NodeId n = 0; n < g.num_nodes(); ++n) {
-      spec.extents[part.block_of[n]].push_back(n);
-    }
-    spec.ks.assign(part.num_blocks, i);
-    spec.supernodes.assign(part.num_blocks, 0);
-    if (i > 0) {
-      for (uint32_t b = 0; b < part.num_blocks; ++b) {
-        spec.supernodes[b] = prev_block_of[spec.extents[b].front()];
-      }
-    }
-    prev_block_of = part.block_of;
-    specs.push_back(std::move(spec));
+  // exactly as per-level ComputeKBisimulation(g, i) would. Each round is
+  // itself sharded over `pool`.
+  assert(k_max >= 0);
+  const size_t levels = static_cast<size_t>(k_max) + 1;
+  std::vector<std::vector<uint32_t>> block_of(levels);
+  std::vector<uint32_t> num_blocks(levels);
+  RefineScratch scratch;
+  BisimulationPartition part = ComputeKBisimulation(g, 0, pool, &scratch);
+  for (size_t i = 0; i < levels; ++i) {
+    if (i > 0) RefineBisimulationRound(g, &part, pool, &scratch);
+    block_of[i] = part.block_of;
+    num_blocks[i] = part.num_blocks;
   }
+
+  // Phase B — materialization, one level per pool task. Levels are
+  // independent given the snapshots: FromPartition derives extents and
+  // adjacency, and the supernode of block b in level i is simply b's
+  // level-(i-1) block (FromPartition numbers index nodes by block id).
+  // This is the serial O(n)-per-level tail Amdahl leaves behind when only
+  // the rounds are parallel.
+  MStarIndex index(g, EmptyInit{});
+  std::vector<std::unique_ptr<Component>> built(levels);
+  auto build_level = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      std::vector<int32_t> ks(num_blocks[i], static_cast<int32_t>(i));
+      IndexGraph graph =
+          IndexGraph::FromPartition(g, block_of[i], num_blocks[i], ks);
+      std::vector<IndexNodeId> sup(graph.capacity(), kInvalidIndexNode);
+      if (i > 0) {
+        for (IndexNodeId v = 0; v < graph.capacity(); ++v) {
+          sup[v] = block_of[i - 1][graph.node(v).extent.front()];
+        }
+      }
+      built[i] =
+          std::make_unique<Component>(Component{std::move(graph), std::move(sup)});
+    }
+  };
+  if (pool != nullptr && levels > 1) {
+    pool->ParallelFor(0, levels, 1, build_level);
+  } else {
+    build_level(0, levels);
+  }
+  index.components_.reserve(levels);
+  for (auto& comp : built) index.components_.push_back(std::move(*comp));
+
   // The A(i) family satisfies Properties 1-5 by construction (each A(i+1)
-  // refines A(i)); FromComponents re-verifies.
-  Result<MStarIndex> index = FromComponents(g, specs);
-  return std::move(index).value();
+  // refines A(i)); verify anyway — per component over the pool — exactly
+  // as the FromComponents load path does.
+  Status properties = index.CheckProperties(pool);
+  assert(properties.ok());
+  (void)properties;
+  return index;
 }
 
 void MStarIndex::AppendComponentCopy() {
@@ -749,8 +781,14 @@ size_t MStarIndex::PhysicalEdgeCount() const {
   return count;
 }
 
-Status MStarIndex::CheckProperties() const {
-  for (size_t i = 0; i < components_.size(); ++i) {
+Status MStarIndex::CheckProperties() const { return CheckProperties(nullptr); }
+
+Status MStarIndex::CheckProperties(ThreadPool* pool) const {
+  // Each component's checks read only that component and its predecessor,
+  // so components verify independently (and in parallel when a pool is
+  // given — verification is an O(total extent) walk that would otherwise
+  // dominate a parallel build's serial tail).
+  auto check_component = [this](size_t i) -> Status {
     const Component& comp = components_[i];
     MRX_RETURN_IF_ERROR(comp.graph.CheckConsistency());
     for (IndexNodeId v = 0; v < comp.graph.capacity(); ++v) {
@@ -780,6 +818,21 @@ Status MStarIndex::CheckProperties() const {
         return Status::Internal("Property 5 violated: k not stable");
       }
     }
+    return Status::Ok();
+  };
+
+  if (pool == nullptr || components_.size() <= 1) {
+    for (size_t i = 0; i < components_.size(); ++i) {
+      MRX_RETURN_IF_ERROR(check_component(i));
+    }
+    return Status::Ok();
+  }
+  std::vector<Status> results(components_.size());
+  pool->ParallelFor(0, components_.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) results[i] = check_component(i);
+  });
+  for (Status& status : results) {
+    MRX_RETURN_IF_ERROR(std::move(status));
   }
   return Status::Ok();
 }

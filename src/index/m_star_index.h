@@ -63,8 +63,9 @@ class MStarIndex {
   /// refinement exists to avoid (the static-vs-adaptive ablation bench
   /// quantifies the gap). Each level is one refinement round on top of the
   /// previous level's partition (not a from-scratch rebuild), sharded over
-  /// `pool` when one is given — ids are byte-identical for any thread
-  /// count (see docs/PERFORMANCE.md).
+  /// `pool` when one is given; component materialization and property
+  /// verification then fan out over the levels. Ids are byte-identical for
+  /// any thread count (see docs/PERFORMANCE.md).
   static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max,
                                          ThreadPool* pool = nullptr);
 
@@ -172,7 +173,16 @@ class MStarIndex {
   /// separately in tests against reference partitions.
   Status CheckProperties() const;
 
+  /// Same checks fanned out per component over `pool` (may be null =
+  /// serial). Reports the same error the serial walk would: the failing
+  /// component with the lowest index wins.
+  Status CheckProperties(ThreadPool* pool) const;
+
  private:
+  /// Tag for the internal constructor that skips building the A(0)
+  /// component (BuildStaticHierarchy materializes all components itself).
+  struct EmptyInit {};
+  MStarIndex(const DataGraph& g, EmptyInit);
   struct Component {
     IndexGraph graph;
     /// Per node id (parallel to graph's id space): the node's supernode in

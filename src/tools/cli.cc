@@ -11,6 +11,7 @@
 #include "datagen/nasa.h"
 #include "datagen/xmark.h"
 #include "graph/statistics.h"
+#include "harness/datasets.h"
 #include "harness/report.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
@@ -74,7 +75,11 @@ commands:
                                       slow_queries.jsonl, trace.jsonl,
                                       metrics.prom/.jsonl, diag.json) to
                                       DIR; --last N bounds the flight dump
-  generate <xmark|nasa> <out.xml> [--scale S] [--seed N]
+  generate <xmark|nasa|dtd-random> <out.xml|out.mrxg> [--scale S]
+           [--nodes N] [--seed N]      .mrxg outputs stream the generator
+                                      straight into the graph (no document
+                                      in memory; scale-tier sizes OK);
+                                      --nodes targets a node count directly
   workload <graph> [--count N] [--max-length L] [--seed N]
   serve-bench <graph> [--workers N] [--clients N] [--queries N]
               [--count N] [--max-length L] [--seed N] [--csv out.csv]
@@ -684,23 +689,56 @@ int CmdDiag(const Options& options, std::ostream& out, std::ostream& err) {
 int CmdGenerate(const Options& options, std::ostream& out,
                 std::ostream& err) {
   if (options.positional.size() != 2) {
-    err << "usage: mrx generate <xmark|nasa> <out.xml> [--scale S] "
-           "[--seed N]\n";
+    err << "usage: mrx generate <xmark|nasa|dtd-random> <out.xml|out.mrxg> "
+           "[--scale S] [--nodes N] [--seed N]\n";
     return 2;
   }
+  const std::string& dataset = options.positional[0];
+  const std::string& out_path = options.positional[1];
   const double scale = std::atof(options.Flag("scale", "0.1").c_str());
   const uint64_t seed =
       static_cast<uint64_t>(std::atoll(options.Flag("seed", "7").c_str()));
+  const size_t nodes =
+      static_cast<size_t>(std::atoll(options.Flag("nodes", "0").c_str()));
+
+  if (EndsWith(out_path, ".mrxg")) {
+    // Streamed direct-to-graph path: the serialized document never exists,
+    // so multi-million-node graphs generate in graph-sized memory.
+    Result<DataGraph> g(Status::InvalidArgument("unknown dataset"));
+    if (dataset == "xmark") {
+      g = harness::BuildXMarkGraphStreamed(
+          nodes > 0 ? harness::XMarkScaleForNodes(nodes) : scale, seed);
+    } else if (dataset == "nasa") {
+      g = harness::BuildNasaGraphStreamed(
+          nodes > 0 ? static_cast<double>(nodes) / 90000.0 : scale, seed);
+    } else if (dataset == "dtd-random") {
+      g = harness::BuildDtdRandomGraphStreamed(
+          nodes > 0 ? nodes : static_cast<size_t>(60000 * scale), seed);
+    } else {
+      err << "unknown dataset: " << dataset << "\n";
+      return 2;
+    }
+    if (!g.ok()) return Fail(err, g.status());
+    Status s = storage::SaveDataGraphToFile(*g, out_path);
+    if (!s.ok()) return Fail(err, s);
+    out << "wrote " << out_path << " (" << g->num_nodes() << " nodes, "
+        << g->num_edges() << " edges)\n";
+    return 0;
+  }
+
   std::string doc;
-  if (options.positional[0] == "xmark") {
+  if (dataset == "xmark") {
     doc = datagen::GenerateXMarkDocument(
         datagen::XMarkOptions::Scaled(scale, seed));
-  } else if (options.positional[0] == "nasa") {
+  } else if (dataset == "nasa") {
     Result<std::string> nasa = datagen::GenerateNasaDocument(scale, seed);
     if (!nasa.ok()) return Fail(err, nasa.status());
     doc = *std::move(nasa);
+  } else if (dataset == "dtd-random") {
+    err << "dtd-random only generates graphs; use a .mrxg output path\n";
+    return 2;
   } else {
-    err << "unknown dataset: " << options.positional[0] << "\n";
+    err << "unknown dataset: " << dataset << "\n";
     return 2;
   }
   Status s = WriteFile(options.positional[1], doc);

@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "harness/datasets.h"
 #include "index/bisimulation.h"
 #include "index/m_star_index.h"
+#include "mutate/incremental_maintainer.h"
 #include "query/data_evaluator.h"
 #include "server/concurrent_session.h"
 #include "tests/test_util.h"
@@ -155,6 +157,70 @@ TEST(ParallelBuildTest, StaticHierarchyLevelsAreTheAkPartitions) {
                   part.block_of[u] == part.block_of[v])
             << "i=" << i << " u=" << u << " v=" << v;
       }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, DeterminismHoldsAtStreamedScale) {
+  // The small-graph tests above cross the sharding threshold barely; this
+  // one pins the contract where the scale tier actually runs it — a
+  // streamed >= 100k-node reference-rich graph, with the per-level
+  // partitions, the full hierarchy fingerprint, and the maintainer's
+  // exported specs all byte-identical across pool sizes (including the
+  // single-shard fast path at 1 thread).
+  auto streamed = harness::BuildDtdRandomGraphStreamed(100000);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  const DataGraph& g = *streamed;
+  ASSERT_GE(g.num_nodes(), 100000u);
+
+  constexpr int kMax = 4;
+  RefineScratch serial_scratch;
+  BisimulationPartition serial =
+      ComputeKBisimulation(g, 0, nullptr, &serial_scratch);
+  std::vector<std::vector<uint32_t>> serial_levels = {serial.block_of};
+  for (int k = 1; k <= kMax; ++k) {
+    RefineBisimulationRound(g, &serial, nullptr, &serial_scratch);
+    serial_levels.push_back(serial.block_of);
+  }
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    RefineScratch scratch;
+    BisimulationPartition pooled =
+        ComputeKBisimulation(g, 0, &pool, &scratch);
+    ASSERT_EQ(pooled.block_of, serial_levels[0]);
+    for (int k = 1; k <= kMax; ++k) {
+      RefineBisimulationRound(g, &pooled, &pool, &scratch);
+      ASSERT_EQ(pooled.block_of, serial_levels[static_cast<size_t>(k)])
+          << "k=" << k;
+    }
+  }
+
+  const std::string serial_fp =
+      Fingerprint(MStarIndex::BuildStaticHierarchy(g, kMax));
+  std::vector<MStarComponentSpec> serial_specs;
+  {
+    mutate::MaintainerOptions options;
+    options.k_max = kMax;
+    serial_specs = mutate::IncrementalMaintainer(g, options).ExportStaticSpecs();
+  }
+  for (size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    EXPECT_EQ(Fingerprint(MStarIndex::BuildStaticHierarchy(g, kMax, &pool)),
+              serial_fp);
+    mutate::MaintainerOptions options;
+    options.k_max = kMax;
+    options.pool = &pool;
+    const std::vector<MStarComponentSpec> pooled_specs =
+        mutate::IncrementalMaintainer(g, options).ExportStaticSpecs();
+    ASSERT_EQ(pooled_specs.size(), serial_specs.size());
+    for (size_t i = 0; i < pooled_specs.size(); ++i) {
+      EXPECT_EQ(pooled_specs[i].extents, serial_specs[i].extents) << "i=" << i;
+      EXPECT_EQ(pooled_specs[i].ks, serial_specs[i].ks) << "i=" << i;
+      EXPECT_EQ(pooled_specs[i].supernodes, serial_specs[i].supernodes)
+          << "i=" << i;
     }
   }
 }

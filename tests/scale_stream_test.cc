@@ -1,0 +1,155 @@
+// Scale tier, generation side (docs/PERFORMANCE.md "Scale tier"):
+//
+//  - the streamed direct-to-graph path (DocumentSink -> DirectGraphSink ->
+//    StreamingCsrBuilder) must produce a graph BYTE-IDENTICAL to
+//    generate-string -> parse on the same generator options and seed, for
+//    both generators (XMark and DTD-random) across scales;
+//  - streamed generation must be memory-bounded: the transient emission
+//    state stays O(depth), never O(document), so multi-million-node graphs
+//    generate in graph-sized memory;
+//  - XMarkOptions::Scaled must stay well-defined at extreme scales.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "datagen/dtd.h"
+#include "datagen/dtd_generator.h"
+#include "datagen/graph_sink.h"
+#include "datagen/xmark.h"
+#include "harness/datasets.h"
+#include "xml/graph_builder.h"
+
+namespace mrx {
+namespace {
+
+/// Full structural equality: ids, labels, adjacency, kinds, symbols.
+/// Byte-identity of the two construction paths, not just isomorphism.
+void ExpectSameGraph(const DataGraph& a, const DataGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.root(), b.root());
+  ASSERT_EQ(a.num_reference_edges(), b.num_reference_edges());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    ASSERT_EQ(a.label_name(n), b.label_name(n)) << "node " << n;
+    const auto ac = a.children(n), bc = b.children(n);
+    ASSERT_TRUE(std::equal(ac.begin(), ac.end(), bc.begin(), bc.end()))
+        << "children of node " << n;
+    const auto ak = a.child_kinds(n), bk = b.child_kinds(n);
+    ASSERT_TRUE(std::equal(ak.begin(), ak.end(), bk.begin(), bk.end()))
+        << "child kinds of node " << n;
+    const auto ap = a.parents(n), bp = b.parents(n);
+    ASSERT_TRUE(std::equal(ap.begin(), ap.end(), bp.begin(), bp.end()))
+        << "parents of node " << n;
+  }
+}
+
+TEST(ScaleStreamTest, XMarkStreamedGraphIdenticalToParsePath) {
+  for (double scale : {0.1, 0.5, 1.0}) {
+    SCOPED_TRACE("scale=" + std::to_string(scale));
+    auto streamed = harness::BuildXMarkGraphStreamed(scale);
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    auto parsed = harness::BuildXMarkGraph(scale);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ExpectSameGraph(*parsed, *streamed);
+  }
+}
+
+TEST(ScaleStreamTest, DtdRandomStreamedGraphIdenticalToParsePath) {
+  for (size_t target : {6000u, 30000u, 60000u}) {
+    SCOPED_TRACE("target=" + std::to_string(target));
+    auto streamed = harness::BuildDtdRandomGraphStreamed(target);
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    auto parsed = harness::BuildDtdRandomGraph(target);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ExpectSameGraph(*parsed, *streamed);
+  }
+}
+
+TEST(ScaleStreamTest, NasaStreamedGraphIdenticalToParsePath) {
+  auto streamed = harness::BuildNasaGraphStreamed(0.2);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  auto parsed = harness::BuildNasaGraph(0.2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameGraph(*parsed, *streamed);
+}
+
+TEST(ScaleStreamTest, TextSinkReproducesStringGenerators) {
+  // The event stream through an XmlTextSink is the string generator,
+  // byte for byte — the oracle the graph path's equivalence rests on.
+  const datagen::XMarkOptions options = datagen::XMarkOptions::Scaled(0.05);
+  datagen::XmlTextSink sink;
+  datagen::GenerateXMarkDocument(options, &sink);
+  EXPECT_EQ(std::move(sink).TakeDocument(),
+            datagen::GenerateXMarkDocument(options));
+
+  auto dtd = datagen::Dtd::Parse(harness::BenchCatalogDtd());
+  ASSERT_TRUE(dtd.ok());
+  datagen::DtdGeneratorOptions dtd_options;
+  dtd_options.seed = 99;
+  dtd_options.min_elements = 5000;
+  dtd_options.max_elements = 10000;
+  datagen::XmlTextSink dtd_sink;
+  ASSERT_TRUE(datagen::GenerateDocument(*dtd, dtd_options, &dtd_sink).ok());
+  auto doc = datagen::GenerateDocument(*dtd, dtd_options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(std::move(dtd_sink).TakeDocument(), *doc);
+}
+
+TEST(ScaleStreamTest, StreamedGenerationIsMemoryBoundedAtMillionNodes) {
+  // Scale 9 targets > 1M element nodes. The serialized document would be
+  // hundreds of MB; the sink's transient emission state (the open-element
+  // stack) must stay O(depth) — bytes, not megabytes.
+  datagen::DirectGraphSink sink;
+  datagen::GenerateXMarkDocument(datagen::XMarkOptions::Scaled(9.0), &sink);
+  EXPECT_GE(sink.num_nodes(), 1000000u);
+  EXPECT_LT(sink.peak_transient_bytes(), 4096u);
+  // Pending references are graph-proportional (one entry per reference
+  // attribute), far below document-proportional.
+  EXPECT_LT(sink.pending_ref_bytes(), sink.num_nodes() * 32);
+  auto graph = std::move(sink).Finish();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_GE(graph->num_nodes(), 1000000u);
+  EXPECT_GT(graph->num_reference_edges(), 0u);
+}
+
+TEST(ScaleStreamTest, ScaledIsWellDefinedAtExtremeScales) {
+  // Entity counts stay in [1, 2^31] for any double input (satellite of the
+  // scale tier: size_t overflow / NaN casts were UB before).
+  const double extremes[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             1e30,
+                             -5.0,
+                             0.0,
+                             1e-30};
+  constexpr double kMaxEntities = 2147483648.0;  // 2^31.
+  for (double scale : extremes) {
+    SCOPED_TRACE("scale=" + std::to_string(scale));
+    const datagen::XMarkOptions o = datagen::XMarkOptions::Scaled(scale);
+    for (size_t count : {o.num_categories, o.num_items, o.num_persons,
+                         o.num_open_auctions, o.num_closed_auctions,
+                         o.catgraph_edges}) {
+      EXPECT_GE(count, 1u);
+      EXPECT_LE(static_cast<double>(count), kMaxEntities);
+    }
+    for (double mean :
+         {o.mean_bidders_per_auction, o.mean_incategory_per_item,
+          o.mean_mails_per_item, o.mean_watches_per_person}) {
+      EXPECT_TRUE(std::isfinite(mean));
+      EXPECT_GE(mean, 0.0);
+      EXPECT_LE(mean, 64.0);
+    }
+  }
+  // Extreme-but-valid scales still generate (tiny end).
+  auto tiny = harness::BuildXMarkGraphStreamed(1e-12);
+  ASSERT_TRUE(tiny.ok()) << tiny.status();
+  EXPECT_GT(tiny->num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace mrx
