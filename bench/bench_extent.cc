@@ -1,0 +1,240 @@
+// Extent-representation bench (ISSUE 9 gate): physical bytes and intersect
+// throughput of every extent representation over the A(0..k_max) hierarchy
+// levels of streamed XMark graphs — the exact extent population an M*(k)
+// static build stores. For every tier:
+//
+//   - the level partitions are computed once and their per-block node sets
+//     re-encoded under each forced representation (vector / delta / hybrid)
+//     plus the auto heuristic, summing physical bytes;
+//   - intersect throughput is measured over the largest extents (self
+//     pairs exercise full-overlap merges, consecutive pairs the disjoint
+//     skew a partition produces), in logical elements per second — the §5
+//     accounting, so compressed and plain runs are directly comparable;
+//   - every compressed encoding is verified to materialize back to the
+//     oracle vector BEFORE any timing is reported.
+//
+// Emits BENCH_extent.json. CI runs the 2M tier and gates on the auto
+// heuristic: total extent bytes must be <= 60% of the vector baseline and
+// intersect throughput within 10% of it (docs/PERFORMANCE.md "Extent
+// representations").
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/datasets.h"
+#include "harness/report.h"
+#include "index/bisimulation.h"
+#include "index/extent.h"
+#include "index/extent_ops.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace mrx;
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// One representation's numbers at one tier.
+struct RepResult {
+  std::string rep;
+  size_t bytes = 0;
+  double encode_ms = 0;
+  double intersect_melems_s = 0;  ///< Logical Melems/s over the workload.
+};
+
+/// The per-block node sets of A(0)..A(k_max) — every extent a static
+/// M*(k) hierarchy of depth k_max stores.
+std::vector<std::vector<NodeId>> HierarchyExtents(const DataGraph& g,
+                                                  int k_max) {
+  std::vector<std::vector<NodeId>> out;
+  BisimulationPartition part = ComputeKBisimulation(g, 0);
+  for (int i = 0; i <= k_max; ++i) {
+    if (i > 0) RefineBisimulationRound(g, &part);
+    std::vector<std::vector<NodeId>> staged(part.num_blocks);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      staged[part.block_of[n]].push_back(n);
+    }
+    for (auto& block : staged) out.push_back(std::move(block));
+  }
+  return out;
+}
+
+RepResult RunRep(const std::string& rep_name,
+                 const std::vector<std::vector<NodeId>>& blocks,
+                 const std::vector<size_t>& big, int reps) {
+  RepResult result;
+  result.rep = rep_name;
+
+  // Encode the whole population under this representation ("auto" = the
+  // heuristic; everything else forced), verifying losslessness.
+  std::vector<Extent> extents;
+  result.encode_ms = TimeMs([&] {
+    extents.reserve(blocks.size());
+    for (const std::vector<NodeId>& block : blocks) {
+      if (rep_name == "auto") {
+        extents.push_back(Extent::FromSorted(std::vector<NodeId>(block)));
+      } else if (rep_name == "vector") {
+        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
+                                               ExtentRep::kSortedVector));
+      } else if (rep_name == "delta") {
+        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
+                                               ExtentRep::kDeltaPacked));
+      } else {
+        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
+                                               ExtentRep::kHybridBitmap));
+      }
+    }
+  });
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    result.bytes += extents[i].physical_bytes();
+    if (extents[i] != blocks[i]) {
+      std::cerr << "FATAL: " << rep_name << " encoding of block " << i
+                << " is lossy\n";
+      std::exit(1);
+    }
+  }
+
+  // Intersect workload over the largest extents: self pairs (full
+  // overlap) and consecutive pairs (disjoint — partition blocks never
+  // share members). Logical elements = |a| + |b| per call, exactly what
+  // the §5 cost hooks charge.
+  size_t logical = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    logical += 2 * extents[big[i]].size();
+    logical += extents[big[i]].size() +
+               extents[big[(i + 1) % big.size()]].size();
+  }
+  double best_ms = 0;
+  size_t guard = 0;  // Defeats dead-code elimination.
+  for (int r = 0; r < reps; ++r) {
+    const double ms = TimeMs([&] {
+      for (size_t i = 0; i < big.size(); ++i) {
+        const Extent& a = extents[big[i]];
+        const Extent& b = extents[big[(i + 1) % big.size()]];
+        guard += Intersect(a, a).size();
+        guard += Intersect(a, b).size();
+      }
+    });
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  if (guard == 0 && !big.empty()) std::cerr << "";  // Keep `guard` live.
+  result.intersect_melems_s =
+      best_ms > 0 ? static_cast<double>(logical) / best_ms / 1e3 : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int k_max = 4;
+  int reps = 3;
+  std::string out_path = "BENCH_extent.json";
+  std::vector<size_t> tier_nodes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kmax") {
+      k_max = std::atoi(next().c_str());
+    } else if (arg == "--reps") {
+      reps = std::atoi(next().c_str());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--tiers") {
+      std::string list = next();
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        tier_nodes.push_back(static_cast<size_t>(
+            std::atoll(list.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    } else {
+      std::cerr << "usage: bench_extent [--tiers n1,n2,...] [--kmax K]"
+                   " [--reps R] [--out file]\n";
+      return 2;
+    }
+  }
+  if (tier_nodes.empty()) tier_nodes = {100000, 500000, 2000000};
+
+  TableWriter table({"tier", "nodes", "extents", "rep", "bytes", "MiB",
+                     "vs_vector", "encode_ms", "intersect_melems_s"});
+  std::vector<std::pair<std::string, double>> metrics;
+
+  for (size_t nodes : tier_nodes) {
+    const std::string tier = harness::ScaleTierName(nodes);
+    Result<DataGraph> graph =
+        harness::BuildXMarkGraphStreamed(harness::XMarkScaleForNodes(nodes));
+    if (!graph.ok()) {
+      std::cerr << "FATAL: " << tier
+                << " generation failed: " << graph.status().message() << "\n";
+      return 1;
+    }
+    const std::vector<std::vector<NodeId>> blocks =
+        HierarchyExtents(*graph, k_max);
+
+    // The 32 largest extents drive the intersect workload.
+    std::vector<size_t> by_size(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) by_size[i] = i;
+    std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
+      return blocks[a].size() > blocks[b].size();
+    });
+    by_size.resize(std::min<size_t>(32, by_size.size()));
+
+    double vector_bytes = 0, vector_melems = 0;
+    for (const char* rep : {"vector", "delta", "hybrid", "auto"}) {
+      const RepResult r = RunRep(rep, blocks, by_size, reps);
+      if (r.rep == "vector") {
+        vector_bytes = static_cast<double>(r.bytes);
+        vector_melems = r.intersect_melems_s;
+      }
+      const double ratio =
+          vector_bytes > 0 ? static_cast<double>(r.bytes) / vector_bytes : 0;
+      table.AddRowValues(tier, graph->num_nodes(), blocks.size(), r.rep,
+                         r.bytes, static_cast<double>(r.bytes) / (1 << 20),
+                         ratio, r.encode_ms, r.intersect_melems_s);
+      const std::string prefix = tier + "_" + r.rep + "_";
+      metrics.emplace_back(prefix + "bytes", static_cast<double>(r.bytes));
+      metrics.emplace_back(prefix + "bytes_vs_vector", ratio);
+      metrics.emplace_back(prefix + "encode_ms", r.encode_ms);
+      metrics.emplace_back(prefix + "intersect_melems_s",
+                           r.intersect_melems_s);
+      if (vector_melems > 0) {
+        metrics.emplace_back(prefix + "intersect_vs_vector",
+                             r.intersect_melems_s / vector_melems);
+      }
+    }
+    metrics.emplace_back(tier + "_nodes",
+                         static_cast<double>(graph->num_nodes()));
+    metrics.emplace_back(tier + "_extents",
+                         static_cast<double>(blocks.size()));
+  }
+
+  std::cout << "== Extent representations over A(0.." << k_max
+            << ") hierarchy extents (XMark streamed; every encoding"
+               " verified lossless before timing) ==\n";
+  table.RenderText(std::cout);
+
+  std::ofstream bench(out_path, std::ios::trunc);
+  mrx::harness::WriteBenchJson(bench, "extent", metrics);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

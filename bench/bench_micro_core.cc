@@ -72,7 +72,7 @@ void BM_KBisimulationPooled(benchmark::State& state) {
   const DataGraph& g = SharedGraph();
   ThreadPool pool(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
-    auto part = ComputeKBisimulation(g, 3, &pool);
+    auto part = ComputeKBisimulation(g, 3, RefineOptions{&pool});
     benchmark::DoNotOptimize(part.num_blocks);
   }
 }

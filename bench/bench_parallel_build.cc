@@ -79,7 +79,7 @@ DatasetResult RunDataset(const std::string& name, const DataGraph& g,
     // Determinism gate: the pooled partition must be byte-identical to
     // the serial one, or the timing below is comparing different work.
     const BisimulationPartition pooled =
-        ComputeKBisimulation(g, k_max, &pool);
+        ComputeKBisimulation(g, k_max, RefineOptions{&pool});
     if (pooled.block_of != serial_part.block_of ||
         pooled.num_blocks != serial_part.num_blocks) {
       std::cerr << "FATAL: " << name << " partition diverges at "
@@ -87,7 +87,8 @@ DatasetResult RunDataset(const std::string& name, const DataGraph& g,
       std::exit(1);
     }
     const double ms = BestOf(reps, [&] {
-      MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max, &pool);
+      MStarIndex index =
+          MStarIndex::BuildStaticHierarchy(g, k_max, RefineOptions{&pool});
       if (index.num_components() == 0) std::exit(1);
     });
     result.pooled_ms.emplace_back(threads, ms);

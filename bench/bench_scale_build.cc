@@ -115,7 +115,8 @@ TierResult RunTier(const std::string& dataset, const std::string& tier,
     ThreadPool pool(threads);
     // Determinism gate: the pooled partition must be byte-identical to
     // the serial one, or the timings below compare different work.
-    const BisimulationPartition pooled = ComputeKBisimulation(g, k_max, &pool);
+    const BisimulationPartition pooled =
+        ComputeKBisimulation(g, k_max, RefineOptions{&pool});
     if (pooled.block_of != serial_part.block_of ||
         pooled.num_blocks != serial_part.num_blocks) {
       std::cerr << "FATAL: " << dataset << "/" << tier
@@ -123,7 +124,8 @@ TierResult RunTier(const std::string& dataset, const std::string& tier,
       std::exit(1);
     }
     const double ms = BestOf(reps, [&] {
-      MStarIndex index = MStarIndex::BuildStaticHierarchy(g, k_max, &pool);
+      MStarIndex index =
+          MStarIndex::BuildStaticHierarchy(g, k_max, RefineOptions{&pool});
       if (index.num_components() == 0) std::exit(1);
     });
     if (threads == 2) result.t2_ms = ms;

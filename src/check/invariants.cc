@@ -147,12 +147,19 @@ std::vector<std::string> AuditIndexGraph(const IndexGraph& ig,
     const IndexGraph::Node& node = ig.node(v);
     const int32_t k = std::min(node.k, k_cap);
     const size_t members = std::min(node.extent.size(), pair_cap + 1);
+    // Decode the capped prefix once (extents may be compressed).
+    std::vector<NodeId> sampled;
+    sampled.reserve(members);
+    for (NodeId o : node.extent) {
+      if (sampled.size() == members) break;
+      sampled.push_back(o);
+    }
     for (size_t i = 1; i < members; ++i) {
-      if (!oracle.Bisimilar(node.extent[0], node.extent[i], k)) {
+      if (!oracle.Bisimilar(sampled[0], sampled[i], k)) {
         std::ostringstream out;
         out << "bisim: index node " << v << " (k=" << node.k << ") holds "
-            << NodeStr(ig.data(), node.extent[0]) << " and "
-            << NodeStr(ig.data(), node.extent[i]) << " which are not " << k
+            << NodeStr(ig.data(), sampled[0]) << " and "
+            << NodeStr(ig.data(), sampled[i]) << " which are not " << k
             << "-bisimilar";
         violations.push_back(out.str());
       }

@@ -167,16 +167,17 @@ std::vector<MStarComponentSpec> StaticSpecsOracle(const DataGraph& g,
   for (int i = 0; i <= k_max; ++i) {
     if (i > 0) RefineBisimulationRound(g, &part);
     MStarComponentSpec spec;
-    spec.extents.resize(part.num_blocks);
+    // Stage as vectors (scatter by block), then seal into Extents.
+    std::vector<std::vector<NodeId>> staged(part.num_blocks);
     for (NodeId n = 0; n < g.num_nodes(); ++n) {
-      spec.extents[part.block_of[n]].push_back(n);
+      staged[part.block_of[n]].push_back(n);
     }
     spec.ks.assign(part.num_blocks, i);
     spec.supernodes.assign(part.num_blocks, 0);
-    if (i > 0) {
-      for (uint32_t b = 0; b < part.num_blocks; ++b) {
-        spec.supernodes[b] = prev_block_of[spec.extents[b].front()];
-      }
+    spec.extents.reserve(part.num_blocks);
+    for (uint32_t b = 0; b < part.num_blocks; ++b) {
+      if (i > 0) spec.supernodes[b] = prev_block_of[staged[b].front()];
+      spec.extents.push_back(Extent::FromSorted(std::move(staged[b])));
     }
     prev_block_of = part.block_of;
     specs.push_back(std::move(spec));

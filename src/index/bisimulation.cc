@@ -306,15 +306,11 @@ void RecordRound(uint64_t start_ns) {
 
 }  // namespace
 
-BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k) {
-  return ComputeKBisimulation(g, k, nullptr);
-}
-
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
-                                           ThreadPool* pool,
-                                           RefineScratch* scratch) {
+                                           const RefineOptions& options) {
+  ThreadPool* pool = options.pool;
   RefineScratch local;
-  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
+  RefineScratchImpl* impl = (options.scratch ? options.scratch : &local)->impl();
 
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
@@ -342,10 +338,11 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
 }
 
 bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
-                             ThreadPool* pool, RefineScratch* scratch) {
+                             const RefineOptions& options) {
+  ThreadPool* pool = options.pool;
   if (part->reached_fixpoint) return false;
   RefineScratch local;
-  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
+  RefineScratchImpl* impl = (options.scratch ? options.scratch : &local)->impl();
   const uint64_t start_ns = obs::MonotonicNowNs();
   std::vector<uint32_t> next;
   uint32_t new_blocks = RefineRound(
@@ -362,15 +359,10 @@ bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
 }
 
 BisimulationPartition ComputeDkConstructPartition(
-    const DataGraph& g, const std::vector<int32_t>& kreq_by_label) {
-  return ComputeDkConstructPartition(g, kreq_by_label, nullptr);
-}
-
-BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
-    ThreadPool* pool, RefineScratch* scratch) {
+    const RefineOptions& options) {
   RefineScratch local;
-  RefineScratch* use = scratch ? scratch : &local;
+  RefineScratch* use = options.scratch ? options.scratch : &local;
 
   BisimulationPartition part;
   part.num_blocks = LabelBlocks(g, &part.block_of);
@@ -379,18 +371,21 @@ BisimulationPartition ComputeDkConstructPartition(
   for (int32_t k : kreq_by_label) max_k = std::max(max_k, k);
 
   for (int32_t i = 1; i <= max_k; ++i) {
-    if (!RefineDkConstructRound(g, &part, kreq_by_label, i, pool, use)) break;
+    if (!RefineDkConstructRound(g, &part, kreq_by_label, i,
+                                RefineOptions{options.pool, use})) {
+      break;
+    }
   }
   return part;
 }
 
 bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
                             const std::vector<int32_t>& kreq_by_label,
-                            int32_t round, ThreadPool* pool,
-                            RefineScratch* scratch) {
+                            int32_t round, const RefineOptions& options) {
+  ThreadPool* pool = options.pool;
   if (part->reached_fixpoint) return false;
   RefineScratch local;
-  RefineScratchImpl* impl = (scratch ? scratch : &local)->impl();
+  RefineScratchImpl* impl = (options.scratch ? options.scratch : &local)->impl();
   const uint64_t start_ns = obs::MonotonicNowNs();
   std::vector<uint32_t> next;
   uint32_t new_blocks = RefineRound(
@@ -409,6 +404,34 @@ bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
   part->num_blocks = new_blocks;
   ++part->rounds;
   return true;
+}
+
+// Deprecated (ThreadPool*, RefineScratch*) shims. Bodies live here so the
+// attribute in the header warns at *call* sites, not in this file.
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
+                                           ThreadPool* pool,
+                                           RefineScratch* scratch) {
+  return ComputeKBisimulation(g, k, RefineOptions{pool, scratch});
+}
+
+bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
+                             ThreadPool* pool, RefineScratch* scratch) {
+  return RefineBisimulationRound(g, part, RefineOptions{pool, scratch});
+}
+
+BisimulationPartition ComputeDkConstructPartition(
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
+    ThreadPool* pool, RefineScratch* scratch) {
+  return ComputeDkConstructPartition(g, kreq_by_label,
+                                     RefineOptions{pool, scratch});
+}
+
+bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
+                            const std::vector<int32_t>& kreq_by_label,
+                            int32_t round, ThreadPool* pool,
+                            RefineScratch* scratch) {
+  return RefineDkConstructRound(g, part, kreq_by_label, round,
+                                RefineOptions{pool, scratch});
 }
 
 }  // namespace mrx

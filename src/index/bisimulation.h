@@ -51,6 +51,20 @@ struct BisimulationPartition {
   bool reached_fixpoint = false;
 };
 
+/// \brief Execution knobs shared by every refinement entry point.
+///
+/// Replaces the historical (ThreadPool*, RefineScratch*) trailing
+/// parameters, which had grown into four diverging overload sets. Both
+/// fields are optional: `{}` is the serial, allocate-fresh path, and any
+/// combination is valid — results are byte-identical regardless (the
+/// pool's determinism contract and the scratch's allocation-cache contract
+/// both guarantee it). Aggregate construction keeps call sites terse:
+/// `ComputeKBisimulation(g, k, {.pool = &pool, .scratch = &scratch})`.
+struct RefineOptions {
+  ThreadPool* pool = nullptr;      ///< Shard rounds over this pool.
+  RefineScratch* scratch = nullptr;  ///< Reuse round working memory.
+};
+
 /// \brief Computes the k-bisimulation partition of `g` (Definition 2).
 ///
 /// Round 0 is the label partition (A(0)); each subsequent round refines by
@@ -65,7 +79,12 @@ struct BisimulationPartition {
 /// merge assigns ids in ascending first-occurrence order, exactly the
 /// order the serial scan produces (see docs/PERFORMANCE.md for the
 /// contract; tests/parallel_build_test.cc pins it).
-BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k);
+BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
+                                           const RefineOptions& options = {});
+
+/// Transitional shim for the pre-RefineOptions overload; forwards to the
+/// options form. New code should pass RefineOptions.
+[[deprecated("pass RefineOptions{pool, scratch} instead")]]
 BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
                                            ThreadPool* pool,
                                            RefineScratch* scratch = nullptr);
@@ -77,7 +96,13 @@ BisimulationPartition ComputeKBisimulation(const DataGraph& g, int k,
 /// hierarchy, growth benches) use this to pay one round per level instead
 /// of rebuilding each level from scratch.
 bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
-                             ThreadPool* pool = nullptr,
+                             const RefineOptions& options = {});
+
+/// Transitional shim (note: `pool` lost its default so two-argument calls
+/// resolve unambiguously to the options form).
+[[deprecated("pass RefineOptions{pool, scratch} instead")]]
+bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
+                             ThreadPool* pool,
                              RefineScratch* scratch = nullptr);
 
 /// \brief The D(k)-construct partition (Chen et al., SIGMOD'03), used by
@@ -90,7 +115,11 @@ bool RefineBisimulationRound(const DataGraph& g, BisimulationPartition* part,
 /// what makes D(k)-construct over-refine *irrelevant index nodes* (every
 /// same-label node is refined alike) but never violate Property 3.
 BisimulationPartition ComputeDkConstructPartition(
-    const DataGraph& g, const std::vector<int32_t>& kreq_by_label);
+    const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
+    const RefineOptions& options = {});
+
+/// Transitional shim for the pre-RefineOptions overload.
+[[deprecated("pass RefineOptions{pool, scratch} instead")]]
 BisimulationPartition ComputeDkConstructPartition(
     const DataGraph& g, const std::vector<int32_t>& kreq_by_label,
     ThreadPool* pool, RefineScratch* scratch = nullptr);
@@ -106,7 +135,13 @@ BisimulationPartition ComputeDkConstructPartition(
 /// cascade exceeds its incremental threshold.
 bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
                             const std::vector<int32_t>& kreq_by_label,
-                            int32_t round, ThreadPool* pool = nullptr,
+                            int32_t round, const RefineOptions& options = {});
+
+/// Transitional shim (no default on `pool`, as above).
+[[deprecated("pass RefineOptions{pool, scratch} instead")]]
+bool RefineDkConstructRound(const DataGraph& g, BisimulationPartition* part,
+                            const std::vector<int32_t>& kreq_by_label,
+                            int32_t round, ThreadPool* pool,
                             RefineScratch* scratch = nullptr);
 
 }  // namespace mrx

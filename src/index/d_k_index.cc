@@ -138,7 +138,8 @@ void DkIndex::PromoteExtent(const std::vector<NodeId>& extent, int32_t kv) {
   // kv - 1 by earlier FUPs ("overqualified parents") split the cover more
   // finely than kv-bisimilarity requires.
   for (IndexNodeId v : under_refined_covers()) {
-    std::vector<std::vector<NodeId>> pieces = {graph_.node(v).extent};
+    std::vector<std::vector<NodeId>> pieces = {
+        graph_.node(v).extent.Materialize()};
     const std::vector<IndexNodeId> parents = graph_.node(v).parents;
     for (IndexNodeId u : parents) {
       std::vector<NodeId> succ = graph_.Succ(graph_.node(u).extent);

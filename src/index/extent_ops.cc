@@ -1,0 +1,445 @@
+#include "index/extent_ops.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "index/extent.h"
+
+namespace mrx {
+namespace {
+
+using extent_internal::BitmapChunk;
+using extent_internal::ExtentPayload;
+
+/// Decodes set bits of `word` (word index `w`) into `out` as low halfwords.
+inline void ExtractWordBits(uint64_t word, size_t w, std::vector<uint16_t>* out) {
+  while (word != 0) {
+    const int b = std::countr_zero(word);
+    out->push_back(static_cast<uint16_t>(w * 64 + static_cast<size_t>(b)));
+    word &= word - 1;
+  }
+}
+
+/// Expands a chunk's members into `out` as low halfwords.
+void ChunkLows(const BitmapChunk& c, std::vector<uint16_t>* out) {
+  out->clear();
+  out->reserve(c.count);
+  switch (c.kind) {
+    case BitmapChunk::Kind::kArray:
+      out->assign(c.lows.begin(), c.lows.end());
+      return;
+    case BitmapChunk::Kind::kRuns:
+      for (size_t r = 0; r < c.lows.size(); r += 2) {
+        const uint32_t start = c.lows[r];
+        const uint32_t len = static_cast<uint32_t>(c.lows[r + 1]) + 1;
+        for (uint32_t j = 0; j < len; ++j) {
+          out->push_back(static_cast<uint16_t>(start + j));
+        }
+      }
+      return;
+    case BitmapChunk::Kind::kBitmap:
+      for (size_t w = 0; w < c.words.size(); ++w) {
+        ExtractWordBits(c.words[w], w, out);
+      }
+      return;
+  }
+}
+
+/// Appends the bits of `words` that fall inside the run [start, end]
+/// (inclusive) — the gallop-into-runs fast path: only the overlapped words
+/// are touched, masked at the run boundaries.
+void ExtractRunBits(const std::vector<uint64_t>& words, uint32_t start,
+                    uint32_t end, std::vector<uint16_t>* out) {
+  const size_t w_first = start >> 6;
+  const size_t w_last = end >> 6;
+  for (size_t w = w_first; w <= w_last; ++w) {
+    uint64_t word = words[w];
+    if (w == w_first) word &= ~uint64_t{0} << (start & 63);
+    if (w == w_last && (end & 63) != 63) {
+      word &= (uint64_t{1} << ((end & 63) + 1)) - 1;
+    }
+    ExtractWordBits(word, w, out);
+  }
+}
+
+/// Reusable working buffers for the per-chunk kernels — one allocation per
+/// CombineHybrid call instead of one per chunk.
+struct ChunkScratch {
+  std::vector<uint16_t> lows;
+  std::vector<uint64_t> words;
+};
+
+/// Count above which a 1024-word bitmap is at most as large as a u16 array
+/// (8 KiB / 2 B). Mirrors MakeChunk's kind rule; the native word-result
+/// emitters keep such chunks as bitmaps without ever extracting bits.
+constexpr uint32_t kBitmapCutoff = 4096;
+
+/// Emits the result chunk for the AND/ANDNOT words sitting in `s->words`.
+/// Dense results stay bitmaps (one 8 KiB copy, no per-bit extraction);
+/// sparse ones fall back to MakeChunk's exact kind rule. Returns false for
+/// an empty result.
+bool EmitFromWords(uint16_t high, ChunkScratch* s, BitmapChunk* out) {
+  uint32_t count = 0;
+  for (const uint64_t w : s->words) {
+    count += static_cast<uint32_t>(std::popcount(w));
+  }
+  if (count == 0) return false;
+  if (count > kBitmapCutoff) {
+    out->high = high;
+    out->kind = BitmapChunk::Kind::kBitmap;
+    out->count = count;
+    out->lows.clear();
+    out->words.assign(s->words.begin(), s->words.end());
+    return true;
+  }
+  s->lows.clear();
+  for (size_t w = 0; w < s->words.size(); ++w) {
+    ExtractWordBits(s->words[w], w, &s->lows);
+  }
+  *out = extent_internal::MakeChunk(high, s->lows.data(), count);
+  return true;
+}
+
+/// Masks `words` down to the bits inside the run [start, end] (inclusive),
+/// OR-ing the surviving bits into `s->words` (runs are non-adjacent, so
+/// their masks never collide).
+void AccumulateRunWords(const std::vector<uint64_t>& words, uint32_t start,
+                        uint32_t end, std::vector<uint64_t>* acc) {
+  const size_t w_first = start >> 6;
+  const size_t w_last = end >> 6;
+  for (size_t w = w_first; w <= w_last; ++w) {
+    uint64_t mask = ~uint64_t{0};
+    if (w == w_first) mask &= ~uint64_t{0} << (start & 63);
+    if (w == w_last && (end & 63) != 63) {
+      mask &= (uint64_t{1} << ((end & 63) + 1)) - 1;
+    }
+    (*acc)[w] |= words[w] & mask;
+  }
+}
+
+/// a ∩ b within one 64k chunk; returns false when the result is empty.
+bool IntersectChunk(const BitmapChunk& a, const BitmapChunk& b,
+                    ChunkScratch* s, BitmapChunk* out) {
+  // Word-parallel fast path: AND into scratch words, emit natively.
+  if (a.kind == BitmapChunk::Kind::kBitmap &&
+      b.kind == BitmapChunk::Kind::kBitmap) {
+    s->words.resize(1024);
+    for (size_t w = 0; w < 1024; ++w) {
+      s->words[w] = a.words[w] & b.words[w];
+    }
+    return EmitFromWords(a.high, s, out);
+  }
+  // Runs against a bitmap: mask only the run-covered words, emit natively.
+  if (a.kind == BitmapChunk::Kind::kBitmap &&
+      b.kind == BitmapChunk::Kind::kRuns) {
+    return IntersectChunk(b, a, s, out);
+  }
+  if (a.kind == BitmapChunk::Kind::kRuns &&
+      b.kind == BitmapChunk::Kind::kBitmap) {
+    s->words.assign(1024, 0);
+    for (size_t r = 0; r < a.lows.size(); r += 2) {
+      AccumulateRunWords(b.words, a.lows[r],
+                         static_cast<uint32_t>(a.lows[r]) + a.lows[r + 1],
+                         &s->words);
+    }
+    return EmitFromWords(a.high, s, out);
+  }
+  // Run × run: overlap the sorted run lists, emitting result runs as run
+  // pairs — never expanded when the run encoding stays the cheapest.
+  if (a.kind == BitmapChunk::Kind::kRuns && b.kind == BitmapChunk::Kind::kRuns) {
+    s->lows.clear();
+    uint32_t count = 0;
+    size_t i = 0, j = 0;
+    while (i < a.lows.size() && j < b.lows.size()) {
+      const uint32_t as = a.lows[i], ae = as + a.lows[i + 1];
+      const uint32_t bs = b.lows[j], be = bs + b.lows[j + 1];
+      // Run bounds stay within the chunk (≤ 65535), so no overflow here.
+      const uint32_t start = std::max(as, bs), end = std::min(ae, be);
+      if (start <= end) {
+        s->lows.push_back(static_cast<uint16_t>(start));
+        s->lows.push_back(static_cast<uint16_t>(end - start));
+        count += end - start + 1;
+      }
+      if (ae <= be) {
+        i += 2;
+      } else {
+        j += 2;
+      }
+    }
+    if (count == 0) return false;
+    // Overlapping two non-adjacent sorted run lists yields non-adjacent
+    // sorted runs, so the pairs are already a well-formed kRuns payload.
+    // Keep them unless an array would be smaller (MakeChunk's rule).
+    if (s->lows.size() <= count) {
+      out->high = a.high;
+      out->kind = BitmapChunk::Kind::kRuns;
+      out->count = count;
+      out->words.clear();
+      out->lows = s->lows;
+      return true;
+    }
+    std::vector<uint16_t> expanded;
+    expanded.reserve(count);
+    for (size_t r = 0; r < s->lows.size(); r += 2) {
+      const uint32_t start = s->lows[r];
+      for (uint32_t v = 0; v <= s->lows[r + 1]; ++v) {
+        expanded.push_back(static_cast<uint16_t>(start + v));
+      }
+    }
+    *out = extent_internal::MakeChunk(a.high, expanded.data(), count);
+    return true;
+  }
+  // Array × array: linear merge, unless one side is small enough that
+  // probing it into the other wins (the galloping-ratio rule).
+  if (a.kind == BitmapChunk::Kind::kArray &&
+      b.kind == BitmapChunk::Kind::kArray) {
+    const BitmapChunk& small = a.count <= b.count ? a : b;
+    const BitmapChunk& large = a.count <= b.count ? b : a;
+    s->lows.clear();
+    if (small.count * kGallopRatio < large.count) {
+      for (uint16_t low : small.lows) {
+        if (large.Contains(low)) s->lows.push_back(low);
+      }
+    } else {
+      std::set_intersection(a.lows.begin(), a.lows.end(), b.lows.begin(),
+                            b.lows.end(), std::back_inserter(s->lows));
+    }
+    if (s->lows.empty()) return false;
+    *out = extent_internal::MakeChunk(a.high, s->lows.data(),
+                                      static_cast<uint32_t>(s->lows.size()));
+    return true;
+  }
+  // An array against a bitmap or runs: probe each array member against the
+  // other container (bit test or run bracket) — the compressed analogue of
+  // the vector kernels' galloping sweep.
+  const BitmapChunk& arr = a.kind == BitmapChunk::Kind::kArray ? a : b;
+  const BitmapChunk& other = a.kind == BitmapChunk::Kind::kArray ? b : a;
+  s->lows.clear();
+  for (uint16_t low : arr.lows) {
+    if (other.Contains(low)) s->lows.push_back(low);
+  }
+  if (s->lows.empty()) return false;
+  *out = extent_internal::MakeChunk(a.high, s->lows.data(),
+                                    static_cast<uint32_t>(s->lows.size()));
+  return true;
+}
+
+/// a \ b within one 64k chunk; returns false when the result is empty.
+bool DifferenceChunk(const BitmapChunk& a, const BitmapChunk& b,
+                     ChunkScratch* s, BitmapChunk* out) {
+  if (a.kind == BitmapChunk::Kind::kBitmap) {
+    // Copy a's words, clear b's members, emit natively.
+    if (b.kind == BitmapChunk::Kind::kBitmap) {
+      s->words.resize(1024);
+      for (size_t w = 0; w < 1024; ++w) {
+        s->words[w] = a.words[w] & ~b.words[w];
+      }
+    } else {
+      s->words.assign(a.words.begin(), a.words.end());
+      if (b.kind == BitmapChunk::Kind::kArray) {
+        for (uint16_t low : b.lows) {
+          s->words[low >> 6] &= ~(uint64_t{1} << (low & 63));
+        }
+      } else {
+        for (size_t r = 0; r < b.lows.size(); r += 2) {
+          const uint32_t start = b.lows[r];
+          const uint32_t end = start + b.lows[r + 1];
+          const size_t w_first = start >> 6;
+          const size_t w_last = end >> 6;
+          for (size_t w = w_first; w <= w_last; ++w) {
+            uint64_t mask = ~uint64_t{0};
+            if (w == w_first) mask &= ~uint64_t{0} << (start & 63);
+            if (w == w_last && (end & 63) != 63) {
+              mask &= (uint64_t{1} << ((end & 63) + 1)) - 1;
+            }
+            s->words[w] &= ~mask;
+          }
+        }
+      }
+    }
+    return EmitFromWords(a.high, s, out);
+  }
+  // Array \ array: linear merge beats per-element probing.
+  if (a.kind == BitmapChunk::Kind::kArray &&
+      b.kind == BitmapChunk::Kind::kArray) {
+    s->lows.clear();
+    std::set_difference(a.lows.begin(), a.lows.end(), b.lows.begin(),
+                        b.lows.end(), std::back_inserter(s->lows));
+    if (s->lows.empty()) return false;
+    *out = extent_internal::MakeChunk(a.high, s->lows.data(),
+                                      static_cast<uint32_t>(s->lows.size()));
+    return true;
+  }
+  // a is array or runs: expand and probe b per element.
+  std::vector<uint16_t> lows;
+  ChunkLows(a, &lows);
+  s->lows.clear();
+  for (uint16_t low : lows) {
+    if (!b.Contains(low)) s->lows.push_back(low);
+  }
+  if (s->lows.empty()) return false;
+  *out = extent_internal::MakeChunk(a.high, s->lows.data(),
+                                    static_cast<uint32_t>(s->lows.size()));
+  return true;
+}
+
+/// Chunk-aligned merge over two hybrid payloads; `op` combines chunk pairs
+/// with equal highs, `keep_unmatched_a` passes a-only chunks through
+/// (difference semantics).
+template <typename ChunkOp>
+Extent CombineHybrid(const ExtentPayload& a, const ExtentPayload& b,
+                     bool keep_unmatched_a, ChunkOp op) {
+  std::vector<BitmapChunk> out;
+  ChunkScratch scratch;
+  BitmapChunk result;
+  size_t i = 0, j = 0;
+  while (i < a.chunks.size()) {
+    const BitmapChunk& ca = a.chunks[i];
+    while (j < b.chunks.size() && b.chunks[j].high < ca.high) ++j;
+    if (j == b.chunks.size() || b.chunks[j].high != ca.high) {
+      if (keep_unmatched_a) out.push_back(ca);
+      ++i;
+      continue;
+    }
+    if (op(ca, b.chunks[j], &scratch, &result)) {
+      out.push_back(std::move(result));
+    }
+    ++i;
+    ++j;
+  }
+  return Extent::FromPayload(extent_internal::MakeHybridPayload(std::move(out)));
+}
+
+/// Walks sorted vector `a`, keeping members by `b.Contains` probe (want =
+/// true → intersection, false → difference). Used when b is hybrid: the
+/// per-element probe (chunk binary search + container test) is the
+/// compressed analogue of galloping through a big vector.
+std::vector<NodeId> ProbeFilter(const std::vector<NodeId>& a, const Extent& b,
+                                bool want) {
+  std::vector<NodeId> out;
+  for (const NodeId x : a) {
+    if (b.Contains(x) == want) out.push_back(x);
+  }
+  return out;
+}
+
+/// True when the kernels should decode this extent and use the vector
+/// kernels: packed deltas have no sublinear probe, and a hybrid extent
+/// far smaller than the other side is cheaper to decode than to probe
+/// element-by-element from the big side.
+bool PreferDecode(const Extent& e, size_t other_size) {
+  if (e.rep() == ExtentRep::kDeltaPacked) return true;
+  return e.size() * kGallopRatio < other_size;
+}
+
+}  // namespace
+
+Extent Intersect(const Extent& a, const Extent& b) {
+  obs::CountIntersect(a.size() + b.size());
+  if (a.empty() || b.empty()) return Extent();
+  // Shared-payload identity: payloads are immutable, so the same payload on
+  // both sides means a == b and the intersection is a refcount bump. The
+  // cost hooks above still charge the full logical |a| + |b|.
+  if (a.payload() == b.payload()) return a;
+  const std::vector<NodeId>* av = a.AsSortedVector();
+  const std::vector<NodeId>* bv = b.AsSortedVector();
+  if (av != nullptr && bv != nullptr) {
+    return Extent::FromSorted(extent_internal::IntersectVec(*av, *bv));
+  }
+  if (a.rep() == ExtentRep::kHybridBitmap &&
+      b.rep() == ExtentRep::kHybridBitmap) {
+    return CombineHybrid(*a.payload(), *b.payload(), /*keep_unmatched_a=*/false,
+                         IntersectChunk);
+  }
+  // Mixed pair: decode whichever sides lack a native probe and reuse the
+  // vector/probe paths.
+  if (av != nullptr) {
+    return Extent::FromSorted(PreferDecode(b, av->size())
+                                  ? extent_internal::IntersectVec(*av, b.Materialize())
+                                  : ProbeFilter(*av, b, /*want=*/true));
+  }
+  if (bv != nullptr) {
+    return Extent::FromSorted(PreferDecode(a, bv->size())
+                                  ? extent_internal::IntersectVec(a.Materialize(), *bv)
+                                  : ProbeFilter(*bv, a, /*want=*/true));
+  }
+  return Extent::FromSorted(
+      extent_internal::IntersectVec(a.Materialize(), b.Materialize()));
+}
+
+Extent Difference(const Extent& a, const Extent& b) {
+  obs::CountDifference(a.size() + b.size());
+  if (a.empty()) return Extent();
+  if (b.empty()) return a;
+  // Shared-payload identity: a \ a is empty (see Intersect).
+  if (a.payload() == b.payload()) return Extent();
+  const std::vector<NodeId>* av = a.AsSortedVector();
+  const std::vector<NodeId>* bv = b.AsSortedVector();
+  if (av != nullptr && bv != nullptr) {
+    return Extent::FromSorted(extent_internal::DifferenceVec(*av, *bv));
+  }
+  if (a.rep() == ExtentRep::kHybridBitmap &&
+      b.rep() == ExtentRep::kHybridBitmap) {
+    return CombineHybrid(*a.payload(), *b.payload(), /*keep_unmatched_a=*/true,
+                         DifferenceChunk);
+  }
+  if (av != nullptr && b.rep() == ExtentRep::kHybridBitmap) {
+    return Extent::FromSorted(ProbeFilter(*av, b, /*want=*/false));
+  }
+  // The output is a subset of a, which must be decoded anyway; b decodes
+  // unless it supports probing from a's walk.
+  const std::vector<NodeId> am = av != nullptr ? *av : a.Materialize();
+  if (b.rep() == ExtentRep::kHybridBitmap) {
+    return Extent::FromSorted(ProbeFilter(am, b, /*want=*/false));
+  }
+  return Extent::FromSorted(
+      extent_internal::DifferenceVec(am, bv != nullptr ? *bv : b.Materialize()));
+}
+
+std::vector<NodeId> Intersect(const Extent& a, const std::vector<NodeId>& b) {
+  obs::CountIntersect(a.size() + b.size());
+  if (a.empty() || b.empty()) return {};
+  if (const std::vector<NodeId>* av = a.AsSortedVector()) {
+    return extent_internal::IntersectVec(*av, b);
+  }
+  if (a.rep() == ExtentRep::kHybridBitmap && !PreferDecode(a, b.size())) {
+    return ProbeFilter(b, a, /*want=*/true);
+  }
+  return extent_internal::IntersectVec(a.Materialize(), b);
+}
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a, const Extent& b) {
+  obs::CountIntersect(a.size() + b.size());
+  if (a.empty() || b.empty()) return {};
+  if (const std::vector<NodeId>* bv = b.AsSortedVector()) {
+    return extent_internal::IntersectVec(a, *bv);
+  }
+  if (b.rep() == ExtentRep::kHybridBitmap && !PreferDecode(b, a.size())) {
+    return ProbeFilter(a, b, /*want=*/true);
+  }
+  return extent_internal::IntersectVec(a, b.Materialize());
+}
+
+std::vector<NodeId> Difference(const Extent& a, const std::vector<NodeId>& b) {
+  obs::CountDifference(a.size() + b.size());
+  if (a.empty()) return {};
+  if (const std::vector<NodeId>* av = a.AsSortedVector()) {
+    return extent_internal::DifferenceVec(*av, b);
+  }
+  return extent_internal::DifferenceVec(a.Materialize(), b);
+}
+
+std::vector<NodeId> Difference(const std::vector<NodeId>& a, const Extent& b) {
+  obs::CountDifference(a.size() + b.size());
+  if (a.empty()) return {};
+  if (b.empty()) return a;
+  if (const std::vector<NodeId>* bv = b.AsSortedVector()) {
+    return extent_internal::DifferenceVec(a, *bv);
+  }
+  if (b.rep() == ExtentRep::kHybridBitmap) {
+    return ProbeFilter(a, b, /*want=*/false);
+  }
+  return extent_internal::DifferenceVec(a, b.Materialize());
+}
+
+}  // namespace mrx

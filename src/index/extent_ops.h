@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/data_graph.h"
+#include "index/extent.h"
 #include "obs/query_cost.h"
 
 namespace mrx {
@@ -13,13 +14,29 @@ namespace mrx {
 /// Shared sorted-extent algebra for the index family (docs/PERFORMANCE.md).
 ///
 /// Every structural index in the reproduction manipulates *extents*:
-/// sorted, duplicate-free vectors of data-node ids. The split kernels of
+/// sorted, duplicate-free sets of data-node ids. The split kernels of
 /// M(k), M*(k) and D(k) repeatedly intersect and subtract them; before
 /// this header they each carried a private copy of the same linear-merge
 /// helpers. The kernels here are the single implementation, plus an
 /// adaptive *galloping* intersection for the skewed case (a handful of
 /// relevant nodes against a huge extent) that split relevance filtering
 /// hits constantly.
+///
+/// Since the Extent redesign (ISSUE 9) the kernels come in three flavors:
+///   - vector × vector — the original kernels, unchanged; these are the
+///     oracle the representation-equivalence property test compares
+///     against, and the ground-truth path (DataGraph adjacency, the
+///     differential oracle) only ever uses these;
+///   - Extent × Extent — representation-pair dispatch with word-parallel
+///     bitmap∩bitmap and run-aware fast paths (extent_ops.cc);
+///   - Extent × vector (both orders) — the refinement hot path: an index
+///     node's extent against a plain relevant/successor set, with a
+///     Contains-probe fast path into hybrid chunks that plays the role
+///     galloping plays for vectors.
+///
+/// Every flavor charges the same QueryCostScope hooks with *logical*
+/// element counts (the §5 cost metric), never physical words or chunks —
+/// compressing an extent must not make a query look cheaper.
 
 /// Size ratio beyond which Intersect/Difference switch from the linear
 /// merge to galloping (exponential search) through the larger input. At
@@ -77,6 +94,41 @@ inline void DifferenceGallop(const std::vector<NodeId>& a,
   }
 }
 
+/// Uncounted a ∩ b — the kernel body without the cost hook, so the Extent
+/// dispatch layer can delegate here after charging the hook exactly once.
+inline std::vector<NodeId> IntersectVec(const std::vector<NodeId>& a,
+                                        const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  if (a.empty() || b.empty()) return out;
+  if (a.size() * kGallopRatio < b.size()) {
+    out.reserve(a.size());
+    IntersectGallop(a, b, &out);
+  } else if (b.size() * kGallopRatio < a.size()) {
+    out.reserve(b.size());
+    IntersectGallop(b, a, &out);
+  } else {
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+  }
+  return out;
+}
+
+/// Uncounted a \ b (see IntersectVec).
+inline std::vector<NodeId> DifferenceVec(const std::vector<NodeId>& a,
+                                         const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  if (a.empty()) return out;
+  if (b.empty()) return a;
+  if (a.size() * kGallopRatio < b.size()) {
+    out.reserve(a.size());
+    DifferenceGallop(a, b, &out);
+  } else {
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  }
+  return out;
+}
+
 }  // namespace extent_internal
 
 /// Sorted-set intersection a ∩ b. Inputs must be sorted ascending and
@@ -88,19 +140,7 @@ inline std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
   // Cost hook (a thread-local load + branch; active only under a
   // QueryCostScope): one kernel call, both inputs charged as scanned.
   obs::CountIntersect(a.size() + b.size());
-  std::vector<NodeId> out;
-  if (a.empty() || b.empty()) return out;
-  if (a.size() * kGallopRatio < b.size()) {
-    out.reserve(a.size());
-    extent_internal::IntersectGallop(a, b, &out);
-  } else if (b.size() * kGallopRatio < a.size()) {
-    out.reserve(b.size());
-    extent_internal::IntersectGallop(b, a, &out);
-  } else {
-    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                          std::back_inserter(out));
-  }
-  return out;
+  return extent_internal::IntersectVec(a, b);
 }
 
 /// Sorted-set difference a \ b, same contracts as Intersect. Only the
@@ -110,18 +150,29 @@ inline std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
 inline std::vector<NodeId> Difference(const std::vector<NodeId>& a,
                                       const std::vector<NodeId>& b) {
   obs::CountDifference(a.size() + b.size());
-  std::vector<NodeId> out;
-  if (a.empty()) return out;
-  if (b.empty()) return a;
-  if (a.size() * kGallopRatio < b.size()) {
-    out.reserve(a.size());
-    extent_internal::DifferenceGallop(a, b, &out);
-  } else {
-    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  }
-  return out;
+  return extent_internal::DifferenceVec(a, b);
 }
+
+/// a ∩ b over compressed extents: representation-pair dispatch. Matching
+/// kSortedVector pair falls through to the adaptive vector kernel;
+/// kHybridBitmap pairs intersect chunk-by-chunk (word-parallel AND for
+/// bitmap×bitmap, run-aware probes otherwise); anything involving
+/// kDeltaPacked decodes the packed side and merges. The result is a
+/// normalized Extent. Charges CountIntersect with logical sizes.
+Extent Intersect(const Extent& a, const Extent& b);
+
+/// a \ b over compressed extents, same dispatch structure as Intersect.
+Extent Difference(const Extent& a, const Extent& b);
+
+/// Mixed kernels for the refinement hot path: an index node's (possibly
+/// compressed) extent against a plain sorted vector (relevant sets, Succ
+/// results). A hybrid extent is probed per element (the compressed
+/// analogue of galloping); a delta extent decodes and merges. Outputs are
+/// plain sorted vectors — refinement scratch data stays uncompressed.
+std::vector<NodeId> Intersect(const Extent& a, const std::vector<NodeId>& b);
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a, const Extent& b);
+std::vector<NodeId> Difference(const Extent& a, const std::vector<NodeId>& b);
+std::vector<NodeId> Difference(const std::vector<NodeId>& a, const Extent& b);
 
 /// Sorts and deduplicates in place — the normalization every extent and
 /// index-node id list goes through. Works for NodeId and IndexNodeId

@@ -57,18 +57,21 @@ IndexGraph IndexGraph::FromPartition(const DataGraph& g,
   ig.node_of_.assign(g.num_nodes(), kInvalidIndexNode);
   ig.num_alive_ = num_blocks;
 
+  // Stage extents as plain vectors (NodeIds visited ascending, so they come
+  // out sorted), then seal each into its normalized representation.
+  std::vector<std::vector<NodeId>> staged(num_blocks);
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     IndexNodeId b = block_of[n];
     assert(b < num_blocks);
-    ig.nodes_[b].extent.push_back(n);
+    staged[b].push_back(n);
     ig.node_of_[n] = b;
   }
   for (uint32_t b = 0; b < num_blocks; ++b) {
     Node& node = ig.nodes_[b];
-    assert(!node.extent.empty());
+    assert(!staged[b].empty());
     node.k = block_k[b];
-    node.label = g.label(node.extent.front());
-    // NodeIds are visited in ascending order above, so extents are sorted.
+    node.label = g.label(staged[b].front());
+    node.extent = Extent::FromSorted(std::move(staged[b]));
   }
   // Adjacency from data edges.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -149,7 +152,7 @@ std::vector<IndexNodeId> IndexGraph::ReplaceNode(IndexNodeId v,
     refinement_stats_.extent_moves += nodes_[v].extent.size();
   }
   nodes_[v].alive = false;
-  nodes_[v].extent.clear();
+  nodes_[v].extent = Extent();
   nodes_[v].children.clear();
   nodes_[v].parents.clear();
   --num_alive_;
@@ -197,6 +200,28 @@ std::vector<NodeId> IndexGraph::Succ(const std::vector<NodeId>& s) const {
 }
 
 std::vector<NodeId> IndexGraph::Pred(const std::vector<NodeId>& s) const {
+  std::vector<NodeId> out;
+  for (NodeId o : s) {
+    auto ps = graph_->parents(o);
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> IndexGraph::Succ(const Extent& s) const {
+  std::vector<NodeId> out;
+  for (NodeId o : s) {
+    auto kids = graph_->children(o);
+    out.insert(out.end(), kids.begin(), kids.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> IndexGraph::Pred(const Extent& s) const {
   std::vector<NodeId> out;
   for (NodeId o : s) {
     auto ps = graph_->parents(o);
@@ -271,9 +296,11 @@ std::string IndexGraph::DebugString() const {
     if (!node.alive) continue;
     os << v << "[" << graph_->symbols().Name(node.label) << ",k=" << node.k
        << "]{";
-    for (size_t i = 0; i < node.extent.size(); ++i) {
-      if (i > 0) os << ",";
-      os << node.extent[i];
+    bool first = true;
+    for (NodeId o : node.extent) {
+      if (!first) os << ",";
+      os << o;
+      first = false;
     }
     os << "} ->";
     for (IndexNodeId c : node.children) os << " " << c;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/data_graph.h"
+#include "index/extent.h"
 #include "util/status.h"
 
 namespace mrx {
@@ -55,13 +56,17 @@ class IndexGraph {
   struct Node {
     LabelId label = 0;
     int32_t k = 0;
-    std::vector<NodeId> extent;         // sorted ascending
+    /// The node's data-node set, normalized into a (possibly compressed)
+    /// representation on assignment — see index/extent.h.
+    Extent extent;
     std::vector<IndexNodeId> parents;   // sorted unique, alive ids
     std::vector<IndexNodeId> children;  // sorted unique, alive ids
     bool alive = true;
   };
 
   /// One piece of a node split: the new extent and its local similarity.
+  /// Parts stay plain vectors — split kernels assemble them element by
+  /// element; they are sealed into Extents when ReplaceNode installs them.
   struct Part {
     std::vector<NodeId> extent;
     int32_t k = 0;
@@ -118,11 +123,14 @@ class IndexGraph {
                                        std::vector<Part> parts);
 
   /// The paper's Succ(s): all data nodes with a parent in `s`; sorted.
-  /// `s` must be sorted.
+  /// `s` must be sorted. The Extent overload decodes on the fly (split
+  /// kernels pass index-node extents directly).
   std::vector<NodeId> Succ(const std::vector<NodeId>& s) const;
+  std::vector<NodeId> Succ(const Extent& s) const;
 
   /// The paper's Pred(s): all data nodes with a child in `s`; sorted.
   std::vector<NodeId> Pred(const std::vector<NodeId>& s) const;
+  std::vector<NodeId> Pred(const Extent& s) const;
 
   /// Structural self-check used by tests and debugging: extents partition
   /// the data nodes, node_of is consistent, labels are uniform within

@@ -44,7 +44,7 @@ void MkIndex::Refine(const PathExpression& fup) {
     if (bad == kInvalidIndexNode) return;
     // Copy the extent: PromotePrime splits nodes, which can reallocate the
     // node array and invalidate references into it.
-    std::vector<NodeId> bad_extent = graph_.node(bad).extent;
+    std::vector<NodeId> bad_extent = graph_.node(bad).extent.Materialize();
     PromotePrime(bad_extent, len, fup);
   }
 }
@@ -101,7 +101,7 @@ void MkIndex::SplitCover(IndexNodeId v, int32_t k,
   // Lines 10-17: partition v's extent by Succ of each qualifying parent.
   // With the merge ablation active, *all* parents qualify and no pieces
   // merge — reproducing D(k)'s PROMOTE splitting exactly.
-  std::vector<std::vector<NodeId>> pieces = {graph_.node(v).extent};
+  std::vector<std::vector<NodeId>> pieces = {graph_.node(v).extent.Materialize()};
   std::vector<NodeId> qualifying_union;  // Data nodes of qualifying parents.
   const std::vector<IndexNodeId> parents = graph_.node(v).parents;
   for (IndexNodeId u : parents) {
@@ -215,7 +215,7 @@ bool MkIndex::PromotePrime(const std::vector<NodeId>& extent, int32_t kv,
   // PROMOTE lines 5-6, with the "long jump" check after each node's split
   // completes (splitting only part-way would record an unsound k).
   for (IndexNodeId v : under_refined_covers()) {
-    std::vector<std::vector<NodeId>> pieces = {graph_.node(v).extent};
+    std::vector<std::vector<NodeId>> pieces = {graph_.node(v).extent.Materialize()};
     const std::vector<IndexNodeId> parents = graph_.node(v).parents;
     for (IndexNodeId u : parents) {
       std::vector<NodeId> succ = graph_.Succ(graph_.node(u).extent);

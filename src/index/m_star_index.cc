@@ -79,6 +79,12 @@ Result<MStarIndex> MStarIndex::FromComponents(
 
 MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g, int k_max,
                                             ThreadPool* pool) {
+  return BuildStaticHierarchy(g, k_max, RefineOptions{pool, nullptr});
+}
+
+MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g, int k_max,
+                                            const RefineOptions& options) {
+  ThreadPool* pool = options.pool;
   // Phase A — refinement. Level i is A(i) = one refinement round on A(i-1):
   // the partition is carried across levels instead of recomputed from
   // scratch (k_max rounds total rather than k_max^2/2), with one scratch
@@ -90,10 +96,12 @@ MStarIndex MStarIndex::BuildStaticHierarchy(const DataGraph& g, int k_max,
   const size_t levels = static_cast<size_t>(k_max) + 1;
   std::vector<std::vector<uint32_t>> block_of(levels);
   std::vector<uint32_t> num_blocks(levels);
-  RefineScratch scratch;
-  BisimulationPartition part = ComputeKBisimulation(g, 0, pool, &scratch);
+  RefineScratch local_scratch;
+  const RefineOptions round_options{
+      pool, options.scratch ? options.scratch : &local_scratch};
+  BisimulationPartition part = ComputeKBisimulation(g, 0, round_options);
   for (size_t i = 0; i < levels; ++i) {
-    if (i > 0) RefineBisimulationRound(g, &part, pool, &scratch);
+    if (i > 0) RefineBisimulationRound(g, &part, round_options);
     block_of[i] = part.block_of;
     num_blocks[i] = part.num_blocks;
   }
@@ -214,7 +222,7 @@ void MStarIndex::RefineWithTarget(const PathExpression& fup,
     if (bad == kInvalidIndexNode) return;
     // Copy the extent: PromoteStar splits nodes, which can reallocate the
     // component's node array and invalidate references into it.
-    std::vector<NodeId> bad_extent = finest.node(bad).extent;
+    std::vector<NodeId> bad_extent = finest.node(bad).extent.Materialize();
     PromoteStar(len, bad_extent, fup);
   }
 }
@@ -286,7 +294,7 @@ void MStarIndex::SplitNodeStar(int ci, IndexNodeId v,
   IndexNodeId sup = prev.index_of(comp.node(v).extent.front());
   const std::vector<IndexNodeId> sup_parents = prev.node(sup).parents;
 
-  std::vector<std::vector<NodeId>> pieces = {comp.node(v).extent};
+  std::vector<std::vector<NodeId>> pieces = {comp.node(v).extent.Materialize()};
   std::vector<NodeId> qualifying_union;
   for (IndexNodeId u : sup_parents) {
     if (Intersect(pred_relevant, prev.node(u).extent).empty()) continue;
@@ -350,7 +358,7 @@ void MStarIndex::SplitAndPropagate(int ci, IndexNodeId v,
                                    std::vector<IndexGraph::Part> parts) {
   Component& comp = components_[ci];
   const IndexNodeId sup = comp.supernode[v];
-  const std::vector<NodeId> affected = comp.graph.node(v).extent;
+  const std::vector<NodeId> affected = comp.graph.node(v).extent.Materialize();
   std::vector<IndexNodeId> ids =
       comp.graph.ReplaceNode(v, std::move(parts));
   comp.supernode.resize(comp.graph.capacity(), kInvalidIndexNode);
@@ -502,7 +510,8 @@ bool MStarIndex::PromoteStar(int k, const std::vector<NodeId>& extent,
 
       IndexNodeId sup = prev.index_of(ci_graph.node(p).extent.front());
       const std::vector<IndexNodeId> sup_parents = prev.node(sup).parents;
-      std::vector<std::vector<NodeId>> pieces = {ci_graph.node(p).extent};
+      std::vector<std::vector<NodeId>> pieces = {
+          ci_graph.node(p).extent.Materialize()};
       for (IndexNodeId u : sup_parents) {
         std::vector<NodeId> succ = prev.Succ(prev.node(u).extent);
         std::vector<std::vector<NodeId>> next;

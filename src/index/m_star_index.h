@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "index/bisimulation.h"
 #include "index/evaluator.h"
 #include "index/index_graph.h"
 #include "query/data_evaluator.h"
@@ -36,8 +37,8 @@ class MStarIndex;
 /// and reassemble an M*(k)-index. Nodes are identified by their position
 /// ("ordinal") in these parallel vectors.
 struct MStarComponentSpec {
-  std::vector<std::vector<NodeId>> extents;  ///< Sorted, per node.
-  std::vector<int32_t> ks;                   ///< Local similarity, per node.
+  std::vector<Extent> extents;  ///< Sorted data-node sets, per node.
+  std::vector<int32_t> ks;      ///< Local similarity, per node.
   /// Ordinal of each node's supernode within the *previous* component's
   /// spec; ignored for component 0.
   std::vector<uint32_t> supernodes;
@@ -65,9 +66,16 @@ class MStarIndex {
   /// previous level's partition (not a from-scratch rebuild), sharded over
   /// `pool` when one is given; component materialization and property
   /// verification then fan out over the levels. Ids are byte-identical for
-  /// any thread count (see docs/PERFORMANCE.md).
+  /// any thread count (see docs/PERFORMANCE.md). `options` carries the
+  /// pool and an optional shared refinement scratch (see RefineOptions).
   static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max,
-                                         ThreadPool* pool = nullptr);
+                                         const RefineOptions& options = {});
+
+  /// Transitional shim for the pre-RefineOptions overload (no default on
+  /// `pool` so two-argument calls resolve to the options form).
+  [[deprecated("pass RefineOptions{pool, scratch} instead")]]
+  static MStarIndex BuildStaticHierarchy(const DataGraph& g, int k_max,
+                                         ThreadPool* pool);
 
   /// REFINE* (§4.2): creates components up to I_length(fup) (by copying)
   /// if needed, then refines the hierarchy so `fup` evaluates precisely in

@@ -363,7 +363,7 @@ void IncrementalMaintainer::RebuildAChain() {
   part.block_of = a_chain_.levels[0].block_of;
   part.num_blocks = a_chain_.levels[0].num_blocks;
   for (int i = 1; i <= options_.k_max; ++i) {
-    RefineBisimulationRound(g, &part, options_.pool);
+    RefineBisimulationRound(g, &part, RefineOptions{options_.pool});
     FinishLevel(&a_chain_.levels[i], std::vector<uint32_t>(part.block_of),
                 part.num_blocks, /*canonicalize=*/true);
   }
@@ -380,7 +380,8 @@ void IncrementalMaintainer::RebuildDChain() {
   part.block_of = d_chain_.levels[0].block_of;
   part.num_blocks = d_chain_.levels[0].num_blocks;
   for (int32_t i = 1; i <= max_k; ++i) {
-    RefineDkConstructRound(g, &part, dk_kreq_, i, options_.pool);
+    RefineDkConstructRound(g, &part, dk_kreq_, i,
+                           RefineOptions{options_.pool});
     FinishLevel(&d_chain_.levels[i], std::vector<uint32_t>(part.block_of),
                 part.num_blocks, /*canonicalize=*/true);
   }
@@ -533,9 +534,9 @@ void IncrementalMaintainer::UpdateChain(
       part.num_blocks = prev.num_blocks;
       if (kreq != nullptr) {
         RefineDkConstructRound(g, &part, *kreq, static_cast<int32_t>(i),
-                               options_.pool);
+                               RefineOptions{options_.pool});
       } else {
-        RefineBisimulationRound(g, &part, options_.pool);
+        RefineBisimulationRound(g, &part, RefineOptions{options_.pool});
       }
       FinishLevel(&lvl, std::move(part.block_of), part.num_blocks,
                   /*canonicalize=*/false);
@@ -810,9 +811,10 @@ std::vector<MStarComponentSpec> IncrementalMaintainer::ExportStaticSpecs()
     MStarComponentSpec& spec = specs[0];
     spec.extents.resize(l0.num_blocks);
     for (uint32_t b = 0; b < l0.num_blocks; ++b) {
-      spec.extents[perm[b]].assign(
+      // Seal the CSR slice into a (possibly compressed) extent.
+      spec.extents[perm[b]] = Extent::FromSorted(std::vector<NodeId>(
           l0.extent_nodes.begin() + l0.extent_offsets[b],
-          l0.extent_nodes.begin() + l0.extent_offsets[b + 1]);
+          l0.extent_nodes.begin() + l0.extent_offsets[b + 1]));
     }
     spec.ks.assign(l0.num_blocks, 0);
     spec.supernodes.assign(l0.num_blocks, 0);
@@ -835,9 +837,9 @@ std::vector<MStarComponentSpec> IncrementalMaintainer::ExportStaticSpecs()
     spec.ks.assign(li.num_blocks, static_cast<int32_t>(i));
     spec.supernodes.assign(li.num_blocks, 0);
     for (uint32_t b = 0; b < li.num_blocks; ++b) {
-      spec.extents[perm[b]].assign(
+      spec.extents[perm[b]] = Extent::FromSorted(std::vector<NodeId>(
           li.extent_nodes.begin() + li.extent_offsets[b],
-          li.extent_nodes.begin() + li.extent_offsets[b + 1]);
+          li.extent_nodes.begin() + li.extent_offsets[b + 1]));
       spec.supernodes[perm[b]] =
           prev_perm[lp.block_of[li.extent_nodes[li.extent_offsets[b]]]];
     }

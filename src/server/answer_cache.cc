@@ -24,16 +24,15 @@ ShardedAnswerCache::ShardedAnswerCache(size_t capacity, size_t num_shards)
   }
 }
 
-bool ShardedAnswerCache::Get(const std::string& key, QueryResult* out) {
+CachedAnswerPtr ShardedAnswerCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  bool hit = false;
+  CachedAnswerPtr hit;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    const QueryResult* cached = shard.lru.Get(key);
+    const CachedAnswerPtr* cached = shard.lru.Get(key);
     if (cached != nullptr) {
       ++shard.stats.hits;
-      *out = *cached;
-      hit = true;
+      hit = *cached;  // Refcount bump; no payload copy under the lock.
     } else {
       ++shard.stats.misses;
     }
@@ -42,7 +41,7 @@ bool ShardedAnswerCache::Get(const std::string& key, QueryResult* out) {
   return hit;
 }
 
-void ShardedAnswerCache::Put(const std::string& key, const QueryResult& value,
+void ShardedAnswerCache::Put(const std::string& key, CachedAnswerPtr value,
                              uint64_t epoch) {
   Shard& shard = ShardFor(key);
   bool evicted = false;
@@ -52,10 +51,18 @@ void ShardedAnswerCache::Put(const std::string& key, const QueryResult& value,
       ++shard.stats.stale_drops;
       return;
     }
-    evicted = shard.lru.Put(key, value);
+    evicted = shard.lru.Put(key, std::move(value));
     if (evicted) ++shard.stats.evictions;
   }
   if (evicted) evictions_counter_->Increment();
+}
+
+CachedAnswerPtr ShardedAnswerCache::Wrap(const QueryResult& result) {
+  auto entry = std::make_shared<CachedAnswer>();
+  entry->answer = Extent::FromSorted(std::vector<NodeId>(result.answer));
+  entry->target = result.target;
+  entry->precise = result.precise;
+  return entry;
 }
 
 void ShardedAnswerCache::Invalidate(uint64_t new_epoch) {

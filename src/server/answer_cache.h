@@ -9,10 +9,27 @@
 #include <vector>
 
 #include "index/evaluator.h"
+#include "index/extent.h"
 #include "obs/metrics.h"
 #include "util/lru_cache.h"
 
 namespace mrx::server {
+
+/// \brief An immutable cached query answer, shared between the cache and
+/// every reader that hit it.
+///
+/// The answer set is held as an Extent, so a large answer sits in the
+/// cache in its compressed representation and a hit hands out a handle
+/// (refcount bump) instead of deep-copying vectors under the shard lock.
+/// Query stats are deliberately absent: a cache hit visits no nodes, so
+/// the session rebuilds a zeroed QueryStats on every hit anyway.
+struct CachedAnswer {
+  Extent answer;                      ///< Sorted data-node answer set.
+  std::vector<IndexNodeId> target;    ///< Target index nodes.
+  bool precise = true;                ///< Was the index precise?
+};
+
+using CachedAnswerPtr = std::shared_ptr<const CachedAnswer>;
 
 /// \brief A thread-safe LRU cache of query answers, sharded by key hash.
 ///
@@ -34,13 +51,19 @@ class ShardedAnswerCache {
   /// is rounded up to a power of two. A capacity of 0 disables caching.
   ShardedAnswerCache(size_t capacity, size_t num_shards);
 
-  /// Copies the cached result for `key` into `*out` and refreshes its
-  /// recency. Returns false on miss.
-  bool Get(const std::string& key, QueryResult* out);
+  /// Returns a shared handle to the cached answer for `key` (refreshing
+  /// its recency), or null on miss. The handle stays valid after
+  /// Invalidate/eviction — entries are immutable and refcounted.
+  CachedAnswerPtr Get(const std::string& key);
 
   /// Inserts `value` computed under `epoch`; dropped silently if the
   /// current epoch has moved on (a refinement was published in between).
-  void Put(const std::string& key, const QueryResult& value, uint64_t epoch);
+  void Put(const std::string& key, CachedAnswerPtr value, uint64_t epoch);
+
+  /// Seals a freshly computed result into an immutable cache entry.
+  /// `result.answer` must be sorted and duplicate-free (QueryResult's
+  /// contract); the Extent conversion may compress it.
+  static CachedAnswerPtr Wrap(const QueryResult& result);
 
   /// Clears all shards and records `new_epoch` as current. Called by the
   /// refinement worker while it holds the index write lock.
@@ -71,7 +94,7 @@ class ShardedAnswerCache {
  private:
   struct Shard {
     std::mutex mu;
-    LruCache<std::string, QueryResult> lru;
+    LruCache<std::string, CachedAnswerPtr> lru;
     uint64_t epoch = 0;
     ShardStats stats;
 

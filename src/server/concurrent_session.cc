@@ -150,9 +150,9 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
     // ids are stable across mutations), so the key is printable whatever
     // version the query was parsed against.
     key = query.ToString(snapshot->graph().symbols());
-    QueryResult hit;
     const uint64_t lookup_start = obs::MonotonicNowNs();
-    const bool found = cache_.Get(key, &hit);
+    const CachedAnswerPtr hit = cache_.Get(key);
+    const bool found = hit != nullptr;
     const uint64_t lookup_ns = obs::MonotonicNowNs() - lookup_start;
     metrics_.cache_lookup_ns->Record(lookup_ns);
     if (root.enabled()) {
@@ -166,7 +166,12 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
       queries_answered_.fetch_add(1, std::memory_order_relaxed);
       metrics_.queries_total->Increment();
       root.AddAttr("cache_hit", 1);
-      hit.stats = QueryStats{};  // A cache hit visits no nodes.
+      // Rehydrate outside the shard lock; stats stay zeroed (a cache hit
+      // visits no nodes).
+      QueryResult rehydrated;
+      rehydrated.answer = hit->answer.Materialize();
+      rehydrated.target = hit->target;
+      rehydrated.precise = hit->precise;
       const uint64_t total_ns = obs::MonotonicNowNs() - begin_ns;
       const bool is_slow = slow_capture && total_ns >= options_.slow_query_ns;
       if (diag != nullptr || is_slow) {
@@ -178,12 +183,12 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
         d->epoch = answer.epoch;
         d->graph_version = answer.graph_version;
         d->cache_hit = true;
-        d->precise = hit.precise;
+        d->precise = hit->precise;
         d->latency_ns = total_ns;
-        d->answer_size = hit.answer.size();
+        d->answer_size = hit->answer.size();
         if (is_slow) CaptureSlowQuery(d, begin_ns, 0, 0, 0);
       }
-      answer.result = std::move(hit);
+      answer.result = std::move(rehydrated);
       return answer;
     }
   }
@@ -256,7 +261,7 @@ ConcurrentSession::VersionedAnswer ConcurrentSession::QueryInternal(
   stat_data_nodes_.fetch_add(result.stats.data_nodes_validated,
                              std::memory_order_relaxed);
   if (options_.cache_results) {
-    cache_.Put(key, result, answer.epoch);
+    cache_.Put(key, ShardedAnswerCache::Wrap(result), answer.epoch);
   }
 
   const uint64_t total_ns = obs::MonotonicNowNs() - begin_ns;

@@ -57,7 +57,8 @@ Status DiskMStarIndex::EnsureLoaded(size_t i) {
   if (Checksum(blob) != entry.checksum) {
     return Status::ParseError("component blob checksum mismatch");
   }
-  MRX_ASSIGN_OR_RETURN(MStarComponentSpec spec, DecodeComponentBlob(blob));
+  MRX_ASSIGN_OR_RETURN(MStarComponentSpec spec,
+                       DecodeComponentBlob(blob, toc_.version));
 
   std::vector<uint32_t> block_of(graph_.num_nodes(),
                                  static_cast<uint32_t>(-1));

@@ -29,8 +29,18 @@ Status SaveMStarIndexToFile(const MStarIndex& index,
 Result<MStarIndex> LoadMStarIndexFromFile(const DataGraph& graph,
                                           const std::string& path);
 
+/// Container format versions. Version 1 (the original format) stored every
+/// extent as varint deltas of a sorted vector; version 2 (the Extent
+/// redesign) tags each extent with its physical representation and stores
+/// compressed payloads verbatim, so a hybrid-bitmap index round-trips
+/// without decompressing. Readers accept both; writers emit the current
+/// version.
+inline constexpr uint64_t kMStarFormatVersion = 2;
+inline constexpr uint64_t kMStarOldestSupportedVersion = 1;
+
 /// Decoded container header (exposed for DiskMStarIndex and tests).
 struct MStarFileToc {
+  uint64_t version = kMStarFormatVersion;
   struct Entry {
     uint64_t offset = 0;  ///< Absolute byte offset of the component blob.
     uint64_t length = 0;
@@ -49,7 +59,10 @@ inline Result<MStarFileToc> ReadMStarToc(std::string_view bytes) {
 }
 
 /// Decodes one component blob (bounds given by the TOC) into a spec.
-Result<MStarComponentSpec> DecodeComponentBlob(std::string_view blob);
+/// `version` selects the node encoding (pass the TOC's version when
+/// decoding a file; defaults to the current format).
+Result<MStarComponentSpec> DecodeComponentBlob(
+    std::string_view blob, uint64_t version = kMStarFormatVersion);
 
 /// Encodes one component of `index` as an independent blob (exposed for
 /// tests).

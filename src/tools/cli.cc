@@ -21,6 +21,7 @@
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "index/extent.h"
 #include "index/m_star_index.h"
 #include "index/strategy_chooser.h"
 #include "index/twig_eval.h"
@@ -107,6 +108,7 @@ commands:
         [--queries N] [--max-nodes N] [--out DIR] [--max-failures N]
         [--fault on] [--threads N] [--rounds N] [--refine-threads N]
         [--steps N] [--ops N] [--batches N]
+        [--extent-rep auto|vector|delta|hybrid]
         [--replay file.mrxcase|file.mrxtrace]
                                         differential correctness harness
                                         (docs/TESTING.md); exit 1 on any
@@ -1044,6 +1046,18 @@ int CmdCheck(const Options& options, std::ostream& out, std::ostream& err) {
   const bool fault = options.Flag("fault") == "on" ||
                      options.Flag("fault") == "1" ||
                      options.Flag("fault") == "true";
+
+  // Pin the extent representation for the whole run: every index the
+  // harness builds (never the vector-based oracle) goes through the forced
+  // encoder, so a differential run exercises one representation end to end.
+  const std::string rep_name = options.Flag("extent-rep", "auto");
+  const std::optional<ExtentRepMode> rep_mode = ParseExtentRepMode(rep_name);
+  if (!rep_mode.has_value()) {
+    err << "unknown --extent-rep: " << rep_name
+        << " (expected auto|vector|delta|hybrid)\n";
+    return 2;
+  }
+  SetExtentRepMode(*rep_mode);
 
   const std::string replay_path = options.Flag("replay");
   if (EndsWith(replay_path, ".mrxtrace")) {

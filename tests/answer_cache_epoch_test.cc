@@ -13,10 +13,10 @@ namespace {
 
 using mrx::testing::MakeFigure3Graph;
 
-QueryResult MakeResult(std::vector<NodeId> answer) {
+CachedAnswerPtr MakeEntry(std::vector<NodeId> answer) {
   QueryResult r;
   r.answer = std::move(answer);
-  return r;
+  return ShardedAnswerCache::Wrap(r);
 }
 
 uint64_t TotalStaleDrops(const ShardedAnswerCache& cache) {
@@ -34,14 +34,16 @@ uint64_t TotalStaleDrops(const ShardedAnswerCache& cache) {
 
 TEST(AnswerCacheEpochTest, InvalidateClearsCachedAnswers) {
   ShardedAnswerCache cache(64, 4);
-  cache.Put("q1", MakeResult({1, 2}), /*epoch=*/0);
-  QueryResult out;
-  ASSERT_TRUE(cache.Get("q1", &out));
-  EXPECT_EQ(out.answer, (std::vector<NodeId>{1, 2}));
+  cache.Put("q1", MakeEntry({1, 2}), /*epoch=*/0);
+  CachedAnswerPtr out = cache.Get("q1");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->answer, (std::vector<NodeId>{1, 2}));
 
   cache.Invalidate(/*new_epoch=*/1);
-  EXPECT_FALSE(cache.Get("q1", &out));
+  EXPECT_EQ(cache.Get("q1"), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+  // The handle outlives the invalidation: entries are immutable.
+  EXPECT_EQ(out->answer, (std::vector<NodeId>{1, 2}));
 }
 
 TEST(AnswerCacheEpochTest, StalePutAfterInvalidateIsDropped) {
@@ -50,15 +52,15 @@ TEST(AnswerCacheEpochTest, StalePutAfterInvalidateIsDropped) {
   // (epoch 1), then the reader's insert lands.
   cache.Invalidate(/*new_epoch=*/1);
   EXPECT_EQ(TotalStaleDrops(cache), 0u);
-  cache.Put("q1", MakeResult({1}), /*epoch=*/0);
-  QueryResult out;
-  EXPECT_FALSE(cache.Get("q1", &out));
+  cache.Put("q1", MakeEntry({1}), /*epoch=*/0);
+  EXPECT_EQ(cache.Get("q1"), nullptr);
   EXPECT_EQ(TotalStaleDrops(cache), 1u);
 
   // A current-epoch insert for the same key is admitted.
-  cache.Put("q1", MakeResult({2}), /*epoch=*/1);
-  ASSERT_TRUE(cache.Get("q1", &out));
-  EXPECT_EQ(out.answer, (std::vector<NodeId>{2}));
+  cache.Put("q1", MakeEntry({2}), /*epoch=*/1);
+  CachedAnswerPtr out = cache.Get("q1");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->answer, (std::vector<NodeId>{2}));
   EXPECT_EQ(TotalStaleDrops(cache), 1u);
 }
 
@@ -66,7 +68,7 @@ TEST(AnswerCacheEpochTest, EveryEpochTransitionRejectsTheOldTag) {
   ShardedAnswerCache cache(64, 1);  // One shard: deterministic stats.
   for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
     cache.Invalidate(epoch);
-    cache.Put("k" + std::to_string(epoch), MakeResult({1}), epoch - 1);
+    cache.Put("k" + std::to_string(epoch), MakeEntry({1}), epoch - 1);
   }
   EXPECT_EQ(TotalStaleDrops(cache), 5u);
   EXPECT_EQ(cache.size(), 0u);

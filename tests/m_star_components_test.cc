@@ -67,7 +67,8 @@ TEST(FromComponentsTest, RejectsEmptySpecList) {
 TEST(FromComponentsTest, RejectsNonPartition) {
   DataGraph g = MakeFigure3Graph();
   MStarComponentSpec spec;
-  spec.extents = {{0, 1}, {1, 2}};  // Node 1 in two extents.
+  spec.extents = {Extent(std::vector<NodeId>{0, 1}),
+                  Extent(std::vector<NodeId>{1, 2})};  // Node 1 twice.
   spec.ks = {0, 0};
   spec.supernodes = {0, 0};
   EXPECT_FALSE(MStarIndex::FromComponents(g, {spec}).ok());
@@ -76,7 +77,7 @@ TEST(FromComponentsTest, RejectsNonPartition) {
 TEST(FromComponentsTest, RejectsIncompleteCover) {
   DataGraph g = MakeFigure3Graph();
   MStarComponentSpec spec;
-  spec.extents = {{0, 1, 2}};  // Nodes 3..9 missing.
+  spec.extents = {Extent(std::vector<NodeId>{0, 1, 2})};  // 3..9 missing.
   spec.ks = {0};
   spec.supernodes = {0};
   EXPECT_FALSE(MStarIndex::FromComponents(g, {spec}).ok());

@@ -84,7 +84,8 @@ TEST_P(ParallelBisimulationTest, BlockIdsAreByteIdenticalToSerial) {
   for (const DataGraph& g : graphs) {
     for (int k = 0; k <= 4; ++k) {
       BisimulationPartition serial = ComputeKBisimulation(g, k);
-      BisimulationPartition pooled = ComputeKBisimulation(g, k, &pool);
+      BisimulationPartition pooled =
+          ComputeKBisimulation(g, k, RefineOptions{&pool});
       ASSERT_EQ(pooled.num_blocks, serial.num_blocks)
           << "nodes=" << g.num_nodes() << " k=" << k;
       ASSERT_EQ(pooled.block_of, serial.block_of)
@@ -106,7 +107,8 @@ TEST_P(ParallelBisimulationTest, DkConstructPartitionMatchesSerial) {
     kreq[l] = static_cast<int32_t>(l % 4);
   }
   BisimulationPartition serial = ComputeDkConstructPartition(g, kreq);
-  BisimulationPartition pooled = ComputeDkConstructPartition(g, kreq, &pool);
+  BisimulationPartition pooled =
+      ComputeDkConstructPartition(g, kreq, RefineOptions{&pool});
   EXPECT_EQ(pooled.block_of, serial.block_of);
   EXPECT_EQ(pooled.num_blocks, serial.num_blocks);
 }
@@ -136,7 +138,8 @@ TEST(ParallelBuildTest, StaticHierarchyIdenticalAcrossThreadCounts) {
   const std::string serial = Fingerprint(MStarIndex::BuildStaticHierarchy(g, 3));
   for (size_t threads : {1u, 2u, 8u}) {
     ThreadPool pool(threads);
-    EXPECT_EQ(Fingerprint(MStarIndex::BuildStaticHierarchy(g, 3, &pool)),
+    EXPECT_EQ(Fingerprint(
+                  MStarIndex::BuildStaticHierarchy(g, 3, RefineOptions{&pool})),
               serial)
         << "threads=" << threads;
   }
@@ -176,10 +179,11 @@ TEST(ParallelBuildTest, DeterminismHoldsAtStreamedScale) {
   constexpr int kMax = 4;
   RefineScratch serial_scratch;
   BisimulationPartition serial =
-      ComputeKBisimulation(g, 0, nullptr, &serial_scratch);
+      ComputeKBisimulation(g, 0, RefineOptions{nullptr, &serial_scratch});
   std::vector<std::vector<uint32_t>> serial_levels = {serial.block_of};
   for (int k = 1; k <= kMax; ++k) {
-    RefineBisimulationRound(g, &serial, nullptr, &serial_scratch);
+    RefineBisimulationRound(g, &serial,
+                            RefineOptions{nullptr, &serial_scratch});
     serial_levels.push_back(serial.block_of);
   }
 
@@ -188,10 +192,10 @@ TEST(ParallelBuildTest, DeterminismHoldsAtStreamedScale) {
     ThreadPool pool(threads);
     RefineScratch scratch;
     BisimulationPartition pooled =
-        ComputeKBisimulation(g, 0, &pool, &scratch);
+        ComputeKBisimulation(g, 0, RefineOptions{&pool, &scratch});
     ASSERT_EQ(pooled.block_of, serial_levels[0]);
     for (int k = 1; k <= kMax; ++k) {
-      RefineBisimulationRound(g, &pooled, &pool, &scratch);
+      RefineBisimulationRound(g, &pooled, RefineOptions{&pool, &scratch});
       ASSERT_EQ(pooled.block_of, serial_levels[static_cast<size_t>(k)])
           << "k=" << k;
     }
@@ -208,7 +212,8 @@ TEST(ParallelBuildTest, DeterminismHoldsAtStreamedScale) {
   for (size_t threads : {2u, 8u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     ThreadPool pool(threads);
-    EXPECT_EQ(Fingerprint(MStarIndex::BuildStaticHierarchy(g, kMax, &pool)),
+    EXPECT_EQ(Fingerprint(MStarIndex::BuildStaticHierarchy(
+                  g, kMax, RefineOptions{&pool})),
               serial_fp);
     mutate::MaintainerOptions options;
     options.k_max = kMax;

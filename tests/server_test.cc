@@ -95,20 +95,20 @@ TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
   }
 }
 
-QueryResult MakeResult(std::vector<NodeId> answer) {
+CachedAnswerPtr MakeEntry(std::vector<NodeId> answer) {
   QueryResult r;
   r.answer = std::move(answer);
   r.precise = true;
-  return r;
+  return ShardedAnswerCache::Wrap(r);
 }
 
 TEST(ShardedAnswerCacheTest, PutGetRoundTripsWithinEpoch) {
   ShardedAnswerCache cache(/*capacity=*/64, /*num_shards=*/4);
-  cache.Put("//a/b", MakeResult({1, 2, 3}), /*epoch=*/0);
-  QueryResult out;
-  ASSERT_TRUE(cache.Get("//a/b", &out));
-  EXPECT_EQ(out.answer, (std::vector<NodeId>{1, 2, 3}));
-  EXPECT_FALSE(cache.Get("//a/c", &out));
+  cache.Put("//a/b", MakeEntry({1, 2, 3}), /*epoch=*/0);
+  CachedAnswerPtr out = cache.Get("//a/b");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->answer, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(cache.Get("//a/c"), nullptr);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -116,18 +116,18 @@ TEST(ShardedAnswerCacheTest, StaleEpochPutIsDropped) {
   ShardedAnswerCache cache(64, 4);
   cache.Invalidate(/*new_epoch=*/1);
   // A racing insert computed under the superseded index must not land.
-  cache.Put("//a/b", MakeResult({1}), /*epoch=*/0);
-  QueryResult out;
-  EXPECT_FALSE(cache.Get("//a/b", &out));
-  cache.Put("//a/b", MakeResult({2}), /*epoch=*/1);
-  ASSERT_TRUE(cache.Get("//a/b", &out));
-  EXPECT_EQ(out.answer, (std::vector<NodeId>{2}));
+  cache.Put("//a/b", MakeEntry({1}), /*epoch=*/0);
+  EXPECT_EQ(cache.Get("//a/b"), nullptr);
+  cache.Put("//a/b", MakeEntry({2}), /*epoch=*/1);
+  CachedAnswerPtr out = cache.Get("//a/b");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->answer, (std::vector<NodeId>{2}));
 }
 
 TEST(ShardedAnswerCacheTest, InvalidateClearsAllShards) {
   ShardedAnswerCache cache(64, 4);
   for (int i = 0; i < 20; ++i) {
-    cache.Put("key" + std::to_string(i), MakeResult({NodeId(i)}), 0);
+    cache.Put("key" + std::to_string(i), MakeEntry({NodeId(i)}), 0);
   }
   EXPECT_GT(cache.size(), 0u);
   cache.Invalidate(1);

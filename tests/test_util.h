@@ -145,11 +145,12 @@ inline ::testing::AssertionResult ExtentsAreKBisimilar(
     if (!ig.alive(v)) continue;
     const auto& node = ig.node(v);
     int32_t k = std::min(node.k, k_cap);
-    for (size_t i = 1; i < node.extent.size(); ++i) {
-      if (!ref.Bisimilar(node.extent[0], node.extent[i], k)) {
+    const std::vector<NodeId> extent = node.extent.Materialize();
+    for (size_t i = 1; i < extent.size(); ++i) {
+      if (!ref.Bisimilar(extent[0], extent[i], k)) {
         return ::testing::AssertionFailure()
                << "index node " << v << " (k=" << node.k << ") holds "
-               << node.extent[0] << " and " << node.extent[i]
+               << extent[0] << " and " << extent[i]
                << " which are not " << k << "-bisimilar";
       }
     }
