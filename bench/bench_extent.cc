@@ -1,22 +1,36 @@
-// Extent-representation bench (ISSUE 9 gate): physical bytes and intersect
-// throughput of every extent representation over the A(0..k_max) hierarchy
-// levels of streamed XMark graphs — the exact extent population an M*(k)
-// static build stores. For every tier:
+// Extent-representation bench (ISSUE 9 + ISSUE 10 gates): physical bytes
+// and set-algebra throughput of every extent representation over the
+// A(0..k_max) hierarchy levels of streamed XMark graphs — the exact extent
+// population an M*(k) static build stores. For every tier:
 //
 //   - the level partitions are computed once and their per-block node sets
 //     re-encoded under each forced representation (vector / delta / hybrid)
 //     plus the auto heuristic, summing physical bytes;
-//   - intersect throughput is measured over the largest extents (self
-//     pairs exercise full-overlap merges, consecutive pairs the disjoint
-//     skew a partition produces), in logical elements per second — the §5
-//     accounting, so compressed and plain runs are directly comparable;
+//   - intersect and difference throughput is measured over the largest
+//     extents (self pairs exercise full-overlap merges, consecutive pairs
+//     the disjoint skew a partition produces), in logical elements per
+//     second — the §5 accounting, so compressed and plain runs are
+//     directly comparable;
+//   - k-way scenarios run IntersectMany over nested 2-/4-/8-operand
+//     chains built from the same big extents (each coarser operand unions
+//     one more partition block — the candidate-set shape an M*(k)
+//     ancestor trace produces), so the size-ordered fold is measured on
+//     the workload it was designed for;
+//   - two in-run baselines reproduce the pre-vectorization kernels: delta
+//     decode-then-merge (materialize both operands, then intersect the
+//     vectors — how delta pairs were handled before the native
+//     stream kernels) and forced-scalar hybrid (same code, SIMD dispatch
+//     capped at scalar);
 //   - every compressed encoding is verified to materialize back to the
 //     oracle vector BEFORE any timing is reported.
 //
-// Emits BENCH_extent.json. CI runs the 2M tier and gates on the auto
-// heuristic: total extent bytes must be <= 60% of the vector baseline and
-// intersect throughput within 10% of it (docs/PERFORMANCE.md "Extent
-// representations").
+// Emits BENCH_extent.json, including the active/detected SIMD levels so
+// CI can key its gates on what the hardware actually ran (scalar-only
+// builds are exempt from the SIMD speedup gates). CI runs the 2M tier and
+// gates on: auto bytes <= 60% of vector, auto throughput >= 0.85x the best
+// forced representation, native delta >= 1.5x decode-then-merge, and
+// vectorized hybrid >= 1.3x forced-scalar hybrid (docs/PERFORMANCE.md
+// "Extent representations").
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +47,7 @@
 #include "index/bisimulation.h"
 #include "index/extent.h"
 #include "index/extent_ops.h"
+#include "util/cpu_features.h"
 #include "util/table_writer.h"
 
 namespace {
@@ -51,7 +66,10 @@ struct RepResult {
   std::string rep;
   size_t bytes = 0;
   double encode_ms = 0;
-  double intersect_melems_s = 0;  ///< Logical Melems/s over the workload.
+  double intersect_melems_s = 0;   ///< Logical Melems/s over the workload.
+  double difference_melems_s = 0;  ///< Same accounting, Difference calls.
+  /// (arity, Melems/s) per k-way scenario.
+  std::vector<std::pair<size_t, double>> kway;
 };
 
 /// The per-block node sets of A(0)..A(k_max) — every extent a static
@@ -71,9 +89,56 @@ std::vector<std::vector<NodeId>> HierarchyExtents(const DataGraph& g,
   return out;
 }
 
+/// Nested operand chains for the k-way scenarios: chains[c][0] is the
+/// union of `arity` partition blocks and each following operand drops one
+/// block, so operand j strictly contains operand j+1 and the intersection
+/// is exactly the last (smallest) operand — both a correctness oracle and
+/// the candidate-set shape M*(k) ancestor traces produce.
+struct KwayScenario {
+  size_t arity;
+  std::vector<std::vector<std::vector<NodeId>>> chains;
+};
+
+std::vector<KwayScenario> BuildKwayScenarios(
+    const std::vector<std::vector<NodeId>>& blocks,
+    const std::vector<size_t>& big) {
+  std::vector<KwayScenario> out;
+  if (big.empty()) return out;
+  for (const size_t arity : {2, 4, 8}) {
+    KwayScenario scenario;
+    scenario.arity = arity;
+    for (size_t c = 0; c < 4; ++c) {
+      std::vector<std::vector<NodeId>> ops(arity);
+      std::vector<NodeId> acc;
+      for (size_t j = 0; j < arity; ++j) {
+        const std::vector<NodeId>& blk =
+            blocks[big[(c * arity + j) % big.size()]];
+        acc.insert(acc.end(), blk.begin(), blk.end());
+        SortUnique(&acc);
+        ops[arity - 1 - j] = acc;
+      }
+      scenario.chains.push_back(std::move(ops));
+    }
+    out.push_back(std::move(scenario));
+  }
+  return out;
+}
+
+Extent EncodeAs(const std::string& rep_name, std::vector<NodeId> sorted) {
+  if (rep_name == "auto") return Extent::FromSorted(std::move(sorted));
+  if (rep_name == "vector") {
+    return Extent::FromSortedAs(std::move(sorted), ExtentRep::kSortedVector);
+  }
+  if (rep_name == "delta") {
+    return Extent::FromSortedAs(std::move(sorted), ExtentRep::kDeltaPacked);
+  }
+  return Extent::FromSortedAs(std::move(sorted), ExtentRep::kHybridBitmap);
+}
+
 RepResult RunRep(const std::string& rep_name,
                  const std::vector<std::vector<NodeId>>& blocks,
-                 const std::vector<size_t>& big, int reps) {
+                 const std::vector<size_t>& big,
+                 const std::vector<KwayScenario>& kway_scenarios, int reps) {
   RepResult result;
   result.rep = rep_name;
 
@@ -83,18 +148,7 @@ RepResult RunRep(const std::string& rep_name,
   result.encode_ms = TimeMs([&] {
     extents.reserve(blocks.size());
     for (const std::vector<NodeId>& block : blocks) {
-      if (rep_name == "auto") {
-        extents.push_back(Extent::FromSorted(std::vector<NodeId>(block)));
-      } else if (rep_name == "vector") {
-        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
-                                               ExtentRep::kSortedVector));
-      } else if (rep_name == "delta") {
-        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
-                                               ExtentRep::kDeltaPacked));
-      } else {
-        extents.push_back(Extent::FromSortedAs(std::vector<NodeId>(block),
-                                               ExtentRep::kHybridBitmap));
-      }
+      extents.push_back(EncodeAs(rep_name, std::vector<NodeId>(block)));
     }
   });
   for (size_t i = 0; i < blocks.size(); ++i) {
@@ -106,18 +160,18 @@ RepResult RunRep(const std::string& rep_name,
     }
   }
 
-  // Intersect workload over the largest extents: self pairs (full
-  // overlap) and consecutive pairs (disjoint — partition blocks never
-  // share members). Logical elements = |a| + |b| per call, exactly what
-  // the §5 cost hooks charge.
+  // Pairwise workload over the largest extents: self pairs (full overlap)
+  // and consecutive pairs (disjoint — partition blocks never share
+  // members). Logical elements = |a| + |b| per call, exactly what the §5
+  // cost hooks charge.
   size_t logical = 0;
   for (size_t i = 0; i < big.size(); ++i) {
     logical += 2 * extents[big[i]].size();
     logical += extents[big[i]].size() +
                extents[big[(i + 1) % big.size()]].size();
   }
-  double best_ms = 0;
   size_t guard = 0;  // Defeats dead-code elimination.
+  double best_ms = 0;
   for (int r = 0; r < reps; ++r) {
     const double ms = TimeMs([&] {
       for (size_t i = 0; i < big.size(); ++i) {
@@ -129,10 +183,96 @@ RepResult RunRep(const std::string& rep_name,
     });
     if (r == 0 || ms < best_ms) best_ms = ms;
   }
-  if (guard == 0 && !big.empty()) std::cerr << "";  // Keep `guard` live.
   result.intersect_melems_s =
       best_ms > 0 ? static_cast<double>(logical) / best_ms / 1e3 : 0;
+
+  // Difference over the same pairs, both operand orders (a \ b copies a;
+  // b \ a copies b — disjoint inputs make both sides bulk-tail paths).
+  best_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double ms = TimeMs([&] {
+      for (size_t i = 0; i < big.size(); ++i) {
+        const Extent& a = extents[big[i]];
+        const Extent& b = extents[big[(i + 1) % big.size()]];
+        guard += Difference(a, b).size();
+        guard += Difference(b, a).size();
+      }
+    });
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  result.difference_melems_s =
+      best_ms > 0 ? static_cast<double>(logical) / best_ms / 1e3 : 0;
+
+  // K-way scenarios. The nested construction makes the expected result the
+  // smallest operand — verified before timing.
+  for (const KwayScenario& scenario : kway_scenarios) {
+    std::vector<std::vector<Extent>> enc;
+    size_t kway_logical = 0;
+    for (const auto& chain : scenario.chains) {
+      std::vector<Extent> ops;
+      for (const std::vector<NodeId>& s : chain) {
+        kway_logical += s.size();
+        ops.push_back(EncodeAs(rep_name, std::vector<NodeId>(s)));
+      }
+      std::vector<const Extent*> ptrs;
+      for (const Extent& e : ops) ptrs.push_back(&e);
+      if (IntersectMany(ptrs).Materialize() != chain.back()) {
+        std::cerr << "FATAL: " << rep_name << " IntersectMany arity "
+                  << scenario.arity << " is wrong\n";
+        std::exit(1);
+      }
+      enc.push_back(std::move(ops));
+    }
+    best_ms = 0;
+    for (int r = 0; r < reps; ++r) {
+      const double ms = TimeMs([&] {
+        for (const std::vector<Extent>& ops : enc) {
+          std::vector<const Extent*> ptrs;
+          for (const Extent& e : ops) ptrs.push_back(&e);
+          guard += IntersectMany(ptrs).size();
+        }
+      });
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    result.kway.emplace_back(
+        scenario.arity,
+        best_ms > 0 ? static_cast<double>(kway_logical) / best_ms / 1e3 : 0);
+  }
+  if (guard == 0 && !big.empty()) std::cerr << "";  // Keep `guard` live.
   return result;
+}
+
+/// The PR9 delta kernel: materialize both operands, intersect the vectors.
+/// Run over the same pairwise workload so the `_delta_` intersect metric is
+/// directly comparable.
+double RunDecodeMergeBaseline(const std::vector<std::vector<NodeId>>& blocks,
+                              const std::vector<size_t>& big, int reps) {
+  std::vector<Extent> extents;
+  extents.reserve(blocks.size());
+  for (const std::vector<NodeId>& block : blocks) {
+    extents.push_back(EncodeAs("delta", std::vector<NodeId>(block)));
+  }
+  size_t logical = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    logical += 2 * extents[big[i]].size();
+    logical += extents[big[i]].size() +
+               extents[big[(i + 1) % big.size()]].size();
+  }
+  size_t guard = 0;
+  double best_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double ms = TimeMs([&] {
+      for (size_t i = 0; i < big.size(); ++i) {
+        const Extent& a = extents[big[i]];
+        const Extent& b = extents[big[(i + 1) % big.size()]];
+        guard += Intersect(a.Materialize(), a.Materialize()).size();
+        guard += Intersect(a.Materialize(), b.Materialize()).size();
+      }
+    });
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  if (guard == 0 && !big.empty()) std::cerr << "";
+  return best_ms > 0 ? static_cast<double>(logical) / best_ms / 1e3 : 0;
 }
 
 }  // namespace
@@ -175,9 +315,19 @@ int main(int argc, char** argv) {
   }
   if (tier_nodes.empty()) tier_nodes = {100000, 500000, 2000000};
 
+  const SimdLevel active = ActiveSimdLevel();
+  const SimdLevel detected = DetectedSimdLevel();
+  std::cout << "SIMD: active=" << SimdLevelName(active)
+            << " detected=" << SimdLevelName(detected) << "\n";
+
   TableWriter table({"tier", "nodes", "extents", "rep", "bytes", "MiB",
-                     "vs_vector", "encode_ms", "intersect_melems_s"});
+                     "vs_vector", "encode_ms", "intersect_melems_s",
+                     "diff_melems_s", "kway4_melems_s"});
   std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("simd_active_level",
+                       static_cast<double>(static_cast<int>(active)));
+  metrics.emplace_back("simd_detected_level",
+                       static_cast<double>(static_cast<int>(detected)));
 
   for (size_t nodes : tier_nodes) {
     const std::string tier = harness::ScaleTierName(nodes);
@@ -191,37 +341,87 @@ int main(int argc, char** argv) {
     const std::vector<std::vector<NodeId>> blocks =
         HierarchyExtents(*graph, k_max);
 
-    // The 32 largest extents drive the intersect workload.
+    // The 32 largest extents drive the pairwise and k-way workloads.
     std::vector<size_t> by_size(blocks.size());
     for (size_t i = 0; i < blocks.size(); ++i) by_size[i] = i;
     std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
       return blocks[a].size() > blocks[b].size();
     });
     by_size.resize(std::min<size_t>(32, by_size.size()));
+    const std::vector<KwayScenario> kway_scenarios =
+        BuildKwayScenarios(blocks, by_size);
 
     double vector_bytes = 0, vector_melems = 0;
     for (const char* rep : {"vector", "delta", "hybrid", "auto"}) {
-      const RepResult r = RunRep(rep, blocks, by_size, reps);
+      const RepResult r = RunRep(rep, blocks, by_size, kway_scenarios, reps);
       if (r.rep == "vector") {
         vector_bytes = static_cast<double>(r.bytes);
         vector_melems = r.intersect_melems_s;
       }
       const double ratio =
           vector_bytes > 0 ? static_cast<double>(r.bytes) / vector_bytes : 0;
+      double kway4 = 0;
+      for (const auto& [arity, melems] : r.kway) {
+        if (arity == 4) kway4 = melems;
+      }
       table.AddRowValues(tier, graph->num_nodes(), blocks.size(), r.rep,
                          r.bytes, static_cast<double>(r.bytes) / (1 << 20),
-                         ratio, r.encode_ms, r.intersect_melems_s);
+                         ratio, r.encode_ms, r.intersect_melems_s,
+                         r.difference_melems_s, kway4);
       const std::string prefix = tier + "_" + r.rep + "_";
       metrics.emplace_back(prefix + "bytes", static_cast<double>(r.bytes));
       metrics.emplace_back(prefix + "bytes_vs_vector", ratio);
       metrics.emplace_back(prefix + "encode_ms", r.encode_ms);
       metrics.emplace_back(prefix + "intersect_melems_s",
                            r.intersect_melems_s);
+      metrics.emplace_back(prefix + "difference_melems_s",
+                           r.difference_melems_s);
+      for (const auto& [arity, melems] : r.kway) {
+        metrics.emplace_back(
+            prefix + "kway" + std::to_string(arity) + "_melems_s", melems);
+      }
       if (vector_melems > 0) {
         metrics.emplace_back(prefix + "intersect_vs_vector",
                              r.intersect_melems_s / vector_melems);
       }
     }
+
+    // PR9 baselines, reproduced in-run so the speedup gates never compare
+    // against stale numbers from another machine.
+    const double decode_merge =
+        RunDecodeMergeBaseline(blocks, by_size, reps);
+    metrics.emplace_back(tier + "_delta_decode_merge_melems_s", decode_merge);
+    double delta_native = 0;
+    for (auto it = metrics.rbegin(); it != metrics.rend(); ++it) {
+      if (it->first == tier + "_delta_intersect_melems_s") {
+        delta_native = it->second;
+        break;
+      }
+    }
+    if (decode_merge > 0) {
+      metrics.emplace_back(tier + "_delta_native_speedup",
+                           delta_native / decode_merge);
+    }
+
+    SetSimdLevel(SimdLevel::kScalar);
+    const RepResult hybrid_scalar =
+        RunRep("hybrid", blocks, by_size, {}, reps);
+    SetSimdLevel(active);  // Restore the startup level (honors MRX_SIMD).
+    metrics.emplace_back(tier + "_hybrid_scalar_melems_s",
+                         hybrid_scalar.intersect_melems_s);
+    double hybrid_simd = 0;
+    for (auto it = metrics.rbegin(); it != metrics.rend(); ++it) {
+      if (it->first == tier + "_hybrid_intersect_melems_s") {
+        hybrid_simd = it->second;
+        break;
+      }
+    }
+    if (hybrid_scalar.intersect_melems_s > 0) {
+      metrics.emplace_back(
+          tier + "_hybrid_simd_speedup",
+          hybrid_simd / hybrid_scalar.intersect_melems_s);
+    }
+
     metrics.emplace_back(tier + "_nodes",
                          static_cast<double>(graph->num_nodes()));
     metrics.emplace_back(tier + "_extents",

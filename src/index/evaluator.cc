@@ -76,8 +76,9 @@ QueryResult AnswerOnIndex(const IndexGraph& ig, const PathExpression& path,
     obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && certifiable) {
       // Precise: the whole extent is part of the answer (§3.1 step 2).
-      result.answer.insert(result.answer.end(), node.extent.begin(),
-                           node.extent.end());
+      // Bulk decode — blockwise for delta, chunkwise for hybrid — instead
+      // of the per-element iterator round-trip.
+      node.extent.AppendTo(&result.answer);
       continue;
     }
     if (node.k >= needed && !certifiable) {

@@ -6,6 +6,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "index/extent_kernels.h"
+
 namespace mrx {
 namespace {
 
@@ -27,25 +29,15 @@ constexpr double kHybridSlack = 1.1;
 
 /// Above this many elements an extent is intersect-hot: the §5 cost model
 /// is dominated by set algebra over exactly these big extents, so kAuto
-/// prefers kHybridBitmap (native chunk kernels) whenever it compresses at
-/// all, and reserves kDeltaPacked — denser, but decode-only kernels — for
-/// the mid-size population where intersections are cheap anyway.
-constexpr size_t kHotExtent = 16 * 1024;
-
-uint8_t DeltaBitsFor(const std::vector<NodeId>& sorted) {
-  uint32_t max_delta = 1;
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    max_delta = std::max(max_delta, sorted[i] - sorted[i - 1]);
-  }
-  // Fields store (delta - 1); a contiguous run needs 0 bits.
-  return max_delta == 1 ? 0 : static_cast<uint8_t>(std::bit_width(max_delta - 1));
-}
-
-size_t DeltaPackedBytes(size_t n, uint8_t bits) {
-  if (n <= 1) return sizeof(extent_internal::ExtentPayload);
-  const size_t words = (((n - 1) * bits) + 63) / 64;
-  return sizeof(extent_internal::ExtentPayload) + words * sizeof(uint64_t);
-}
+/// prefers kHybridBitmap (native chunk kernels, SIMD word dispatch)
+/// whenever it compresses at all, and reserves kDeltaPacked — denser, and
+/// since the blocked-stream kernels no longer decode-everything, no longer
+/// catastrophic to intersect — for the small/mid population. Retuned from
+/// 16k to 2k for ISSUE 10: BENCH_extent showed the 500k tier's hot extents
+/// landing below the old threshold on delta, costing 2x intersect
+/// throughput (auto 0.98x vector vs hybrid 2.01x) for a byte win the 0.60x
+/// size gate does not need.
+constexpr size_t kHotExtent = 2048;
 
 /// Chunk encoding cost by kind, in payload bytes (headers excluded — all
 /// kinds pay the same BitmapChunk struct).
@@ -56,24 +48,52 @@ size_t ChunkBytes(uint32_t count, uint32_t runs) {
   return std::min({array_bytes, run_bytes, bitmap_bytes});
 }
 
-/// One pass over `sorted` estimating the hybrid encoding size without
-/// building it.
-size_t HybridBytesEstimate(const std::vector<NodeId>& sorted) {
-  size_t total = 0;
+/// Everything the representation decision needs, from ONE pass over the
+/// sorted members — no per-representation estimation passes and no trial
+/// encodes of rejected representations (the encode-cost fix of ISSUE 10:
+/// auto used to pay a delta pass, a hybrid pass, and then the chosen
+/// encoder's own re-scan).
+struct RepStats {
+  uint32_t max_delta = 1;     ///< Largest gap between consecutive members.
+  size_t hybrid_bytes = 0;    ///< Exact kHybridBitmap physical estimate.
+};
+
+RepStats ComputeRepStats(const std::vector<NodeId>& sorted) {
+  RepStats stats;
   size_t i = 0;
+  NodeId prev = 0;
   while (i < sorted.size()) {
     const uint32_t high = sorted[i] >> 16;
     uint32_t count = 0;
     uint32_t runs = 0;
-    uint32_t prev = 0;
     for (; i < sorted.size() && (sorted[i] >> 16) == high; ++i) {
+      if (i > 0) stats.max_delta = std::max(stats.max_delta, sorted[i] - prev);
+      if (count == 0 || sorted[i] != prev + 1) ++runs;
       ++count;
-      if (count == 1 || sorted[i] != prev + 1) ++runs;
       prev = sorted[i];
     }
-    total += sizeof(extent_internal::BitmapChunk) + ChunkBytes(count, runs);
+    stats.hybrid_bytes +=
+        sizeof(extent_internal::BitmapChunk) + ChunkBytes(count, runs);
   }
-  return total;
+  return stats;
+}
+
+uint8_t DeltaBitsFromMax(uint32_t max_delta) {
+  // Fields store (delta - 1); a contiguous run needs 0 bits.
+  return max_delta == 1 ? 0
+                        : static_cast<uint8_t>(std::bit_width(max_delta - 1));
+}
+
+size_t DeltaPackedBytes(size_t n, uint8_t bits) {
+  if (n <= 1) return sizeof(extent_internal::ExtentPayload);
+  const size_t words = (((n - 1) * bits) + 63) / 64;
+  // A non-run encoding also carries the per-block skip index.
+  const size_t blocks =
+      bits == 0 ? 0
+                : (n + extent_internal::kDeltaBlock - 1) /
+                      extent_internal::kDeltaBlock;
+  return sizeof(extent_internal::ExtentPayload) + words * sizeof(uint64_t) +
+         blocks * sizeof(NodeId);
 }
 
 std::shared_ptr<const extent_internal::ExtentPayload> BuildSortedVector(
@@ -86,13 +106,13 @@ std::shared_ptr<const extent_internal::ExtentPayload> BuildSortedVector(
 }
 
 std::shared_ptr<const extent_internal::ExtentPayload> BuildDeltaPacked(
-    const std::vector<NodeId>& sorted) {
+    const std::vector<NodeId>& sorted, uint8_t delta_bits) {
   auto p = std::make_shared<extent_internal::ExtentPayload>();
   p->rep = ExtentRep::kDeltaPacked;
   p->size = static_cast<uint32_t>(sorted.size());
   if (sorted.empty()) return p;
   p->base = sorted.front();
-  p->delta_bits = DeltaBitsFor(sorted);
+  p->delta_bits = delta_bits;
   if (p->delta_bits > 0) {
     const size_t fields = sorted.size() - 1;
     p->packed.assign(((fields * p->delta_bits) + 63) / 64, 0);
@@ -107,6 +127,10 @@ std::shared_ptr<const extent_internal::ExtentPayload> BuildDeltaPacked(
       }
       bit += p->delta_bits;
     }
+    // The block skip index is derived from the packed stream (the same
+    // routine the storage decode path uses), so there is exactly one
+    // definition of the block boundaries.
+    extent_internal::FinalizeDeltaPayload(p.get());
   }
   return p;
 }
@@ -216,10 +240,51 @@ size_t ExtentPayload::physical_bytes() const {
   size_t bytes = sizeof(ExtentPayload);
   bytes += sorted.capacity() * sizeof(NodeId);
   bytes += packed.capacity() * sizeof(uint64_t);
+  bytes += block_last.capacity() * sizeof(NodeId);
   for (const BitmapChunk& chunk : chunks) {
     bytes += chunk.physical_bytes();
   }
   return bytes;
+}
+
+uint32_t DecodeDeltaBlock(const ExtentPayload& p, size_t block, NodeId* out) {
+  assert(p.delta_bits > 0);
+  const size_t begin = block * kDeltaBlock;
+  assert(begin < p.size);
+  const uint32_t count =
+      static_cast<uint32_t>(std::min<size_t>(kDeltaBlock, p.size - begin));
+  // First member: the base, or the previous block's last member plus the
+  // bridging delta field (field i produces the member at index i + 1).
+  if (block == 0) {
+    out[0] = p.base;
+  } else {
+    uint32_t bridge;
+    UnpackFieldsU32(p.packed.data(), p.delta_bits, begin - 1, 1, 1, &bridge);
+    out[0] = p.block_last[block - 1] + bridge;
+  }
+  if (count > 1) {
+    UnpackFieldsU32(p.packed.data(), p.delta_bits, begin, count - 1, 1,
+                    out + 1);
+    PrefixSumU32(out, count, 0);
+  }
+  return count;
+}
+
+void FinalizeDeltaPayload(ExtentPayload* p) {
+  p->block_last.clear();
+  if (p->rep != ExtentRep::kDeltaPacked || p->delta_bits == 0 ||
+      p->size == 0) {
+    return;
+  }
+  const size_t blocks = (p->size + kDeltaBlock - 1) / kDeltaBlock;
+  p->block_last.reserve(blocks);
+  // DecodeDeltaBlock(b) only reads block_last[b - 1], which the previous
+  // iteration just appended, so the index can bootstrap itself.
+  NodeId buf[kDeltaBlock];
+  for (size_t b = 0; b < blocks; ++b) {
+    const uint32_t count = DecodeDeltaBlock(*p, b, buf);
+    p->block_last.push_back(buf[count - 1]);
+  }
 }
 
 bool BitmapChunk::Contains(uint16_t low) const {
@@ -278,9 +343,13 @@ Extent Extent::FromSorted(std::vector<NodeId> sorted) {
   if (sorted.size() <= kSmallExtent) {
     return FromSortedAs(std::move(sorted), ExtentRep::kSortedVector);
   }
+  // One statistics pass decides; only the winning representation is ever
+  // encoded (the rejected ones are costed from the stats alone).
+  const RepStats stats = ComputeRepStats(sorted);
+  const uint8_t delta_bits = DeltaBitsFromMax(stats.max_delta);
   const size_t vector_bytes = sorted.size() * sizeof(NodeId);
-  const size_t delta_bytes = DeltaPackedBytes(sorted.size(), DeltaBitsFor(sorted));
-  const size_t hybrid_bytes = HybridBytesEstimate(sorted);
+  const size_t delta_bytes = DeltaPackedBytes(sorted.size(), delta_bits);
+  const size_t hybrid_bytes = stats.hybrid_bytes;
   const size_t best = std::min(delta_bytes, hybrid_bytes);
   if (static_cast<double>(best) >= kCompressGain * static_cast<double>(vector_bytes)) {
     return FromSortedAs(std::move(sorted), ExtentRep::kSortedVector);
@@ -294,7 +363,7 @@ Extent Extent::FromSorted(std::vector<NodeId> sorted) {
       kHybridSlack * static_cast<double>(delta_bytes)) {
     return FromSortedAs(std::move(sorted), ExtentRep::kHybridBitmap);
   }
-  return FromSortedAs(std::move(sorted), ExtentRep::kDeltaPacked);
+  return Extent(BuildDeltaPacked(sorted, delta_bits));
 }
 
 Extent Extent::FromSortedAs(std::vector<NodeId> sorted, ExtentRep rep) {
@@ -304,7 +373,8 @@ Extent Extent::FromSortedAs(std::vector<NodeId> sorted, ExtentRep rep) {
       sorted.shrink_to_fit();
       return Extent(BuildSortedVector(std::move(sorted)));
     case ExtentRep::kDeltaPacked:
-      return Extent(BuildDeltaPacked(sorted));
+      return Extent(BuildDeltaPacked(
+          sorted, DeltaBitsFromMax(ComputeRepStats(sorted).max_delta)));
     case ExtentRep::kHybridBitmap:
       return Extent(BuildHybridBitmap(sorted));
   }
@@ -350,16 +420,9 @@ NodeId Extent::back() const {
   switch (payload_->rep) {
     case ExtentRep::kSortedVector:
       return payload_->sorted.back();
-    case ExtentRep::kDeltaPacked: {
+    case ExtentRep::kDeltaPacked:
       if (payload_->delta_bits == 0) return payload_->base + payload_->size - 1;
-      uint64_t v = payload_->base;
-      for (size_t i = 0; i + 1 < payload_->size; ++i) {
-        v += extent_internal::UnpackDelta(payload_->packed, payload_->delta_bits,
-                                          i) +
-             1;
-      }
-      return static_cast<NodeId>(v);
-    }
+      return payload_->block_last.back();
     case ExtentRep::kHybridBitmap: {
       const extent_internal::BitmapChunk& c = payload_->chunks.back();
       const uint32_t high = static_cast<uint32_t>(c.high) << 16;
@@ -394,16 +457,16 @@ bool Extent::Contains(NodeId id) const {
       if (payload_->delta_bits == 0) {
         return id < payload_->base + payload_->size;
       }
-      uint64_t v = payload_->base;
-      if (v == id) return true;
-      for (size_t i = 0; i + 1 < payload_->size; ++i) {
-        v += extent_internal::UnpackDelta(payload_->packed, payload_->delta_bits,
-                                          i) +
-             1;
-        if (v == id) return true;
-        if (v > id) return false;
-      }
-      return false;
+      // block_last is sorted, so the first block whose last member is >= id
+      // is the only block that can contain it.
+      const auto& bl = payload_->block_last;
+      const size_t block = static_cast<size_t>(
+          std::lower_bound(bl.begin(), bl.end(), id) - bl.begin());
+      if (block == bl.size()) return false;
+      NodeId buf[extent_internal::kDeltaBlock];
+      const uint32_t count =
+          extent_internal::DecodeDeltaBlock(*payload_, block, buf);
+      return std::binary_search(buf, buf + count, id);
     }
     case ExtentRep::kHybridBitmap: {
       const uint16_t high = static_cast<uint16_t>(id >> 16);
@@ -433,19 +496,22 @@ void Extent::AppendTo(std::vector<NodeId>* out) const {
       out->insert(out->end(), payload_->sorted.begin(), payload_->sorted.end());
       return;
     case ExtentRep::kDeltaPacked: {
-      uint64_t v = payload_->base;
-      out->push_back(static_cast<NodeId>(v));
       if (payload_->delta_bits == 0) {
-        for (uint32_t i = 1; i < payload_->size; ++i) {
-          out->push_back(static_cast<NodeId>(payload_->base + i));
+        for (uint32_t i = 0; i < payload_->size; ++i) {
+          out->push_back(payload_->base + i);
         }
         return;
       }
-      for (size_t i = 0; i + 1 < payload_->size; ++i) {
-        v += extent_internal::UnpackDelta(payload_->packed, payload_->delta_bits,
-                                          i) +
-             1;
-        out->push_back(static_cast<NodeId>(v));
+      // Blockwise decode straight into the output tail: UnpackFieldsU32 +
+      // vectorized prefix sum per block instead of a per-element unpack.
+      const size_t tail = out->size();
+      out->resize(tail + payload_->size);
+      NodeId* dst = out->data() + tail;
+      const size_t blocks =
+          (payload_->size + extent_internal::kDeltaBlock - 1) /
+          extent_internal::kDeltaBlock;
+      for (size_t b = 0; b < blocks; ++b) {
+        dst += extent_internal::DecodeDeltaBlock(*payload_, b, dst);
       }
       return;
     }

@@ -84,6 +84,12 @@ struct BitmapChunk {
   bool Contains(uint16_t low) const;
 };
 
+/// Values per delta block: the granularity of the kDeltaPacked skip index
+/// and of the native delta-stream kernels' decode window. 128 values keep
+/// the decode buffer stack-resident (512 B) while the per-block maximum
+/// costs 4 B per 128 members (~3% of the vector encoding).
+inline constexpr size_t kDeltaBlock = 128;
+
 /// Immutable storage behind an Extent; shared between copies.
 struct ExtentPayload {
   ExtentRep rep = ExtentRep::kSortedVector;
@@ -100,6 +106,15 @@ struct ExtentPayload {
   uint8_t delta_bits = 0;
   std::vector<uint64_t> packed;
 
+  // kDeltaPacked skip index, *derived* from `packed` (never serialized;
+  // storage decode recomputes it via FinalizeDeltaPayload): entry b is the
+  // last member of block b, i.e. the value at logical index
+  // min(size, (b+1)*kDeltaBlock) - 1. Empty when delta_bits == 0 — a
+  // contiguous run answers every question with arithmetic. The native
+  // kernels binary-search it to skip blocks that cannot overlap the other
+  // operand, and Contains uses it for O(log + kDeltaBlock) membership.
+  std::vector<NodeId> block_last;
+
   // kHybridBitmap, ascending by `high`.
   std::vector<BitmapChunk> chunks;
 
@@ -108,6 +123,18 @@ struct ExtentPayload {
 
 uint64_t UnpackDelta(const std::vector<uint64_t>& packed, uint8_t bits,
                      size_t index);
+
+/// Builds the block_last skip index of a kDeltaPacked payload from its
+/// packed stream (one sequential decode). Must be called on every payload
+/// whose `packed`/`base`/`delta_bits`/`size` were filled in by hand — the
+/// storage decode path and tests; Extent::FromSortedAs does it itself.
+void FinalizeDeltaPayload(ExtentPayload* p);
+
+/// Decodes one delta block: writes the members at logical indices
+/// [block * kDeltaBlock, min(size, (block+1) * kDeltaBlock)) into `out`
+/// (capacity >= kDeltaBlock) and returns how many were written. Requires
+/// delta_bits > 0 and a finalized block_last.
+uint32_t DecodeDeltaBlock(const ExtentPayload& p, size_t block, NodeId* out);
 
 /// Builds a chunk for `count` sorted low halfwords, choosing the cheapest
 /// kind. Shared by extent normalization and the native hybrid kernels in

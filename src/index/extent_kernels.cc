@@ -1,0 +1,465 @@
+#include "index/extent_kernels.h"
+
+#include <bit>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MRX_X86_64 1
+#include <immintrin.h>
+#endif
+
+namespace mrx::extent_internal {
+namespace {
+
+/// Set-bit positions per byte value, padded with zeros — the classic
+/// roaring emission table. Row b holds the bit indices of b's set bits in
+/// ascending order; a vector load of the row plus a base-offset add emits
+/// up to 8 positions in one step.
+struct BitPosLut {
+  alignas(64) uint8_t pos[256][8];
+};
+
+constexpr BitPosLut MakeBitPosLut() {
+  BitPosLut lut{};
+  for (int b = 0; b < 256; ++b) {
+    int n = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) lut.pos[b][n++] = static_cast<uint8_t>(i);
+    }
+  }
+  return lut;
+}
+
+constexpr BitPosLut kBitPosLut = MakeBitPosLut();
+
+/// Shuffle-compact control bytes per 8-bit match mask: row m moves the u16
+/// lanes whose mask bit is set to the front of the vector (0xFF zeroes the
+/// rest). Pairs with the STTNI EQUAL_ANY bit mask in IntersectU16Sse42.
+struct ShuffleU16Lut {
+  alignas(64) uint8_t ctrl[256][16];
+};
+
+constexpr ShuffleU16Lut MakeShuffleU16Lut() {
+  ShuffleU16Lut lut{};
+  for (int m = 0; m < 256; ++m) {
+    int n = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if (m & (1 << lane)) {
+        lut.ctrl[m][2 * n] = static_cast<uint8_t>(2 * lane);
+        lut.ctrl[m][2 * n + 1] = static_cast<uint8_t>(2 * lane + 1);
+        ++n;
+      }
+    }
+    for (; n < 8; ++n) {
+      lut.ctrl[m][2 * n] = 0xFF;
+      lut.ctrl[m][2 * n + 1] = 0xFF;
+    }
+  }
+  return lut;
+}
+
+constexpr ShuffleU16Lut kShuffleU16Lut = MakeShuffleU16Lut();
+
+// ---------------------------------------------------------------------------
+// Scalar builds: the semantic definition of every primitive.
+// ---------------------------------------------------------------------------
+
+uint32_t AndWordsPopcountScalar(const uint64_t* a, const uint64_t* b,
+                                uint64_t* out, size_t n) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    count += static_cast<uint32_t>(std::popcount(out[i]));
+  }
+  return count;
+}
+
+uint32_t AndNotWordsPopcountScalar(const uint64_t* a, const uint64_t* b,
+                                   uint64_t* out, size_t n) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & ~b[i];
+    count += static_cast<uint32_t>(std::popcount(out[i]));
+  }
+  return count;
+}
+
+uint32_t PopcountWordsScalar(const uint64_t* w, size_t n) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint32_t>(std::popcount(w[i]));
+  }
+  return count;
+}
+
+uint32_t EmitWordBits16Scalar(const uint64_t* words, size_t n, uint16_t* out) {
+  uint16_t* cursor = out;
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      *cursor++ = static_cast<uint16_t>(w * 64 + static_cast<size_t>(b));
+      bits &= bits - 1;
+    }
+  }
+  return static_cast<uint32_t>(cursor - out);
+}
+
+uint32_t IntersectU16Scalar(const uint16_t* a, size_t na, const uint16_t* b,
+                            size_t nb, uint16_t* out) {
+  uint16_t* cursor = out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      *cursor++ = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<uint32_t>(cursor - out);
+}
+
+void PrefixSumU32Scalar(uint32_t* v, size_t n, uint32_t carry_in) {
+  uint32_t acc = carry_in;
+  for (size_t i = 0; i < n; ++i) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+#if defined(MRX_X86_64)
+
+// ---------------------------------------------------------------------------
+// SSE4.2 tier: 128-bit word ops + hardware POPCNT. The byte-LUT emitter
+// only needs SSE4.1's zero-extension, which SSE4.2 implies.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2,popcnt"))) uint32_t AndWordsPopcountSse42(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i v = _mm_and_si128(va, vb);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i + 1]));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return static_cast<uint32_t>(count);
+}
+
+__attribute__((target("sse4.2,popcnt"))) uint32_t AndNotWordsPopcountSse42(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // _mm_andnot_si128(x, y) = ~x & y, so b goes first.
+    const __m128i v = _mm_andnot_si128(vb, va);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i + 1]));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] & ~b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return static_cast<uint32_t>(count);
+}
+
+__attribute__((target("popcnt"))) uint32_t PopcountWordsHw(const uint64_t* w,
+                                                           size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    count += static_cast<uint64_t>(__builtin_popcountll(w[i])) +
+             static_cast<uint64_t>(__builtin_popcountll(w[i + 1])) +
+             static_cast<uint64_t>(__builtin_popcountll(w[i + 2])) +
+             static_cast<uint64_t>(__builtin_popcountll(w[i + 3]));
+  }
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return static_cast<uint32_t>(count);
+}
+
+__attribute__((target("sse4.2,popcnt"))) uint32_t EmitWordBits16Sse42(
+    const uint64_t* words, size_t n, uint16_t* out) {
+  uint16_t* cursor = out;
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t bits = words[w];
+    if (bits == 0) continue;
+    uint32_t base = static_cast<uint32_t>(w * 64);
+    while (bits != 0) {
+      const uint8_t byte = static_cast<uint8_t>(bits);
+      if (byte != 0) {
+        // 8 positions from the LUT row, widened to u16, plus the byte's
+        // base offset; over-stores up to 8 lanes (caller guarantees slack)
+        // and advances by the true popcount.
+        const __m128i row = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(kBitPosLut.pos[byte]));
+        const __m128i wide = _mm_cvtepu8_epi16(row);
+        const __m128i v =
+            _mm_add_epi16(wide, _mm_set1_epi16(static_cast<short>(base)));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(cursor), v);
+        cursor += __builtin_popcountll(byte);
+      }
+      bits >>= 8;
+      base += 8;
+    }
+  }
+  return static_cast<uint32_t>(cursor - out);
+}
+
+__attribute__((target("sse4.2,popcnt"))) uint32_t IntersectU16Sse42(
+    const uint16_t* a, size_t na, const uint16_t* b, size_t nb,
+    uint16_t* out) {
+  uint16_t* cursor = out;
+  size_t i = 0;
+  size_t j = 0;
+  const size_t sa = na & ~size_t{7};
+  const size_t sb = nb & ~size_t{7};
+  if (i < sa && j < sb) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    while (true) {
+      // EQUAL_ANY over explicit-length u16 fragments: bit k of the result
+      // marks va lane k as present somewhere in vb. Explicit length (estrm,
+      // not istrm) so a zero value is an ordinary set member, not a
+      // terminator. Matched lanes are compacted to the front via the LUT and
+      // stored as a full vector (the 8-slot slack contract), advancing by
+      // the true match count.
+      const __m128i res = _mm_cmpestrm(
+          vb, 8, va, 8, _SIDD_UWORD_OPS | _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK);
+      const uint32_t mask =
+          static_cast<uint32_t>(_mm_extract_epi32(res, 0));
+      const __m128i ctrl = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(kShuffleU16Lut.ctrl[mask]));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(cursor),
+                       _mm_shuffle_epi8(va, ctrl));
+      cursor += __builtin_popcount(mask);
+      // Advance whichever block's maximum is smaller (both on a tie —
+      // members are unique, so nothing past a shared maximum can match it).
+      const uint16_t a_max = a[i + 7];
+      const uint16_t b_max = b[j + 7];
+      if (a_max <= b_max) {
+        i += 8;
+        if (i == sa) break;
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      }
+      if (b_max <= a_max) {
+        j += 8;
+        if (j == sb) break;
+        vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      }
+    }
+  }
+  // Scalar merge over the tails. Elements before i / j were fully compared
+  // against everything that could still match them, so resuming the plain
+  // merge here emits no duplicates and misses nothing.
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      *cursor++ = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<uint32_t>(cursor - out);
+}
+
+__attribute__((target("sse4.2"))) void PrefixSumU32Sse42(uint32_t* v, size_t n,
+                                                         uint32_t carry_in) {
+  __m128i carry = _mm_set1_epi32(static_cast<int>(carry_in));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+    x = _mm_add_epi32(x, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(v + i), x);
+    carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  uint32_t acc = static_cast<uint32_t>(_mm_cvtsi128_si32(carry));
+  for (; i < n; ++i) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 256-bit word ops; POPCNT for the counts.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,popcnt"))) uint32_t AndWordsPopcountAvx2(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 1])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 2])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 3]));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return static_cast<uint32_t>(count);
+}
+
+__attribute__((target("avx2,popcnt"))) uint32_t AndNotWordsPopcountAvx2(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_andnot_si256(vb, va);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 1])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 2])) +
+             static_cast<uint64_t>(__builtin_popcountll(out[i + 3]));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] & ~b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return static_cast<uint32_t>(count);
+}
+
+__attribute__((target("avx2"))) void PrefixSumU32Avx2(uint32_t* v, size_t n,
+                                                      uint32_t carry_in) {
+  const __m256i bcast_last = _mm256_set1_epi32(7);
+  __m256i carry = _mm256_set1_epi32(static_cast<int>(carry_in));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // In-lane scan, then propagate the low lane's total into the high lane.
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    __m256i low_total = _mm256_permutevar8x32_epi32(
+        x, _mm256_set1_epi32(3));
+    low_total = _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0);
+    x = _mm256_add_epi32(x, low_total);
+    x = _mm256_add_epi32(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + i), x);
+    carry = _mm256_permutevar8x32_epi32(x, bcast_last);
+  }
+  uint32_t acc = static_cast<uint32_t>(_mm256_extract_epi32(carry, 0));
+  for (; i < n; ++i) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+#endif  // MRX_X86_64
+
+}  // namespace
+
+uint32_t AndWordsPopcount(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                          size_t n) {
+#if defined(MRX_X86_64)
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAVX2: return AndWordsPopcountAvx2(a, b, out, n);
+    case SimdLevel::kSSE42: return AndWordsPopcountSse42(a, b, out, n);
+    case SimdLevel::kScalar: break;
+  }
+#endif
+  return AndWordsPopcountScalar(a, b, out, n);
+}
+
+uint32_t AndNotWordsPopcount(const uint64_t* a, const uint64_t* b,
+                             uint64_t* out, size_t n) {
+#if defined(MRX_X86_64)
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAVX2: return AndNotWordsPopcountAvx2(a, b, out, n);
+    case SimdLevel::kSSE42: return AndNotWordsPopcountSse42(a, b, out, n);
+    case SimdLevel::kScalar: break;
+  }
+#endif
+  return AndNotWordsPopcountScalar(a, b, out, n);
+}
+
+uint32_t PopcountWords(const uint64_t* w, size_t n) {
+#if defined(MRX_X86_64)
+  if (ActiveSimdLevel() >= SimdLevel::kSSE42) return PopcountWordsHw(w, n);
+#endif
+  return PopcountWordsScalar(w, n);
+}
+
+uint32_t EmitWordBits16(const uint64_t* words, size_t n, uint16_t* out) {
+#if defined(MRX_X86_64)
+  if (ActiveSimdLevel() >= SimdLevel::kSSE42) {
+    return EmitWordBits16Sse42(words, n, out);
+  }
+#endif
+  return EmitWordBits16Scalar(words, n, out);
+}
+
+uint32_t IntersectU16(const uint16_t* a, size_t na, const uint16_t* b,
+                      size_t nb, uint16_t* out) {
+#if defined(MRX_X86_64)
+  // The STTNI compare is an SSE4.2 instruction; there is no wider AVX2 form,
+  // so both vector tiers share this build.
+  if (ActiveSimdLevel() >= SimdLevel::kSSE42) {
+    return IntersectU16Sse42(a, na, b, nb, out);
+  }
+#endif
+  return IntersectU16Scalar(a, na, b, nb, out);
+}
+
+void PrefixSumU32(uint32_t* v, size_t n, uint32_t carry_in) {
+#if defined(MRX_X86_64)
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAVX2: PrefixSumU32Avx2(v, n, carry_in); return;
+    case SimdLevel::kSSE42: PrefixSumU32Sse42(v, n, carry_in); return;
+    case SimdLevel::kScalar: break;
+  }
+#endif
+  PrefixSumU32Scalar(v, n, carry_in);
+}
+
+void UnpackFieldsU32(const uint64_t* packed, uint8_t bits, size_t from,
+                     size_t count, uint32_t add, uint32_t* out) {
+  // Rolling 64-bit window over the packed stream: each field is at bit
+  // offset (from + i) * bits; the window is refilled one word at a time,
+  // so each packed word is loaded once per call instead of once per field.
+  const uint64_t mask =
+      bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  size_t bit = from * static_cast<size_t>(bits);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t word = bit >> 6;
+    const size_t off = bit & 63;
+    uint64_t field = packed[word] >> off;
+    if (off + bits > 64) {
+      field |= packed[word + 1] << (64 - off);
+    }
+    out[i] = static_cast<uint32_t>(field & mask) + add;
+    bit += bits;
+  }
+}
+
+}  // namespace mrx::extent_internal

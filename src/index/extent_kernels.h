@@ -1,0 +1,63 @@
+#ifndef MRX_INDEX_EXTENT_KERNELS_H_
+#define MRX_INDEX_EXTENT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace mrx::extent_internal {
+
+/// \file
+/// The vectorized primitives under the extent algebra (docs/PERFORMANCE.md
+/// "Extent representations"). Every function here dispatches on
+/// ActiveSimdLevel() per call — the calls are coarse (a whole 1024-word
+/// bitmap chunk, a whole 128-value delta block), so the dispatch branch is
+/// noise and forcing a level mid-process (differential tests, MRX_SIMD)
+/// takes effect immediately. Each primitive has a portable scalar build
+/// that is the semantic definition; the SSE4.2 and AVX2 builds must
+/// produce byte-identical outputs (enforced by extent_simd_fuzz_test).
+
+/// out[i] = a[i] & b[i] for n words; returns the popcount of the result.
+uint32_t AndWordsPopcount(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                          size_t n);
+
+/// out[i] = a[i] & ~b[i] for n words; returns the popcount of the result.
+uint32_t AndNotWordsPopcount(const uint64_t* a, const uint64_t* b,
+                             uint64_t* out, size_t n);
+
+/// Popcount over n words.
+uint32_t PopcountWords(const uint64_t* w, size_t n);
+
+/// Decodes the set-bit positions of words[0..n) (bit b of word w =
+/// position w*64+b) into `out`, ascending, as uint16 values. Returns the
+/// number written. CONTRACT: `out` must have 8 writable slots beyond the
+/// true count — the vectorized emitter stores full 8-lane groups and the
+/// caller truncates to the returned count.
+uint32_t EmitWordBits16(const uint64_t* words, size_t n, uint16_t* out);
+
+/// Intersects two sorted duplicate-free u16 sets, writing the (ascending)
+/// common members into `out` and returning how many were written. The
+/// vectorized build compares 8-lane blocks with the SSE4.2 string-compare
+/// unit and compacts matches through a shuffle table — the array-chunk
+/// analogue of the word kernels above. CONTRACT: `out` needs 8 writable
+/// slots beyond the true count (full-vector stores, caller truncates).
+/// `out` must not alias `a` or `b`.
+uint32_t IntersectU16(const uint16_t* a, size_t na, const uint16_t* b,
+                      size_t nb, uint16_t* out);
+
+/// In-place inclusive prefix sum: v[i] += v[i-1] (+ carry_in for v[0]).
+void PrefixSumU32(uint32_t* v, size_t n, uint32_t carry_in);
+
+/// Extracts `count` consecutive `bits`-wide fields starting at field index
+/// `from` of the little-endian bit-packed stream `packed`, writing
+/// (field + add) into out. Scalar rolling-window extraction (bit-packed
+/// fields have no aligned SIMD form worth the shuffle tables at these
+/// widths); the vectorized half of delta decode is the prefix sum above.
+/// bits must be in [1, 32].
+void UnpackFieldsU32(const uint64_t* packed, uint8_t bits, size_t from,
+                     size_t count, uint32_t add, uint32_t* out);
+
+}  // namespace mrx::extent_internal
+
+#endif  // MRX_INDEX_EXTENT_KERNELS_H_

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "index/extent.h"
+#include "index/extent_kernels.h"
 
 namespace mrx {
 namespace {
@@ -45,23 +47,6 @@ void ChunkLows(const BitmapChunk& c, std::vector<uint16_t>* out) {
   }
 }
 
-/// Appends the bits of `words` that fall inside the run [start, end]
-/// (inclusive) — the gallop-into-runs fast path: only the overlapped words
-/// are touched, masked at the run boundaries.
-void ExtractRunBits(const std::vector<uint64_t>& words, uint32_t start,
-                    uint32_t end, std::vector<uint16_t>* out) {
-  const size_t w_first = start >> 6;
-  const size_t w_last = end >> 6;
-  for (size_t w = w_first; w <= w_last; ++w) {
-    uint64_t word = words[w];
-    if (w == w_first) word &= ~uint64_t{0} << (start & 63);
-    if (w == w_last && (end & 63) != 63) {
-      word &= (uint64_t{1} << ((end & 63) + 1)) - 1;
-    }
-    ExtractWordBits(word, w, out);
-  }
-}
-
 /// Reusable working buffers for the per-chunk kernels — one allocation per
 /// CombineHybrid call instead of one per chunk.
 struct ChunkScratch {
@@ -74,15 +59,13 @@ struct ChunkScratch {
 /// emitters keep such chunks as bitmaps without ever extracting bits.
 constexpr uint32_t kBitmapCutoff = 4096;
 
-/// Emits the result chunk for the AND/ANDNOT words sitting in `s->words`.
+/// Emits the result chunk for the AND/ANDNOT words sitting in `s->words`,
+/// whose popcount is `count` (the fused word kernels return it for free).
 /// Dense results stay bitmaps (one 8 KiB copy, no per-bit extraction);
-/// sparse ones fall back to MakeChunk's exact kind rule. Returns false for
-/// an empty result.
-bool EmitFromWords(uint16_t high, ChunkScratch* s, BitmapChunk* out) {
-  uint32_t count = 0;
-  for (const uint64_t w : s->words) {
-    count += static_cast<uint32_t>(std::popcount(w));
-  }
+/// sparse ones decode through the SIMD bit emitter and fall back to
+/// MakeChunk's exact kind rule. Returns false for an empty result.
+bool EmitFromWords(uint16_t high, uint32_t count, ChunkScratch* s,
+                   BitmapChunk* out) {
   if (count == 0) return false;
   if (count > kBitmapCutoff) {
     out->high = high;
@@ -92,11 +75,13 @@ bool EmitFromWords(uint16_t high, ChunkScratch* s, BitmapChunk* out) {
     out->words.assign(s->words.begin(), s->words.end());
     return true;
   }
-  s->lows.clear();
-  for (size_t w = 0; w < s->words.size(); ++w) {
-    ExtractWordBits(s->words[w], w, &s->lows);
-  }
-  *out = extent_internal::MakeChunk(high, s->lows.data(), count);
+  // +8 slots: EmitWordBits16's vectorized emitter over-stores full 8-lane
+  // groups past the true count (see its contract).
+  s->lows.resize(count + 8);
+  const uint32_t written = extent_internal::EmitWordBits16(
+      s->words.data(), s->words.size(), s->lows.data());
+  assert(written == count);
+  *out = extent_internal::MakeChunk(high, s->lows.data(), written);
   return true;
 }
 
@@ -120,14 +105,14 @@ void AccumulateRunWords(const std::vector<uint64_t>& words, uint32_t start,
 /// a ∩ b within one 64k chunk; returns false when the result is empty.
 bool IntersectChunk(const BitmapChunk& a, const BitmapChunk& b,
                     ChunkScratch* s, BitmapChunk* out) {
-  // Word-parallel fast path: AND into scratch words, emit natively.
+  // Word-parallel fast path: one fused SIMD AND+popcount pass into scratch
+  // words, emitted natively.
   if (a.kind == BitmapChunk::Kind::kBitmap &&
       b.kind == BitmapChunk::Kind::kBitmap) {
     s->words.resize(1024);
-    for (size_t w = 0; w < 1024; ++w) {
-      s->words[w] = a.words[w] & b.words[w];
-    }
-    return EmitFromWords(a.high, s, out);
+    const uint32_t count = extent_internal::AndWordsPopcount(
+        a.words.data(), b.words.data(), s->words.data(), 1024);
+    return EmitFromWords(a.high, count, s, out);
   }
   // Runs against a bitmap: mask only the run-covered words, emit natively.
   if (a.kind == BitmapChunk::Kind::kBitmap &&
@@ -142,7 +127,8 @@ bool IntersectChunk(const BitmapChunk& a, const BitmapChunk& b,
                          static_cast<uint32_t>(a.lows[r]) + a.lows[r + 1],
                          &s->words);
     }
-    return EmitFromWords(a.high, s, out);
+    return EmitFromWords(
+        a.high, extent_internal::PopcountWords(s->words.data(), 1024), s, out);
   }
   // Run × run: overlap the sorted run lists, emitting result runs as run
   // pairs — never expanded when the run encoding stays the cheapest.
@@ -201,8 +187,11 @@ bool IntersectChunk(const BitmapChunk& a, const BitmapChunk& b,
         if (large.Contains(low)) s->lows.push_back(low);
       }
     } else {
-      std::set_intersection(a.lows.begin(), a.lows.end(), b.lows.begin(),
-                            b.lows.end(), std::back_inserter(s->lows));
+      // +8 slack for IntersectU16's full-vector stores; truncated below.
+      s->lows.resize(static_cast<size_t>(small.count) + 8);
+      const uint32_t n = extent_internal::IntersectU16(
+          a.lows.data(), a.count, b.lows.data(), b.count, s->lows.data());
+      s->lows.resize(n);
     }
     if (s->lows.empty()) return false;
     *out = extent_internal::MakeChunk(a.high, s->lows.data(),
@@ -231,9 +220,11 @@ bool DifferenceChunk(const BitmapChunk& a, const BitmapChunk& b,
     // Copy a's words, clear b's members, emit natively.
     if (b.kind == BitmapChunk::Kind::kBitmap) {
       s->words.resize(1024);
-      for (size_t w = 0; w < 1024; ++w) {
-        s->words[w] = a.words[w] & ~b.words[w];
-      }
+      return EmitFromWords(a.high,
+                           extent_internal::AndNotWordsPopcount(
+                               a.words.data(), b.words.data(), s->words.data(),
+                               1024),
+                           s, out);
     } else {
       s->words.assign(a.words.begin(), a.words.end());
       if (b.kind == BitmapChunk::Kind::kArray) {
@@ -257,7 +248,8 @@ bool DifferenceChunk(const BitmapChunk& a, const BitmapChunk& b,
         }
       }
     }
-    return EmitFromWords(a.high, s, out);
+    return EmitFromWords(
+        a.high, extent_internal::PopcountWords(s->words.data(), 1024), s, out);
   }
   // Array \ array: linear merge beats per-element probing.
   if (a.kind == BitmapChunk::Kind::kArray &&
@@ -323,13 +315,383 @@ std::vector<NodeId> ProbeFilter(const std::vector<NodeId>& a, const Extent& b,
   return out;
 }
 
-/// True when the kernels should decode this extent and use the vector
-/// kernels: packed deltas have no sublinear probe, and a hybrid extent
-/// far smaller than the other side is cheaper to decode than to probe
-/// element-by-element from the big side.
+/// True when the kernels should decode this hybrid extent and use the
+/// vector kernels: a hybrid far smaller than the other side is cheaper to
+/// decode once than to probe element-by-element from the big side. (Delta
+/// extents no longer decode — the native stream kernels below walk the
+/// packed form directly.)
 bool PreferDecode(const Extent& e, size_t other_size) {
-  if (e.rep() == ExtentRep::kDeltaPacked) return true;
   return e.size() * kGallopRatio < other_size;
+}
+
+/// Streaming cursor over a kDeltaPacked payload: decodes one kDeltaBlock
+/// window at a time (SIMD field unpack + prefix sum) into a stack buffer
+/// and skips whole blocks via the block_last maxima index without touching
+/// their packed bits. delta_bits == 0 (a contiguous run) is modeled
+/// arithmetically so the native kernels have a single delta path.
+class DeltaCursor {
+ public:
+  /// The payload must be non-empty (callers dispatch empties away first).
+  explicit DeltaCursor(const ExtentPayload& p) : p_(&p) { LoadBlock(0); }
+
+  bool exhausted() const { return exhausted_; }
+  NodeId value() const { return buf_[pos_]; }
+
+  // The rest of the current decode window. The blockwise kernels merge
+  // [begin(), end()) directly in tight array loops — per-element cursor
+  // calls only pay off when whole blocks can be skipped.
+  const NodeId* begin() const { return buf_ + pos_; }
+  const NodeId* end() const { return buf_ + count_; }
+  NodeId window_back() const { return buf_[count_ - 1]; }
+
+  /// Repositions at `p`, a pointer into [begin(), end()]; a drained window
+  /// loads the next block (or exhausts the cursor).
+  void Rebase(const NodeId* p) {
+    pos_ = static_cast<uint32_t>(p - buf_);
+    if (pos_ < count_) return;
+    const size_t next = block_ + 1;
+    if (next * extent_internal::kDeltaBlock >= p_->size) {
+      exhausted_ = true;
+    } else {
+      LoadBlock(next);
+    }
+  }
+
+  void Next() {
+    if (++pos_ < count_) return;
+    const size_t next = block_ + 1;
+    if (next * extent_internal::kDeltaBlock >= p_->size) {
+      exhausted_ = true;
+    } else {
+      LoadBlock(next);
+    }
+  }
+
+  /// Advances to the first member >= key (no-op when already there).
+  /// Returns false — and exhausts the cursor — when every remaining member
+  /// is < key. Blocks whose maximum is below key are skipped undecoded.
+  bool SkipTo(NodeId key) {
+    if (exhausted_) return false;
+    if (BlockLast(block_) < key) {
+      size_t lo = block_ + 1;
+      size_t hi = NumBlocks();
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (BlockLast(mid) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == NumBlocks()) {
+        exhausted_ = true;
+        return false;
+      }
+      LoadBlock(lo);
+    }
+    pos_ = static_cast<uint32_t>(
+        std::lower_bound(buf_ + pos_, buf_ + count_, key) - buf_);
+    // The current block's maximum is >= key, so pos_ < count_ here.
+    return true;
+  }
+
+  /// Appends everything from the cursor position on (difference tails).
+  void AppendRest(std::vector<NodeId>* out) {
+    while (!exhausted_) {
+      out->insert(out->end(), buf_ + pos_, buf_ + count_);
+      const size_t next = block_ + 1;
+      if (next * extent_internal::kDeltaBlock >= p_->size) {
+        exhausted_ = true;
+      } else {
+        LoadBlock(next);
+      }
+    }
+  }
+
+ private:
+  size_t NumBlocks() const {
+    return (p_->size + extent_internal::kDeltaBlock - 1) /
+           extent_internal::kDeltaBlock;
+  }
+
+  NodeId BlockLast(size_t b) const {
+    if (p_->delta_bits == 0) {
+      const size_t end =
+          std::min<size_t>(p_->size, (b + 1) * extent_internal::kDeltaBlock);
+      return p_->base + static_cast<NodeId>(end) - 1;
+    }
+    return p_->block_last[b];
+  }
+
+  void LoadBlock(size_t b) {
+    block_ = b;
+    pos_ = 0;
+    if (p_->delta_bits == 0) {
+      const size_t begin = b * extent_internal::kDeltaBlock;
+      count_ = static_cast<uint32_t>(
+          std::min<size_t>(extent_internal::kDeltaBlock, p_->size - begin));
+      const NodeId first = p_->base + static_cast<NodeId>(begin);
+      for (uint32_t i = 0; i < count_; ++i) buf_[i] = first + i;
+    } else {
+      count_ = extent_internal::DecodeDeltaBlock(*p_, b, buf_);
+    }
+  }
+
+  const ExtentPayload* p_;
+  size_t block_ = 0;
+  uint32_t pos_ = 0;
+  uint32_t count_ = 0;
+  bool exhausted_ = false;
+  NodeId buf_[extent_internal::kDeltaBlock];
+};
+
+/// a ∩ b, both kDeltaPacked: dual-cursor walk. Decode windows that cannot
+/// overlap are hopped over whole (block-skip via the per-block maxima);
+/// overlapping windows are merged in a tight in-buffer loop — the
+/// per-element cursor arithmetic only runs at window boundaries.
+std::vector<NodeId> IntersectDeltaDelta(const ExtentPayload& a,
+                                        const ExtentPayload& b) {
+  std::vector<NodeId> out;
+  out.reserve(std::min(a.size, b.size));
+  DeltaCursor ca(a);
+  DeltaCursor cb(b);
+  while (!ca.exhausted() && !cb.exhausted()) {
+    if (ca.window_back() < cb.value()) {
+      if (!ca.SkipTo(cb.value())) break;
+      continue;
+    }
+    if (cb.window_back() < ca.value()) {
+      if (!cb.SkipTo(ca.value())) break;
+      continue;
+    }
+    const NodeId* pa = ca.begin();
+    const NodeId* const ea = ca.end();
+    const NodeId* pb = cb.begin();
+    const NodeId* const eb = cb.end();
+    while (pa != ea && pb != eb) {
+      const NodeId x = *pa;
+      const NodeId y = *pb;
+      if (x < y) {
+        ++pa;
+      } else if (y < x) {
+        ++pb;
+      } else {
+        out.push_back(x);
+        ++pa;
+        ++pb;
+      }
+    }
+    ca.Rebase(pa);
+    cb.Rebase(pb);
+  }
+  return out;
+}
+
+/// a ∩ b, a kDeltaPacked, b a plain sorted vector: the cursor skips blocks
+/// toward b's current member, b gallops toward the cursor's.
+std::vector<NodeId> IntersectDeltaVec(const ExtentPayload& a,
+                                      const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  if (b.empty()) return out;
+  out.reserve(std::min<size_t>(a.size, b.size()));
+  DeltaCursor ca(a);
+  size_t j = 0;
+  while (!ca.exhausted() && j < b.size()) {
+    if (ca.window_back() < b[j]) {
+      if (!ca.SkipTo(b[j])) break;
+      continue;
+    }
+    if (b[j] < ca.value()) {
+      j = extent_internal::GallopLowerBound(b, j, ca.value());
+      continue;
+    }
+    const NodeId* pa = ca.begin();
+    const NodeId* const ea = ca.end();
+    while (pa != ea && j < b.size()) {
+      const NodeId x = *pa;
+      const NodeId y = b[j];
+      if (x < y) {
+        ++pa;
+      } else if (y < x) {
+        ++j;
+      } else {
+        out.push_back(x);
+        ++pa;
+        ++j;
+      }
+    }
+    ca.Rebase(pa);
+  }
+  return out;
+}
+
+/// a ∩ b, a kDeltaPacked, b kHybridBitmap: walk a's decode windows probing
+/// b's chunk containers; delta blocks falling inside b's chunk gaps are
+/// skipped undecoded.
+std::vector<NodeId> IntersectDeltaHybrid(const ExtentPayload& a,
+                                         const ExtentPayload& b) {
+  std::vector<NodeId> out;
+  DeltaCursor ca(a);
+  size_t ci = 0;
+  while (!ca.exhausted() && ci < b.chunks.size()) {
+    const NodeId x = ca.value();
+    const uint16_t high = static_cast<uint16_t>(x >> 16);
+    while (ci < b.chunks.size() && b.chunks[ci].high < high) ++ci;
+    if (ci == b.chunks.size()) break;
+    const BitmapChunk& c = b.chunks[ci];
+    if (c.high > high) {
+      if (!ca.SkipTo(static_cast<NodeId>(c.high) << 16)) break;
+      continue;
+    }
+    if (c.Contains(static_cast<uint16_t>(x & 0xffff))) out.push_back(x);
+    ca.Next();
+  }
+  return out;
+}
+
+/// a \ b, both kDeltaPacked: a decodes fully (the output is a subset of
+/// it); b only decodes blocks a actually reaches into.
+std::vector<NodeId> DifferenceDeltaDelta(const ExtentPayload& a,
+                                         const ExtentPayload& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size);
+  DeltaCursor ca(a);
+  DeltaCursor cb(b);
+  while (!ca.exhausted()) {
+    if (cb.exhausted()) {
+      ca.AppendRest(&out);
+      break;
+    }
+    // b's window wholly below a's position: hop b forward, undecoded.
+    if (cb.window_back() < ca.value()) {
+      cb.SkipTo(ca.value());
+      continue;
+    }
+    // a's window wholly below b's position: every member survives.
+    if (ca.window_back() < cb.value()) {
+      out.insert(out.end(), ca.begin(), ca.end());
+      ca.Rebase(ca.end());
+      continue;
+    }
+    const NodeId* pa = ca.begin();
+    const NodeId* const ea = ca.end();
+    const NodeId* pb = cb.begin();
+    const NodeId* const eb = cb.end();
+    while (pa != ea && pb != eb) {
+      const NodeId x = *pa;
+      const NodeId y = *pb;
+      if (x < y) {
+        out.push_back(x);
+        ++pa;
+      } else if (y < x) {
+        ++pb;
+      } else {
+        ++pa;
+        ++pb;
+      }
+    }
+    ca.Rebase(pa);
+    cb.Rebase(pb);
+  }
+  return out;
+}
+
+/// a \ b, a kDeltaPacked, b a plain sorted vector.
+std::vector<NodeId> DifferenceDeltaVec(const ExtentPayload& a,
+                                       const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size);
+  DeltaCursor ca(a);
+  size_t j = 0;
+  while (!ca.exhausted()) {
+    if (j == b.size()) {
+      ca.AppendRest(&out);
+      break;
+    }
+    if (ca.window_back() < b[j]) {
+      out.insert(out.end(), ca.begin(), ca.end());
+      ca.Rebase(ca.end());
+      continue;
+    }
+    if (b[j] < ca.value()) {
+      j = extent_internal::GallopLowerBound(b, j, ca.value());
+      continue;
+    }
+    const NodeId* pa = ca.begin();
+    const NodeId* const ea = ca.end();
+    while (pa != ea && j < b.size()) {
+      const NodeId x = *pa;
+      const NodeId y = b[j];
+      if (x < y) {
+        out.push_back(x);
+        ++pa;
+      } else if (y < x) {
+        ++j;
+      } else {
+        ++pa;
+        ++j;
+      }
+    }
+    ca.Rebase(pa);
+  }
+  return out;
+}
+
+/// a \ b, a a plain sorted vector, b kDeltaPacked: b's windows are merged
+/// against a's remaining range; windows of b wholly below a's position are
+/// skipped undecoded.
+std::vector<NodeId> DifferenceVecDelta(const std::vector<NodeId>& a,
+                                       const ExtentPayload& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  DeltaCursor cb(b);
+  size_t i = 0;
+  while (i < a.size()) {
+    if (cb.exhausted()) {
+      out.insert(out.end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+      break;
+    }
+    if (cb.window_back() < a[i]) {
+      cb.SkipTo(a[i]);
+      continue;
+    }
+    const NodeId* pb = cb.begin();
+    const NodeId* const eb = cb.end();
+    while (i < a.size() && pb != eb) {
+      const NodeId x = a[i];
+      const NodeId y = *pb;
+      if (x < y) {
+        out.push_back(x);
+        ++i;
+      } else if (y < x) {
+        ++pb;
+      } else {
+        ++i;
+        ++pb;
+      }
+    }
+    cb.Rebase(pb);
+  }
+  return out;
+}
+
+/// a \ b, a kDeltaPacked, b kHybridBitmap: full walk of a probing b.
+std::vector<NodeId> DifferenceDeltaHybrid(const ExtentPayload& a,
+                                          const ExtentPayload& b) {
+  std::vector<NodeId> out;
+  DeltaCursor ca(a);
+  size_t ci = 0;
+  while (!ca.exhausted()) {
+    const NodeId x = ca.value();
+    const uint16_t high = static_cast<uint16_t>(x >> 16);
+    while (ci < b.chunks.size() && b.chunks[ci].high < high) ++ci;
+    if (ci == b.chunks.size() || b.chunks[ci].high != high ||
+        !b.chunks[ci].Contains(static_cast<uint16_t>(x & 0xffff))) {
+      out.push_back(x);
+    }
+    ca.Next();
+  }
+  return out;
 }
 
 }  // namespace
@@ -351,20 +713,28 @@ Extent Intersect(const Extent& a, const Extent& b) {
     return CombineHybrid(*a.payload(), *b.payload(), /*keep_unmatched_a=*/false,
                          IntersectChunk);
   }
-  // Mixed pair: decode whichever sides lack a native probe and reuse the
-  // vector/probe paths.
-  if (av != nullptr) {
-    return Extent::FromSorted(PreferDecode(b, av->size())
-                                  ? extent_internal::IntersectVec(*av, b.Materialize())
-                                  : ProbeFilter(*av, b, /*want=*/true));
+  // Native delta-stream kernels: walk the packed stream in kDeltaBlock
+  // windows, block-skipping via the per-block maxima — neither operand is
+  // ever materialized.
+  if (a.rep() == ExtentRep::kDeltaPacked && b.rep() == ExtentRep::kDeltaPacked) {
+    return Extent::FromSorted(IntersectDeltaDelta(*a.payload(), *b.payload()));
   }
-  if (bv != nullptr) {
-    return Extent::FromSorted(PreferDecode(a, bv->size())
-                                  ? extent_internal::IntersectVec(a.Materialize(), *bv)
-                                  : ProbeFilter(*bv, a, /*want=*/true));
+  if (a.rep() == ExtentRep::kDeltaPacked || b.rep() == ExtentRep::kDeltaPacked) {
+    const Extent& d = a.rep() == ExtentRep::kDeltaPacked ? a : b;
+    const Extent& o = a.rep() == ExtentRep::kDeltaPacked ? b : a;
+    if (const std::vector<NodeId>* ov = o.AsSortedVector()) {
+      return Extent::FromSorted(IntersectDeltaVec(*d.payload(), *ov));
+    }
+    return Extent::FromSorted(IntersectDeltaHybrid(*d.payload(), *o.payload()));
   }
+  // The only remaining pair: vector × hybrid. Probe the hybrid per vector
+  // member unless the hybrid is small enough that decoding it once wins.
+  const std::vector<NodeId>* v = av != nullptr ? av : bv;
+  const Extent& h = av != nullptr ? b : a;
   return Extent::FromSorted(
-      extent_internal::IntersectVec(a.Materialize(), b.Materialize()));
+      PreferDecode(h, v->size())
+          ? extent_internal::IntersectVec(*v, h.Materialize())
+          : ProbeFilter(*v, h, /*want=*/true));
 }
 
 Extent Difference(const Extent& a, const Extent& b) {
@@ -383,17 +753,29 @@ Extent Difference(const Extent& a, const Extent& b) {
     return CombineHybrid(*a.payload(), *b.payload(), /*keep_unmatched_a=*/true,
                          DifferenceChunk);
   }
-  if (av != nullptr && b.rep() == ExtentRep::kHybridBitmap) {
+  // Native delta-stream paths: the delta side is walked blockwise, never
+  // materialized.
+  if (a.rep() == ExtentRep::kDeltaPacked) {
+    if (b.rep() == ExtentRep::kDeltaPacked) {
+      return Extent::FromSorted(DifferenceDeltaDelta(*a.payload(), *b.payload()));
+    }
+    if (bv != nullptr) {
+      return Extent::FromSorted(DifferenceDeltaVec(*a.payload(), *bv));
+    }
+    return Extent::FromSorted(DifferenceDeltaHybrid(*a.payload(), *b.payload()));
+  }
+  if (b.rep() == ExtentRep::kDeltaPacked) {
+    // a is vector or hybrid; its members must come out either way.
+    return Extent::FromSorted(DifferenceVecDelta(
+        av != nullptr ? *av : a.Materialize(), *b.payload()));
+  }
+  // Remaining pairs: vector \ hybrid probes the hybrid per member; hybrid
+  // \ vector decodes a (the output is a subset of it) and merges.
+  if (av != nullptr) {
     return Extent::FromSorted(ProbeFilter(*av, b, /*want=*/false));
   }
-  // The output is a subset of a, which must be decoded anyway; b decodes
-  // unless it supports probing from a's walk.
-  const std::vector<NodeId> am = av != nullptr ? *av : a.Materialize();
-  if (b.rep() == ExtentRep::kHybridBitmap) {
-    return Extent::FromSorted(ProbeFilter(am, b, /*want=*/false));
-  }
   return Extent::FromSorted(
-      extent_internal::DifferenceVec(am, bv != nullptr ? *bv : b.Materialize()));
+      extent_internal::DifferenceVec(a.Materialize(), *bv));
 }
 
 std::vector<NodeId> Intersect(const Extent& a, const std::vector<NodeId>& b) {
@@ -402,7 +784,10 @@ std::vector<NodeId> Intersect(const Extent& a, const std::vector<NodeId>& b) {
   if (const std::vector<NodeId>* av = a.AsSortedVector()) {
     return extent_internal::IntersectVec(*av, b);
   }
-  if (a.rep() == ExtentRep::kHybridBitmap && !PreferDecode(a, b.size())) {
+  if (a.rep() == ExtentRep::kDeltaPacked) {
+    return IntersectDeltaVec(*a.payload(), b);
+  }
+  if (!PreferDecode(a, b.size())) {
     return ProbeFilter(b, a, /*want=*/true);
   }
   return extent_internal::IntersectVec(a.Materialize(), b);
@@ -414,7 +799,10 @@ std::vector<NodeId> Intersect(const std::vector<NodeId>& a, const Extent& b) {
   if (const std::vector<NodeId>* bv = b.AsSortedVector()) {
     return extent_internal::IntersectVec(a, *bv);
   }
-  if (b.rep() == ExtentRep::kHybridBitmap && !PreferDecode(b, a.size())) {
+  if (b.rep() == ExtentRep::kDeltaPacked) {
+    return IntersectDeltaVec(*b.payload(), a);
+  }
+  if (!PreferDecode(b, a.size())) {
     return ProbeFilter(a, b, /*want=*/true);
   }
   return extent_internal::IntersectVec(a, b.Materialize());
@@ -426,6 +814,9 @@ std::vector<NodeId> Difference(const Extent& a, const std::vector<NodeId>& b) {
   if (const std::vector<NodeId>* av = a.AsSortedVector()) {
     return extent_internal::DifferenceVec(*av, b);
   }
+  if (a.rep() == ExtentRep::kDeltaPacked) {
+    return DifferenceDeltaVec(*a.payload(), b);
+  }
   return extent_internal::DifferenceVec(a.Materialize(), b);
 }
 
@@ -436,10 +827,118 @@ std::vector<NodeId> Difference(const std::vector<NodeId>& a, const Extent& b) {
   if (const std::vector<NodeId>* bv = b.AsSortedVector()) {
     return extent_internal::DifferenceVec(a, *bv);
   }
-  if (b.rep() == ExtentRep::kHybridBitmap) {
-    return ProbeFilter(a, b, /*want=*/false);
+  if (b.rep() == ExtentRep::kDeltaPacked) {
+    return DifferenceVecDelta(a, *b.payload());
   }
-  return extent_internal::DifferenceVec(a, b.Materialize());
+  return ProbeFilter(a, b, /*want=*/false);
+}
+
+bool Overlaps(const Extent& a, const Extent& b) {
+  // Charged like the materializing Intersect this replaces: the §5 cost
+  // metric is representation- and early-exit-independent by design.
+  obs::CountIntersect(a.size() + b.size());
+  if (a.empty() || b.empty()) return false;
+  if (a.payload() == b.payload()) return true;
+  if (a.back() < b.front() || b.back() < a.front()) return false;
+  const Extent& small = a.size() <= b.size() ? a : b;
+  const Extent& large = a.size() <= b.size() ? b : a;
+  const std::vector<NodeId>* sv = small.AsSortedVector();
+  const std::vector<NodeId>* lv = large.AsSortedVector();
+  if (sv != nullptr && lv != nullptr) {
+    return extent_internal::OverlapsVec(*sv, *lv);
+  }
+  if (small.rep() == ExtentRep::kDeltaPacked &&
+      large.rep() == ExtentRep::kDeltaPacked) {
+    // Dual-cursor walk with block skipping, stopping at the first match;
+    // overlapping windows are merged in-buffer like IntersectDeltaDelta.
+    DeltaCursor cs(*small.payload());
+    DeltaCursor cl(*large.payload());
+    while (!cs.exhausted() && !cl.exhausted()) {
+      if (cs.window_back() < cl.value()) {
+        if (!cs.SkipTo(cl.value())) return false;
+        continue;
+      }
+      if (cl.window_back() < cs.value()) {
+        if (!cl.SkipTo(cs.value())) return false;
+        continue;
+      }
+      const NodeId* ps = cs.begin();
+      const NodeId* const es = cs.end();
+      const NodeId* pl = cl.begin();
+      const NodeId* const el = cl.end();
+      while (ps != es && pl != el) {
+        if (*ps < *pl) {
+          ++ps;
+        } else if (*pl < *ps) {
+          ++pl;
+        } else {
+          return true;
+        }
+      }
+      cs.Rebase(ps);
+      cl.Rebase(pl);
+    }
+    return false;
+  }
+  // Generic path: walk the smaller side (blockwise for delta, chunkwise
+  // for hybrid via the iterator), probing the larger — every probe is
+  // sublinear in every representation since the blocked delta index.
+  for (const NodeId x : small) {
+    if (large.Contains(x)) return true;
+  }
+  return false;
+}
+
+bool Overlaps(const std::vector<NodeId>& a, const Extent& b) {
+  obs::CountIntersect(a.size() + b.size());
+  if (a.empty() || b.empty()) return false;
+  if (const std::vector<NodeId>* bv = b.AsSortedVector()) {
+    return extent_internal::OverlapsVec(a, *bv);
+  }
+  if (a.back() < b.front() || b.back() < a.front()) return false;
+  if (b.rep() == ExtentRep::kDeltaPacked) {
+    // Cursor vs gallop, first hit wins; non-overlapping delta blocks are
+    // skipped undecoded.
+    DeltaCursor cb(*b.payload());
+    size_t j = 0;
+    while (!cb.exhausted() && j < a.size()) {
+      const NodeId x = cb.value();
+      const NodeId y = a[j];
+      if (x == y) return true;
+      if (x < y) {
+        if (!cb.SkipTo(y)) return false;
+      } else {
+        j = extent_internal::GallopLowerBound(a, j, x);
+      }
+    }
+    return false;
+  }
+  // b hybrid: probe it from the smaller logical side.
+  if (a.size() <= b.size()) {
+    for (const NodeId x : a) {
+      if (b.Contains(x)) return true;
+    }
+    return false;
+  }
+  for (const NodeId x : b) {
+    if (std::binary_search(a.begin(), a.end(), x)) return true;
+  }
+  return false;
+}
+
+Extent IntersectMany(std::vector<const Extent*> operands) {
+  std::erase_if(operands, [](const Extent* e) { return e == nullptr; });
+  if (operands.empty()) return Extent();
+  // Ascending estimated cost — size is the estimate — seeding the fold
+  // from the smallest operand: the running result stays bounded by it, so
+  // each step runs a small probe side against the next-cheapest operand.
+  std::sort(operands.begin(), operands.end(),
+            [](const Extent* x, const Extent* y) { return x->size() < y->size(); });
+  Extent result = *operands.front();
+  for (size_t i = 1; i < operands.size() && !result.empty(); ++i) {
+    result = Intersect(result, *operands[i]);
+  }
+  return result;
 }
 
 }  // namespace mrx

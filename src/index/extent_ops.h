@@ -113,6 +113,38 @@ inline std::vector<NodeId> IntersectVec(const std::vector<NodeId>& a,
   return out;
 }
 
+/// Uncounted overlap test (see IntersectVec): true iff a ∩ b != ∅,
+/// returning at the first common member. Adaptive like the merge kernels:
+/// gallops through the larger side under heavy skew.
+inline bool OverlapsVec(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+  if (a.empty() || b.empty()) return false;
+  if (a.back() < b.front() || b.back() < a.front()) return false;
+  const std::vector<NodeId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<NodeId>& large = a.size() <= b.size() ? b : a;
+  if (small.size() * kGallopRatio < large.size()) {
+    size_t j = 0;
+    for (const NodeId x : small) {
+      j = GallopLowerBound(large, j, x);
+      if (j == large.size()) return false;
+      if (large[j] == x) return true;
+    }
+    return false;
+  }
+  size_t i = 0, j = 0;
+  while (i < small.size() && j < large.size()) {
+    const NodeId x = small[i];
+    const NodeId y = large[j];
+    if (x == y) return true;
+    if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
 /// Uncounted a \ b (see IntersectVec).
 inline std::vector<NodeId> DifferenceVec(const std::vector<NodeId>& a,
                                          const std::vector<NodeId>& b) {
@@ -155,14 +187,42 @@ inline std::vector<NodeId> Difference(const std::vector<NodeId>& a,
 
 /// a ∩ b over compressed extents: representation-pair dispatch. Matching
 /// kSortedVector pair falls through to the adaptive vector kernel;
-/// kHybridBitmap pairs intersect chunk-by-chunk (word-parallel AND for
-/// bitmap×bitmap, run-aware probes otherwise); anything involving
-/// kDeltaPacked decodes the packed side and merges. The result is a
+/// kHybridBitmap pairs intersect chunk-by-chunk (SIMD word-parallel AND
+/// for bitmap×bitmap, run-aware probes otherwise); anything involving
+/// kDeltaPacked runs the native delta-stream kernels — a blockwise walk of
+/// the packed stream that skips non-overlapping blocks via the per-block
+/// maxima index and never materializes a scratch vector. The result is a
 /// normalized Extent. Charges CountIntersect with logical sizes.
 Extent Intersect(const Extent& a, const Extent& b);
 
 /// a \ b over compressed extents, same dispatch structure as Intersect.
 Extent Difference(const Extent& a, const Extent& b);
+
+/// True iff a ∩ b is non-empty. Replaces the `Intersect(a, b).empty()`
+/// idiom on validation paths: same representation dispatch, but returns at
+/// the FIRST common member and builds nothing. Charges CountIntersect with
+/// the same logical sizes the materializing call would (compression and
+/// early exit must not make a query look cheaper).
+bool Overlaps(const Extent& a, const Extent& b);
+bool Overlaps(const std::vector<NodeId>& a, const Extent& b);
+inline bool Overlaps(const Extent& a, const std::vector<NodeId>& b) {
+  return Overlaps(b, a);
+}
+
+/// Vector flavor of Overlaps (same contract), inline for the query layer.
+inline bool Overlaps(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b) {
+  obs::CountIntersect(a.size() + b.size());
+  return extent_internal::OverlapsVec(a, b);
+}
+
+/// k-way intersection folding in ascending size order (size is the kernel
+/// cost estimate): the running result is seeded from the smallest operand
+/// and stays bounded by it, so every fold step runs a small probe side
+/// against the next-cheapest operand, with an early exit the moment the
+/// running result is empty. Null entries are skipped. Replaces left-fold
+/// `Intersect` chains on the query hot path.
+Extent IntersectMany(std::vector<const Extent*> operands);
 
 /// Mixed kernels for the refinement hot path: an index node's (possibly
 /// compressed) extent against a plain sorted vector (relevant sets, Succ
@@ -173,6 +233,26 @@ std::vector<NodeId> Intersect(const Extent& a, const std::vector<NodeId>& b);
 std::vector<NodeId> Intersect(const std::vector<NodeId>& a, const Extent& b);
 std::vector<NodeId> Difference(const Extent& a, const std::vector<NodeId>& b);
 std::vector<NodeId> Difference(const std::vector<NodeId>& a, const Extent& b);
+
+/// Vector flavor of IntersectMany for hot paths that fold plain sorted
+/// vectors (twig match-set combination): same ascending-size ordering rule
+/// and empty-result early exit. Header-inline because mrx_query cannot
+/// link the compiled extent kernels. Null entries are skipped; an all-null
+/// or empty list yields the empty set.
+inline std::vector<NodeId> IntersectMany(
+    std::vector<const std::vector<NodeId>*> operands) {
+  std::erase(operands, nullptr);
+  if (operands.empty()) return {};
+  std::sort(operands.begin(), operands.end(),
+            [](const std::vector<NodeId>* x, const std::vector<NodeId>* y) {
+              return x->size() < y->size();
+            });
+  std::vector<NodeId> result = *operands.front();
+  for (size_t i = 1; i < operands.size() && !result.empty(); ++i) {
+    result = Intersect(result, *operands[i]);
+  }
+  return result;
+}
 
 /// Sorts and deduplicates in place — the normalization every extent and
 /// index-node id list goes through. Works for NodeId and IndexNodeId

@@ -106,12 +106,11 @@ void MkIndex::SplitCover(IndexNodeId v, int32_t k,
   const std::vector<IndexNodeId> parents = graph_.node(v).parents;
   for (IndexNodeId u : parents) {
     if (merge_unnecessary_splits_ &&
-        Intersect(pred_relevant, graph_.node(u).extent).empty()) {
+        !Overlaps(pred_relevant, graph_.node(u).extent)) {
       continue;
     }
     const auto& u_extent = graph_.node(u).extent;
-    qualifying_union.insert(qualifying_union.end(), u_extent.begin(),
-                            u_extent.end());
+    u_extent.AppendTo(&qualifying_union);
     std::vector<NodeId> succ = graph_.Succ(u_extent);
     std::vector<std::vector<NodeId>> next;
     for (const auto& w : pieces) {
@@ -152,7 +151,7 @@ void MkIndex::SplitCover(IndexNodeId v, int32_t k,
       parts.push_back(IndexGraph::Part{std::move(piece), k});
       continue;
     }
-    if (Intersect(piece, relevant_here).empty()) {
+    if (!Overlaps(piece, relevant_here)) {
       remainder.insert(remainder.end(), piece.begin(), piece.end());
       continue;
     }

@@ -297,10 +297,9 @@ void MStarIndex::SplitNodeStar(int ci, IndexNodeId v,
   std::vector<std::vector<NodeId>> pieces = {comp.node(v).extent.Materialize()};
   std::vector<NodeId> qualifying_union;
   for (IndexNodeId u : sup_parents) {
-    if (Intersect(pred_relevant, prev.node(u).extent).empty()) continue;
+    if (!Overlaps(pred_relevant, prev.node(u).extent)) continue;
     const auto& u_extent = prev.node(u).extent;
-    qualifying_union.insert(qualifying_union.end(), u_extent.begin(),
-                            u_extent.end());
+    u_extent.AppendTo(&qualifying_union);
     std::vector<NodeId> succ = prev.Succ(u_extent);
     std::vector<std::vector<NodeId>> next;
     for (const auto& w : pieces) {
@@ -331,7 +330,7 @@ void MStarIndex::SplitNodeStar(int ci, IndexNodeId v,
     return true;
   };
   for (auto& piece : pieces) {
-    if (Intersect(piece, relevant_here).empty()) {
+    if (!Overlaps(piece, relevant_here)) {
       remainder.insert(remainder.end(), piece.begin(), piece.end());
       continue;
     }
@@ -624,8 +623,7 @@ QueryResult MStarIndex::QueryTopDown(const PathExpression& path,
     const IndexGraph::Node& node = comp.node(v);
     obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && !path.anchored()) {
-      result.answer.insert(result.answer.end(), node.extent.begin(),
-                           node.extent.end());
+      node.extent.AppendTo(&result.answer);
     } else {
       result.precise = false;
       for (NodeId o : node.extent) {
@@ -723,8 +721,7 @@ QueryResult MStarIndex::QueryWithPrefilter(const PathExpression& path,
     const IndexGraph::Node& node = fine.node(v);
     obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && !path.anchored()) {
-      result.answer.insert(result.answer.end(), node.extent.begin(),
-                           node.extent.end());
+      node.extent.AppendTo(&result.answer);
     } else {
       result.precise = false;
       for (NodeId o : node.extent) {

@@ -26,8 +26,8 @@ void MStarIndex::CollectAnswer(const PathExpression& path, size_t ci,
     const IndexGraph::Node& node = comp.node(v);
     obs::CountExtentScan(node.extent.size());
     if (node.k >= needed && certifiable) {
-      result->answer.insert(result->answer.end(), node.extent.begin(),
-                            node.extent.end());
+      // Bulk decode instead of the per-element iterator round-trip.
+      node.extent.AppendTo(&result->answer);
     } else {
       result->precise = false;
       for (NodeId o : node.extent) {

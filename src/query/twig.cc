@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/extent_ops.h"
 #include "util/string_util.h"
 
 namespace mrx {
@@ -221,26 +222,24 @@ std::vector<NodeId> LabelRow(const DataGraph& g, LabelId label) {
   return {row.begin(), row.end()};
 }
 
-std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
-                              const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
 /// Bottom-up: nodes matching the subtree rooted at `t` (ignoring how the
-/// node itself is reached).
+/// node itself is reached). Gathers one constraint set per child plus the
+/// label row, then runs them through the k-way IntersectMany — operands
+/// ordered by size, seeded from the smallest — instead of the old
+/// left-fold of pairwise intersections in child order.
 std::vector<NodeId> MatchSet(const DataGraph& g, const TwigNode& t) {
-  std::vector<NodeId> result = LabelRow(g, t.label);
+  std::vector<std::vector<NodeId>> sets;
+  sets.push_back(LabelRow(g, t.label));
   for (const TwigNode& c : t.children) {
+    if (sets.back().empty()) return {};  // No operand can rescue an empty.
     std::vector<NodeId> child_set = MatchSet(g, c);
-    std::vector<NodeId> allowed =
-        c.descendant ? AncestorsOf(g, child_set) : ParentsOf(g, child_set);
-    result = Intersect(result, allowed);
-    if (result.empty()) break;
+    sets.push_back(c.descendant ? AncestorsOf(g, child_set)
+                                : ParentsOf(g, child_set));
   }
-  return result;
+  std::vector<const std::vector<NodeId>*> operands;
+  operands.reserve(sets.size());
+  for (const std::vector<NodeId>& s : sets) operands.push_back(&s);
+  return IntersectMany(std::move(operands));
 }
 
 }  // namespace

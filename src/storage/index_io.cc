@@ -113,6 +113,8 @@ Result<Extent> DecodeExtentV2(BinaryReader* reader) {
         MRX_ASSIGN_OR_RETURN(uint64_t word, reader->GetFixed64());
         p->packed.push_back(word);
       }
+      // The block skip index is derived, not serialized.
+      extent_internal::FinalizeDeltaPayload(p.get());
       return Extent::FromPayload(std::move(p));
     }
     case ExtentRep::kHybridBitmap: {

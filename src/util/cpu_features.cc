@@ -1,0 +1,70 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mrx {
+namespace {
+
+SimdLevel ProbeHardware() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports reads CPUID once per process under the hood
+  // (libgcc/compiler-rt cache it); both GCC and Clang provide it.
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return SimdLevel::kSSE42;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+/// The MRX_SIMD cap, resolved once. Unset/unparseable = no cap.
+SimdLevel EnvCap() {
+  const char* env = std::getenv("MRX_SIMD");
+  if (env == nullptr) return SimdLevel::kAVX2;
+  const std::optional<SimdLevel> parsed = ParseSimdLevel(env);
+  return parsed.value_or(SimdLevel::kAVX2);
+}
+
+std::atomic<SimdLevel>& OverrideCap() {
+  // Starts at the env cap so MRX_SIMD=scalar affects every kernel call
+  // from process start; SetSimdLevel replaces it.
+  static std::atomic<SimdLevel> cap{EnvCap()};
+  return cap;
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = ProbeHardware();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const SimdLevel cap = OverrideCap().load(std::memory_order_relaxed);
+  const SimdLevel detected = DetectedSimdLevel();
+  return cap < detected ? cap : detected;
+}
+
+void SetSimdLevel(SimdLevel level) {
+  OverrideCap().store(level, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSSE42: return "sse42";
+    case SimdLevel::kAVX2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<SimdLevel> ParseSimdLevel(std::string_view name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse42") return SimdLevel::kSSE42;
+  if (name == "avx2") return SimdLevel::kAVX2;
+  if (name == "native") return DetectedSimdLevel();
+  return std::nullopt;
+}
+
+}  // namespace mrx

@@ -1,0 +1,52 @@
+#ifndef MRX_UTIL_CPU_FEATURES_H_
+#define MRX_UTIL_CPU_FEATURES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mrx {
+
+/// \file
+/// Runtime CPU-feature dispatch for the vectorized extent kernels
+/// (docs/PERFORMANCE.md "Extent representations").
+///
+/// The hybrid-bitmap and delta-stream kernels come in three builds of the
+/// same code: a portable scalar fallback, an SSE4.2 tier (hardware POPCNT
+/// plus 128-bit word ops), and an AVX2 tier (256-bit word ops). The level
+/// is probed once at startup from CPUID, can be *lowered* via the MRX_SIMD
+/// environment variable ("scalar" | "sse42" | "avx2" | "native") or
+/// SetSimdLevel() — differential tests force scalar and native in turn and
+/// assert identical outputs — and can never exceed what the hardware
+/// supports, so a forced level is always safe to execute.
+
+/// Dispatch tiers in strictly increasing capability order. Comparing
+/// enum values compares capability.
+enum class SimdLevel : uint8_t {
+  kScalar = 0,  ///< Portable C++; the differential baseline.
+  kSSE42 = 1,   ///< 128-bit ops + hardware POPCNT.
+  kAVX2 = 2,    ///< 256-bit ops + hardware POPCNT.
+};
+
+/// What the hardware supports (CPUID probe, cached after the first call).
+SimdLevel DetectedSimdLevel();
+
+/// The level the kernels actually dispatch on: the detected level, capped
+/// by any SetSimdLevel() override and by MRX_SIMD (read once, at the first
+/// call). Never exceeds DetectedSimdLevel().
+SimdLevel ActiveSimdLevel();
+
+/// Caps the dispatch level for the process (clamped to the detected
+/// level). Passing the detected level restores full-speed dispatch. Safe
+/// to call at any time; the extent kernels re-read the level per call.
+void SetSimdLevel(SimdLevel level);
+
+/// "scalar" | "sse42" | "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Accepts the names above plus "native" (= the detected level).
+std::optional<SimdLevel> ParseSimdLevel(std::string_view name);
+
+}  // namespace mrx
+
+#endif  // MRX_UTIL_CPU_FEATURES_H_

@@ -301,6 +301,142 @@ TEST(ExtentEquivalenceTest, ParseRepModeSpellings) {
 /// forced mode and compares the exported specs against the vector-forced
 /// run — Extent equality is logical, so this catches any representation
 /// that decodes differently after a splice.
+// ---------------------------------------------------------------------------
+// Auto-representation heuristic (retuned for the vectorized kernels).
+// ---------------------------------------------------------------------------
+
+TEST(AutoRepHeuristicTest, SmallExtentsStayVector) {
+  ScopedRepMode mode(ExtentRepMode::kAuto);
+  std::vector<NodeId> v;
+  for (NodeId x = 0; x < 32; ++x) v.push_back(x * 3);
+  EXPECT_EQ(Extent::FromSorted(std::move(v)).rep(),
+            ExtentRep::kSortedVector);
+}
+
+TEST(AutoRepHeuristicTest, HotClusteredExtentsPickHybrid) {
+  // Regression for the 500k-tier inversion: large clustered extents used
+  // to auto-select delta because it is the smallest encoding, leaving the
+  // hot intersection path on the slow per-element decode. The retuned
+  // heuristic spends the extra space on hybrid once an extent is both hot
+  // (size >= 2048) and still a real compression win.
+  ScopedRepMode mode(ExtentRepMode::kAuto);
+  Rng rng(0x500137);
+  std::vector<NodeId> v;
+  for (NodeId x = 0; v.size() < 10000; ++x) {
+    if (rng.Below(10) < 7) v.push_back(x);
+  }
+  const Extent a = Extent::FromSorted(std::vector<NodeId>(v));
+  EXPECT_EQ(a.rep(), ExtentRep::kHybridBitmap);
+  // The inversion shape: delta genuinely is the smaller encoding here, so
+  // this choice is deliberately speed-over-space.
+  const Extent d =
+      Extent::FromSortedAs(std::vector<NodeId>(v), ExtentRep::kDeltaPacked);
+  EXPECT_LT(d.payload()->physical_bytes(), a.payload()->physical_bytes());
+}
+
+TEST(AutoRepHeuristicTest, MidSizeScatteredClustersPickDelta) {
+  // Below the hot threshold with chunk-unfriendly spacing (array chunks at
+  // 2 B/element beat nothing), delta remains the winner.
+  ScopedRepMode mode(ExtentRepMode::kAuto);
+  Rng rng(0xd317a);
+  std::vector<NodeId> v;
+  NodeId cursor = 0;
+  for (int i = 0; i < 500; ++i) {
+    cursor += 150 + static_cast<NodeId>(rng.Below(100));
+    v.push_back(cursor);
+  }
+  EXPECT_EQ(Extent::FromSorted(std::move(v)).rep(),
+            ExtentRep::kDeltaPacked);
+}
+
+TEST(AutoRepHeuristicTest, IncompressibleExtentsStayVector) {
+  // One huge gap forces wide delta fields for the whole stream, and one
+  // element per bitmap chunk makes hybrid pure overhead: neither beats the
+  // plain vector, so auto keeps it.
+  ScopedRepMode mode(ExtentRepMode::kAuto);
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < 99; ++i) v.push_back(i * 70000);
+  v.push_back(98u * 70000 + (1u << 31));
+  EXPECT_EQ(Extent::FromSorted(std::move(v)).rep(),
+            ExtentRep::kSortedVector);
+}
+
+// ---------------------------------------------------------------------------
+// The kDeltaPacked block skip index.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaBlockIndexTest, BlockLastMatchesPerBlockMaxima) {
+  Rng rng(0xb10c);
+  for (int cls = 0; cls < 4; ++cls) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::vector<NodeId> v = RandomExtent(&rng, cls);
+      if (v.empty()) continue;
+      const Extent e = Extent::FromSortedAs(std::vector<NodeId>(v),
+                                            ExtentRep::kDeltaPacked);
+      const auto& p = *e.payload();
+      if (p.delta_bits == 0) {
+        // Contiguous run: the index is arithmetic, not materialized.
+        EXPECT_TRUE(p.block_last.empty());
+        continue;
+      }
+      const size_t blocks =
+          (v.size() + extent_internal::kDeltaBlock - 1) /
+          extent_internal::kDeltaBlock;
+      ASSERT_EQ(p.block_last.size(), blocks);
+      for (size_t b = 0; b < blocks; ++b) {
+        const size_t end =
+            std::min(v.size(), (b + 1) * extent_internal::kDeltaBlock);
+        EXPECT_EQ(p.block_last[b], v[end - 1]) << "block " << b;
+      }
+    }
+  }
+}
+
+TEST(DeltaBlockIndexTest, DecodeDeltaBlockMatchesMaterializeSlices) {
+  Rng rng(0xdecb);
+  for (int cls = 0; cls < 4; ++cls) {
+    const std::vector<NodeId> v = RandomExtent(&rng, cls);
+    const Extent e = Extent::FromSortedAs(std::vector<NodeId>(v),
+                                          ExtentRep::kDeltaPacked);
+    const auto& p = *e.payload();
+    if (p.delta_bits == 0) continue;
+    NodeId buf[extent_internal::kDeltaBlock];
+    const size_t blocks = p.block_last.size();
+    for (size_t b = 0; b < blocks; ++b) {
+      const uint32_t n = extent_internal::DecodeDeltaBlock(p, b, buf);
+      const size_t begin = b * extent_internal::kDeltaBlock;
+      ASSERT_EQ(n, std::min(v.size(), begin + extent_internal::kDeltaBlock) -
+                       begin);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_EQ(buf[i], v[begin + i]) << "block " << b << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(DeltaBlockIndexTest, FinalizeRebuildsIndexFromPackedStream) {
+  // The storage decode path fills base/delta_bits/packed/size and derives
+  // block_last via FinalizeDeltaPayload; the rebuilt index must match the
+  // one built at encode time, and an Extent over the rebuilt payload must
+  // answer queries correctly.
+  Rng rng(0xf17a1);
+  const std::vector<NodeId> v = RandomExtent(&rng, 3);
+  const Extent e = Extent::FromSortedAs(std::vector<NodeId>(v),
+                                        ExtentRep::kDeltaPacked);
+  auto copy = std::make_shared<extent_internal::ExtentPayload>(*e.payload());
+  copy->block_last.clear();
+  extent_internal::FinalizeDeltaPayload(copy.get());
+  EXPECT_EQ(copy->block_last, e.payload()->block_last);
+
+  const Extent rebuilt = Extent::FromPayload(copy);
+  EXPECT_EQ(rebuilt.Materialize(), v);
+  EXPECT_EQ(rebuilt.back(), v.back());
+  for (size_t i = 0; i < v.size(); i += 7) {
+    EXPECT_TRUE(rebuilt.Contains(v[i]));
+  }
+  EXPECT_FALSE(rebuilt.Contains(v.back() + 1));
+}
+
 TEST(ExtentEquivalenceTest, MaintainerSplicePathsAgreeUnderForcedReps) {
   const mutate::MutationBatch batch = {
       mutate::Mutation::AppendLeaf(1, "b"),
